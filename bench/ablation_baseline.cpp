@@ -1,0 +1,139 @@
+// Ablation vs the SW-NTP baseline (the comparison the paper's introduction
+// motivates): TSC-NTP and an ntpd-style disciplined clock run head-to-head
+// on identical exchange streams:
+//   (i)   a clean day — both are fine, TSC-NTP is ~100× tighter;
+//   (ii)  a congested day — SW-NTP errors grow well beyond RTT noise;
+//   (iii) a 25-minute 150 ms server fault — SW-NTP eventually *steps*
+//         (the reset the paper criticizes), TSC-NTP's sanity check holds;
+//   (iv)  rate stability — SW-NTP deliberately varies its rate to chase
+//         offset; the TSC difference clock stays within the hardware bound.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "baseline/swntp.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+struct HeadToHead {
+  PercentileSummary tsc;       // |error| percentiles
+  PercentileSummary sw;
+  double tsc_worst = 0;
+  double sw_worst = 0;
+  std::uint64_t sw_steps = 0;
+  std::uint64_t tsc_sanity = 0;
+  double sw_rate_wobble_ppm = 0;   // max-min effective rate
+  double tsc_rate_wobble_ppm = 0;  // max-min difference-clock rate
+};
+
+HeadToHead duel(const sim::EventSchedule& events, bool congested,
+                std::uint64_t seed) {
+  sim::ScenarioConfig scenario;
+  scenario.duration = duration::kDay;
+  scenario.poll_period = 16.0;
+  scenario.seed = seed;
+  scenario.events = events;
+  if (congested) {
+    auto path = sim::ScenarioConfig::path_preset(scenario.server);
+    path.forward.spike_prob = 0.35;
+    path.backward.spike_prob = 0.25;
+    path.forward.congestion_mean_interval = duration::kHour;
+    path.forward.congestion_mean_duration = 20 * duration::kMinute;
+    scenario.path_override = path;
+  }
+  sim::Testbed testbed(scenario);
+
+  core::Params params;
+  params.poll_period = scenario.poll_period;
+  core::TscNtpClock tsc(params, testbed.nominal_period());
+  // Give the SW clock the same nominal tick (same ~52 PPM initial error).
+  baseline::SwNtpClock sw(baseline::PllConfig{}, testbed.nominal_period());
+
+  HeadToHead result;
+  std::vector<double> tsc_err;
+  std::vector<double> sw_err;
+  double sw_rate_min = 10;
+  double sw_rate_max = 0;
+  double tsc_rate_min = 10;
+  double tsc_rate_max = 0;
+  const double truth = testbed.true_period();
+
+  while (auto ex = testbed.next()) {
+    if (ex->lost) continue;
+    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
+                                ex->tf_counts};
+    tsc.process_exchange(raw);
+    sw.process_exchange(raw);
+    if (!ex->ref_available || ex->truth.tb < 2 * duration::kHour) continue;
+
+    tsc_err.push_back(std::fabs(tsc.absolute_time(ex->tf_counts) - ex->tg));
+    sw_err.push_back(std::fabs(sw.time(ex->tf_counts) - ex->tg));
+    result.tsc_worst = std::max(result.tsc_worst, tsc_err.back());
+    result.sw_worst = std::max(result.sw_worst, sw_err.back());
+
+    sw_rate_min = std::min(sw_rate_min, sw.effective_rate());
+    sw_rate_max = std::max(sw_rate_max, sw.effective_rate());
+    const double tsc_rate = tsc.period() / truth;
+    tsc_rate_min = std::min(tsc_rate_min, tsc_rate);
+    tsc_rate_max = std::max(tsc_rate_max, tsc_rate);
+  }
+  result.tsc = percentile_summary(tsc_err);
+  result.sw = percentile_summary(sw_err);
+  result.sw_steps = sw.status().steps;
+  result.tsc_sanity = tsc.status().offset_sanity_triggers;
+  result.sw_rate_wobble_ppm = (sw_rate_max - sw_rate_min) * 1e6;
+  result.tsc_rate_wobble_ppm = (tsc_rate_max - tsc_rate_min) * 1e6;
+  return result;
+}
+
+void report(const char* name, const HeadToHead& r) {
+  TablePrinter table({"clock", "median |err| [us]", "p99 |err| [us]",
+                      "worst [us]", "steps", "rate wobble [PPM]"});
+  table.add_row({"TSC-NTP", strfmt("%.1f", r.tsc.p50 * 1e6),
+                 strfmt("%.1f", r.tsc.p99 * 1e6),
+                 strfmt("%.1f", r.tsc_worst * 1e6), "0 (by design)",
+                 strfmt("%.4f", r.tsc_rate_wobble_ppm)});
+  table.add_row({"SW-NTP", strfmt("%.1f", r.sw.p50 * 1e6),
+                 strfmt("%.1f", r.sw.p99 * 1e6),
+                 strfmt("%.1f", r.sw_worst * 1e6),
+                 strfmt("%llu", static_cast<unsigned long long>(r.sw_steps)),
+                 strfmt("%.4f", r.sw_rate_wobble_ppm)});
+  print_banner(std::cout, name);
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  report("Baseline duel (i): clean day, ServerInt",
+         duel(sim::EventSchedule{}, false, 21));
+
+  report("Baseline duel (ii): heavily congested day",
+         duel(sim::EventSchedule{}, true, 22));
+
+  sim::EventSchedule fault;
+  fault.add_server_fault(0.5 * duration::kDay,
+                         0.5 * duration::kDay + 25 * duration::kMinute,
+                         0.150);
+  const auto faulted = duel(fault, false, 23);
+  report("Baseline duel (iii): 25-minute 150 ms server fault", faulted);
+  print_comparison(std::cout, "SW-NTP reset behaviour",
+                   "steps (resets) to follow the faulty server",
+                   strfmt("%llu step(s); worst error %.1f ms",
+                          static_cast<unsigned long long>(faulted.sw_steps),
+                          faulted.sw_worst * 1e3));
+  print_comparison(std::cout, "TSC-NTP sanity behaviour",
+                   "no reset, damage ~1 ms",
+                   strfmt("%llu sanity trigger(s); worst error %.2f ms",
+                          static_cast<unsigned long long>(faulted.tsc_sanity),
+                          faulted.tsc_worst * 1e3));
+  std::cout << "\nRate: the SW-NTP clock deliberately varies its rate by\n"
+               "many PPM to chase offset; the TSC difference clock's rate\n"
+               "stays within the 0.1 PPM hardware bound (paper §1).\n";
+  return 0;
+}

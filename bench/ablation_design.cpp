@@ -1,0 +1,130 @@
+// Design-choice ablations: switch off each robustness stage of §5.3/§6 on a
+// stress trace (congestion episodes + a server fault + an upward route
+// shift + loss) and measure what it costs. This quantifies the DESIGN.md
+// inventory of mechanisms:
+//   weighting (stage ii-iii)   — vs last-good-packet estimation
+//   aging (ε in E^T)           — stale packets allowed to dominate
+//   offset sanity (stage iv)   — server faults dragged in
+//   rate sanity                — p̄ poisoned by faulty server stamps
+//   level-shift detection      — upward shifts read as congestion forever
+//   local rate (eq. 21/23)     — no slope correction in fallbacks
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+struct AblationResult {
+  PercentileSummary abs_err;  // |θ̂ − θg|
+  double worst = 0;
+  double rate_err_ppm = 0;
+};
+
+AblationResult run_variant(const core::Params& params) {
+  sim::ScenarioConfig scenario;
+  scenario.duration = 2 * duration::kDay;
+  scenario.poll_period = 16.0;
+  scenario.seed = 3434;
+  // Stress: fault + permanent upward shift + heavy loss.
+  scenario.events.add_server_fault(0.75 * duration::kDay,
+                                   0.75 * duration::kDay + 10 * duration::kMinute,
+                                   0.150);
+  scenario.events.add_level_shift(
+      {1.25 * duration::kDay, sim::kForever, 0.8e-3, 0.0});
+  auto path = sim::ScenarioConfig::path_preset(scenario.server);
+  path.loss_prob = 0.01;
+  path.forward.spike_prob = 0.12;
+  scenario.path_override = path;
+
+  sim::Testbed testbed(scenario);
+  auto run = bench::run_clock(testbed, params,
+                              /*discard_warmup_s=*/4 * duration::kHour);
+  AblationResult out;
+  std::vector<double> abs_errors;
+  for (const auto& p : run.points) {
+    abs_errors.push_back(std::fabs(p.offset_error));
+    out.worst = std::max(out.worst, abs_errors.back());
+  }
+  out.abs_err = percentile_summary(abs_errors);
+  out.rate_err_ppm =
+      std::fabs(run.final_status.period / testbed.true_period() - 1.0) * 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Design ablations on a stress trace (fault + shift + loss)");
+
+  struct Variant {
+    const char* name;
+    core::Params params;
+  };
+  core::Params full;
+  full.poll_period = 16.0;
+
+  std::vector<Variant> variants;
+  variants.push_back({"full algorithm", full});
+  {
+    auto p = full;
+    p.enable_weighting = false;
+    variants.push_back({"no weighted window", p});
+  }
+  {
+    auto p = full;
+    p.enable_aging = false;
+    variants.push_back({"no error aging", p});
+  }
+  {
+    auto p = full;
+    p.enable_offset_sanity = false;
+    variants.push_back({"no offset sanity", p});
+  }
+  {
+    auto p = full;
+    p.enable_rate_sanity = false;
+    variants.push_back({"no rate sanity", p});
+  }
+  {
+    auto p = full;
+    p.enable_level_shift = false;
+    variants.push_back({"no level-shift detection", p});
+  }
+  {
+    auto p = full;
+    p.use_local_rate = false;
+    variants.push_back({"no local rate", p});
+  }
+
+  TablePrinter table({"variant", "median |err| [us]", "p99 |err| [us]",
+                      "worst [us]", "final rate err [PPM]"});
+  double full_p99 = 0;
+  for (const auto& v : variants) {
+    const auto r = run_variant(v.params);
+    if (v.params.enable_weighting && v.params.enable_aging &&
+        v.params.enable_offset_sanity && v.params.enable_rate_sanity &&
+        v.params.enable_level_shift && v.params.use_local_rate)
+      full_p99 = r.abs_err.p99;
+    table.add_row({v.name, strfmt("%.1f", r.abs_err.p50 * 1e6),
+                   strfmt("%.1f", r.abs_err.p99 * 1e6),
+                   strfmt("%.1f", r.worst * 1e6),
+                   strfmt("%.4f", r.rate_err_ppm)});
+  }
+  table.print(std::cout);
+  print_comparison(std::cout, "full algorithm p99",
+                   "every stage contributes under stress",
+                   strfmt("%.1f us", full_p99 * 1e6));
+  std::cout << "Reading: 'no offset sanity' shows the server fault damage\n"
+               "(worst error ~150 ms); 'no rate sanity' shows the poisoned\n"
+               "p-bar; disabling weighting/aging degrades congestion\n"
+               "rejection; disabling shift detection leaves post-shift\n"
+               "packets mis-rated as congested.\n";
+  return 0;
+}

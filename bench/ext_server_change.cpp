@@ -1,0 +1,109 @@
+// Extension experiment (the paper's stated future work, §2.3): using the
+// server identity carried in NTP replies for route/level-shift handling.
+// The campaign trace switches ServerInt → ServerExt mid-run (+13 ms minimum
+// RTT). Without identity tracking this looks like a huge upward level
+// shift: every packet is mis-rated as congested until the Ts-deep detector
+// fires. With identity tracking the clock restarts its RTT filter at the
+// switch and quality assessment is correct immediately.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/server_change.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+struct Outcome {
+  PercentileSummary post_switch_err;
+  double weighted_fraction = 0;  ///< post-switch packets on the weighted path
+  std::uint64_t upshifts = 0;
+  std::uint64_t server_changes = 0;
+};
+
+Outcome run(bool use_identity) {
+  sim::ScenarioConfig scenario;
+  scenario.duration = 8 * duration::kHour;
+  scenario.seed = 5656;
+  scenario.server_switches.push_back(
+      {4 * duration::kHour, sim::ServerKind::kExt});
+  sim::Testbed testbed(scenario);
+
+  core::Params params;
+  params.poll_period = scenario.poll_period;
+  core::TscNtpClock clock(params, testbed.nominal_period());
+  core::ServerChangeDetector detector;
+
+  Outcome out;
+  std::vector<double> errs;
+  std::size_t weighted = 0;
+  std::size_t total = 0;
+  std::uint64_t idx = 0;
+  while (auto ex = testbed.next()) {
+    if (ex->lost) continue;
+    if (use_identity &&
+        detector.observe({ex->server_id, ex->server_stratum}, idx++))
+      clock.notify_server_change();
+    const auto report = clock.process_exchange(
+        {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
+    if (!ex->ref_available) continue;
+    if (ex->truth.tb > 4 * duration::kHour + 300) {
+      ++total;
+      if (report.offset_weighted) ++weighted;
+      const double theta_g =
+          clock.uncorrected_time(ex->tf_counts) - ex->tg;
+      errs.push_back(report.offset_estimate - theta_g);
+    }
+  }
+  out.post_switch_err = percentile_summary(errs);
+  out.weighted_fraction =
+      static_cast<double>(weighted) / static_cast<double>(total);
+  out.upshifts = clock.status().upshifts;
+  out.server_changes = clock.status().server_changes;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Extension: server-identity tracking across a server switch "
+               "(ServerInt -> ServerExt, +13 ms RTT)");
+  const auto with = run(true);
+  const auto without = run(false);
+
+  TablePrinter table({"variant", "median err [us]", "IQR [us]",
+                      "weighted-path %", "upshift detections",
+                      "server changes"});
+  table.add_row({"with identity tracking",
+                 strfmt("%+.1f", with.post_switch_err.p50 * 1e6),
+                 strfmt("%.1f", with.post_switch_err.iqr() * 1e6),
+                 strfmt("%.1f%%", 100 * with.weighted_fraction),
+                 strfmt("%llu", static_cast<unsigned long long>(with.upshifts)),
+                 strfmt("%llu",
+                        static_cast<unsigned long long>(with.server_changes))});
+  table.add_row(
+      {"without (RTT level shift only)",
+       strfmt("%+.1f", without.post_switch_err.p50 * 1e6),
+       strfmt("%.1f", without.post_switch_err.iqr() * 1e6),
+       strfmt("%.1f%%", 100 * without.weighted_fraction),
+       strfmt("%llu", static_cast<unsigned long long>(without.upshifts)),
+       strfmt("%llu",
+              static_cast<unsigned long long>(without.server_changes))});
+  table.print(std::cout);
+
+  print_comparison(std::cout, "post-switch median",
+                   "~ -Delta_Ext/2 = -250 us either way (asymmetry is "
+                   "physical)",
+                   strfmt("%+.1f / %+.1f us",
+                          with.post_switch_err.p50 * 1e6,
+                          without.post_switch_err.p50 * 1e6));
+  std::cout << "Identity tracking restores correct quality assessment\n"
+               "immediately; without it the +13 ms jump must wait for the\n"
+               "Ts-deep upward-shift detector while packets are mis-rated.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 2: offset variations θ(t) of the uncorrected TSC clock C(t) in two
+// temperature environments, with a detrending p̂ (first and last offsets
+// forced equal). Left panel: 1000 s; right panel: one week. Both must fall
+// inside the ±0.1 PPM cone.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+struct Trace {
+  std::vector<double> t;      // reference time from trace start [s]
+  std::vector<double> theta;  // detrended offset [s]
+};
+
+Trace collect(sim::Environment env, Seconds duration, std::uint64_t seed) {
+  sim::ScenarioConfig scenario;
+  scenario.environment = env;
+  scenario.duration = duration;
+  scenario.poll_period = 16.0;
+  scenario.seed = seed;
+  sim::Testbed testbed(scenario);
+
+  std::vector<double> tg;
+  std::vector<TscCount> tf;
+  while (auto ex = testbed.next()) {
+    if (ex->lost || !ex->ref_available) continue;
+    tg.push_back(ex->tg);
+    tf.push_back(ex->tf_counts);
+  }
+  // Detrending p̂: forces θ(first) = θ(last) = 0 (paper §3.1).
+  const double phat = (tg.back() - tg.front()) /
+                      static_cast<double>(counter_delta(tf.back(), tf.front()));
+  Trace out;
+  for (std::size_t i = 0; i < tg.size(); ++i) {
+    const double elapsed =
+        static_cast<double>(counter_delta(tf[i], tf.front())) * phat;
+    out.t.push_back(tg[i] - tg.front());
+    out.theta.push_back(elapsed - (tg[i] - tg.front()));
+  }
+  return out;
+}
+
+void report(const char* title, const Trace& lab, const Trace& mr,
+            double sample_every, const char* unit, double scale) {
+  print_banner(std::cout, title);
+  TablePrinter table({"time", strfmt("lab offset [%s]", unit),
+                      strfmt("m-room offset [%s]", unit),
+                      "0.1PPM cone [same]"});
+  double next_sample = 0;
+  for (std::size_t i = 0; i < lab.t.size() && i < mr.t.size(); ++i) {
+    if (lab.t[i] < next_sample) continue;
+    next_sample = lab.t[i] + sample_every;
+    table.add_row({format_duration(lab.t[i]),
+                   strfmt("%+.4f", lab.theta[i] * scale),
+                   strfmt("%+.4f", mr.theta[i] * scale),
+                   strfmt("±%.4f", lab.t[i] * ppm(0.1) * scale)});
+  }
+  table.print(std::cout);
+
+  // Cone compliance: |θ(t)| ≤ 0.1 PPM · t, evaluated beyond the scale where
+  // µs timestamping noise stops dominating the ratio (t ≥ 30 min).
+  auto worst_ratio = [](const Trace& tr) {
+    double worst = 0;
+    for (std::size_t i = 1; i < tr.t.size(); ++i)
+      if (tr.t[i] >= 1800.0)
+        worst = std::max(worst, std::fabs(tr.theta[i]) / tr.t[i]);
+    return worst;
+  };
+  if (lab.t.back() < 1800.0) return;  // short panel: cone check meaningless
+  print_comparison(std::cout, "cone bound", "0.1 PPM",
+                   strfmt("lab %.3f PPM, m-room %.3f PPM (worst |θ|/t)",
+                          to_ppm(worst_ratio(lab)), to_ppm(worst_ratio(mr))));
+}
+
+}  // namespace
+
+int main() {
+  const auto lab_short = collect(sim::Environment::kLaboratory, 1000.0, 42);
+  const auto mr_short = collect(sim::Environment::kMachineRoom, 1000.0, 42);
+  report("Figure 2 (left): offset over 1000 s", lab_short, mr_short, 100.0,
+         "us", 1e6);
+
+  const auto lab_week = collect(sim::Environment::kLaboratory,
+                                duration::kWeek, 42);
+  const auto mr_week = collect(sim::Environment::kMachineRoom,
+                               duration::kWeek, 42);
+  report("Figure 2 (right): offset over 1 week", lab_week, mr_week,
+         0.5 * duration::kDay, "ms", 1e3);
+
+  std::cout << "Paper: residual drift approximately linear below τ*≈1000 s;\n"
+               "ms-scale wander over days, laboratory > machine room at\n"
+               "large scales; everything inside the ±0.1 PPM cone.\n";
+  return 0;
+}

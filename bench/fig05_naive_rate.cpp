@@ -1,0 +1,88 @@
+// Figure 5: naive per-packet rate estimates (backward direction, j = 1)
+// with steadily growing Δ(t), against DAG reference rates. The bulk falls
+// within ±0.1 PPM quickly (errors damped as 1/Δ), but congested packets
+// still produce large outliers — the motivation for the robust scheme.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+int main() {
+  print_banner(std::cout,
+               "Figure 5: naive per-packet rate estimates vs reference");
+
+  sim::ScenarioConfig scenario;
+  scenario.duration = duration::kDay;
+  scenario.seed = 505;
+  sim::Testbed testbed(scenario);
+
+  struct Sample {
+    double t_day;
+    double naive_ppm;  // (p̂←_{i,1} − p̄)/p̄
+    double ref_ppm;    // reference from DAG stamps
+  };
+  std::vector<Sample> samples;
+
+  bool have_first = false;
+  core::RawExchange first;
+  double tg_first = 0;
+  const double pbar = testbed.true_period();  // detrending p̄ (§3.1 analog)
+
+  std::size_t within_01ppm_late = 0;
+  std::size_t late_total = 0;
+  double worst_late = 0;
+
+  while (auto ex = testbed.next()) {
+    if (ex->lost || !ex->ref_available) continue;
+    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
+                                ex->tf_counts};
+    if (!have_first) {
+      first = raw;
+      tg_first = ex->tg;
+      have_first = true;
+      continue;
+    }
+    const double backward =
+        (raw.te - first.te) /
+        static_cast<double>(counter_delta(raw.tf, first.tf));
+    const double reference =
+        (ex->tg - tg_first) /
+        static_cast<double>(counter_delta(raw.tf, first.tf));
+    Sample s;
+    s.t_day = ex->tb_stamp / duration::kDay;
+    s.naive_ppm = (backward - pbar) / pbar * 1e6;
+    s.ref_ppm = (reference - pbar) / pbar * 1e6;
+    samples.push_back(s);
+
+    if (s.t_day > 0.1) {  // after the first ~2.4 hours of damping
+      ++late_total;
+      const double err = std::fabs(s.naive_ppm - s.ref_ppm);
+      if (err < 0.1) ++within_01ppm_late;
+      worst_late = std::max(worst_late, err);
+    }
+  }
+
+  TablePrinter table({"Te [day]", "naive (p-pbar)/pbar [PPM]",
+                      "reference [PPM]"});
+  for (std::size_t i = 0; i < samples.size(); i += samples.size() / 24 + 1)
+    table.add_row({strfmt("%.3f", samples[i].t_day),
+                   strfmt("%+.4f", samples[i].naive_ppm),
+                   strfmt("%+.4f", samples[i].ref_ppm)});
+  table.print(std::cout);
+
+  print_comparison(
+      std::cout, "bulk of estimates within 0.1 PPM after damping",
+      "most, but outliers persist",
+      strfmt("%.1f%% within, worst outlier %.3f PPM",
+             100.0 * static_cast<double>(within_01ppm_late) /
+                 static_cast<double>(late_total),
+             worst_late));
+  std::cout << "A single congested packet (queueing > 8.6 ms) breaks the\n"
+               "0.1 PPM bound even at a one-day baseline (Table 1): naive\n"
+               "estimates cannot bound their own error.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 7: relative error of the robust p̄ estimates for two acceptance
+// thresholds E* = 20δ (0.3 ms) and E* = 5δ (75 µs), with the expected error
+// bound 2E*/Δ(t). Errors fall below 0.1 PPM and never return above,
+// insensitive to the choice of E* — unlike the naive estimates of Fig. 5.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+struct Run {
+  std::vector<double> t_day;
+  std::vector<double> rel_err;
+  std::vector<double> bound;
+  double accepted_fraction = 0;
+};
+
+Run run_with_threshold(double e_star) {
+  sim::ScenarioConfig scenario;
+  scenario.duration = duration::kDay;
+  scenario.seed = 707;
+  sim::Testbed testbed(scenario);
+
+  core::Params params = bench::params_for(scenario);
+  params.rate_accept_error = e_star;
+  core::TscNtpClock clock(params, testbed.nominal_period());
+  const double truth = testbed.true_period();
+
+  Run out;
+  std::size_t accepted = 0;
+  std::size_t total = 0;
+  TscCount tf_first = 0;
+  bool have_first = false;
+  while (auto ex = testbed.next()) {
+    if (ex->lost) continue;
+    const auto report = clock.process_exchange(
+        {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
+    if (!have_first) {
+      tf_first = ex->tf_counts;
+      have_first = true;
+    }
+    ++total;
+    if (report.rate_accepted) ++accepted;
+    if (!clock.status().warmed_up) continue;
+    out.t_day.push_back(ex->tb_stamp / duration::kDay);
+    out.rel_err.push_back(std::fabs(clock.period() / truth - 1.0));
+    const double span =
+        delta_to_seconds(counter_delta(ex->tf_counts, tf_first), truth);
+    out.bound.push_back(2 * e_star / span);
+  }
+  out.accepted_fraction =
+      static_cast<double>(accepted) / static_cast<double>(total);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Figure 7: robust rate error for E* = 20*delta and 5*delta");
+  const core::Params defaults;
+  const Run wide = run_with_threshold(20 * defaults.delta);
+  const Run narrow = run_with_threshold(5 * defaults.delta);
+
+  TablePrinter table({"Te [day]", "err E*=20d [PPM]", "bound [PPM]",
+                      "err E*=5d [PPM]", "bound [PPM]"});
+  for (std::size_t i = 0; i < wide.t_day.size();
+       i += wide.t_day.size() / 20 + 1) {
+    const std::size_t j = std::min(i, narrow.t_day.size() - 1);
+    table.add_row({strfmt("%.3f", wide.t_day[i]),
+                   strfmt("%.5f", to_ppm(wide.rel_err[i])),
+                   strfmt("%.5f", to_ppm(wide.bound[i])),
+                   strfmt("%.5f", to_ppm(narrow.rel_err[j])),
+                   strfmt("%.5f", to_ppm(narrow.bound[j]))});
+  }
+  table.print(std::cout);
+
+  double worst_tail_wide = 0;
+  double worst_tail_narrow = 0;
+  for (std::size_t i = 0; i < wide.t_day.size(); ++i)
+    if (wide.t_day[i] > 0.25)
+      worst_tail_wide = std::max(worst_tail_wide, wide.rel_err[i]);
+  for (std::size_t i = 0; i < narrow.t_day.size(); ++i)
+    if (narrow.t_day[i] > 0.25)
+      worst_tail_narrow = std::max(worst_tail_narrow, narrow.rel_err[i]);
+
+  print_comparison(std::cout, "errors fall below 0.1 PPM and stay",
+                   "both thresholds",
+                   strfmt("worst after day 0.25: %.4f PPM (20d), %.4f PPM (5d)",
+                          to_ppm(worst_tail_wide), to_ppm(worst_tail_narrow)));
+  print_comparison(std::cout, "fraction of packets accepted",
+                   "72%% (20d) / 3.9%% (5d) on the paper's path",
+                   strfmt("%.1f%% / %.1f%% on the simulated path",
+                          100 * wide.accepted_fraction,
+                          100 * narrow.accepted_fraction));
+  std::cout << "Insensitivity to E* is the point: both accept-rates give\n"
+               "errors bounded by 2E*/Delta(t), damped by the baseline.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 10: offset error percentiles across the four host-server
+// environments (Lab-Int, MR-Int, MR-Loc, MR-Ext) at a 64 s poll:
+//   * moving laboratory → machine room reduces variability;
+//   * moving ServerInt → ServerLoc improves further;
+//   * ServerExt jumps in median (path asymmetry Δ/2 ≈ 250 µs) and spread
+//     (quality packets much rarer over ~10 hops).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+PercentileSummary run_env(sim::Environment env, sim::ServerKind kind,
+                          double days) {
+  sim::ScenarioConfig scenario;
+  scenario.environment = env;
+  scenario.server = kind;
+  scenario.poll_period = 64.0;
+  scenario.duration = days * duration::kDay;
+  scenario.seed = 1010;
+  sim::Testbed testbed(scenario);
+  core::Params params;
+  params.poll_period = scenario.poll_period;
+  auto run = bench::run_clock(testbed, params,
+                              /*discard_warmup_s=*/6 * duration::kHour);
+  return percentile_summary(bench::offset_errors(run));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double days = argc > 1 ? std::atof(argv[1]) : 5.0;
+  print_banner(std::cout,
+               "Figure 10: performance over four operating environments");
+
+  TablePrinter table(bench::percentile_headers("environment"));
+  const auto lab_int =
+      run_env(sim::Environment::kLaboratory, sim::ServerKind::kInt, days);
+  const auto mr_int =
+      run_env(sim::Environment::kMachineRoom, sim::ServerKind::kInt, days);
+  const auto mr_loc =
+      run_env(sim::Environment::kMachineRoom, sim::ServerKind::kLoc, days);
+  const auto mr_ext =
+      run_env(sim::Environment::kMachineRoom, sim::ServerKind::kExt, days);
+  table.add_row(bench::percentile_row_us("Lab-Int", lab_int));
+  table.add_row(bench::percentile_row_us("MR-Int", mr_int));
+  table.add_row(bench::percentile_row_us("MR-Loc", mr_loc));
+  table.add_row(bench::percentile_row_us("MR-Ext", mr_ext));
+  table.print(std::cout);
+
+  print_comparison(std::cout, "lab -> machine room",
+                   "reduced variability",
+                   strfmt("spread %.1f us -> %.1f us",
+                          (lab_int.p99 - lab_int.p01) * 1e6,
+                          (mr_int.p99 - mr_int.p01) * 1e6));
+  print_comparison(std::cout, "ServerInt -> ServerLoc",
+                   "further improvement",
+                   strfmt("IQR %.1f us -> %.1f us", mr_int.iqr() * 1e6,
+                          mr_loc.iqr() * 1e6));
+  print_comparison(std::cout, "ServerExt median jump",
+                   "~Delta/2 = 250 us (vs 25 us nearby)",
+                   strfmt("%+.1f us median (vs %+.1f us for MR-Int)",
+                          mr_ext.p50 * 1e6, mr_int.p50 * 1e6));
+  print_comparison(std::cout, "ServerExt spread",
+                   "larger: quality packets rarer over ~10 hops",
+                   strfmt("IQR %.1f us (vs %.1f us MR-Int)",
+                          mr_ext.iqr() * 1e6, mr_int.iqr() * 1e6));
+  std::cout << "Note: even against a server 1000 km away the error is\n"
+               "bounded by ~Delta/2, far below the 14.2 ms RTT.\n";
+  return 0;
+}

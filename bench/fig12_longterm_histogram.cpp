@@ -1,0 +1,98 @@
+// Figure 12: offset error histograms over a ~3-month continuous run with
+// ServerInt (including data gaps and a server fault, as in the paper's
+// campaign), at polling periods 64 s and 256 s. Paper: median −31 µs /
+// IQR 15 µs (64 s), median −33 µs / IQR 24.3 µs (256 s); the histogram
+// shows "exactly 99% of all values".
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+void run_poll(Seconds poll, double days, double paper_median_us,
+              double paper_iqr_us) {
+  sim::ScenarioConfig scenario;
+  scenario.poll_period = poll;
+  scenario.duration = days * duration::kDay;
+  scenario.seed = 1212;
+  // The paper's campaign anomalies: a 1.5 h gap, a 3.8-day gap and a
+  // several-minute server fault.
+  scenario.events.add_outage(20 * duration::kDay,
+                             20 * duration::kDay + 1.5 * duration::kHour);
+  scenario.events.add_outage(45 * duration::kDay, 48.8 * duration::kDay);
+  scenario.events.add_server_fault(61.6 * duration::kDay,
+                                   61.6 * duration::kDay + 4 * duration::kMinute,
+                                   0.150);
+
+  sim::Testbed testbed(scenario);
+  core::Params params;
+  params.poll_period = poll;
+  auto run = bench::run_clock(testbed, params,
+                              /*discard_warmup_s=*/duration::kDay / 2);
+  auto errors = bench::offset_errors(run);
+  const auto s = percentile_summary(errors);
+
+  print_banner(std::cout, strfmt("Figure 12: polling period %.0f s", poll));
+
+  // Central-99% histogram, 30 bins, ASCII bars.
+  Histogram hist(s.p01, s.p99 + 1e-9, 30);
+  std::size_t inside = 0;
+  for (double e : errors) {
+    if (e < s.p01 || e > s.p99) continue;
+    hist.add(e);
+    ++inside;
+  }
+  double max_density = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b)
+    max_density = std::max(max_density, hist.density(b));
+  TablePrinter table({"error [us]", "fraction", "histogram"});
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const int width =
+        static_cast<int>(50.0 * hist.density(b) / max_density + 0.5);
+    table.add_row({strfmt("%+8.1f", hist.bin_center(b) * 1e6),
+                   strfmt("%.4f", hist.density(b)),
+                   std::string(static_cast<std::size_t>(width), '#')});
+  }
+  table.print(std::cout);
+
+  print_comparison(std::cout, "median offset error",
+                   strfmt("%.0f us", paper_median_us),
+                   strfmt("%+.1f us", s.p50 * 1e6));
+  print_comparison(std::cout, "inter-quartile range",
+                   strfmt("%.1f us", paper_iqr_us),
+                   strfmt("%.1f us", s.iqr() * 1e6));
+  print_comparison(std::cout, "coverage",
+                   "99% of all values shown",
+                   strfmt("%.1f%% of %zu packets",
+                          100.0 * static_cast<double>(inside) /
+                              static_cast<double>(errors.size()),
+                          errors.size()));
+  std::cout << strfmt(
+      "events: %llu sanity trigger(s), %llu gap blend(s), %llu upshift(s), "
+      "%llu lost packets\n",
+      static_cast<unsigned long long>(run.final_status.offset_sanity_triggers),
+      static_cast<unsigned long long>(run.final_status.gap_blends),
+      static_cast<unsigned long long>(run.final_status.upshifts),
+      static_cast<unsigned long long>(run.lost));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default 91 days ≈ the paper's 3-month campaign; pass a smaller number
+  // of days for a quick look.
+  const double days = argc > 1 ? std::atof(argv[1]) : 91.0;
+  run_poll(64.0, days, -31.0, 15.0);
+  run_poll(256.0, days, -33.0, 24.3);
+  std::cout << "\nThe per-packet error is bounded below by the path\n"
+               "asymmetry ambiguity Delta/2 = 25 us; the medians land on\n"
+               "the same side and scale as the paper's.\n";
+  return 0;
+}

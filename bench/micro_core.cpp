@@ -1,0 +1,130 @@
+// google-benchmark micro-benchmarks for the hot paths: per-exchange
+// processing cost of the full clock (the on-line budget is one call per
+// poll — the paper stresses low host burden), the estimator internals, and
+// the wire codec.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/allan.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/clock.hpp"
+#include "core/naive.hpp"
+#include "wire/ntp_packet.hpp"
+
+namespace {
+
+using namespace tscclock;
+
+// Cheap synthetic exchange stream (no testbed overhead in the loop).
+class ExchangeStream {
+ public:
+  explicit ExchangeStream(double period) : period_(period) {}
+  core::RawExchange next() {
+    core::RawExchange ex;
+    const double ta = now_;
+    const double tb = ta + 450e-6;
+    const double te = tb + 40e-6;
+    const double tf = te + 400e-6;
+    ex.ta = static_cast<TscCount>(ta / period_);
+    ex.tb = tb;
+    ex.te = te;
+    ex.tf = static_cast<TscCount>(tf / period_);
+    now_ += 16.0;
+    return ex;
+  }
+
+ private:
+  double period_;
+  double now_ = 1.0;
+};
+
+void BM_ProcessExchange(benchmark::State& state) {
+  const double period = 2e-9;
+  core::Params params;
+  core::TscNtpClock clock(params, period);
+  ExchangeStream stream(period);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.process_exchange(stream.next()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProcessExchange);
+
+void BM_AbsoluteTimeRead(benchmark::State& state) {
+  const double period = 2e-9;
+  core::Params params;
+  core::TscNtpClock clock(params, period);
+  ExchangeStream stream(period);
+  core::RawExchange last{};
+  for (int i = 0; i < 200; ++i) {
+    last = stream.next();
+    clock.process_exchange(last);
+  }
+  TscCount t = last.tf;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(clock.absolute_time(t));
+  }
+}
+BENCHMARK(BM_AbsoluteTimeRead);
+
+void BM_NaiveOffset(benchmark::State& state) {
+  const double period = 2e-9;
+  ExchangeStream stream(period);
+  const auto ex = stream.next();
+  const CounterTimescale clock(0, 0.0, period);
+  for (auto _ : state) benchmark::DoNotOptimize(core::naive_offset(ex, clock));
+}
+BENCHMARK(BM_NaiveOffset);
+
+void BM_WindowedMinPush(benchmark::State& state) {
+  WindowedMin<std::int64_t> wm(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 4096; ++i)
+    values.push_back(static_cast<std::int64_t>(rng.uniform(0, 1e6)));
+  std::size_t k = 0;
+  for (auto _ : state) {
+    wm.push(values[k++ & 4095]);
+    benchmark::DoNotOptimize(wm.valid());
+  }
+}
+BENCHMARK(BM_WindowedMinPush)->Arg(64)->Arg(1024);
+
+void BM_AllanDeviation(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> phase;
+  for (int i = 0; i < state.range(0); ++i) phase.push_back(rng.normal(1e-6));
+  const auto factors = log_spaced_factors(phase.size(), 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(allan_deviation(phase, 16.0, factors));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllanDeviation)->Arg(4096)->Arg(32768);
+
+void BM_PercentileSummary(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < state.range(0); ++i) values.push_back(rng.uniform());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(percentile_summary(values));
+}
+BENCHMARK(BM_PercentileSummary)->Arg(1024)->Arg(65536);
+
+void BM_NtpPacketEncode(benchmark::State& state) {
+  const auto packet = wire::make_client_request({100, 200}, 4);
+  for (auto _ : state) benchmark::DoNotOptimize(wire::encode(packet));
+}
+BENCHMARK(BM_NtpPacketEncode);
+
+void BM_NtpPacketDecode(benchmark::State& state) {
+  const auto bytes = wire::encode(wire::make_client_request({100, 200}, 4));
+  for (auto _ : state) benchmark::DoNotOptimize(wire::decode(bytes));
+}
+BENCHMARK(BM_NtpPacketDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

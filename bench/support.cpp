@@ -1,0 +1,77 @@
+#include "support.hpp"
+
+#include "common/table.hpp"
+
+namespace tscclock::bench {
+
+RunResult run_clock(sim::Testbed& testbed, const core::Params& params,
+                    Seconds discard_warmup_s) {
+  RunResult result;
+  core::TscNtpClock clock(params, testbed.nominal_period());
+
+  while (auto ex = testbed.next()) {
+    ++result.exchanges;
+    if (ex->lost) {
+      ++result.lost;
+      continue;
+    }
+    core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
+                          ex->tf_counts};
+    const auto report = clock.process_exchange(raw);
+    if (!ex->ref_available) continue;
+    if (ex->truth.tb < discard_warmup_s) continue;
+
+    RunPoint pt;
+    pt.t_day = ex->tb_stamp / duration::kDay;
+    pt.reference_offset = clock.uncorrected_time(ex->tf_counts) - ex->tg;
+    pt.offset_estimate = report.offset_estimate;
+    pt.offset_error = report.offset_estimate - pt.reference_offset;
+    pt.naive_error = report.naive_offset - pt.reference_offset;
+    pt.point_error = report.point_error;
+    pt.abs_clock_error = clock.absolute_time(ex->tf_counts) - ex->tg;
+    pt.sanity_triggered = report.sanity_triggered;
+    pt.upshift = report.shift && report.shift->upward;
+    pt.downshift = report.shift && !report.shift->upward;
+    result.points.push_back(pt);
+  }
+  result.final_status = clock.status();
+  return result;
+}
+
+std::vector<double> offset_errors(const RunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.points.size());
+  for (const auto& p : run.points) out.push_back(p.offset_error);
+  return out;
+}
+
+std::vector<double> naive_errors(const RunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.points.size());
+  for (const auto& p : run.points) out.push_back(p.naive_error);
+  return out;
+}
+
+std::vector<std::string> percentile_row_us(const std::string& label,
+                                           const PercentileSummary& s) {
+  return {label,
+          strfmt("%8.1f", s.p01 * 1e6),
+          strfmt("%8.1f", s.p25 * 1e6),
+          strfmt("%8.1f", s.p50 * 1e6),
+          strfmt("%8.1f", s.p75 * 1e6),
+          strfmt("%8.1f", s.p99 * 1e6),
+          strfmt("%7.1f", s.iqr() * 1e6)};
+}
+
+std::vector<std::string> percentile_headers(const std::string& first) {
+  return {first,       "p1 [us]",  "p25 [us]", "median [us]",
+          "p75 [us]",  "p99 [us]", "IQR [us]"};
+}
+
+core::Params params_for(const sim::ScenarioConfig& scenario) {
+  core::Params p;
+  p.poll_period = scenario.poll_period;
+  return p;
+}
+
+}  // namespace tscclock::bench

@@ -1,0 +1,65 @@
+// Shared harness for the per-figure bench executables: drives a Testbed
+// stream through a TscNtpClock, aligns the estimates with the DAG reference
+// exactly as the paper does, and provides uniform reporting helpers.
+//
+// Reference convention (paper §2.4, §5.3): the reference offset of packet i
+// is θg_i = C(Tf_i) − Tg_i, where C is the algorithm's own uncorrected
+// clock; the reported error is θ̂(t_i) − θg_i. Because both use the same C,
+// the arbitrary clock origin cancels and the error measures pure tracking
+// quality (up to the Δ/2 asymmetry ambiguity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time_types.hpp"
+#include "core/clock.hpp"
+#include "core/params.hpp"
+#include "sim/scenario.hpp"
+
+namespace tscclock::bench {
+
+/// One evaluated packet (non-lost, reference available).
+struct RunPoint {
+  double t_day = 0;            ///< server receive time [days]
+  Seconds offset_error = 0;    ///< θ̂(t) − θg
+  Seconds naive_error = 0;     ///< θ̂_i (naive) − θg
+  Seconds point_error = 0;     ///< E_i
+  Seconds offset_estimate = 0; ///< θ̂(t)
+  Seconds reference_offset = 0;///< θg
+  Seconds abs_clock_error = 0; ///< Ca(Tf_i) − Tg_i
+  bool sanity_triggered = false;
+  bool upshift = false;
+  bool downshift = false;
+};
+
+struct RunResult {
+  std::vector<RunPoint> points;
+  core::ClockStatus final_status;
+  std::size_t exchanges = 0;  ///< total generated (incl. lost)
+  std::size_t lost = 0;
+};
+
+/// Feed every exchange of the testbed through a fresh TscNtpClock.
+/// `discard_warmup_s` drops the first seconds from `points` (the paper's
+/// long traces are all analysed post-warm-up).
+RunResult run_clock(sim::Testbed& testbed, const core::Params& params,
+                    Seconds discard_warmup_s = 0.0);
+
+/// Extract one field from the run as a vector (for percentile summaries).
+std::vector<double> offset_errors(const RunResult& run);
+std::vector<double> naive_errors(const RunResult& run);
+
+/// Format a percentile summary (input seconds, printed in µs),
+/// matching the five curves of paper figures 9/10.
+std::vector<std::string> percentile_row_us(const std::string& label,
+                                           const PercentileSummary& s);
+
+/// Standard column headers matching percentile_row_us.
+std::vector<std::string> percentile_headers(const std::string& first);
+
+/// Default parameters matched to a scenario's polling period.
+core::Params params_for(const sim::ScenarioConfig& scenario);
+
+}  // namespace tscclock::bench

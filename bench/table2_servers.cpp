@@ -1,0 +1,74 @@
+// Table 2: characteristics of the three stratum-1 NTP servers — minimum
+// RTT and path asymmetry Δ, measured from week-long simulated traces the
+// same way the paper measures them (min over the trace; Δ̂ via the DAG
+// estimator of §4.2 at the minimum-RTT packet).
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+struct Row {
+  sim::ServerKind kind;
+  const char* reference;
+  const char* distance;
+  const char* hops;
+  double paper_rtt_ms;
+  double paper_delta_us;
+};
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout, "Table 2: characteristics of the stratum-1 NTP servers");
+  const Row rows[] = {
+      {sim::ServerKind::kLoc, "GPS", "3 m", "2", 0.38, 50},
+      {sim::ServerKind::kInt, "GPS", "300 m", "5", 0.89, 50},
+      {sim::ServerKind::kExt, "Atomic", "1000 km", "~10", 14.2, 500},
+  };
+
+  TablePrinter table({"Server", "Reference", "Distance", "Hops",
+                      "RTT [ms] paper", "RTT [ms] measured",
+                      "Delta [us] paper", "Delta [us] measured"});
+
+  for (const auto& row : rows) {
+    sim::ScenarioConfig scenario;
+    scenario.server = row.kind;
+    scenario.duration = duration::kWeek;
+    scenario.poll_period = 16.0;
+    scenario.seed = 20040704;
+    sim::Testbed testbed(scenario);
+    const double period = testbed.true_period();
+
+    // Minimum host-measured RTT over the week, and the paper's Δ estimator
+    // Δ̂_i = (Tf−Ta)·p̂ − 2·Tg + Tb + Te evaluated at the min-RTT packet.
+    double min_rtt = 1e9;
+    double delta_at_min = 0;
+    while (auto ex = testbed.next()) {
+      if (ex->lost || !ex->ref_available) continue;
+      const double rtt = delta_to_seconds(
+          counter_delta(ex->tf_counts, ex->ta_counts), period);
+      if (rtt < min_rtt) {
+        min_rtt = rtt;
+        delta_at_min = rtt - 2 * ex->tg + ex->tb_stamp + ex->te_stamp;
+      }
+    }
+
+    table.add_row({to_string(row.kind), row.reference, row.distance, row.hops,
+                   strfmt("%.2f", row.paper_rtt_ms),
+                   strfmt("%.2f", min_rtt * 1e3),
+                   strfmt("%.0f", row.paper_delta_us),
+                   strfmt("%.0f", delta_at_min * 1e6)});
+  }
+  table.print(std::cout);
+  std::cout << "Note: measured RTT includes host timestamping latencies on\n"
+               "top of the configured network minimum, exactly as a real\n"
+               "host would observe; Delta is recovered by the paper's own\n"
+               "single-reference-clock estimator (sensitive to µs-level\n"
+               "timestamping noise, as §4.2 discusses).\n";
+  return 0;
+}

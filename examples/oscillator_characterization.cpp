@@ -1,0 +1,90 @@
+// Oscillator characterization — the paper's prerequisite step (§3.1): before
+// deploying the clock on a new class of hardware, measure the two metrics
+// the algorithms depend on from an offset trace:
+//   * the SKM scale τ* (where the Allan deviation stops falling as 1/τ);
+//   * the large-scale rate-error bound (must be ≲ 0.1 PPM).
+// This example runs the analysis end-to-end on a simulated trace; with real
+// hardware the same code consumes (counter, reference-time) pairs.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/allan.hpp"
+#include "sim/scenario.hpp"
+
+using namespace tscclock;
+
+int main() {
+  // Collect a 4-day trace against the nearby server.
+  sim::ScenarioConfig scenario;
+  scenario.duration = 4 * duration::kDay;
+  scenario.poll_period = 16.0;
+  scenario.seed = 2026;
+  sim::Testbed testbed(scenario);
+
+  std::vector<double> times;
+  std::vector<double> theta;
+  const double period = testbed.true_period();
+  bool first = true;
+  TscCount tf0 = 0;
+  double tg0 = 0;
+  while (auto ex = testbed.next()) {
+    if (ex->lost || !ex->ref_available) continue;
+    if (first) {
+      tf0 = ex->tf_counts_corrected;
+      tg0 = ex->tg;
+      first = false;
+    }
+    const double elapsed =
+        delta_to_seconds(counter_delta(ex->tf_counts_corrected, tf0), period);
+    times.push_back(ex->tg - tg0);
+    theta.push_back(elapsed - (ex->tg - tg0));
+  }
+
+  const auto phase = resample_linear(times, theta, scenario.poll_period);
+  const auto factors = log_spaced_factors(phase.size(), 4);
+  const auto adev = allan_deviation(phase, scenario.poll_period, factors);
+
+  std::printf("%10s %14s\n", "tau [s]", "ADEV [PPM]");
+  for (const auto& p : adev)
+    std::printf("%10.0f %14.4f\n", p.tau, to_ppm(p.deviation));
+
+  // τ*: the paper defines it through the Allan minimum — "the greatest
+  // precision is obtained at the minimum point" and the SKM holds up to
+  // that scale. Below τ* the curve falls (white timestamping noise at
+  // 1/τ); above it oscillator wander takes over.
+  // τ* is the *first* Allan minimum: where the 1/τ (white timestamping
+  // noise) regime hands over to oscillator wander. Periodic wander creates
+  // spurious deep nulls at large τ (the Allan response of a sinusoid
+  // vanishes at its own period), so the search stops once the curve has
+  // clearly turned upward.
+  constexpr std::size_t kMinTerms = 50;
+  double tau_star = adev.front().tau;
+  double min_adev = adev.front().deviation;
+  for (const auto& p : adev) {
+    if (p.terms < kMinTerms) continue;
+    if (p.deviation < min_adev) {
+      min_adev = p.deviation;
+      tau_star = p.tau;
+    }
+    if (p.deviation > 2.0 * min_adev) break;  // clearly past the minimum
+  }
+  // Rate-error bound: the worst Allan deviation *beyond* τ* — small-τ
+  // values measure timestamping noise, not oscillator stability.
+  double bound = 0;
+  for (const auto& p : adev)
+    if (p.tau >= tau_star && p.terms >= kMinTerms)
+      bound = std::max(bound, p.deviation);
+
+  std::printf("\nmeasured hardware abstraction:\n");
+  std::printf("  SKM scale tau*          : ~%.0f s (paper: ~1000 s)\n",
+              tau_star);
+  std::printf("  rate-error bound        : %.3f PPM (must be <~ 0.1 PPM)\n",
+              to_ppm(bound));
+  std::printf("  best rate precision     : %.4f PPM at the Allan minimum\n",
+              to_ppm(min_adev));
+  std::printf("\nThese two numbers parameterize core::Params (skm_scale,\n"
+              "rate_error_bound); any oscillator with a characterized pair\n"
+              "works, with performance scaled accordingly (§3.1).\n");
+  return 0;
+}

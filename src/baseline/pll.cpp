@@ -1,0 +1,54 @@
+#include "baseline/pll.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock::baseline {
+
+Pll::Pll(const PllConfig& config) : config_(config) {
+  TSC_EXPECTS(config.step_threshold > 0.0);
+  TSC_EXPECTS(config.stepout > 0.0);
+  TSC_EXPECTS(config.max_freq > 0.0);
+}
+
+Pll::Update Pll::update(Seconds offset, Seconds epoch, Seconds interval) {
+  TSC_EXPECTS(interval > 0.0);
+  Update u;
+
+  if (std::fabs(offset) > config_.step_threshold) {
+    // Spike/step logic: tolerate a transient, step if it persists.
+    if (!spike_) {
+      spike_ = true;
+      spike_start_ = epoch;
+      u.action = Action::kIgnored;
+      u.frequency = freq_;
+      return u;
+    }
+    if (epoch - spike_start_ < config_.stepout) {
+      u.action = Action::kIgnored;
+      u.frequency = freq_;
+      return u;
+    }
+    spike_ = false;
+    ++steps_;
+    u.action = Action::kStepped;
+    u.step = offset;
+    u.frequency = freq_;
+    return u;
+  }
+  spike_ = false;
+
+  // PLL proper: phase gain spreads the offset over the time constant; the
+  // frequency integral accumulates offset·interval / (4·tc²).
+  const Seconds tc = std::max(config_.min_time_constant, interval);
+  u.phase_correction = offset;  // amortized by the caller over ~tc
+  freq_ += offset * interval / (4.0 * tc * tc);
+  freq_ = std::clamp(freq_, -config_.max_freq, config_.max_freq);
+  u.action = Action::kSlewed;
+  u.frequency = freq_;
+  return u;
+}
+
+}  // namespace tscclock::baseline

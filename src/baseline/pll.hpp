@@ -1,0 +1,52 @@
+// Simplified ntpd clock discipline (RFC 5905 §11.2 / the classic
+// phase/frequency-locked loop). This is the *feedback* design the paper's
+// feed-forward architecture replaces: offset samples drive both a phase
+// slew and a frequency adjustment of the one-and-only system clock, and
+// large persistent offsets cause a step (reset) — the behaviour the paper
+// identifies as the SW-NTP clock's reliability problem.
+#pragma once
+
+#include "common/time_types.hpp"
+
+namespace tscclock::baseline {
+
+struct PllConfig {
+  Seconds step_threshold = 0.128;  ///< STEPT: step if |offset| exceeds this
+  Seconds stepout = 900.0;         ///< WATCH: spike tolerance before stepping
+  double max_freq = 500e-6;        ///< NTP_MAXFREQ: |freq| clamp
+  Seconds min_time_constant = 64;  ///< lower bound on the PLL time constant
+};
+
+class Pll {
+ public:
+  explicit Pll(const PllConfig& config);
+
+  enum class Action {
+    kIgnored,  ///< spike: sample discarded while inside the stepout window
+    kSlewed,   ///< normal PLL phase/frequency update
+    kStepped,  ///< clock stepped by the offset
+  };
+
+  struct Update {
+    Action action = Action::kIgnored;
+    Seconds phase_correction = 0;  ///< to amortize over the next interval
+    double frequency = 0;          ///< total frequency correction after update
+    Seconds step = 0;              ///< applied step (action == kStepped)
+  };
+
+  /// Feed a filtered offset sample taken at client time `epoch`,
+  /// `interval` seconds after the previous sample.
+  Update update(Seconds offset, Seconds epoch, Seconds interval);
+
+  [[nodiscard]] double frequency() const { return freq_; }
+  [[nodiscard]] std::uint64_t steps() const { return steps_; }
+
+ private:
+  PllConfig config_;
+  double freq_ = 0;
+  bool spike_ = false;
+  Seconds spike_start_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace tscclock::baseline

@@ -1,0 +1,119 @@
+#include "baseline/swntp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock::baseline {
+
+namespace {
+constexpr double kMaxSlewRate = 500e-6;  // adjtime()-style slew limit
+}
+
+SwNtpClock::SwNtpClock(const PllConfig& config, double nominal_period)
+    : config_(config),
+      nominal_period_(nominal_period),
+      pll_(config),
+      timescale_(0, 0.0, nominal_period) {
+  TSC_EXPECTS(nominal_period > 0.0);
+}
+
+Seconds SwNtpClock::time(TscCount count) const {
+  Seconds reading = timescale_.read(count);
+  if (slew_rate_ != 0.0) {
+    const Seconds elapsed = timescale_.between(slew_start_, count);
+    const Seconds active = std::clamp(elapsed, 0.0, slew_span_);
+    reading += slew_rate_ * active;
+  }
+  return reading;
+}
+
+double SwNtpClock::effective_rate() const {
+  double rate = timescale_.period() / nominal_period_;
+  if (slew_rate_ != 0.0) {
+    const Seconds elapsed = timescale_.between(slew_start_, last_count_);
+    if (elapsed < slew_span_) rate += slew_rate_;
+  }
+  return rate;
+}
+
+void SwNtpClock::apply_slew_until(TscCount count) {
+  // Fold the slew progress into the base timescale and re-anchor.
+  const Seconds reading = time(count);
+  const Seconds elapsed = timescale_.between(slew_start_, count);
+  if (elapsed >= slew_span_) {
+    slew_rate_ = 0.0;  // slew completed
+  } else {
+    slew_span_ -= std::max(elapsed, 0.0);  // remaining portion continues
+  }
+  timescale_ = CounterTimescale(count, reading, timescale_.period());
+  slew_start_ = count;
+}
+
+void SwNtpClock::process_exchange(const core::RawExchange& exchange) {
+  TSC_EXPECTS(counter_delta(exchange.tf, exchange.ta) > 0);
+  ++samples_;
+  last_count_ = exchange.tf;
+
+  if (!initialized_) {
+    // Initial set: client assumes symmetric delay around the server stamps.
+    const Seconds rtt =
+        delta_to_seconds(exchange.rtt_counts(), nominal_period_);
+    const Seconds delay = rtt - exchange.server_delay();
+    timescale_ = CounterTimescale(exchange.tf, exchange.te + delay / 2,
+                                  nominal_period_);
+    initialized_ = true;
+    return;
+  }
+
+  // Client timestamps by its own (disciplined) clock.
+  const Seconds t1 = time(exchange.ta);
+  const Seconds t4 = time(exchange.tf);
+  const Seconds offset =
+      0.5 * ((exchange.tb - t1) + (exchange.te - t4));  // server − client
+  const Seconds delay = (t4 - t1) - exchange.server_delay();
+  last_offset_ = offset;
+
+  const auto selected = filter_.add({offset, delay, t4});
+  if (!selected) return;
+  ++selections_;
+
+  static constexpr Seconds kMinInterval = 1.0;
+  const Seconds interval = std::max(kMinInterval, t4 - selected->epoch) +
+                           config_.min_time_constant;
+  const auto update = pll_.update(selected->offset, t4, interval);
+
+  apply_slew_until(exchange.tf);
+  switch (update.action) {
+    case Pll::Action::kIgnored:
+      break;
+    case Pll::Action::kStepped:
+      // The reset the paper criticizes: the absolute timescale jumps.
+      timescale_.shift(update.step);
+      slew_rate_ = 0.0;
+      break;
+    case Pll::Action::kSlewed: {
+      timescale_.set_period_preserving_reading(
+          exchange.tf, nominal_period_ * (1.0 + update.frequency));
+      slew_span_ = std::max(config_.min_time_constant, interval);
+      slew_rate_ =
+          std::clamp(update.phase_correction / slew_span_, -kMaxSlewRate,
+                     kMaxSlewRate);
+      slew_start_ = exchange.tf;
+      break;
+    }
+  }
+}
+
+SwNtpStatus SwNtpClock::status() const {
+  SwNtpStatus s;
+  s.samples = samples_;
+  s.filter_selections = selections_;
+  s.steps = pll_.steps();
+  s.frequency_correction = pll_.frequency();
+  s.last_offset_sample = last_offset_;
+  return s;
+}
+
+}  // namespace tscclock::baseline

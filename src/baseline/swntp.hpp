@@ -1,0 +1,67 @@
+// The SW-NTP baseline clock: a software clock ticking off the same raw
+// counter, disciplined the ntpd way (clock filter + PLL + steps). This is
+// the system the paper's introduction critiques — offset-centric, feedback
+// driven, rate deliberately varied to chase offset, and subject to resets —
+// implemented so the robustness and rate-stability comparisons can be run
+// head-to-head against TscNtpClock on identical exchange streams.
+#pragma once
+
+#include <cstdint>
+
+#include "baseline/clock_filter.hpp"
+#include "baseline/pll.hpp"
+#include "common/time_types.hpp"
+#include "core/records.hpp"
+
+namespace tscclock::baseline {
+
+struct SwNtpStatus {
+  std::uint64_t samples = 0;
+  std::uint64_t filter_selections = 0;
+  std::uint64_t steps = 0;
+  double frequency_correction = 0;  ///< current PLL frequency term
+  Seconds last_offset_sample = 0;
+};
+
+class SwNtpClock {
+ public:
+  /// `nominal_period` is the tick period [s/count] the kernel would assume.
+  SwNtpClock(const PllConfig& config, double nominal_period);
+
+  /// Process one completed exchange (same input as TscNtpClock).
+  void process_exchange(const core::RawExchange& exchange);
+
+  /// Current SW clock reading at a raw counter value, including the
+  /// amortized phase slew.
+  [[nodiscard]] Seconds time(TscCount count) const;
+
+  /// Effective clock rate multiplier (1 + freq correction + active slew):
+  /// the deliberately-varied rate the paper contrasts with the TSC clock.
+  [[nodiscard]] double effective_rate() const;
+
+  [[nodiscard]] SwNtpStatus status() const;
+
+ private:
+  void apply_slew_until(TscCount count);
+
+  PllConfig config_;
+  double nominal_period_;
+  ClockFilter filter_;
+  Pll pll_;
+
+  bool initialized_ = false;
+  CounterTimescale timescale_;
+
+  // Active phase slew: `slew_rate_` applied from `slew_start_` for
+  // `slew_span_` seconds of clock time.
+  double slew_rate_ = 0;
+  TscCount slew_start_ = 0;
+  Seconds slew_span_ = 0;
+
+  TscCount last_count_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t selections_ = 0;
+  Seconds last_offset_ = 0;
+};
+
+}  // namespace tscclock::baseline

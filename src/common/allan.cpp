@@ -1,0 +1,65 @@
+#include "common/allan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock {
+
+std::vector<AllanPoint> allan_deviation(std::span<const double> phase,
+                                        double tau0,
+                                        std::span<const std::size_t> m_values) {
+  TSC_EXPECTS(tau0 > 0.0);
+  std::vector<AllanPoint> out;
+  const std::size_t n = phase.size();
+  for (std::size_t m : m_values) {
+    if (m == 0 || n < 2 * m + 2) continue;
+    const std::size_t terms = n - 2 * m;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < terms; ++k) {
+      const double d2 = phase[k + 2 * m] - 2.0 * phase[k + m] + phase[k];
+      acc += d2 * d2;
+    }
+    const double tau = static_cast<double>(m) * tau0;
+    const double avar = acc / (2.0 * tau * tau * static_cast<double>(terms));
+    out.push_back({tau, std::sqrt(avar), terms});
+  }
+  return out;
+}
+
+std::vector<std::size_t> log_spaced_factors(std::size_t n,
+                                            std::size_t points_per_decade) {
+  TSC_EXPECTS(points_per_decade > 0);
+  std::vector<std::size_t> out;
+  if (n < 4) return out;
+  const auto max_m = static_cast<double>(n / 3);
+  const double step = 1.0 / static_cast<double>(points_per_decade);
+  for (double e = 0.0; std::pow(10.0, e) <= max_m; e += step) {
+    const auto m = static_cast<std::size_t>(std::llround(std::pow(10.0, e)));
+    if (out.empty() || m > out.back()) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<double> resample_linear(std::span<const double> times,
+                                    std::span<const double> values,
+                                    double tau0) {
+  TSC_EXPECTS(times.size() == values.size());
+  TSC_EXPECTS(times.size() >= 2);
+  TSC_EXPECTS(tau0 > 0.0);
+  std::vector<double> out;
+  const double t0 = times.front();
+  const double t_end = times.back();
+  std::size_t seg = 0;  // current segment [times[seg], times[seg+1]]
+  for (double t = t0; t <= t_end; t += tau0) {
+    while (seg + 2 < times.size() && times[seg + 1] < t) ++seg;
+    const double span_t = times[seg + 1] - times[seg];
+    TSC_EXPECTS(span_t > 0.0);
+    const double frac = std::clamp((t - times[seg]) / span_t, 0.0, 1.0);
+    out.push_back(values[seg] * (1.0 - frac) + values[seg + 1] * frac);
+  }
+  return out;
+}
+
+}  // namespace tscclock

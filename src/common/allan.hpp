@@ -1,0 +1,46 @@
+// Allan variance / deviation analysis of clock offset (phase) series.
+//
+// The paper (§3.1, Fig. 3) characterizes the oscillator by the Allan
+// deviation of the time-scale dependent rate y_tau(t) — "essentially a Haar
+// wavelet spectral analysis". Given offset samples x_k = θ(k·tau0), the
+// overlapping Allan variance at τ = m·tau0 is
+//
+//   AVAR(τ) = 1 / (2 τ² (N − 2m)) · Σ_{k=0}^{N−2m−1} (x_{k+2m} − 2 x_{k+m} + x_k)²
+//
+// and the Allan deviation is its square root: the typical size of the rate
+// variations at scale τ (in the same dimensionless units as skew).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tscclock {
+
+struct AllanPoint {
+  double tau = 0;        ///< averaging time-scale [s]
+  double deviation = 0;  ///< Allan deviation (dimensionless rate error)
+  std::size_t terms = 0; ///< number of second differences averaged
+};
+
+/// Overlapping Allan deviation of a regularly sampled phase series.
+/// `phase` holds offset samples [s] at spacing `tau0` [s]; `m_values` are the
+/// averaging factors (τ = m·tau0). m values with fewer than 2 usable second
+/// differences are skipped.
+std::vector<AllanPoint> allan_deviation(std::span<const double> phase,
+                                        double tau0,
+                                        std::span<const std::size_t> m_values);
+
+/// Log-spaced averaging factors suitable for a series of length `n`:
+/// `points_per_decade` values per decade from 1 up to n/3.
+std::vector<std::size_t> log_spaced_factors(std::size_t n,
+                                            std::size_t points_per_decade);
+
+/// Resample an irregularly sampled series onto a regular grid of spacing
+/// `tau0` by linear interpolation, for feeding into allan_deviation.
+/// `times` must be strictly increasing and the same length as `values`.
+std::vector<double> resample_linear(std::span<const double> times,
+                                    std::span<const double> values,
+                                    double tau0);
+
+}  // namespace tscclock

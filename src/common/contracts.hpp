@@ -1,0 +1,40 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.5/I.6: state and check preconditions). Violations throw so that tests
+// can assert on them; they are never compiled out because the library is a
+// measurement tool where silent contract breakage corrupts results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tscclock {
+
+/// Thrown when a precondition stated by TSC_EXPECTS is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace tscclock
+
+#define TSC_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::tscclock::detail::contract_failure("precondition", #cond, __FILE__,   \
+                                           __LINE__);                         \
+  } while (false)
+
+#define TSC_ENSURES(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::tscclock::detail::contract_failure("postcondition", #cond, __FILE__,  \
+                                           __LINE__);                         \
+  } while (false)

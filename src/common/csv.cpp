@@ -1,0 +1,42 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace tscclock {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), columns_(columns.size()) {
+  TSC_EXPECTS(!columns.empty());
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  TSC_EXPECTS(values.size() == columns_);
+  out_.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  TSC_EXPECTS(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace tscclock

@@ -1,0 +1,29 @@
+// Minimal CSV export for trace inspection (every bench can dump its series
+// for external plotting). Writes are unconditional overwrites.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tscclock {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  void write_row(std::span<const double> values);
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace tscclock

@@ -1,0 +1,77 @@
+// Bounded FIFO with random access, used for the per-packet history windows
+// kept by the estimators. Backed by std::deque for simplicity; the windows
+// are small (≤ ~40k records for a one-week top-level window) and access
+// patterns are push_back / pop_front / linear scan.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/contracts.hpp"
+
+namespace tscclock {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit RingBuffer(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Append; evicts the oldest element when at capacity.
+  void push_back(T value) {
+    if (capacity_ != 0 && data_.size() == capacity_) data_.pop_front();
+    data_.push_back(std::move(value));
+  }
+
+  void pop_front() {
+    TSC_EXPECTS(!data_.empty());
+    data_.pop_front();
+  }
+
+  /// Drop the oldest `n` elements (n may exceed size; then clears).
+  void drop_front(std::size_t n) {
+    if (n >= data_.size()) {
+      data_.clear();
+    } else {
+      data_.erase(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+
+  [[nodiscard]] const T& front() const {
+    TSC_EXPECTS(!data_.empty());
+    return data_.front();
+  }
+  [[nodiscard]] const T& back() const {
+    TSC_EXPECTS(!data_.empty());
+    return data_.back();
+  }
+  [[nodiscard]] T& back() {
+    TSC_EXPECTS(!data_.empty());
+    return data_.back();
+  }
+
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    TSC_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+  [[nodiscard]] T& operator[](std::size_t i) {
+    TSC_EXPECTS(i < data_.size());
+    return data_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void clear() { data_.clear(); }
+
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> data_;
+};
+
+}  // namespace tscclock

@@ -1,0 +1,56 @@
+// Deterministic random number generation for the simulation substrate.
+//
+// Every stochastic component of the testbed draws from its own Rng instance
+// seeded from a scenario master seed, so traces are reproducible run-to-run
+// and component-to-component (adding noise draws to the path model does not
+// perturb the server model's stream).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tscclock {
+
+/// Seeded pseudo-random source with the distribution draws the testbed needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child generator; the label decorrelates children
+  /// created from the same parent.
+  [[nodiscard]] Rng fork(std::uint64_t label);
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Pareto (Lomax form): density ~ (1 + x/scale)^-(shape+1), x >= 0.
+  /// Heavy-tailed queueing excursions; mean = scale/(shape-1) for shape > 1.
+  double pareto(double shape, double scale);
+
+  /// Log-normal parameterized by the *median* and the shape sigma of log(x).
+  double lognormal_median(double median, double sigma);
+
+  /// Zero-mean Gaussian with standard deviation `stddev`.
+  double normal(double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Index in [0, weights.size()) chosen proportionally to `weights`.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Direct access for composing with <random> machinery in tests.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tscclock

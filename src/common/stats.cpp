@@ -1,0 +1,105 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock {
+
+double percentile(std::span<const double> values, double q) {
+  TSC_EXPECTS(!values.empty());
+  TSC_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+PercentileSummary percentile_summary(std::span<const double> values) {
+  TSC_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  PercentileSummary s;
+  s.p01 = at(0.01);
+  s.p25 = at(0.25);
+  s.p50 = at(0.50);
+  s.p75 = at(0.75);
+  s.p99 = at(0.99);
+  return s;
+}
+
+SeriesSummary summarize(std::span<const double> values) {
+  TSC_EXPECTS(!values.empty());
+  SeriesSummary s;
+  s.count = values.size();
+  s.percentiles = percentile_summary(values);
+  RunningMoments moments;
+  double mn = values.front();
+  double mx = values.front();
+  for (double v : values) {
+    moments.update(v);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  s.min = mn;
+  s.max = mx;
+  s.mean = moments.mean();
+  s.stddev = moments.stddev();
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  TSC_EXPECTS(hi > lo);
+  TSC_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double value) {
+  auto bin = static_cast<long>(std::floor((value - lo_) / width_));
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  TSC_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  TSC_EXPECTS(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bin_count(bin)) / static_cast<double>(total_);
+}
+
+void RunningMoments::update(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningMoments::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningMoments::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace tscclock

@@ -1,0 +1,43 @@
+// Fixed-width ASCII table output for the benchmark harness. Each bench
+// prints the rows/series of the corresponding paper table or figure through
+// this printer so the output format is uniform across experiments.
+#pragma once
+
+#include <cstdarg>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tscclock {
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+/// Column-aligned table writer.
+///
+///   TablePrinter t({"tau [s]", "ADEV [PPM]"});
+///   t.add_row({strfmt("%g", tau), strfmt("%.4f", adev)});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used by every bench binary:
+///   ==== Figure 9(a): sensitivity to window size ====
+void print_banner(std::ostream& os, const std::string& title);
+
+/// One-line "paper vs measured" comparison record.
+void print_comparison(std::ostream& os, const std::string& quantity,
+                      const std::string& paper_value,
+                      const std::string& measured_value);
+
+}  // namespace tscclock

@@ -1,0 +1,59 @@
+#include "common/time_types.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace tscclock {
+
+CounterTimescale::CounterTimescale(TscCount anchor_count, Seconds anchor_time,
+                                   double period)
+    : anchor_count_(anchor_count), anchor_time_(anchor_time), period_(period) {
+  TSC_EXPECTS(period > 0.0);
+  TSC_EXPECTS(std::isfinite(anchor_time));
+}
+
+Seconds CounterTimescale::read(TscCount count) const {
+  return delta_to_seconds(counter_delta(count, anchor_count_), period_) +
+         anchor_time_;
+}
+
+Seconds CounterTimescale::between(TscCount earlier, TscCount later) const {
+  return delta_to_seconds(counter_delta(later, earlier), period_);
+}
+
+void CounterTimescale::rebase(TscCount count) {
+  anchor_time_ = read(count);
+  anchor_count_ = count;
+}
+
+void CounterTimescale::set_period_preserving_reading(TscCount count,
+                                                     double new_period) {
+  TSC_EXPECTS(new_period > 0.0);
+  rebase(count);
+  period_ = new_period;
+}
+
+std::string format_duration(Seconds seconds) {
+  const double mag = std::fabs(seconds);
+  char buf[64];
+  if (mag < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1fns", seconds * 1e9);
+  } else if (mag < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1fus", seconds * 1e6);
+  } else if (mag < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", seconds);
+  }
+  return buf;
+}
+
+std::string format_rate_error(double rate_error) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g PPM", to_ppm(rate_error));
+  return buf;
+}
+
+}  // namespace tscclock

@@ -1,0 +1,109 @@
+// Core time/counter vocabulary shared by the whole library.
+//
+// Conventions (paper §2.1-2.2):
+//   * "true time" t is in seconds (double) from an arbitrary simulation origin;
+//   * the TSC register is a 64-bit unsigned counter (TscCount);
+//   * the counter period p is in seconds-per-count (~1.8e-9 for ~550 MHz);
+//   * rate errors are dimensionless, usually quoted in PPM (1e-6).
+//
+// Floating-point discipline: absolute counter values (~1e15 after months)
+// must never be multiplied by the period directly — always difference two
+// counters first, then convert (see CounterTimescale). Differencing keeps
+// every product small enough that double has sub-nanosecond resolution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tscclock {
+
+/// Raw TSC register value, in CPU cycles.
+using TscCount = std::uint64_t;
+
+/// Signed difference between two TSC readings, in cycles.
+using TscDelta = std::int64_t;
+
+/// Seconds as a double. Used for true time, clock readings and durations.
+using Seconds = double;
+
+/// Convert a dimensionless rate error quoted in parts-per-million.
+constexpr double ppm(double parts_per_million) { return parts_per_million * 1e-6; }
+
+/// Express a dimensionless rate error in parts-per-million.
+constexpr double to_ppm(double rate_error) { return rate_error * 1e6; }
+
+/// Common duration literals used throughout the paper.
+namespace duration {
+constexpr Seconds kMicrosecond = 1e-6;
+constexpr Seconds kMillisecond = 1e-3;
+constexpr Seconds kSecond = 1.0;
+constexpr Seconds kMinute = 60.0;
+constexpr Seconds kHour = 3600.0;
+constexpr Seconds kDay = 86400.0;
+constexpr Seconds kWeek = 7 * kDay;
+}  // namespace duration
+
+/// Signed difference of two unsigned counters (well-defined for |a-b| < 2^63).
+constexpr TscDelta counter_delta(TscCount later, TscCount earlier) {
+  return static_cast<TscDelta>(later - earlier);
+}
+
+/// Convert a counter difference to seconds at period `period` [s/count].
+constexpr Seconds delta_to_seconds(TscDelta delta, double period) {
+  return static_cast<double>(delta) * period;
+}
+
+/// Convert a duration in seconds to counter units at period `period`.
+constexpr double seconds_to_delta(Seconds interval, double period) {
+  return interval / period;
+}
+
+/// An affine map from raw counter values to clock readings:
+///
+///     C(T) = (T - anchor_count) * period + anchor_time
+///
+/// This is the paper's clock C(t) = TSC(t)*p̂ + C in a form that is exact
+/// under re-anchoring. `rebase(T)` moves the anchor to T without changing
+/// the clock function; `set_period_preserving_reading(T, p)` implements the
+/// paper's clock-continuity rule (§6.1 "Clock Offset Consistency"): the new
+/// clock agrees with the old one at T exactly.
+class CounterTimescale {
+ public:
+  CounterTimescale() = default;
+  CounterTimescale(TscCount anchor_count, Seconds anchor_time, double period);
+
+  /// Clock reading at raw counter value `count`.
+  [[nodiscard]] Seconds read(TscCount count) const;
+
+  /// Duration between two raw counter values under the current period.
+  /// This is the *difference clock* (paper eq. (6)): Cd(T2) - Cd(T1).
+  [[nodiscard]] Seconds between(TscCount earlier, TscCount later) const;
+
+  [[nodiscard]] double period() const { return period_; }
+  [[nodiscard]] TscCount anchor_count() const { return anchor_count_; }
+  [[nodiscard]] Seconds anchor_time() const { return anchor_time_; }
+
+  /// Move the anchor to `count`; the clock function is unchanged.
+  void rebase(TscCount count);
+
+  /// Change the period so that the reading at `count` is preserved
+  /// (the paper's continuity rule when p̂ is updated).
+  void set_period_preserving_reading(TscCount count, double new_period);
+
+  /// Shift the whole timescale by `delta` seconds (used when an offset
+  /// correction is folded into the absolute clock).
+  void shift(Seconds delta) { anchor_time_ += delta; }
+
+ private:
+  TscCount anchor_count_ = 0;
+  Seconds anchor_time_ = 0.0;
+  double period_ = 1.0;
+};
+
+/// Pretty-print a duration with an adaptive unit (ns/µs/ms/s), e.g. "30.1us".
+std::string format_duration(Seconds seconds);
+
+/// Pretty-print a dimensionless rate error, e.g. "0.031 PPM".
+std::string format_rate_error(double rate_error);
+
+}  // namespace tscclock

@@ -1,0 +1,161 @@
+#include "core/clock.hpp"
+
+#include "common/contracts.hpp"
+#include "core/naive.hpp"
+
+namespace tscclock::core {
+
+TscNtpClock::TscNtpClock(const Params& params, double nominal_period)
+    : params_(params),
+      timescale_(0, 0.0, nominal_period),
+      filter_(params),
+      rate_(params, nominal_period),
+      local_rate_(params),
+      offset_(params),
+      shifts_(params),
+      top_window_(params) {
+  params.validate();
+  TSC_EXPECTS(nominal_period > 0.0);
+}
+
+ProcessReport TscNtpClock::process_exchange(const RawExchange& exchange) {
+  TSC_EXPECTS(counter_delta(exchange.tf, exchange.ta) > 0);
+  if (initialized_)
+    TSC_EXPECTS(counter_delta(exchange.ta, prev_tf_) >= 0);
+
+  ProcessReport report;
+  const TscDelta rtt = exchange.rtt_counts();
+
+  if (!initialized_) {
+    // Align C's origin so the first naive offset is zero: the clock starts
+    // on the server midpoint ("the first estimate is just the server
+    // timestamp", §6.1).
+    const Seconds host_half_rtt =
+        0.5 * delta_to_seconds(rtt, timescale_.period());
+    const Seconds server_mid = 0.5 * (exchange.tb + exchange.te);
+    timescale_ = CounterTimescale(exchange.tf, server_mid + host_half_rtt,
+                                  timescale_.period());
+    initialized_ = true;
+  } else {
+    const Seconds gap = timescale_.between(prev_tf_, exchange.tf);
+    report.gap_detected = gap > params_.gap_threshold;
+  }
+
+  // 1. RTT filtering and level-shift detection (may move r̂).
+  filter_.add(rtt);
+  report.shift = shifts_.check(filter_, timescale_.period(), seq_);
+
+  // 2. Point error against the (possibly shifted) minimum.
+  PacketRecord record;
+  record.seq = seq_;
+  record.stamps = exchange;
+  record.rtt = rtt;
+  record.error_counts = rtt - filter_.rhat();
+  if (record.error_counts < 0) record.error_counts = 0;
+  report.point_error = filter_.point_error(rtt, timescale_.period());
+
+  if (report.shift && report.shift->upward)
+    offset_.reassess_errors(filter_.rhat(), report.shift->shift_seq);
+
+  // 3. Global rate p̄; preserve clock continuity on every p̂ change (§6.1).
+  const auto rate_result = rate_.process(record, report.point_error);
+  report.rate_accepted = rate_result.accepted;
+  report.rate_updated = rate_result.updated;
+  report.rate_sanity_released = rate_result.sanity_released;
+  if (rate_result.updated)
+    timescale_.set_period_preserving_reading(exchange.tf, rate_.period());
+
+  // 4. Quasi-local rate p̂_l.
+  local_rate_.process(record, report.point_error, rate_.period());
+  const double gamma_local =
+      (params_.use_local_rate && local_rate_.usable())
+          ? local_rate_.residual_rate(rate_.period())
+          : 0.0;
+
+  // 5. Robust offset θ̂(t).
+  report.naive_offset = naive_offset(exchange, timescale_);
+  const auto eval =
+      offset_.process(record, timescale_, gamma_local, report.gap_detected,
+                      !rate_.warmed_up());
+  report.offset_estimate = eval.estimate;
+  report.offset_weighted = eval.weighted;
+  report.offset_fallback = eval.fallback;
+  report.gap_blend = eval.gap_blend;
+  report.sanity_triggered = eval.sanity_triggered;
+  report.offset_sanity_released = eval.sanity_released;
+
+  current_offset_ = eval.estimate;
+  offset_anchor_ = exchange.tf;
+  offset_slope_ = gamma_local;
+
+  // 6. Top-level window maintenance.
+  const auto update = top_window_.add(record, shifts_.last_upshift_seq());
+  if (update.triggered) {
+    filter_.force_rhat(update.new_rhat);
+    const auto& anchor = rate_.anchor();
+    if (anchor && anchor->seq < update.oldest_seq &&
+        update.anchor_candidate) {
+      rate_.replace_anchor(
+          *update.anchor_candidate,
+          delta_to_seconds(update.anchor_error_counts, rate_.period()));
+    }
+  }
+
+  prev_tf_ = exchange.tf;
+  ++seq_;
+  return report;
+}
+
+void TscNtpClock::notify_server_change() {
+  filter_.reset_all();
+  offset_.degrade_window(timescale_.period());
+  ++server_changes_;
+}
+
+Seconds TscNtpClock::uncorrected_time(TscCount count) const {
+  TSC_EXPECTS(initialized_);
+  return timescale_.read(count);
+}
+
+Seconds TscNtpClock::absolute_time(TscCount count) const {
+  TSC_EXPECTS(initialized_);
+  // θ̂ extrapolated per eq. (23): θ̂(t) = θ̂(t_last) − γ̂_l·(Cd(t) − Cd(t_last)).
+  const Seconds age = timescale_.between(offset_anchor_, count);
+  const Seconds theta = current_offset_ - offset_slope_ * age;
+  return timescale_.read(count) - theta;
+}
+
+Seconds TscNtpClock::difference(TscCount earlier, TscCount later) const {
+  return timescale_.between(earlier, later);
+}
+
+ClockStatus TscNtpClock::status() const {
+  ClockStatus s;
+  s.packets_processed = seq_;
+  s.rate_accepted = rate_.accepted_count();
+  s.offset_sanity_triggers = offset_.sanity_count();
+  s.offset_fallbacks = offset_.fallback_count();
+  s.gap_blends = offset_.gap_blend_count();
+  s.local_rate_sanity_blocks = local_rate_.sanity_count();
+  s.rate_sanity_blocks = rate_.sanity_count();
+  s.rate_sanity_releases = rate_.release_count();
+  s.offset_sanity_releases = offset_.release_count();
+  s.upshifts = shifts_.upshift_count();
+  s.downshifts = shifts_.downshift_count();
+  s.top_window_updates = top_window_.updates();
+  s.server_changes = server_changes_;
+  s.warmed_up = rate_.warmed_up();
+  s.period = rate_.period();
+  s.period_quality = rate_.quality();
+  s.local_rate_usable = local_rate_.usable();
+  s.local_rate_residual = local_rate_.usable()
+                              ? local_rate_.residual_rate(rate_.period())
+                              : 0.0;
+  s.offset = offset_.has_estimate() ? offset_.estimate() : 0.0;
+  s.min_rtt = filter_.valid()
+                  ? delta_to_seconds(filter_.rhat(), rate_.period())
+                  : 0.0;
+  return s;
+}
+
+}  // namespace tscclock::core

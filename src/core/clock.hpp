@@ -1,0 +1,129 @@
+// TscNtpClock: the complete on-line synchronization system (paper §6),
+// composing the RTT filter, global/local rate estimators, offset estimator,
+// level-shift detector and top-level window into the two clocks the paper
+// defines:
+//
+//   difference clock  Cd(t) = TSC(t)·p̂(t)            — for time intervals
+//   absolute clock    Ca(t) = C(t) − θ̂(t)            — for absolute time
+//
+// Feed each completed NTP exchange through process_exchange(); read either
+// clock at any raw counter value at any time. The clock never steps: p̂
+// updates preserve continuity of C(t) (§6.1 "Clock Offset Consistency") and
+// offset corrections live only in Ca.
+//
+// Robustness behaviours built in: warm-up (§6.1), packet loss and gap
+// recovery, congestion rejection, level shifts (§6.2), sanity checks
+// against faulty server data, and bounded per-packet history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time_types.hpp"
+#include "core/level_shift.hpp"
+#include "core/local_rate.hpp"
+#include "core/offset.hpp"
+#include "core/params.hpp"
+#include "core/point_error.hpp"
+#include "core/rate.hpp"
+#include "core/records.hpp"
+#include "core/window.hpp"
+
+namespace tscclock::core {
+
+/// Aggregate view of the synchronization state, for monitoring and tests.
+struct ClockStatus {
+  std::uint64_t packets_processed = 0;
+  std::uint64_t rate_accepted = 0;
+  std::uint64_t offset_sanity_triggers = 0;
+  std::uint64_t offset_fallbacks = 0;
+  std::uint64_t gap_blends = 0;
+  std::uint64_t local_rate_sanity_blocks = 0;
+  std::uint64_t rate_sanity_blocks = 0;
+  std::uint64_t rate_sanity_releases = 0;
+  std::uint64_t offset_sanity_releases = 0;
+  std::uint64_t upshifts = 0;
+  std::uint64_t downshifts = 0;
+  std::uint64_t top_window_updates = 0;
+  std::uint64_t server_changes = 0;
+  bool warmed_up = false;
+  double period = 0;           ///< p̂ [s/count]
+  double period_quality = 1;   ///< bound on relative error of p̂
+  bool local_rate_usable = false;
+  double local_rate_residual = 0;  ///< γ̂_l (dimensionless)
+  Seconds offset = 0;              ///< current θ̂
+  Seconds min_rtt = 0;             ///< r̂ in seconds
+};
+
+/// What happened while processing one exchange.
+struct ProcessReport {
+  Seconds point_error = 0;      ///< E_i of this packet
+  Seconds naive_offset = 0;     ///< θ̂_i of this packet
+  Seconds offset_estimate = 0;  ///< θ̂(t) after this packet
+  bool rate_accepted = false;
+  bool rate_updated = false;
+  bool offset_weighted = false;
+  bool offset_fallback = false;
+  bool gap_blend = false;
+  bool sanity_triggered = false;
+  bool offset_sanity_released = false;
+  bool rate_sanity_released = false;
+  bool gap_detected = false;
+  std::optional<LevelShiftDetector::Event> shift;
+};
+
+class TscNtpClock {
+ public:
+  /// `nominal_period` is the configured spec-sheet period [s/count] used
+  /// until measurements replace it (its error is tens of PPM; harmless).
+  TscNtpClock(const Params& params, double nominal_period);
+
+  /// Process one completed exchange. Timestamps must be causally ordered
+  /// (tf > ta) and later than any previously processed exchange.
+  ProcessReport process_exchange(const RawExchange& exchange);
+
+  /// React to a server change detected at the packet layer (see
+  /// ServerChangeDetector): the RTT filter restarts (the new path's minimum
+  /// is unrelated to the old one) and the retained offset window is
+  /// deweighted. Rate state is kept — the oscillator did not change, and
+  /// stratum-1 stamps share the timescale.
+  void notify_server_change();
+
+  // -- Clock reads ---------------------------------------------------------
+  /// Uncorrected clock C(T) (absolute origin aligned at the first packet).
+  [[nodiscard]] Seconds uncorrected_time(TscCount count) const;
+  /// Absolute clock Ca(T) = C(T) − θ̂ extrapolated per eq. (23).
+  [[nodiscard]] Seconds absolute_time(TscCount count) const;
+  /// Difference clock: Cd(T2) − Cd(T1) under the current p̂.
+  [[nodiscard]] Seconds difference(TscCount earlier, TscCount later) const;
+
+  // -- State ---------------------------------------------------------------
+  [[nodiscard]] const CounterTimescale& timescale() const { return timescale_; }
+  [[nodiscard]] double period() const { return rate_.period(); }
+  [[nodiscard]] bool has_estimate() const { return offset_.has_estimate(); }
+  [[nodiscard]] Seconds offset_estimate() const { return offset_.estimate(); }
+  [[nodiscard]] ClockStatus status() const;
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  CounterTimescale timescale_;
+  RttFilter filter_;
+  GlobalRateEstimator rate_;
+  LocalRateEstimator local_rate_;
+  OffsetEstimator offset_;
+  LevelShiftDetector shifts_;
+  TopWindow top_window_;
+
+  bool initialized_ = false;
+  std::uint64_t seq_ = 0;
+  TscCount prev_tf_ = 0;
+  std::uint64_t server_changes_ = 0;
+
+  // Absolute-clock correction state (θ̂ anchored at its evaluation instant).
+  Seconds current_offset_ = 0;
+  TscCount offset_anchor_ = 0;
+  double offset_slope_ = 0;  ///< γ̂_l used for extrapolation
+};
+
+}  // namespace tscclock::core

@@ -1,0 +1,60 @@
+#include "core/level_shift.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::core {
+
+LevelShiftDetector::LevelShiftDetector(const Params& params)
+    : params_(params) {
+  params.validate();
+}
+
+std::optional<LevelShiftDetector::Event> LevelShiftDetector::check(
+    RttFilter& filter, double period, std::uint64_t seq) {
+  TSC_EXPECTS(period > 0.0);
+  if (!filter.valid()) return std::nullopt;
+
+  const TscDelta rhat = filter.rhat();
+  const auto threshold_counts = static_cast<TscDelta>(
+      params_.shift_detect_factor * params_.offset_quality / period);
+
+  std::optional<Event> event;
+
+  // Upward: the whole Ts window floats above r̂ by more than 4E.
+  if (params_.enable_level_shift && filter.local_min_full()) {
+    const TscDelta local = filter.local_min();
+    if (local - rhat > threshold_counts) {
+      Event ev;
+      ev.upward = true;
+      ev.old_rhat = rhat;
+      ev.new_rhat = local;
+      ev.detect_seq = seq;
+      const std::size_t ts_packets = params_.packets(params_.shift_window);
+      ev.shift_seq = seq >= ts_packets ? seq - ts_packets : 0;
+      filter.force_rhat(local);
+      ++upshifts_;
+      last_upshift_seq_ = ev.shift_seq;
+      event = ev;
+    }
+  }
+
+  // Downward: the running minimum dropped by more than the threshold since
+  // the previous packet. Reaction is inherent in the running minimum; the
+  // event is reported for observability.
+  if (!event && have_last_ && last_rhat_ - rhat > threshold_counts) {
+    Event ev;
+    ev.upward = false;
+    ev.old_rhat = last_rhat_;
+    ev.new_rhat = rhat;
+    ev.detect_seq = seq;
+    ev.shift_seq = seq;
+    ++downshifts_;
+    event = ev;
+  }
+
+  last_rhat_ = filter.rhat();
+  have_last_ = true;
+  return event;
+}
+
+}  // namespace tscclock::core

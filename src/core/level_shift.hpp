@@ -1,0 +1,65 @@
+// Level-shift detection and reaction (paper §6.2).
+//
+// A level shift is a step change in a minimum delay (route or server
+// change). The two directions are fundamentally asymmetric:
+//
+//   Down: congestion can never *lower* delays, so a new RTT below r̂ is an
+//         unambiguous downward shift → detection is automatic and immediate
+//         through the running minimum; no reaction is needed.
+//   Up:   indistinguishable from congestion at small scales → detected only
+//         when the local minimum r̂_l over a large window Ts = τ̄/2 sits more
+//         than 4E above r̂. Mis-detecting congestion as a shift corrupts
+//         estimates, so the window is large and the threshold firm; an
+//         undetected shift merely looks like congestion, which the
+//         algorithms already tolerate.
+//
+// Reaction to an upward shift: r̂ ← r̂_l, and the stored point errors of
+// packets back to the estimated shift point (Ts before detection) are
+// re-assessed against the new minimum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/time_types.hpp"
+#include "core/params.hpp"
+#include "core/point_error.hpp"
+
+namespace tscclock::core {
+
+class LevelShiftDetector {
+ public:
+  explicit LevelShiftDetector(const Params& params);
+
+  struct Event {
+    bool upward = false;
+    TscDelta old_rhat = 0;
+    TscDelta new_rhat = 0;
+    std::uint64_t detect_seq = 0;  ///< packet at which detection fired
+    std::uint64_t shift_seq = 0;   ///< estimated first post-shift packet
+  };
+
+  /// Inspect the filter state after its add() for packet `seq`.
+  /// On an upward detection this *mutates* the filter (r̂ ← r̂_l).
+  std::optional<Event> check(RttFilter& filter, double period,
+                             std::uint64_t seq);
+
+  [[nodiscard]] std::uint64_t upshift_count() const { return upshifts_; }
+  [[nodiscard]] std::uint64_t downshift_count() const { return downshifts_; }
+
+  /// Sequence number of the most recent detected upward shift point; the
+  /// top-level window bases its minimum only on packets at or after this.
+  [[nodiscard]] std::uint64_t last_upshift_seq() const {
+    return last_upshift_seq_;
+  }
+
+ private:
+  Params params_;
+  bool have_last_ = false;
+  TscDelta last_rhat_ = 0;
+  std::uint64_t upshifts_ = 0;
+  std::uint64_t downshifts_ = 0;
+  std::uint64_t last_upshift_seq_ = 0;
+};
+
+}  // namespace tscclock::core

@@ -1,0 +1,110 @@
+#include "core/local_rate.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/naive.hpp"
+
+namespace tscclock::core {
+
+LocalRateEstimator::LocalRateEstimator(const Params& params)
+    : params_(params),
+      // Window spans ages up to τ̄(1 + 1/W); keep a little slack for poll
+      // jitter so the far sub-window is never starved by rounding.
+      window_(params.packets(params.local_rate_window *
+                             (1.0 + 1.0 / static_cast<double>(
+                                              params.local_rate_subwindows))) +
+              2) {
+  params.validate();
+}
+
+double LocalRateEstimator::period() const {
+  TSC_EXPECTS(has_estimate_);
+  return period_;
+}
+
+double LocalRateEstimator::residual_rate(double pbar) const {
+  TSC_EXPECTS(pbar > 0.0);
+  if (!usable()) return 0.0;
+  return period_ / pbar - 1.0;
+}
+
+LocalRateEstimator::Result LocalRateEstimator::process(
+    const PacketRecord& packet, Seconds point_error, double pbar) {
+  TSC_EXPECTS(pbar > 0.0);
+  Result result;
+
+  // Gap detection: a pause longer than τ̄/2 makes the window stale.
+  if (!window_.empty()) {
+    const Seconds gap = delta_to_seconds(
+        counter_delta(packet.stamps.tf, window_.back().packet.stamps.tf),
+        pbar);
+    if (gap > params_.gap_threshold) {
+      window_.clear();
+      stale_ = true;
+      result.gap_reset = true;
+    }
+  }
+  window_.push_back({packet, point_error});
+
+  const double tau_bar = params_.local_rate_window;
+  const double sub = tau_bar / static_cast<double>(params_.local_rate_subwindows);
+
+  // Age (via the difference clock at p̄) of the oldest packet decides whether
+  // a full window is available; until then a stale flag cannot clear.
+  const Seconds span = delta_to_seconds(
+      counter_delta(packet.stamps.tf, window_.front().packet.stamps.tf), pbar);
+  if (span >= tau_bar - sub) stale_ = false;
+
+  // Select the best-quality packet in the near and far sub-windows.
+  bool have_near = false;
+  bool have_far = false;
+  std::size_t near_idx = 0;
+  std::size_t far_idx = 0;
+  for (std::size_t k = 0; k < window_.size(); ++k) {
+    const Seconds age = delta_to_seconds(
+        counter_delta(packet.stamps.tf, window_[k].packet.stamps.tf), pbar);
+    if (age < sub) {
+      if (!have_near || window_[k].error < window_[near_idx].error) {
+        near_idx = k;
+        have_near = true;
+      }
+    } else if (age >= tau_bar - sub && age < tau_bar + sub) {
+      if (!have_far || window_[k].error < window_[far_idx].error) {
+        far_idx = k;
+        have_far = true;
+      }
+    }
+  }
+  if (!have_near || !have_far) return result;
+
+  const auto& i = window_[near_idx];
+  const auto& j = window_[far_idx];
+  if (counter_delta(i.packet.stamps.ta, j.packet.stamps.ta) <= 0) return result;
+  result.evaluated = true;
+
+  const Seconds pair_span = delta_to_seconds(
+      counter_delta(i.packet.stamps.tf, j.packet.stamps.tf), pbar);
+  const double quality = (i.error + j.error) / pair_span;
+  if (quality > params_.local_rate_quality) return result;  // keep previous
+
+  const double candidate = naive_rate(j.packet.stamps, i.packet.stamps).combined;
+
+  // Sanity check: the hardware bounds successive changes (§5.2).
+  if (params_.enable_rate_sanity && has_estimate_) {
+    const double rel = std::fabs(candidate / period_ - 1.0);
+    if (rel > params_.rate_sanity_threshold) {
+      ++sanity_;
+      result.sanity_blocked = true;
+      return result;  // duplicate previous value
+    }
+  }
+
+  period_ = candidate;
+  has_estimate_ = true;
+  ++accepted_;
+  result.accepted = true;
+  return result;
+}
+
+}  // namespace tscclock::core

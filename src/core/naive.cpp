@@ -1,0 +1,29 @@
+#include "core/naive.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::core {
+
+NaiveRate naive_rate(const RawExchange& earlier, const RawExchange& later) {
+  const auto ta_span =
+      static_cast<double>(counter_delta(later.ta, earlier.ta));
+  const auto tf_span =
+      static_cast<double>(counter_delta(later.tf, earlier.tf));
+  TSC_EXPECTS(ta_span > 0.0);
+  TSC_EXPECTS(tf_span > 0.0);
+  NaiveRate r;
+  r.forward = (later.tb - earlier.tb) / ta_span;
+  r.backward = (later.te - earlier.te) / tf_span;
+  r.combined = 0.5 * (r.forward + r.backward);
+  return r;
+}
+
+Seconds naive_offset(const RawExchange& exchange,
+                     const CounterTimescale& clock) {
+  const Seconds host_mid =
+      0.5 * (clock.read(exchange.ta) + clock.read(exchange.tf));
+  const Seconds server_mid = 0.5 * (exchange.tb + exchange.te);
+  return host_mid - server_mid;
+}
+
+}  // namespace tscclock::core

@@ -1,0 +1,28 @@
+// The naive estimators of paper §4 — both the building blocks of the robust
+// algorithms and the baselines that figures 5 and 6 contrast against.
+#pragma once
+
+#include "common/time_types.hpp"
+#include "core/records.hpp"
+
+namespace tscclock::core {
+
+/// Naive period estimates between exchanges j (earlier) and i (later):
+///   forward  (eq. 17):  p̂→ = (Tb_i − Tb_j) / (Ta_i − Ta_j)
+///   backward        :   p̂← = (Te_i − Te_j) / (Tf_i − Tf_j)
+/// and their average, the form used throughout §5.2.
+struct NaiveRate {
+  double forward = 0;
+  double backward = 0;
+  double combined = 0;
+};
+
+NaiveRate naive_rate(const RawExchange& earlier, const RawExchange& later);
+
+/// Naive per-packet offset (eq. 19):
+///   θ̂_i = ½(C(Ta_i) + C(Tf_i)) − ½(Tb_i + Te_i)
+/// which implicitly assumes a symmetric path (Δ = 0).
+Seconds naive_offset(const RawExchange& exchange,
+                     const CounterTimescale& clock);
+
+}  // namespace tscclock::core

@@ -1,0 +1,47 @@
+#include "core/point_error.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::core {
+
+RttFilter::RttFilter(const Params& params)
+    : local_min_(params.packets(params.shift_window)) {
+  params.validate();
+}
+
+void RttFilter::add(TscDelta rtt_counts) {
+  TSC_EXPECTS(rtt_counts > 0);
+  global_min_.update(rtt_counts);
+  local_min_.push(rtt_counts);
+  ++samples_;
+}
+
+TscDelta RttFilter::rhat() const {
+  TSC_EXPECTS(global_min_.valid());
+  return global_min_.value();
+}
+
+TscDelta RttFilter::local_min() const {
+  TSC_EXPECTS(local_min_.valid());
+  return local_min_.min();
+}
+
+Seconds RttFilter::point_error(TscDelta rtt_counts, double period) const {
+  TSC_EXPECTS(global_min_.valid());
+  TSC_EXPECTS(period > 0.0);
+  return delta_to_seconds(rtt_counts - global_min_.value(), period);
+}
+
+void RttFilter::force_rhat(TscDelta rhat_counts) {
+  TSC_EXPECTS(rhat_counts > 0);
+  global_min_.reset_to(rhat_counts);
+}
+
+void RttFilter::reset_local_window() { local_min_.clear(); }
+
+void RttFilter::reset_all() {
+  global_min_.reset();
+  local_min_.clear();
+}
+
+}  // namespace tscclock::core

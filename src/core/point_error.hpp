@@ -1,0 +1,69 @@
+// RTT filtering: the quality basis of the whole synchronization system
+// (paper §5.1).
+//
+// The round-trip time r_i = (Tf_i − Ta_i) is measured by a *single* clock
+// (the raw counter), so it needs neither the unknown offset θ(t) nor an
+// accurate rate to be meaningful — only a reasonable average period p̄ to
+// express it in seconds. This decouples filtering from estimation and
+// avoids feedback dynamics.
+//
+// The absolute point error of packet i is E_i = r_i − r̂(t) where
+// r̂(t) = min_{k≤i} r_k. RTTs are kept in counter units throughout; point
+// errors convert to seconds on demand with the current period estimate, so
+// the §6.1 "re-evaluation of point errors" after a period or minimum update
+// is implicit and exact.
+//
+// The filter also maintains the windowed local minimum r̂_l over the last
+// Ts-worth of packets, the basis of upward level-shift detection (§6.2).
+#pragma once
+
+#include <cstddef>
+
+#include "common/stats.hpp"
+#include "common/time_types.hpp"
+#include "core/params.hpp"
+
+namespace tscclock::core {
+
+class RttFilter {
+ public:
+  explicit RttFilter(const Params& params);
+
+  /// Record the RTT of a new (non-lost) packet.
+  void add(TscDelta rtt_counts);
+
+  /// True once at least one RTT has been recorded.
+  [[nodiscard]] bool valid() const { return global_min_.valid(); }
+
+  /// The running minimum r̂ in counter units.
+  [[nodiscard]] TscDelta rhat() const;
+
+  /// The windowed local minimum r̂_l (valid once the Ts window has filled).
+  [[nodiscard]] bool local_min_full() const { return local_min_.full(); }
+  [[nodiscard]] bool local_min_valid() const { return local_min_.valid(); }
+  [[nodiscard]] TscDelta local_min() const;
+
+  /// Point error E_i = (rtt − r̂) · period [s].
+  [[nodiscard]] Seconds point_error(TscDelta rtt_counts, double period) const;
+
+  /// Number of RTT samples recorded (drives warm-up).
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+
+  /// Force r̂ (level-shift reaction §6.2, top-window update §6.1).
+  void force_rhat(TscDelta rhat_counts);
+
+  /// Restart the local-minimum window (after an upward shift reaction).
+  void reset_local_window();
+
+  /// Forget everything (server change: the minimum level of the new path
+  /// is unrelated to the old one). The sample counter is preserved so the
+  /// warm-up bookkeeping of the surrounding system is unaffected.
+  void reset_all();
+
+ private:
+  RunningMin<TscDelta> global_min_;
+  WindowedMin<TscDelta> local_min_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace tscclock::core

@@ -1,0 +1,161 @@
+#include "core/rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/naive.hpp"
+
+namespace tscclock::core {
+
+GlobalRateEstimator::GlobalRateEstimator(const Params& params,
+                                         double initial_period)
+    : params_(params), period_(initial_period) {
+  params.validate();
+  TSC_EXPECTS(initial_period > 0.0);
+}
+
+double GlobalRateEstimator::pair_quality(const PacketRecord& j, Seconds ej,
+                                         const PacketRecord& i,
+                                         Seconds ei) const {
+  const Seconds span =
+      delta_to_seconds(counter_delta(i.stamps.tf, j.stamps.tf), period_);
+  TSC_EXPECTS(span > 0.0);
+  return (ei + ej) / span;
+}
+
+void GlobalRateEstimator::warmup_process(const PacketRecord& packet,
+                                         Seconds point_error) {
+  warmup_.push_back({packet, point_error});
+  const std::size_t n = warmup_.size();
+  if (n < 2) return;
+
+  // Growing near/far windows of width max(1, n/4); pick the best-quality
+  // packet in each and pair them.
+  const std::size_t w = std::max<std::size_t>(1, n / 4);
+  const auto best_in = [&](std::size_t begin, std::size_t end) {
+    std::size_t best = begin;
+    for (std::size_t k = begin + 1; k < end; ++k)
+      if (warmup_[k].error < warmup_[best].error) best = k;
+    return best;
+  };
+  const std::size_t far = best_in(0, w);
+  const std::size_t near = best_in(n - w, n);
+  if (near == far) return;
+
+  const auto& j = warmup_[far];
+  const auto& i = warmup_[near];
+  if (counter_delta(i.packet.stamps.ta, j.packet.stamps.ta) <= 0) return;
+  period_ = naive_rate(j.packet.stamps, i.packet.stamps).combined;
+  quality_ = pair_quality(j.packet, j.error, i.packet, i.error);
+  anchor_ = j.packet;
+  anchor_error_ = j.error;
+  latest_ = i.packet;
+  latest_error_ = i.error;
+
+  if (n >= params_.warmup_samples) finish_warmup();
+}
+
+void GlobalRateEstimator::finish_warmup() {
+  // Initialise the main algorithm: j = best packet of the first half,
+  // i = best packet of the second half.
+  const std::size_t n = warmup_.size();
+  const std::size_t half = n / 2;
+  const auto best_in = [&](std::size_t begin, std::size_t end) {
+    std::size_t best = begin;
+    for (std::size_t k = begin + 1; k < end; ++k)
+      if (warmup_[k].error < warmup_[best].error) best = k;
+    return best;
+  };
+  const std::size_t jdx = best_in(0, half);
+  const std::size_t idx = best_in(half, n);
+  const auto& j = warmup_[jdx];
+  const auto& i = warmup_[idx];
+  if (counter_delta(i.packet.stamps.ta, j.packet.stamps.ta) > 0) {
+    period_ = naive_rate(j.packet.stamps, i.packet.stamps).combined;
+    quality_ = pair_quality(j.packet, j.error, i.packet, i.error);
+    anchor_ = j.packet;
+    anchor_error_ = j.error;
+    latest_ = i.packet;
+    latest_error_ = i.error;
+  }
+  warmup_.clear();
+  warmup_.shrink_to_fit();
+  in_warmup_ = false;
+}
+
+GlobalRateEstimator::Result GlobalRateEstimator::process(
+    const PacketRecord& packet, Seconds point_error) {
+  TSC_EXPECTS(point_error >= 0.0);
+  Result result;
+  if (in_warmup_) {
+    const double before = period_;
+    warmup_process(packet, point_error);
+    result.updated = period_ != before;
+    return result;
+  }
+
+  if (point_error >= params_.rate_accept_error) return result;
+  TSC_EXPECTS(anchor_.has_value());
+  if (counter_delta(packet.stamps.ta, anchor_->stamps.ta) <= 0) return result;
+
+  result.accepted = true;
+  ++accepted_;
+  const double candidate = naive_rate(anchor_->stamps, packet.stamps).combined;
+  const double candidate_quality =
+      pair_quality(*anchor_, anchor_error_, packet, point_error);
+
+  // Sanity check (the §5.2 principle applied to p̄ as well): faulty server
+  // stamps leave the RTT — and hence the E* filter — untouched, but can
+  // poison the estimate by stamp-error/Δ(t) (a 150 ms fault at Δ = 2 h is
+  // ~20 PPM). Reject candidates that move the estimate further than both
+  // the hardware bound and the combined quality bounds can explain.
+  //
+  // Lock-out escape: if the current value itself was poisoned (e.g. the
+  // warm-up pair caught a faulty stamp), every honest candidate would be
+  // rejected forever. After `rate_sanity_release_count` *consecutive*
+  // blocks, the candidate is accepted: persistent disagreement indicts the
+  // held value, not the world.
+  if (params_.enable_rate_sanity) {
+    const double relative_change = std::fabs(candidate / period_ - 1.0);
+    const double allowed = std::max(params_.rate_sanity_threshold,
+                                    4.0 * (quality_ + candidate_quality));
+    if (relative_change > allowed &&
+        consecutive_blocks_ + 1 < params_.rate_sanity_release_count) {
+      ++sanity_blocks_;
+      ++consecutive_blocks_;
+      return result;  // duplicate the previous value; keep the old pair
+    }
+    if (relative_change > allowed) {
+      result.sanity_released = true;
+      ++sanity_releases_;
+    }
+  }
+  consecutive_blocks_ = 0;
+
+  latest_ = packet;
+  latest_error_ = point_error;
+  const double before = period_;
+  period_ = candidate;
+  quality_ = candidate_quality;
+  result.updated = period_ != before;
+  return result;
+}
+
+void GlobalRateEstimator::replace_anchor(const PacketRecord& candidate,
+                                         Seconds candidate_error) {
+  if (in_warmup_ || !latest_.has_value()) return;
+  if (counter_delta(latest_->stamps.ta, candidate.stamps.ta) <= 0) return;
+  anchor_ = candidate;
+  anchor_error_ = candidate_error;
+  // Re-estimate with the new pair only if its quality beats the current one
+  // (§6.1: "p̂(t) is updated if it exceeds the current quality").
+  const double q =
+      pair_quality(candidate, candidate_error, *latest_, latest_error_);
+  if (q < quality_) {
+    period_ = naive_rate(candidate.stamps, latest_->stamps).combined;
+    quality_ = q;
+  }
+}
+
+}  // namespace tscclock::core

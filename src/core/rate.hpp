@@ -1,0 +1,103 @@
+// Robust global rate synchronization p̄ (paper §5.2) with the warm-up
+// behaviour of §6.1.
+//
+// Principle: restrict eq. (17) to packets whose point error is below E*,
+// and let the baseline Δ(t) = Tf_i − Tf_j grow so the bounded per-packet
+// errors are damped as 1/Δ(t). The estimated relative error of the current
+// estimate is (E_i + E_j)/((Tf_i − Tf_j)·p̄), bounded by 2E*/Δ(t).
+//
+// Robustness: even if every subsequent packet is rejected (congestion,
+// outage, server loss), the current p̂ remains valid — estimation can resume
+// at any time with no warm-up, because the scheme has no feedback state.
+//
+// Warm-up (§6.1): before the RTT filter has enough samples for point errors
+// to be trusted, a local-rate-type algorithm is used — the best-quality
+// packets in growing near/far windows (initial width 1, growing as Δ/4) are
+// paired. The first estimate is simply the naive p̂_{2,1}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "core/params.hpp"
+#include "core/records.hpp"
+
+namespace tscclock::core {
+
+class GlobalRateEstimator {
+ public:
+  /// `initial_period` is the spec-sheet (nominal) period guess used before
+  /// the first measured estimate exists.
+  GlobalRateEstimator(const Params& params, double initial_period);
+
+  struct Result {
+    bool accepted = false;  ///< point error below E* (post-warm-up)
+    bool updated = false;   ///< p̂ changed
+    bool sanity_released = false;  ///< lock-out escape fired (large change
+                                   ///< accepted after persistent blocking)
+  };
+
+  /// Process a non-lost packet with its point error (seconds).
+  Result process(const PacketRecord& packet, Seconds point_error);
+
+  /// Current period estimate p̂ [s/count].
+  [[nodiscard]] double period() const { return period_; }
+
+  /// Estimated bound on the relative error of p̂ (∞ until measurable).
+  [[nodiscard]] double quality() const { return quality_; }
+
+  [[nodiscard]] bool warmed_up() const { return !in_warmup_; }
+
+  /// Packets accepted by the E* test since warm-up completed.
+  [[nodiscard]] std::uint64_t accepted_count() const { return accepted_; }
+
+  /// Accepted candidates rejected by the rate sanity check (e.g. poisoned
+  /// by faulty server timestamps that the RTT filter cannot see).
+  [[nodiscard]] std::uint64_t sanity_count() const { return sanity_blocks_; }
+
+  /// Times the lock-out escape accepted a persistent large change.
+  [[nodiscard]] std::uint64_t release_count() const { return sanity_releases_; }
+
+  /// The current anchor pair (j = anchor, i = latest), when available.
+  [[nodiscard]] const std::optional<PacketRecord>& anchor() const {
+    return anchor_;
+  }
+  [[nodiscard]] const std::optional<PacketRecord>& latest() const {
+    return latest_;
+  }
+
+  /// Top-window update (§6.1): the anchor j has left the window; `candidate`
+  /// is the best-quality packet of the retained half. The estimate value is
+  /// replaced only if the new pair's quality beats the current quality.
+  void replace_anchor(const PacketRecord& candidate, Seconds candidate_error);
+
+ private:
+  void warmup_process(const PacketRecord& packet, Seconds point_error);
+  void finish_warmup();
+  [[nodiscard]] double pair_quality(const PacketRecord& j, Seconds ej,
+                                    const PacketRecord& i, Seconds ei) const;
+
+  Params params_;
+  double period_;
+  double quality_ = 1.0;  ///< relative error bound; 1.0 = unknown
+  bool in_warmup_ = true;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t sanity_blocks_ = 0;
+  std::uint64_t sanity_releases_ = 0;
+  std::size_t consecutive_blocks_ = 0;
+
+  struct WarmupEntry {
+    PacketRecord packet;
+    Seconds error = 0;
+  };
+  std::vector<WarmupEntry> warmup_;  ///< packets seen during warm-up
+
+  std::optional<PacketRecord> anchor_;  ///< packet j
+  Seconds anchor_error_ = 0;
+  std::optional<PacketRecord> latest_;  ///< packet i
+  Seconds latest_error_ = 0;
+};
+
+}  // namespace tscclock::core

@@ -1,0 +1,35 @@
+// Data records flowing through the synchronization pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.hpp"
+
+namespace tscclock::core {
+
+/// One completed NTP exchange as the algorithm sees it: two host TSC stamps
+/// (raw counter values) and two server stamps (seconds). This is the
+/// {Ta, Tb, Te, Tf} quadruple of paper Fig. 1.
+struct RawExchange {
+  TscCount ta = 0;  ///< host TSC just before send
+  Seconds tb = 0;   ///< server receive stamp
+  Seconds te = 0;   ///< server transmit stamp
+  TscCount tf = 0;  ///< host TSC after full arrival
+
+  /// Host-measured round-trip time in counter units (single-clock quantity;
+  /// needs no synchronization to be meaningful — §5.1).
+  [[nodiscard]] TscDelta rtt_counts() const { return counter_delta(tf, ta); }
+
+  /// Server-side processing interval d↑ measured by the server clock.
+  [[nodiscard]] Seconds server_delay() const { return te - tb; }
+};
+
+/// Per-packet record retained inside the estimator windows.
+struct PacketRecord {
+  std::uint64_t seq = 0;  ///< index among non-lost packets
+  RawExchange stamps;
+  TscDelta rtt = 0;           ///< cached stamps.rtt_counts()
+  TscDelta error_counts = 0;  ///< rtt − r̂ at assessment time (re-assessable)
+};
+
+}  // namespace tscclock::core

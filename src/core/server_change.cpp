@@ -1,0 +1,22 @@
+#include "core/server_change.hpp"
+
+namespace tscclock::core {
+
+std::optional<ServerChangeDetector::Change> ServerChangeDetector::observe(
+    const ServerIdentity& identity, std::uint64_t packet_index) {
+  if (!has_identity_) {
+    current_ = identity;
+    has_identity_ = true;
+    return std::nullopt;
+  }
+  if (identity == current_) return std::nullopt;
+  Change change;
+  change.previous = current_;
+  change.current = identity;
+  change.packet_index = packet_index;
+  current_ = identity;
+  ++changes_;
+  return change;
+}
+
+}  // namespace tscclock::core

@@ -1,0 +1,55 @@
+// Server-identity tracking (paper §2.3: the NTP payload carries "server
+// identity information which we plan to use as part of route change (level
+// shift) detection in the future" — this implements that plan).
+//
+// Every NTP reply carries the server's reference id and stratum. A change
+// means the minimum RTT level, the path asymmetry and the quality history
+// all refer to a different physical path: the RTT filter must restart and
+// the retained offset window must be deweighted (its naive offsets remain
+// valid — stratum-1 servers share the timescale — but their quality
+// assessments do not transfer).
+//
+// The detector is deliberately separate from TscNtpClock: identity lives in
+// the packet layer, and deployments that pin a single server never pay for
+// it. Feed each reply's identity; on a change, call
+// TscNtpClock::notify_server_change().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace tscclock::core {
+
+struct ServerIdentity {
+  std::uint32_t reference_id = 0;  ///< e.g. "GPS "/"ATOM" for stratum-1
+  std::uint8_t stratum = 0;
+
+  friend bool operator==(const ServerIdentity&, const ServerIdentity&) =
+      default;
+};
+
+class ServerChangeDetector {
+ public:
+  struct Change {
+    ServerIdentity previous;
+    ServerIdentity current;
+    std::uint64_t packet_index = 0;
+  };
+
+  /// Observe the identity carried by reply number `packet_index`.
+  /// Returns the change descriptor when the identity differs from the
+  /// previous reply's.
+  std::optional<Change> observe(const ServerIdentity& identity,
+                                std::uint64_t packet_index);
+
+  [[nodiscard]] bool has_identity() const { return has_identity_; }
+  [[nodiscard]] const ServerIdentity& current() const { return current_; }
+  [[nodiscard]] std::uint64_t changes() const { return changes_; }
+
+ private:
+  bool has_identity_ = false;
+  ServerIdentity current_;
+  std::uint64_t changes_ = 0;
+};
+
+}  // namespace tscclock::core

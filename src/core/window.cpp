@@ -1,0 +1,59 @@
+#include "core/window.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::core {
+
+TopWindow::TopWindow(const Params& params) : params_(params), history_(0) {
+  params.validate();
+}
+
+TopWindow::Update TopWindow::add(const PacketRecord& packet,
+                                 std::uint64_t min_valid_seq) {
+  Update update;
+  history_.push_back(packet);
+  if (history_.size() < params_.packets(params_.top_window)) return update;
+
+  // Window full: discard the oldest half, recompute over the retained half.
+  history_.drop_front(history_.size() / 2);
+  ++updates_;
+  update.triggered = true;
+  update.oldest_seq = history_.front().seq;
+
+  // New r̂: minimum over retained packets beyond the last shift point; if
+  // none qualify (shift point very recent), fall back to all retained.
+  bool have_min = false;
+  TscDelta min_rtt = 0;
+  for (std::size_t k = 0; k < history_.size(); ++k) {
+    const auto& rec = history_[k];
+    if (rec.seq < min_valid_seq) continue;
+    if (!have_min || rec.rtt < min_rtt) {
+      min_rtt = rec.rtt;
+      have_min = true;
+    }
+  }
+  if (!have_min) {
+    for (std::size_t k = 0; k < history_.size(); ++k) {
+      const auto& rec = history_[k];
+      if (!have_min || rec.rtt < min_rtt) {
+        min_rtt = rec.rtt;
+        have_min = true;
+      }
+    }
+  }
+  TSC_ENSURES(have_min);
+  update.new_rhat = min_rtt;
+
+  // Anchor replacement candidate: the best-quality packet among the oldest
+  // quarter of the retained window (early packets preserve a long Δ(t)).
+  const std::size_t quarter = std::max<std::size_t>(1, history_.size() / 4);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < quarter; ++k)
+    if (history_[k].rtt < history_[best].rtt) best = k;
+  update.anchor_candidate = history_[best];
+  update.anchor_error_counts = history_[best].rtt - min_rtt;
+  if (update.anchor_error_counts < 0) update.anchor_error_counts = 0;
+  return update;
+}
+
+}  // namespace tscclock::core

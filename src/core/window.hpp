@@ -1,0 +1,50 @@
+// Top-level sliding window (paper §6.1 "Windowing").
+//
+// Conditions change over arbitrarily long horizons (aging, environment,
+// route changes), so the past must eventually be forgotten and per-packet
+// history bounded. A window of width T (default one week) is maintained;
+// each time it fills, the oldest half is discarded and:
+//
+//   * r̂ is recomputed over the retained half — restricted to packets after
+//     the last detected upward shift point, if any;
+//   * if the rate anchor packet j was discarded, a replacement of similar
+//     or better quality is nominated from the retained data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/ring_buffer.hpp"
+#include "common/time_types.hpp"
+#include "core/params.hpp"
+#include "core/records.hpp"
+
+namespace tscclock::core {
+
+class TopWindow {
+ public:
+  explicit TopWindow(const Params& params);
+
+  struct Update {
+    bool triggered = false;
+    TscDelta new_rhat = 0;
+    std::uint64_t oldest_seq = 0;  ///< first seq still inside the window
+    std::optional<PacketRecord> anchor_candidate;
+    TscDelta anchor_error_counts = 0;  ///< vs new_rhat
+  };
+
+  /// Record a packet; triggers a window update when the buffer reaches T.
+  /// `min_valid_seq` restricts the minimum recomputation to packets at or
+  /// after the last upward shift point.
+  Update add(const PacketRecord& packet, std::uint64_t min_valid_seq);
+
+  [[nodiscard]] std::size_t stored() const { return history_.size(); }
+  [[nodiscard]] std::uint64_t updates() const { return updates_; }
+
+ private:
+  Params params_;
+  RingBuffer<PacketRecord> history_;  ///< unbounded; trimmed by updates
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace tscclock::core

@@ -1,0 +1,29 @@
+#include "sim/dag.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::sim {
+
+DagMonitor::DagMonitor(const DagConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  TSC_EXPECTS(config.timestamp_noise_std >= 0.0);
+  TSC_EXPECTS(config.card_latency >= 0.0);
+  TSC_EXPECTS(config.frame_time > 0.0);
+  TSC_EXPECTS(config.missing_prob >= 0.0 && config.missing_prob <= 1.0);
+}
+
+DagMonitor::Stamp DagMonitor::observe(Seconds full_arrival) {
+  Stamp s;
+  if (rng_.bernoulli(config_.missing_prob)) return s;  // unmatched
+  // The first bit passes the tap frame_time before full arrival; the card
+  // needs card_latency to stamp it; the +frame_time correction is applied
+  // as in the paper, so the corrected stamp refers to full arrival.
+  const Seconds raw = (full_arrival - config_.frame_time) +
+                      config_.card_latency +
+                      rng_.normal(config_.timestamp_noise_std);
+  s.available = true;
+  s.corrected = raw + config_.frame_time;
+  return s;
+}
+
+}  // namespace tscclock::sim

@@ -1,0 +1,50 @@
+#include "sim/events.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::sim {
+
+EventSchedule& EventSchedule::add_outage(Seconds start, Seconds end) {
+  TSC_EXPECTS(end > start);
+  outages_.push_back({start, end});
+  return *this;
+}
+
+EventSchedule& EventSchedule::add_server_fault(Seconds start, Seconds end,
+                                               Seconds offset) {
+  TSC_EXPECTS(end > start);
+  server_faults_.push_back({start, end, offset});
+  return *this;
+}
+
+EventSchedule& EventSchedule::add_level_shift(const LevelShift& shift) {
+  TSC_EXPECTS(shift.end > shift.start);
+  level_shifts_.push_back(shift);
+  return *this;
+}
+
+bool EventSchedule::in_outage(Seconds t) const {
+  for (const auto& o : outages_)
+    if (t >= o.start && t < o.end) return true;
+  return false;
+}
+
+Seconds EventSchedule::server_fault_offset(Seconds t) const {
+  Seconds total = 0;
+  for (const auto& f : server_faults_)
+    if (t >= f.start && t < f.end) total += f.offset;
+  return total;
+}
+
+EventSchedule::PathShift EventSchedule::path_shift(Seconds t) const {
+  PathShift s;
+  for (const auto& ls : level_shifts_) {
+    if (t >= ls.start && t < ls.end) {
+      s.forward += ls.forward_delta;
+      s.backward += ls.backward_delta;
+    }
+  }
+  return s;
+}
+
+}  // namespace tscclock::sim

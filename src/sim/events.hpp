@@ -1,0 +1,76 @@
+// Fault/event schedules for robustness experiments (paper §6, Fig. 11).
+//
+// Three kinds of scheduled events drive the "extreme conditions" scenarios:
+//   * Outage      — no NTP exchanges at all (data-collection gap / loss of
+//                   connectivity / server unavailability), Fig. 11(a);
+//   * ServerFault — the server's Tb/Te timestamps are offset by a constant
+//                   (the 150 ms server error of Fig. 11(b));
+//   * LevelShift  — a step change in the minimum one-way delay of one or
+//                   both directions (route change), temporary or permanent,
+//                   Fig. 11(c)/(d).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace tscclock::sim {
+
+constexpr Seconds kForever = std::numeric_limits<double>::infinity();
+
+struct Outage {
+  Seconds start = 0;
+  Seconds end = 0;
+};
+
+struct ServerFault {
+  Seconds start = 0;
+  Seconds end = 0;
+  Seconds offset = 0;  ///< added to both Tb and Te while active
+};
+
+struct LevelShift {
+  Seconds start = 0;
+  Seconds end = kForever;      ///< kForever for a permanent shift
+  Seconds forward_delta = 0;   ///< added to the forward minimum delay
+  Seconds backward_delta = 0;  ///< added to the backward minimum delay
+};
+
+/// Immutable schedule of events, queried by the testbed components.
+class EventSchedule {
+ public:
+  EventSchedule() = default;
+
+  EventSchedule& add_outage(Seconds start, Seconds end);
+  EventSchedule& add_server_fault(Seconds start, Seconds end, Seconds offset);
+  EventSchedule& add_level_shift(const LevelShift& shift);
+
+  /// True if polling is suppressed at time t.
+  [[nodiscard]] bool in_outage(Seconds t) const;
+
+  /// Sum of active server timestamp fault offsets at time t.
+  [[nodiscard]] Seconds server_fault_offset(Seconds t) const;
+
+  /// Net (forward, backward) minimum-delay displacement at time t.
+  struct PathShift {
+    Seconds forward = 0;
+    Seconds backward = 0;
+  };
+  [[nodiscard]] PathShift path_shift(Seconds t) const;
+
+  [[nodiscard]] const std::vector<Outage>& outages() const { return outages_; }
+  [[nodiscard]] const std::vector<ServerFault>& server_faults() const {
+    return server_faults_;
+  }
+  [[nodiscard]] const std::vector<LevelShift>& level_shifts() const {
+    return level_shifts_;
+  }
+
+ private:
+  std::vector<Outage> outages_;
+  std::vector<ServerFault> server_faults_;
+  std::vector<LevelShift> level_shifts_;
+};
+
+}  // namespace tscclock::sim

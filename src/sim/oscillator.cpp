@@ -1,0 +1,128 @@
+#include "sim/oscillator.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock::sim {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+OscillatorConfig OscillatorConfig::laboratory(std::uint64_t seed) {
+  OscillatorConfig c;
+  c.skew_ppm = 52.4;
+  // Uncontrolled open-plan temperature: strong diurnal swing, plus faster
+  // short-scale wander (doors, drafts, occupancy) than the machine room.
+  c.diurnal_amplitude_ppm = 0.045;
+  c.semidiurnal_amplitude_ppm = 0.015;
+  c.oscillatory_amplitude_ppm = 0.0;
+  c.ou_sigma_ppm = 0.060;
+  c.ou_relaxation_s = 1500;
+  c.seed = seed;
+  return c;
+}
+
+OscillatorConfig OscillatorConfig::machine_room(std::uint64_t seed) {
+  OscillatorConfig c;
+  c.skew_ppm = 52.4;
+  // ±2°C environmental control: attenuated but visible diurnal residue...
+  c.diurnal_amplitude_ppm = 0.025;
+  c.semidiurnal_amplitude_ppm = 0.010;
+  // ...but the distinct ~0.05 PPM oscillation with a 100-200 min period
+  // (paper §3.1, visible in Fig. 8).
+  c.oscillatory_amplitude_ppm = 0.05;
+  c.oscillatory_period_min_s = 6000;
+  c.oscillatory_period_max_s = 12000;
+  c.ou_sigma_ppm = 0.008;
+  c.ou_relaxation_s = 3000;
+  c.seed = seed;
+  return c;
+}
+
+Oscillator::Oscillator(const OscillatorConfig& config)
+    : config_(config), rng_(config.seed) {
+  TSC_EXPECTS(config.nominal_frequency_hz > 0.0);
+  TSC_EXPECTS(config.max_substep_s > 0.0);
+  TSC_EXPECTS(config.ou_relaxation_s > 0.0);
+  TSC_EXPECTS(config.oscillatory_period_min_s > 0.0);
+  TSC_EXPECTS(config.oscillatory_period_max_s >=
+              config.oscillatory_period_min_s);
+  osc_period_ = 0.5 * (config.oscillatory_period_min_s +
+                       config.oscillatory_period_max_s);
+  osc_phase_ = rng_.uniform(0.0, kTwoPi);
+}
+
+double Oscillator::wander_at(Seconds t) const {
+  const double diurnal =
+      ppm(config_.diurnal_amplitude_ppm) *
+      std::sin(kTwoPi * t / duration::kDay + config_.diurnal_phase_rad);
+  const double semidiurnal =
+      ppm(config_.semidiurnal_amplitude_ppm) *
+      std::sin(2.0 * kTwoPi * t / duration::kDay + 1.1);
+  const double oscillatory =
+      ppm(config_.oscillatory_amplitude_ppm) * std::sin(osc_phase_);
+  return diurnal + semidiurnal + oscillatory;
+}
+
+void Oscillator::advance_to(Seconds t) {
+  TSC_EXPECTS(t >= now_);
+  const double f_true =
+      config_.nominal_frequency_hz * (1.0 + ppm(config_.skew_ppm));
+  while (now_ < t) {
+    const double dt = std::min(t - now_, config_.max_substep_s);
+    // Exact OU discretization for the endpoint value; trapezoidal integral.
+    const double decay = std::exp(-dt / config_.ou_relaxation_s);
+    const double innovation_std =
+        ppm(config_.ou_sigma_ppm) * std::sqrt(1.0 - decay * decay);
+    const double ou_next = ou_state_ * decay + rng_.normal(innovation_std);
+
+    const double gamma_start = wander_at(now_) + ou_state_;
+
+    // Advance the oscillatory component's slowly wandering period.
+    if (config_.oscillatory_amplitude_ppm > 0.0) {
+      osc_phase_ += kTwoPi * dt / osc_period_;
+      if (osc_phase_ > kTwoPi) osc_phase_ -= kTwoPi;
+      const double span = config_.oscillatory_period_max_s -
+                          config_.oscillatory_period_min_s;
+      if (span > 0.0) {
+        osc_period_ += rng_.normal(0.01 * span * std::sqrt(dt / 60.0));
+        // Reflect at the band edges to keep the period in range.
+        if (osc_period_ < config_.oscillatory_period_min_s)
+          osc_period_ = 2.0 * config_.oscillatory_period_min_s - osc_period_;
+        if (osc_period_ > config_.oscillatory_period_max_s)
+          osc_period_ = 2.0 * config_.oscillatory_period_max_s - osc_period_;
+      }
+    }
+
+    const double gamma_end = wander_at(now_ + dt) + ou_next;
+    const double gamma_mean = 0.5 * (gamma_start + gamma_end);
+
+    phase_cycles_ +=
+        static_cast<long double>(f_true) *
+        static_cast<long double>(dt * (1.0 + gamma_mean));
+    ou_state_ = ou_next;
+    now_ += dt;
+  }
+}
+
+TscCount Oscillator::read(Seconds t) {
+  advance_to(t);
+  TSC_ENSURES(phase_cycles_ >= 0.0L);
+  return static_cast<TscCount>(phase_cycles_);
+}
+
+double Oscillator::rate_error() const {
+  return ppm(config_.skew_ppm) + wander_at(now_) + ou_state_;
+}
+
+double Oscillator::mean_period() const {
+  return 1.0 / (config_.nominal_frequency_hz * (1.0 + ppm(config_.skew_ppm)));
+}
+
+double Oscillator::nominal_period() const {
+  return 1.0 / config_.nominal_frequency_hz;
+}
+
+}  // namespace tscclock::sim

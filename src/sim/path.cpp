@@ -1,0 +1,100 @@
+#include "sim/path.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock::sim {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+OneWayDelayModel::OneWayDelayModel(const OneWayDelayConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  TSC_EXPECTS(config.min_delay > 0.0);
+  TSC_EXPECTS(config.jitter_mean > 0.0);
+  TSC_EXPECTS(config.spike_prob >= 0.0 && config.spike_prob <= 1.0);
+  TSC_EXPECTS(config.pareto_shape > 1.0);
+  next_episode_ = rng_.exponential(config.congestion_mean_interval);
+}
+
+void OneWayDelayModel::advance_episodes(Seconds t) {
+  while (t >= next_episode_) {
+    episode_start_ = next_episode_;
+    episode_end_ =
+        episode_start_ + rng_.exponential(config_.congestion_mean_duration);
+    next_episode_ =
+        episode_end_ + rng_.exponential(config_.congestion_mean_interval);
+  }
+}
+
+bool OneWayDelayModel::in_congestion(Seconds t) const {
+  return t >= episode_start_ && t < episode_end_;
+}
+
+double OneWayDelayModel::spike_probability(Seconds t) const {
+  // Diurnal utilisation: raised around the peak hour, reduced at night.
+  const double phase =
+      kTwoPi * (t - config_.diurnal_peak_time) / duration::kDay;
+  const double load = 1.0 + config_.diurnal_load * std::cos(phase);
+  double p = config_.spike_prob * load;
+  if (in_congestion(t)) p = std::max(p, config_.congestion_spike_prob);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+Seconds OneWayDelayModel::delay(Seconds t) {
+  advance_episodes(t);
+  Seconds q = rng_.exponential(config_.jitter_mean);
+  if (rng_.bernoulli(spike_probability(t))) {
+    const Seconds mean = in_congestion(t) ? config_.congestion_spike_mean
+                                          : config_.spike_mean;
+    // Pareto with the requested mean: mean = scale / (shape - 1).
+    const double scale = mean * (config_.pareto_shape - 1.0);
+    q += rng_.pareto(config_.pareto_shape, scale);
+  }
+  return config_.min_delay + q;
+}
+
+PathModel::PathModel(const PathConfig& config, const EventSchedule* events,
+                     Rng rng)
+    : config_(config),
+      events_(events),
+      forward_model_(config.forward, rng.fork(1)),
+      backward_model_(config.backward, rng.fork(2)),
+      loss_rng_(rng.fork(3).engine()()) {
+  TSC_EXPECTS(config.loss_prob >= 0.0 && config.loss_prob <= 1.0);
+}
+
+PathModel::Transit PathModel::forward(Seconds t) {
+  Transit tr;
+  tr.lost = loss_rng_.bernoulli(config_.loss_prob);
+  const Seconds shift = events_ ? events_->path_shift(t).forward : 0.0;
+  tr.delay = forward_model_.delay(t) + shift;
+  return tr;
+}
+
+PathModel::Transit PathModel::backward(Seconds t) {
+  Transit tr;
+  tr.lost = loss_rng_.bernoulli(config_.loss_prob);
+  const Seconds shift = events_ ? events_->path_shift(t).backward : 0.0;
+  tr.delay = backward_model_.delay(t) + shift;
+  return tr;
+}
+
+Seconds PathModel::forward_min(Seconds t) const {
+  const Seconds shift = events_ ? events_->path_shift(t).forward : 0.0;
+  return config_.forward.min_delay + shift;
+}
+
+Seconds PathModel::backward_min(Seconds t) const {
+  const Seconds shift = events_ ? events_->path_shift(t).backward : 0.0;
+  return config_.backward.min_delay + shift;
+}
+
+Seconds PathModel::asymmetry(Seconds t) const {
+  return forward_min(t) - backward_min(t);
+}
+
+}  // namespace tscclock::sim

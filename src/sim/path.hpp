@@ -1,0 +1,105 @@
+// One-way network delay model (paper §3.2).
+//
+// Each direction is modeled as the paper observes:
+//
+//     d_i = d + q_i,   d   = deterministic minimum (propagation + per-hop
+//                            store-and-forward),
+//                      q_i = positive random queueing component.
+//
+// The queueing component is a mixture: a light "always on" exponential part
+// (per-hop residual queueing) and a heavy spike part (bursts), whose
+// probability is modulated by a diurnal utilisation profile and by randomly
+// arriving congestion episodes (minutes-long periods where spikes dominate
+// and can reach tens of ms — §3.2 "can take 10's of milliseconds during
+// periods of congestion"). Scheduled level shifts displace the minimum.
+#pragma once
+
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "sim/events.hpp"
+
+namespace tscclock::sim {
+
+struct OneWayDelayConfig {
+  Seconds min_delay = 200e-6;   ///< d: deterministic minimum
+  Seconds jitter_mean = 30e-6;  ///< light exponential queueing component
+  double spike_prob = 0.02;     ///< baseline probability of a heavy sample
+  Seconds spike_mean = 0.8e-3;  ///< mean heavy excursion (Pareto distributed)
+  double pareto_shape = 2.5;    ///< tail index of heavy excursions
+  double diurnal_load = 0.6;    ///< relative diurnal modulation of spike_prob
+  Seconds diurnal_peak_time = 15 * 3600;  ///< busiest time of day [s]
+  // Congestion episodes: Poisson arrivals, exponential durations.
+  Seconds congestion_mean_interval = 6 * 3600;
+  Seconds congestion_mean_duration = 8 * 60;
+  double congestion_spike_prob = 0.75;
+  Seconds congestion_spike_mean = 4e-3;
+};
+
+/// Stateful per-direction delay generator; query times must not decrease.
+class OneWayDelayModel {
+ public:
+  OneWayDelayModel(const OneWayDelayConfig& config, Rng rng);
+
+  /// Total one-way delay for a packet entering the path at true time t.
+  Seconds delay(Seconds t);
+
+  /// The deterministic minimum (without any scheduled shift).
+  [[nodiscard]] Seconds base_min_delay() const { return config_.min_delay; }
+
+  /// True if t falls inside the currently scheduled congestion episode.
+  [[nodiscard]] bool in_congestion(Seconds t) const;
+
+  [[nodiscard]] const OneWayDelayConfig& config() const { return config_; }
+
+ private:
+  void advance_episodes(Seconds t);
+  [[nodiscard]] double spike_probability(Seconds t) const;
+
+  OneWayDelayConfig config_;
+  Rng rng_;
+  Seconds episode_start_ = 0;
+  Seconds episode_end_ = -1;  ///< current/last episode; end < start of next
+  Seconds next_episode_ = 0;
+};
+
+/// Full bidirectional path: forward + backward models, loss and level shifts.
+struct PathConfig {
+  OneWayDelayConfig forward;
+  OneWayDelayConfig backward;
+  double loss_prob = 0.002;  ///< per-direction independent packet loss
+};
+
+class PathModel {
+ public:
+  PathModel(const PathConfig& config, const EventSchedule* events, Rng rng);
+
+  struct Transit {
+    Seconds delay = 0;
+    bool lost = false;
+  };
+
+  /// Forward (host→server) transit for a packet sent at true time t.
+  Transit forward(Seconds t);
+  /// Backward (server→host) transit for a packet sent at true time t.
+  Transit backward(Seconds t);
+
+  /// Current effective minimum one-way delays including scheduled shifts.
+  [[nodiscard]] Seconds forward_min(Seconds t) const;
+  [[nodiscard]] Seconds backward_min(Seconds t) const;
+
+  /// Path asymmetry Δ = d→ − d← at time t (paper §4.2).
+  [[nodiscard]] Seconds asymmetry(Seconds t) const;
+
+  [[nodiscard]] const PathConfig& config() const { return config_; }
+
+ private:
+  PathConfig config_;
+  const EventSchedule* events_;  ///< not owned; may be nullptr
+  OneWayDelayModel forward_model_;
+  OneWayDelayModel backward_model_;
+  Rng loss_rng_;
+};
+
+}  // namespace tscclock::sim

@@ -1,0 +1,271 @@
+#include "sim/scenario.hpp"
+
+#include "common/contracts.hpp"
+#include "wire/ntp_packet.hpp"
+
+namespace tscclock::sim {
+
+namespace {
+
+/// NTP-era seconds of the simulation origin (mid-2004, matching the paper's
+/// measurement campaign; comfortably inside era 0).
+constexpr std::uint32_t kSimEpochEraSeconds = 3'297'000'000u;
+
+OscillatorConfig oscillator_for(Environment environment, std::uint64_t seed) {
+  switch (environment) {
+    case Environment::kLaboratory:
+      return OscillatorConfig::laboratory(seed);
+    case Environment::kMachineRoom:
+      return OscillatorConfig::machine_room(seed);
+  }
+  TSC_EXPECTS(false);
+  return {};
+}
+
+}  // namespace
+
+std::string to_string(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kLoc:
+      return "ServerLoc";
+    case ServerKind::kInt:
+      return "ServerInt";
+    case ServerKind::kExt:
+      return "ServerExt";
+  }
+  return "?";
+}
+
+std::string to_string(Environment environment) {
+  switch (environment) {
+    case Environment::kLaboratory:
+      return "laboratory";
+    case Environment::kMachineRoom:
+      return "machine-room";
+  }
+  return "?";
+}
+
+PathConfig ScenarioConfig::path_preset(ServerKind kind) {
+  // Minimum RTT and asymmetry Δ per Table 2; d↑ minimum is 35 µs (server
+  // preset), so d→ + d← = RTT − 35 µs split with d→ − d← = Δ.
+  PathConfig p;
+  switch (kind) {
+    case ServerKind::kLoc: {
+      // 3 m, 2 hops, RTT 0.38 ms, Δ 50 µs: a quiet local segment.
+      p.forward.min_delay = 197.5e-6;
+      p.backward.min_delay = 147.5e-6;
+      p.forward.jitter_mean = 18e-6;
+      p.backward.jitter_mean = 15e-6;
+      p.forward.spike_prob = 0.010;
+      p.backward.spike_prob = 0.006;
+      p.forward.spike_mean = 0.35e-3;
+      p.backward.spike_mean = 0.3e-3;
+      p.forward.congestion_mean_interval = 12 * duration::kHour;
+      p.backward.congestion_mean_interval = 12 * duration::kHour;
+      p.forward.congestion_mean_duration = 5 * duration::kMinute;
+      p.backward.congestion_mean_duration = 5 * duration::kMinute;
+      p.forward.congestion_spike_mean = 2e-3;
+      p.backward.congestion_spike_mean = 2e-3;
+      p.loss_prob = 0.0008;
+      break;
+    }
+    case ServerKind::kInt: {
+      // 300 m, 5 hops, RTT 0.89 ms, Δ 50 µs; the forward path is the more
+      // heavily utilised one (paper §4.2, Fig. 6's negative bias).
+      p.forward.min_delay = 452.5e-6;
+      p.backward.min_delay = 402.5e-6;
+      p.forward.jitter_mean = 45e-6;
+      p.backward.jitter_mean = 35e-6;
+      p.forward.spike_prob = 0.040;
+      p.backward.spike_prob = 0.018;
+      p.forward.spike_mean = 1.0e-3;
+      p.backward.spike_mean = 0.8e-3;
+      p.forward.congestion_mean_interval = 6 * duration::kHour;
+      p.backward.congestion_mean_interval = 8 * duration::kHour;
+      p.forward.congestion_mean_duration = 8 * duration::kMinute;
+      p.backward.congestion_mean_duration = 8 * duration::kMinute;
+      p.forward.congestion_spike_mean = 4e-3;
+      p.backward.congestion_spike_mean = 3e-3;
+      p.loss_prob = 0.0015;
+      break;
+    }
+    case ServerKind::kExt: {
+      // 1000 km, ~10 hops, RTT 14.2 ms, Δ 500 µs; many hops make quality
+      // packets much rarer (paper §5.3).
+      p.forward.min_delay = 7332.5e-6;
+      p.backward.min_delay = 6832.5e-6;
+      p.forward.jitter_mean = 320e-6;
+      p.backward.jitter_mean = 260e-6;
+      p.forward.spike_prob = 0.16;
+      p.backward.spike_prob = 0.11;
+      p.forward.spike_mean = 1.8e-3;
+      p.backward.spike_mean = 1.5e-3;
+      p.forward.pareto_shape = 2.2;
+      p.backward.pareto_shape = 2.2;
+      p.forward.congestion_mean_interval = 3 * duration::kHour;
+      p.backward.congestion_mean_interval = 4 * duration::kHour;
+      p.forward.congestion_mean_duration = 12 * duration::kMinute;
+      p.backward.congestion_mean_duration = 12 * duration::kMinute;
+      p.forward.congestion_spike_mean = 8e-3;
+      p.backward.congestion_spike_mean = 6e-3;
+      p.loss_prob = 0.003;
+      break;
+    }
+  }
+  return p;
+}
+
+ServerConfig ScenarioConfig::server_preset(ServerKind kind) {
+  ServerConfig s;  // the µs-scale PC server of §3.2 / Fig. 4
+  switch (kind) {
+    case ServerKind::kLoc:
+    case ServerKind::kInt:
+      break;  // defaults: GPS reference, 35 µs minimum processing
+    case ServerKind::kExt:
+      // Atomic-clock reference; busier public server.
+      s.processing_jitter_mean = 30e-6;
+      s.sched_spike_prob = 2.5e-3;
+      break;
+  }
+  return s;
+}
+
+Testbed::Testbed(const ScenarioConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      oscillator_(config.oscillator_override
+                      ? *config.oscillator_override
+                      : oscillator_for(config.environment,
+                                       rng_.fork(10).engine()())),
+      host_(config.timestamping_override ? *config.timestamping_override
+                                         : TimestampingConfig{},
+            rng_.fork(11)),
+      dag_(DagConfig{}, rng_.fork(14)) {
+  TSC_EXPECTS(config.poll_period > 0.0);
+  TSC_EXPECTS(config.poll_jitter >= 0.0);
+  TSC_EXPECTS(config.poll_jitter < config.poll_period / 2);
+  TSC_EXPECTS(config.duration > 0.0);
+
+  // Base attachment (active from t = 0), then one per configured switch.
+  attachments_.push_back(Attachment{
+      0.0, config.server, 1,
+      PathModel(config.path_override
+                    ? *config.path_override
+                    : ScenarioConfig::path_preset(config.server),
+                &config_.events, rng_.fork(12)),
+      NtpServer(config.server_override
+                    ? *config.server_override
+                    : ScenarioConfig::server_preset(config.server),
+                &config_.events, rng_.fork(13))});
+  Seconds previous_switch = 0.0;
+  for (std::size_t k = 0; k < config.server_switches.size(); ++k) {
+    const auto& sw = config.server_switches[k];
+    TSC_EXPECTS(sw.time > previous_switch);
+    previous_switch = sw.time;
+    attachments_.push_back(Attachment{
+        sw.time, sw.kind, static_cast<std::uint32_t>(k + 2),
+        PathModel(ScenarioConfig::path_preset(sw.kind), &config_.events,
+                  rng_.fork(100 + k)),
+        NtpServer(ScenarioConfig::server_preset(sw.kind), &config_.events,
+                  rng_.fork(200 + k))});
+  }
+}
+
+Testbed::Attachment& Testbed::active_attachment(Seconds t) {
+  std::size_t active = 0;
+  for (std::size_t k = 1; k < attachments_.size(); ++k)
+    if (t >= attachments_[k].start_time) active = k;
+  return attachments_[active];
+}
+
+std::optional<Exchange> Testbed::next() {
+  while (true) {
+    const Seconds base = static_cast<double>(poll_index_) * config_.poll_period;
+    if (base >= config_.duration) return std::nullopt;
+    const Seconds poll_time =
+        base + rng_.uniform(-config_.poll_jitter, config_.poll_jitter) +
+        config_.poll_jitter;  // keep strictly increasing reads
+    const std::uint64_t index = poll_index_++;
+    if (config_.events.in_outage(poll_time)) continue;  // gap: no exchange
+
+    Exchange ex;
+    ex.index = index;
+    auto& attachment = active_attachment(poll_time);
+    ex.server_id = attachment.id;
+    ex.server_stratum = attachment.server.config().stratum;
+
+    // Host: TSC stamp just before send, then the packet hits the wire.
+    ex.ta_counts = oscillator_.read(poll_time);
+    const Seconds send_lead = host_.draw_send_lead();
+    ex.truth.ta = poll_time + send_lead;
+
+    // Forward path.
+    const auto fwd = attachment.path.forward(ex.truth.ta);
+    ex.truth.d_forward = fwd.delay;
+    ex.truth.tb = ex.truth.ta + fwd.delay;
+    if (fwd.lost) {
+      ex.lost = true;
+      return ex;
+    }
+
+    // Server: stamps Tb, processes, stamps Te, replies.
+    const auto reply = attachment.server.handle(ex.truth.tb);
+    ex.truth.te = reply.te_true;
+    ex.truth.d_server = reply.te_true - ex.truth.tb;
+
+    Seconds tb_stamp = reply.tb_stamp;
+    Seconds te_stamp = reply.te_stamp;
+
+    if (config_.use_wire_format) {
+      // Round-trip the server stamps through the real 48-byte NTP packet.
+      using namespace tscclock::wire;
+      const auto request = make_client_request(
+          to_ntp_timestamp_at_epoch(poll_time, kSimEpochEraSeconds),
+          /*poll_log2=*/4);
+      const auto request_bytes = encode(request);
+      const auto request_rx = decode(request_bytes);
+      const auto reply_pkt = make_server_reply(
+          request_rx,
+          to_ntp_timestamp_at_epoch(tb_stamp, kSimEpochEraSeconds),
+          to_ntp_timestamp_at_epoch(te_stamp, kSimEpochEraSeconds),
+          attachment.server.config().stratum,
+          reference_id_from_string(
+              attachment.kind == ServerKind::kExt ? "ATOM" : "GPS"));
+      const auto reply_bytes = encode(reply_pkt);
+      const auto reply_rx = decode(reply_bytes);
+      tb_stamp = from_ntp_timestamp_at_epoch(reply_rx.receive_time,
+                                             kSimEpochEraSeconds);
+      te_stamp = from_ntp_timestamp_at_epoch(reply_rx.transmit_time,
+                                             kSimEpochEraSeconds);
+    }
+    ex.tb_stamp = tb_stamp;
+    ex.te_stamp = te_stamp;
+
+    // Backward path.
+    const auto bwd = attachment.path.backward(ex.truth.te);
+    ex.truth.d_backward = bwd.delay;
+    ex.truth.tf = ex.truth.te + bwd.delay;
+    if (bwd.lost) {
+      ex.lost = true;
+      return ex;
+    }
+
+    // Host receive stamp (after interrupt latency) and DAG reference.
+    const auto recv_lag = host_.draw_recv_lag_detailed();
+    const auto dag_stamp = dag_.observe(ex.truth.tf);
+    ex.tf_counts_corrected = oscillator_.read(ex.truth.tf + recv_lag.base);
+    ex.tf_counts = oscillator_.read(ex.truth.tf + recv_lag.total);
+    ex.ref_available = dag_stamp.available;
+    ex.tg = dag_stamp.corrected;
+    return ex;
+  }
+}
+
+std::vector<Exchange> Testbed::generate_all() {
+  std::vector<Exchange> out;
+  while (auto ex = next()) out.push_back(*ex);
+  return out;
+}
+
+}  // namespace tscclock::sim

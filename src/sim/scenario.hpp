@@ -1,0 +1,163 @@
+// Testbed composition: host oscillator + driver timestamping + network path
+// + stratum-1 server + DAG reference monitor (paper §2, Fig. 1).
+//
+// A Testbed plays out the NTP client/server exchange for each poll:
+//
+//   host: Ta = TSC read            (just before send)
+//     --- forward path d→ = d + q→ --->
+//   server: Tb stamp, processing d↑, Te stamp
+//     <--- backward path d← = d + q← ---
+//   host: Tf = TSC read            (after full arrival + interrupt latency)
+//   DAG:  Tg                       (passive tap, corrected to full arrival)
+//
+// Timestamps Tb/Te really travel through the 48-byte NTP wire format
+// (encode → decode round trip, ~233 ps quantization) so the wire substrate
+// is exercised on the main data path, exactly as in a real deployment.
+//
+// Three server presets reproduce Table 2 (ServerLoc / ServerInt / ServerExt)
+// and two temperature environments reproduce §3.1 (laboratory/machine room).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "sim/dag.hpp"
+#include "sim/events.hpp"
+#include "sim/oscillator.hpp"
+#include "sim/path.hpp"
+#include "sim/server.hpp"
+#include "sim/timestamping.hpp"
+
+namespace tscclock::sim {
+
+enum class ServerKind { kLoc, kInt, kExt };
+enum class Environment { kLaboratory, kMachineRoom };
+
+std::string to_string(ServerKind kind);
+std::string to_string(Environment environment);
+
+struct ScenarioConfig {
+  ServerKind server = ServerKind::kInt;
+  Environment environment = Environment::kMachineRoom;
+  Seconds poll_period = 16.0;
+  Seconds poll_jitter = 0.25;  ///< uniform ± jitter on each poll instant
+  Seconds duration = duration::kDay;
+  std::uint64_t seed = 42;
+  EventSchedule events;
+  bool use_wire_format = true;  ///< round-trip Tb/Te through NTP packets
+
+  /// Mid-trace server changes (the paper's campaign switched ServerInt →
+  /// ServerLoc → ServerExt, §6.1). Must be in increasing time order.
+  struct ServerSwitch {
+    Seconds time = 0;
+    ServerKind kind = ServerKind::kLoc;
+  };
+  std::vector<ServerSwitch> server_switches;
+
+  /// Optional component overrides; when unset the preset for
+  /// (server, environment) applies.
+  std::optional<PathConfig> path_override;
+  std::optional<ServerConfig> server_override;
+  std::optional<OscillatorConfig> oscillator_override;
+  std::optional<TimestampingConfig> timestamping_override;
+
+  /// Table 2 path/server preset for a server kind.
+  static PathConfig path_preset(ServerKind kind);
+  static ServerConfig server_preset(ServerKind kind);
+};
+
+/// True event times and delay decomposition for one exchange (ground truth).
+struct ExchangeTruth {
+  Seconds ta = 0;  ///< wire departure from host
+  Seconds tb = 0;  ///< arrival at server
+  Seconds te = 0;  ///< wire departure from server
+  Seconds tf = 0;  ///< full arrival at host
+  Seconds d_forward = 0;
+  Seconds d_server = 0;
+  Seconds d_backward = 0;
+  [[nodiscard]] Seconds rtt() const {
+    return d_forward + d_server + d_backward;
+  }
+};
+
+/// One completed (or lost) NTP exchange as seen by the host and the monitor.
+struct Exchange {
+  std::uint64_t index = 0;  ///< poll sequence number
+  bool lost = false;        ///< no reply reached the host
+
+  // What the synchronization algorithm sees:
+  TscCount ta_counts = 0;  ///< host TSC stamp before send
+  TscCount tf_counts = 0;  ///< host TSC stamp after arrival
+  Seconds tb_stamp = 0;    ///< server receive stamp (from the packet)
+  Seconds te_stamp = 0;    ///< server transmit stamp (from the packet)
+
+  /// Tf with the side-mode/outlier latency removed — the paper's
+  /// "corrected Tf,i" (§2.4), used by the characterization analyses
+  /// (Fig. 3) but NOT by the synchronization algorithms.
+  TscCount tf_counts_corrected = 0;
+
+  /// Transport-level identity of the server that answered (unique per
+  /// attachment; changes exactly at configured server switches).
+  std::uint32_t server_id = 0;
+  std::uint8_t server_stratum = 0;
+
+  // What the reference monitor sees:
+  bool ref_available = false;
+  Seconds tg = 0;  ///< DAG corrected stamp of the returning packet
+
+  ExchangeTruth truth;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const ScenarioConfig& config);
+
+  /// Generate the next exchange; std::nullopt when `duration` is exhausted.
+  /// Polls falling inside scheduled outages are skipped entirely (no element
+  /// is produced for them, matching a data-collection gap).
+  std::optional<Exchange> next();
+
+  /// Drain the whole configured duration.
+  std::vector<Exchange> generate_all();
+
+  [[nodiscard]] const ScenarioConfig& config() const { return config_; }
+  [[nodiscard]] const Oscillator& oscillator() const { return oscillator_; }
+  [[nodiscard]] Oscillator& oscillator() { return oscillator_; }
+  /// The initial (t = 0) attachment's path.
+  [[nodiscard]] const PathModel& path() const {
+    return attachments_.front().path;
+  }
+
+  /// The p the rate algorithms should estimate (mean true period).
+  [[nodiscard]] double true_period() const { return oscillator_.mean_period(); }
+  /// The configured (spec-sheet) period used as the initial guess.
+  [[nodiscard]] double nominal_period() const {
+    return oscillator_.nominal_period();
+  }
+
+ private:
+  /// One host↔server attachment: the path and server in use from
+  /// `start_time` until the next switch.
+  struct Attachment {
+    Seconds start_time = 0;
+    ServerKind kind = ServerKind::kInt;
+    std::uint32_t id = 0;
+    PathModel path;
+    NtpServer server;
+  };
+
+  [[nodiscard]] Attachment& active_attachment(Seconds t);
+
+  ScenarioConfig config_;  ///< owns the EventSchedule the components borrow
+  Rng rng_;
+  Oscillator oscillator_;
+  HostTimestamper host_;
+  std::vector<Attachment> attachments_;
+  DagMonitor dag_;
+  std::uint64_t poll_index_ = 0;
+};
+
+}  // namespace tscclock::sim

@@ -1,0 +1,42 @@
+#include "sim/server.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::sim {
+
+NtpServer::NtpServer(const ServerConfig& config, const EventSchedule* events,
+                     Rng rng)
+    : config_(config), events_(events), rng_(rng) {
+  TSC_EXPECTS(config.min_processing > 0.0);
+  TSC_EXPECTS(config.processing_jitter_mean > 0.0);
+  TSC_EXPECTS(config.te_early_mean >= 0.0);
+}
+
+NtpServer::Reply NtpServer::handle(Seconds arrival) {
+  Reply r;
+  r.tb_true = arrival;
+
+  Seconds processing =
+      config_.min_processing + rng_.exponential(config_.processing_jitter_mean);
+  if (rng_.bernoulli(config_.sched_spike_prob))
+    processing += rng_.exponential(config_.sched_spike_mean);
+  r.te_true = r.tb_true + processing;
+
+  const Seconds fault =
+      events_ ? events_->server_fault_offset(arrival) : 0.0;
+
+  // Tb: stamped shortly after true arrival; synchronized clock + white noise.
+  r.tb_stamp = r.tb_true + rng_.normal(config_.clock_noise_std) + fault;
+
+  // Te: stamped before the reply actually leaves (so usually early), with
+  // rare late outliers the paper observed against the DAG reference.
+  Seconds te_error = -rng_.exponential(config_.te_early_mean + 1e-12);
+  if (rng_.bernoulli(config_.te_late_prob))
+    te_error = rng_.uniform(0.2e-3, config_.te_late_max);
+  r.te_stamp =
+      r.te_true + te_error + rng_.normal(config_.clock_noise_std) + fault;
+
+  return r;
+}
+
+}  // namespace tscclock::sim

@@ -1,0 +1,56 @@
+// Stratum-1 NTP server model (paper §2.3, §3.2, §6.1).
+//
+// The server's clock is well synchronized (GPS or atomic reference) but its
+// *timestamping* is not perfect: the paper stresses that "servers are often
+// just PC's" whose timestamping lacks the quality of driver-level TSC
+// timestamping. Components modeled:
+//   * processing delay d↑ = minimum + exponential jitter, with rare
+//     millisecond-scale scheduling spikes (Fig. 4 right);
+//   * white timestamp noise on Tb and Te (µs scale);
+//   * Te normally made slightly *before* true departure, but occasionally
+//     later than true departure by up to ~1 ms (§4.2 observes such outliers);
+//   * schedulable clock faults: Tb and Te offset by a constant during a
+//     fault window (the 150 ms error of Fig. 11(b)).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "sim/events.hpp"
+
+namespace tscclock::sim {
+
+struct ServerConfig {
+  Seconds min_processing = 35e-6;        ///< minimum of d↑
+  Seconds processing_jitter_mean = 20e-6;
+  double sched_spike_prob = 1.5e-3;      ///< ms-scale scheduling delays
+  Seconds sched_spike_mean = 0.8e-3;
+  Seconds clock_noise_std = 1.0e-6;      ///< white error on Tb/Te stamps
+  Seconds te_early_mean = 2.0e-6;        ///< Te made before true departure
+  double te_late_prob = 1.0e-4;          ///< rare Te later than departure
+  Seconds te_late_max = 1.0e-3;
+  std::uint8_t stratum = 1;
+};
+
+class NtpServer {
+ public:
+  NtpServer(const ServerConfig& config, const EventSchedule* events, Rng rng);
+
+  struct Reply {
+    Seconds tb_true = 0;   ///< true arrival instant
+    Seconds te_true = 0;   ///< true departure instant
+    Seconds tb_stamp = 0;  ///< Tb as written into the packet
+    Seconds te_stamp = 0;  ///< Te as written into the packet
+  };
+
+  /// Process the request arriving at true time `arrival`.
+  Reply handle(Seconds arrival);
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+ private:
+  ServerConfig config_;
+  const EventSchedule* events_;  ///< not owned; may be nullptr
+  Rng rng_;
+};
+
+}  // namespace tscclock::sim

@@ -1,0 +1,35 @@
+#include "sim/timestamping.hpp"
+
+#include "common/contracts.hpp"
+
+namespace tscclock::sim {
+
+HostTimestamper::HostTimestamper(const TimestampingConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  TSC_EXPECTS(config.send_latency_min >= 0.0);
+  TSC_EXPECTS(config.send_latency_mean >= config.send_latency_min);
+  TSC_EXPECTS(config.recv_latency_min >= 0.0);
+  TSC_EXPECTS(config.recv_latency_mean >= config.recv_latency_min);
+  TSC_EXPECTS(config.outlier_max >= config.outlier_min);
+}
+
+Seconds HostTimestamper::draw_send_lead() {
+  return config_.send_latency_min +
+         rng_.exponential(config_.send_latency_mean - config_.send_latency_min +
+                          1e-12);
+}
+
+HostTimestamper::RecvLag HostTimestamper::draw_recv_lag_detailed() {
+  RecvLag lag;
+  lag.base = config_.recv_latency_min +
+             rng_.exponential(config_.recv_latency_mean -
+                              config_.recv_latency_min + 1e-12);
+  lag.total = lag.base;
+  if (rng_.bernoulli(config_.side_mode_10us_prob)) lag.total += 10e-6;
+  if (rng_.bernoulli(config_.side_mode_31us_prob)) lag.total += 31e-6;
+  if (rng_.bernoulli(config_.outlier_prob))
+    lag.total += rng_.uniform(config_.outlier_min, config_.outlier_max);
+  return lag;
+}
+
+}  // namespace tscclock::sim

@@ -1,0 +1,65 @@
+// Host timestamping latency model (paper §2.2.1, §2.4).
+//
+// The paper timestamps NTP packets early in the NIC driver code. The
+// residual errors it measured against the DAG reference:
+//   * a dominant mode of width ≈5 µs centered near zero (interrupt latency);
+//   * small side modes at +10 µs and +31 µs (longer interrupt-latency paths);
+//   * ~1 timestamp in 10,000 hit by scheduling, with errors up to ~1 ms.
+// δ = 15 µs is adopted as the calibration unit for "maximum timestamping
+// error" in the filtering algorithms.
+//
+// Send timestamps are taken just before the packet leaves (Ta < ta); receive
+// timestamps after full arrival plus interrupt latency (Tf > tf).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+
+namespace tscclock::sim {
+
+struct TimestampingConfig {
+  // Send side: gap between making Ta and the first bit on the wire.
+  Seconds send_latency_min = 0.5e-6;
+  Seconds send_latency_mean = 1.5e-6;  ///< total mean = min + exp(mean - min)
+  // Receive side: interrupt latency after full arrival.
+  Seconds recv_latency_min = 1.0e-6;
+  Seconds recv_latency_mean = 3.5e-6;
+  // Side modes (extra fixed latency on some interrupts).
+  double side_mode_10us_prob = 0.012;
+  double side_mode_31us_prob = 0.004;
+  // Rare scheduling outliers.
+  double outlier_prob = 1e-4;
+  Seconds outlier_min = 0.1e-3;
+  Seconds outlier_max = 1.0e-3;
+};
+
+/// Draws per-packet host timestamping latencies.
+class HostTimestamper {
+ public:
+  HostTimestamper(const TimestampingConfig& config, Rng rng);
+
+  /// How long before wire departure the send timestamp is made (>= 0).
+  Seconds draw_send_lead();
+
+  /// Receive-side interrupt latency decomposition. `base` is the narrow
+  /// dominant mode; `total` adds the +10/+31 µs side modes and rare
+  /// scheduling outliers. The paper's "corrected Tf,i" (§2.4) detects and
+  /// removes the latter against the DAG reference — i.e. corrected stamps
+  /// carry only `base`.
+  struct RecvLag {
+    Seconds total = 0;
+    Seconds base = 0;
+  };
+  RecvLag draw_recv_lag_detailed();
+
+  /// Convenience: the total receive lag only.
+  Seconds draw_recv_lag() { return draw_recv_lag_detailed().total; }
+
+  [[nodiscard]] const TimestampingConfig& config() const { return config_; }
+
+ private:
+  TimestampingConfig config_;
+  Rng rng_;
+};
+
+}  // namespace tscclock::sim

@@ -1,0 +1,104 @@
+#include "sim/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tscclock::sim {
+
+namespace {
+
+constexpr char kHeader[] =
+    "index,lost,ta_counts,tb_stamp,te_stamp,tf_counts,tf_counts_corrected,"
+    "ref_available,tg,server_id,server_stratum,"
+    "true_ta,true_tb,true_te,true_tf,d_forward,d_server,d_backward";
+
+std::vector<std::string> split(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size())
+    throw std::runtime_error("trace: bad integer field '" + s + "'");
+  return value;
+}
+
+double parse_double(const std::string& s) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("trace: bad numeric field '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void write_trace(const std::string& path,
+                 const std::vector<Exchange>& exchanges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_trace: cannot open " + path);
+  out << kHeader << '\n';
+  // max_digits10: doubles round-trip losslessly through the text form.
+  out.precision(17);
+  for (const auto& ex : exchanges) {
+    out << ex.index << ',' << (ex.lost ? 1 : 0) << ',' << ex.ta_counts << ','
+        << ex.tb_stamp << ',' << ex.te_stamp << ',' << ex.tf_counts << ','
+        << ex.tf_counts_corrected << ',' << (ex.ref_available ? 1 : 0) << ','
+        << ex.tg << ',' << ex.server_id << ','
+        << static_cast<unsigned>(ex.server_stratum) << ',' << ex.truth.ta
+        << ',' << ex.truth.tb << ',' << ex.truth.te << ',' << ex.truth.tf
+        << ',' << ex.truth.d_forward << ',' << ex.truth.d_server << ','
+        << ex.truth.d_backward << '\n';
+  }
+  if (!out) throw std::runtime_error("write_trace: write failed: " + path);
+}
+
+std::vector<Exchange> read_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_trace: cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader)
+    throw std::runtime_error("read_trace: bad header in " + path);
+
+  std::vector<Exchange> out;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split(line);
+    if (cells.size() != 18)
+      throw std::runtime_error("read_trace: bad row arity in " + path);
+    Exchange ex;
+    ex.index = parse_u64(cells[0]);
+    ex.lost = parse_u64(cells[1]) != 0;
+    ex.ta_counts = parse_u64(cells[2]);
+    ex.tb_stamp = parse_double(cells[3]);
+    ex.te_stamp = parse_double(cells[4]);
+    ex.tf_counts = parse_u64(cells[5]);
+    ex.tf_counts_corrected = parse_u64(cells[6]);
+    ex.ref_available = parse_u64(cells[7]) != 0;
+    ex.tg = parse_double(cells[8]);
+    ex.server_id = static_cast<std::uint32_t>(parse_u64(cells[9]));
+    ex.server_stratum = static_cast<std::uint8_t>(parse_u64(cells[10]));
+    ex.truth.ta = parse_double(cells[11]);
+    ex.truth.tb = parse_double(cells[12]);
+    ex.truth.te = parse_double(cells[13]);
+    ex.truth.tf = parse_double(cells[14]);
+    ex.truth.d_forward = parse_double(cells[15]);
+    ex.truth.d_server = parse_double(cells[16]);
+    ex.truth.d_backward = parse_double(cells[17]);
+    out.push_back(ex);
+  }
+  return out;
+}
+
+}  // namespace tscclock::sim

@@ -1,0 +1,26 @@
+// Trace persistence: save a generated exchange stream to CSV and load it
+// back. This is the bridge to offline workflows (core/offline.hpp): collect
+// once, post-process many times — and the natural import point for traces
+// captured on real hardware (counter stamps + server stamps + optional
+// reference stamps).
+//
+// Counter values are written as exact decimal integers; seconds with
+// max_digits10 significant digits, so every double round-trips losslessly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hpp"
+
+namespace tscclock::sim {
+
+/// Write `exchanges` to `path`. Throws std::runtime_error on I/O failure.
+void write_trace(const std::string& path,
+                 const std::vector<Exchange>& exchanges);
+
+/// Read a trace written by write_trace. Throws std::runtime_error on I/O
+/// or format errors.
+std::vector<Exchange> read_trace(const std::string& path);
+
+}  // namespace tscclock::sim

@@ -1,0 +1,54 @@
+// Bounds-checked big-endian (network byte order) byte buffer reader/writer,
+// used to serialize NTP packets. Out-of-range access throws BufferError
+// rather than invoking undefined behaviour (Core Guidelines bounds profile).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace tscclock::wire {
+
+class BufferError : public std::runtime_error {
+ public:
+  explicit BufferError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only big-endian serializer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+/// Sequential big-endian deserializer over a borrowed byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tscclock::wire

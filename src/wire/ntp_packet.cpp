@@ -1,0 +1,96 @@
+#include "wire/ntp_packet.hpp"
+
+#include "common/contracts.hpp"
+#include "wire/buffer.hpp"
+
+namespace tscclock::wire {
+
+std::array<std::uint8_t, kNtpPacketSize> encode(const NtpPacket& packet) {
+  ByteWriter w;
+  const auto li_vn_mode = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(packet.leap) << 6) |
+      ((packet.version & 0x7) << 3) | (static_cast<std::uint8_t>(packet.mode)));
+  w.u8(li_vn_mode);
+  w.u8(packet.stratum);
+  w.u8(static_cast<std::uint8_t>(packet.poll));
+  w.u8(static_cast<std::uint8_t>(packet.precision));
+  w.u32(packet.root_delay.packed());
+  w.u32(packet.root_dispersion.packed());
+  w.u32(packet.reference_id);
+  w.u64(packet.reference_time.packed());
+  w.u64(packet.origin_time.packed());
+  w.u64(packet.receive_time.packed());
+  w.u64(packet.transmit_time.packed());
+
+  TSC_ENSURES(w.size() == kNtpPacketSize);
+  std::array<std::uint8_t, kNtpPacketSize> out{};
+  std::copy(w.data().begin(), w.data().end(), out.begin());
+  return out;
+}
+
+NtpPacket decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kNtpPacketSize)
+    throw PacketError("NTP packet too short: " + std::to_string(data.size()) +
+                      " bytes");
+  ByteReader r(data);
+  NtpPacket p;
+  const std::uint8_t li_vn_mode = r.u8();
+  p.leap = static_cast<LeapIndicator>(li_vn_mode >> 6);
+  p.version = (li_vn_mode >> 3) & 0x7;
+  p.mode = static_cast<NtpMode>(li_vn_mode & 0x7);
+  if (p.version < 1 || p.version > 4)
+    throw PacketError("unsupported NTP version " + std::to_string(p.version));
+  if (p.mode == NtpMode::kReserved)
+    throw PacketError("reserved NTP mode");
+  p.stratum = r.u8();
+  p.poll = static_cast<std::int8_t>(r.u8());
+  p.precision = static_cast<std::int8_t>(r.u8());
+  p.root_delay = NtpShort::from_packed(r.u32());
+  p.root_dispersion = NtpShort::from_packed(r.u32());
+  p.reference_id = r.u32();
+  p.reference_time = NtpTimestamp::from_packed(r.u64());
+  p.origin_time = NtpTimestamp::from_packed(r.u64());
+  p.receive_time = NtpTimestamp::from_packed(r.u64());
+  p.transmit_time = NtpTimestamp::from_packed(r.u64());
+  return p;
+}
+
+std::uint32_t reference_id_from_string(const std::string& label) {
+  std::uint32_t id = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    id <<= 8;
+    if (i < label.size()) id |= static_cast<std::uint8_t>(label[i]);
+  }
+  return id;
+}
+
+NtpPacket make_client_request(NtpTimestamp transmit, std::uint8_t poll_log2) {
+  NtpPacket p;
+  p.mode = NtpMode::kClient;
+  p.version = 4;
+  p.stratum = 0;  // unspecified in client requests
+  p.poll = static_cast<std::int8_t>(poll_log2);
+  p.precision = -20;  // ~1 µs client precision
+  p.transmit_time = transmit;
+  return p;
+}
+
+NtpPacket make_server_reply(const NtpPacket& request, NtpTimestamp receive,
+                            NtpTimestamp transmit, std::uint8_t stratum,
+                            std::uint32_t reference_id) {
+  TSC_EXPECTS(request.mode == NtpMode::kClient);
+  NtpPacket p;
+  p.mode = NtpMode::kServer;
+  p.version = request.version;
+  p.stratum = stratum;
+  p.poll = request.poll;
+  p.precision = -20;
+  p.reference_id = reference_id;
+  p.reference_time = receive;  // last sync ~ now for a stratum-1 server
+  p.origin_time = request.transmit_time;
+  p.receive_time = receive;
+  p.transmit_time = transmit;
+  return p;
+}
+
+}  // namespace tscclock::wire

@@ -1,0 +1,87 @@
+// NTP v3/v4 packet header (RFC 5905 §7.3): the 48-byte payload exchanged
+// between host and server in the paper (§2.3). The four timestamp fields
+// carry {reference, origin (Ta), receive (Tb), transmit (Te)}; the client
+// copies its send timestamp into transmit, the server moves it to origin
+// and fills receive/transmit. Encode/decode are exact inverses and decode
+// validates structure (length, version, mode).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "wire/ntp_timestamp.hpp"
+
+namespace tscclock::wire {
+
+/// Size of the NTP header payload (no extensions, no MAC).
+constexpr std::size_t kNtpPacketSize = 48;
+
+/// Total Ethernet frame size transporting the datagram: 48-byte payload +
+/// UDP(8) + IP(20) + Ethernet(14) + FCS(4) + preamble/SFD(8) — the paper
+/// rounds this to 90 bytes for the DAG first-bit correction.
+constexpr std::size_t kNtpEthernetFrameBytes = 90;
+
+enum class LeapIndicator : std::uint8_t {
+  kNoWarning = 0,
+  kLastMinute61 = 1,
+  kLastMinute59 = 2,
+  kUnsynchronized = 3,
+};
+
+enum class NtpMode : std::uint8_t {
+  kReserved = 0,
+  kSymmetricActive = 1,
+  kSymmetricPassive = 2,
+  kClient = 3,
+  kServer = 4,
+  kBroadcast = 5,
+  kControl = 6,
+  kPrivate = 7,
+};
+
+struct NtpPacket {
+  LeapIndicator leap = LeapIndicator::kNoWarning;
+  std::uint8_t version = 4;
+  NtpMode mode = NtpMode::kClient;
+  std::uint8_t stratum = 0;
+  std::int8_t poll = 0;       ///< log2 seconds
+  std::int8_t precision = 0;  ///< log2 seconds
+  NtpShort root_delay{};
+  NtpShort root_dispersion{};
+  std::uint32_t reference_id = 0;  ///< e.g. "GPS\0" for stratum-1
+  NtpTimestamp reference_time{};
+  NtpTimestamp origin_time{};    ///< T1: client transmit (echoed by server)
+  NtpTimestamp receive_time{};   ///< T2: server receive (Tb)
+  NtpTimestamp transmit_time{};  ///< T3/T1: transmit timestamp (Te / Ta)
+
+  friend bool operator==(const NtpPacket&, const NtpPacket&) = default;
+};
+
+/// Serialize into exactly kNtpPacketSize bytes of network byte order.
+std::array<std::uint8_t, kNtpPacketSize> encode(const NtpPacket& packet);
+
+/// Parse and validate a packet. Throws wire::BufferError on short input and
+/// PacketError on structural violations (bad version or mode nibble).
+NtpPacket decode(std::span<const std::uint8_t> data);
+
+class PacketError : public std::runtime_error {
+ public:
+  explicit PacketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Four-character reference id helper ("GPS ", "ATOM", ...).
+std::uint32_t reference_id_from_string(const std::string& label);
+
+/// Build the client-mode request carrying Ta in the transmit field.
+NtpPacket make_client_request(NtpTimestamp transmit, std::uint8_t poll_log2);
+
+/// Build the server reply per RFC 5905: origin <- request.transmit,
+/// receive <- Tb, transmit <- Te.
+NtpPacket make_server_reply(const NtpPacket& request, NtpTimestamp receive,
+                            NtpTimestamp transmit, std::uint8_t stratum,
+                            std::uint32_t reference_id);
+
+}  // namespace tscclock::wire

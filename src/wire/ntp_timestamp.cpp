@@ -1,0 +1,74 @@
+#include "wire/ntp_timestamp.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace tscclock::wire {
+
+namespace {
+constexpr double kTwo32 = 4294967296.0;
+}
+
+NtpTimestamp to_ntp_timestamp(Seconds since_era) {
+  TSC_EXPECTS(std::isfinite(since_era));
+  // Wrap into one era, matching 32-bit wire arithmetic.
+  double wrapped = std::fmod(since_era, kTwo32);
+  if (wrapped < 0) wrapped += kTwo32;
+  const double whole = std::floor(wrapped);
+  double frac = (wrapped - whole) * kTwo32;
+  auto sec_bits = static_cast<std::uint64_t>(whole);
+  auto frac_bits = static_cast<std::uint64_t>(std::llround(frac));
+  if (frac_bits >= (1ULL << 32)) {  // rounding carried into the seconds field
+    frac_bits = 0;
+    ++sec_bits;
+  }
+  return {static_cast<std::uint32_t>(sec_bits),
+          static_cast<std::uint32_t>(frac_bits)};
+}
+
+Seconds from_ntp_timestamp(NtpTimestamp ts) {
+  return static_cast<double>(ts.seconds) +
+         static_cast<double>(ts.fraction) / kTwo32;
+}
+
+NtpTimestamp to_ntp_timestamp_at_epoch(Seconds since_epoch,
+                                       std::uint32_t epoch_era_seconds) {
+  TSC_EXPECTS(std::isfinite(since_epoch));
+  TSC_EXPECTS(since_epoch >= 0.0);
+  const double whole = std::floor(since_epoch);
+  double frac = (since_epoch - whole) * kTwo32;
+  auto sec = static_cast<std::uint64_t>(whole) + epoch_era_seconds;
+  auto frac_bits = static_cast<std::uint64_t>(std::llround(frac));
+  if (frac_bits >= (1ULL << 32)) {
+    frac_bits = 0;
+    ++sec;
+  }
+  TSC_EXPECTS(sec <= 0xffffffffULL);  // stay within era 0
+  return {static_cast<std::uint32_t>(sec),
+          static_cast<std::uint32_t>(frac_bits)};
+}
+
+Seconds from_ntp_timestamp_at_epoch(NtpTimestamp ts,
+                                    std::uint32_t epoch_era_seconds) {
+  const auto delta =
+      static_cast<std::int64_t>(ts.seconds) -
+      static_cast<std::int64_t>(epoch_era_seconds);
+  return static_cast<double>(delta) +
+         static_cast<double>(ts.fraction) / kTwo32;
+}
+
+NtpShort to_ntp_short(Seconds value) {
+  TSC_EXPECTS(value >= 0.0);
+  TSC_EXPECTS(value < 65536.0);
+  const double scaled = value * 65536.0;
+  auto bits = static_cast<std::uint64_t>(std::llround(scaled));
+  if (bits > 0xffffffffULL) bits = 0xffffffffULL;
+  return NtpShort::from_packed(static_cast<std::uint32_t>(bits));
+}
+
+Seconds from_ntp_short(NtpShort value) {
+  return static_cast<double>(value.packed()) / 65536.0;
+}
+
+}  // namespace tscclock::wire

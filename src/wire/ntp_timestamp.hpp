@@ -1,0 +1,79 @@
+// NTP on-wire time formats (RFC 5905 §6).
+//
+// The 64-bit timestamp format carries 32 bits of seconds since the NTP era
+// origin (1900-01-01, era 0) and 32 bits of binary fraction (~233 ps
+// resolution). The 32-bit short format (16.16) is used for root delay and
+// root dispersion. The paper's NTP exchange (§2.3) carries four 64-bit
+// timestamps per packet; this module provides exact round-trippable
+// conversions between those formats and Seconds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.hpp"
+
+namespace tscclock::wire {
+
+/// Seconds between the NTP era origin (1900-01-01) and the Unix epoch
+/// (1970-01-01): 70 years including 17 leap days.
+constexpr std::uint64_t kNtpToUnixOffset = 2208988800ULL;
+
+/// 64-bit NTP timestamp: 32.32 fixed point seconds since the era origin.
+struct NtpTimestamp {
+  std::uint32_t seconds = 0;
+  std::uint32_t fraction = 0;
+
+  [[nodiscard]] std::uint64_t packed() const {
+    return static_cast<std::uint64_t>(seconds) << 32 | fraction;
+  }
+  static NtpTimestamp from_packed(std::uint64_t bits) {
+    return {static_cast<std::uint32_t>(bits >> 32),
+            static_cast<std::uint32_t>(bits)};
+  }
+
+  /// The all-zero timestamp is "unknown/unsynchronized" on the wire.
+  [[nodiscard]] bool is_zero() const { return seconds == 0 && fraction == 0; }
+
+  friend bool operator==(const NtpTimestamp&, const NtpTimestamp&) = default;
+};
+
+/// Convert seconds-since-era-origin to wire format (rounds to nearest LSB).
+/// Values are taken modulo the 136-year era span, as on the real wire.
+NtpTimestamp to_ntp_timestamp(Seconds since_era);
+
+/// Convert wire format back to seconds since the era origin (era 0 assumed).
+Seconds from_ntp_timestamp(NtpTimestamp ts);
+
+/// 32-bit NTP short format: 16.16 fixed point, used for root delay/dispersion.
+struct NtpShort {
+  std::uint16_t seconds = 0;
+  std::uint16_t fraction = 0;
+
+  [[nodiscard]] std::uint32_t packed() const {
+    return static_cast<std::uint32_t>(seconds) << 16 | fraction;
+  }
+  static NtpShort from_packed(std::uint32_t bits) {
+    return {static_cast<std::uint16_t>(bits >> 16),
+            static_cast<std::uint16_t>(bits)};
+  }
+  friend bool operator==(const NtpShort&, const NtpShort&) = default;
+};
+
+NtpShort to_ntp_short(Seconds value);
+Seconds from_ntp_short(NtpShort value);
+
+/// Epoch-relative conversions. On the wire the 32.32 fixed-point format has
+/// uniform ~233 ps resolution, but naively passing "seconds since 1900" in
+/// and out through a double costs ~0.5 µs of rounding near era values of
+/// ~3.3e9. These helpers split the integer epoch out so the double only ever
+/// carries the (small) offset from the epoch, making the round trip exact to
+/// one wire LSB. `since_epoch` must satisfy epoch + since_epoch within era 0.
+NtpTimestamp to_ntp_timestamp_at_epoch(Seconds since_epoch,
+                                       std::uint32_t epoch_era_seconds);
+Seconds from_ntp_timestamp_at_epoch(NtpTimestamp ts,
+                                    std::uint32_t epoch_era_seconds);
+
+/// Resolution of one LSB of the 64-bit fraction (~232.8 ps).
+constexpr Seconds kNtpTimestampResolution = 1.0 / 4294967296.0;
+
+}  // namespace tscclock::wire

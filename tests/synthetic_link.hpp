@@ -1,0 +1,72 @@
+// Synthetic exchange generator for unit-testing the core estimators with
+// exact, controllable inputs (no random testbed): a perfect constant-rate
+// counter, fixed minimum delays, and caller-chosen queueing/noise per packet.
+//
+// With q = 0 the naive rate between any two exchanges equals `period`
+// exactly (up to counter rounding), and the naive offset error against an
+// aligned clock is −Δ/2 (the asymmetry ambiguity) exactly.
+#pragma once
+
+#include <cmath>
+
+#include "common/time_types.hpp"
+#include "core/records.hpp"
+
+namespace tscclock::testing {
+
+class SyntheticLink {
+ public:
+  struct Config {
+    double period = 2.0e-9;   ///< true counter period [s/count] (500 MHz)
+    Seconds d_forward = 450e-6;
+    Seconds d_server = 40e-6;
+    Seconds d_backward = 400e-6;
+    Seconds poll = 16.0;
+    TscCount counter_base = 1'000'000'000ULL;
+  };
+
+  SyntheticLink() : SyntheticLink(Config{}) {}
+  explicit SyntheticLink(const Config& config) : config_(config) {}
+
+  /// Counter value at true time t (perfect constant-rate oscillator).
+  [[nodiscard]] TscCount counts(Seconds t) const {
+    return config_.counter_base +
+           static_cast<TscCount>(std::llround(t / config_.period));
+  }
+
+  /// Produce the next exchange with the given queueing delays added to the
+  /// forward/backward minimum, and `server_stamp_error` added to Tb and Te
+  /// (a faulty-server knob).
+  core::RawExchange next(Seconds q_forward = 0.0, Seconds q_backward = 0.0,
+                         Seconds server_stamp_error = 0.0) {
+    core::RawExchange ex;
+    const Seconds ta = now_;
+    const Seconds tb = ta + config_.d_forward + q_forward;
+    const Seconds te = tb + config_.d_server;
+    const Seconds tf = te + config_.d_backward + q_backward;
+    ex.ta = counts(ta);
+    ex.tb = tb + server_stamp_error;
+    ex.te = te + server_stamp_error;
+    ex.tf = counts(tf);
+    now_ += config_.poll;
+    return ex;
+  }
+
+  /// Skip forward in time without producing packets (gap/outage).
+  void advance(Seconds gap) { now_ += gap; }
+
+  [[nodiscard]] Seconds now() const { return now_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] Seconds min_rtt() const {
+    return config_.d_forward + config_.d_server + config_.d_backward;
+  }
+  [[nodiscard]] Seconds asymmetry() const {
+    return config_.d_forward - config_.d_backward;
+  }
+
+ private:
+  Config config_;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace tscclock::testing

@@ -1,0 +1,121 @@
+// Tests for the Allan deviation analysis, including the two canonical noise
+// signatures the paper relies on (§3.1): white phase noise → ADEV ∝ 1/τ,
+// and a pure constant skew → ADEV = 0.
+#include "common/allan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace tscclock {
+namespace {
+
+TEST(Allan, ZeroForPerfectLinearPhase) {
+  // θ(t) = θ0 + γt: second differences vanish, so ADEV = 0 at every τ.
+  std::vector<double> phase;
+  for (int k = 0; k < 1000; ++k) phase.push_back(1e-3 + 5e-6 * k);
+  const std::size_t ms[] = {1, 2, 5, 10, 50};
+  const auto pts = allan_deviation(phase, 1.0, ms);
+  ASSERT_EQ(pts.size(), 5u);
+  for (const auto& p : pts) EXPECT_NEAR(p.deviation, 0.0, 1e-15);
+}
+
+TEST(Allan, WhitePhaseNoiseFallsAsOneOverTau) {
+  // x_k iid N(0, σ²) ⇒ AVAR(τ) = 3σ²/τ² ⇒ ADEV = √3·σ/τ.
+  Rng rng(101);
+  const double sigma = 2e-6;
+  std::vector<double> phase;
+  for (int k = 0; k < 200000; ++k) phase.push_back(rng.normal(sigma));
+  const std::size_t ms[] = {1, 10, 100};
+  const auto pts = allan_deviation(phase, 1.0, ms);
+  ASSERT_EQ(pts.size(), 3u);
+  for (const auto& p : pts) {
+    const double expected = std::sqrt(3.0) * sigma / p.tau;
+    EXPECT_NEAR(p.deviation / expected, 1.0, 0.1) << "tau=" << p.tau;
+  }
+}
+
+TEST(Allan, FrequencyStepShowsAtLargeTau) {
+  // A rate that flips between ±γ on a long cycle leaves ~γ at τ near the
+  // half cycle.
+  std::vector<double> phase;
+  double x = 0;
+  const double gamma = 1e-7;
+  for (int k = 0; k < 40000; ++k) {
+    const double rate = (k / 1000) % 2 == 0 ? gamma : -gamma;
+    x += rate;  // tau0 = 1 s steps
+    phase.push_back(x);
+  }
+  const std::size_t ms[] = {1000};
+  const auto pts = allan_deviation(phase, 1.0, ms);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_NEAR(pts[0].deviation, gamma, 0.5 * gamma);
+}
+
+TEST(Allan, SkipsOversizedFactors) {
+  std::vector<double> phase(10, 0.0);
+  const std::size_t ms[] = {1, 2, 3, 4, 100};
+  const auto pts = allan_deviation(phase, 1.0, ms);
+  EXPECT_EQ(pts.size(), 4u);  // m=4 needs 2m+2=10 ok; m=100 skipped
+}
+
+TEST(Allan, TermsCountIsNMinus2m) {
+  std::vector<double> phase(100, 0.0);
+  const std::size_t ms[] = {10};
+  const auto pts = allan_deviation(phase, 1.0, ms);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0].terms, 80u);
+}
+
+TEST(Allan, RejectsNonPositiveTau0) {
+  std::vector<double> phase(10, 0.0);
+  const std::size_t ms[] = {1};
+  EXPECT_THROW(allan_deviation(phase, 0.0, ms), ContractViolation);
+}
+
+TEST(LogSpacedFactors, StrictlyIncreasingAndBounded) {
+  const auto f = log_spaced_factors(10000, 4);
+  ASSERT_FALSE(f.empty());
+  EXPECT_EQ(f.front(), 1u);
+  for (std::size_t k = 1; k < f.size(); ++k) EXPECT_GT(f[k], f[k - 1]);
+  EXPECT_LE(f.back(), 10000u / 3);
+}
+
+TEST(LogSpacedFactors, EmptyForTinySeries) {
+  EXPECT_TRUE(log_spaced_factors(3, 4).empty());
+}
+
+TEST(ResampleLinear, ExactOnLinearSeries) {
+  std::vector<double> times{0.0, 10.0, 20.0};
+  std::vector<double> values{0.0, 100.0, 200.0};
+  const auto r = resample_linear(times, values, 2.5);
+  ASSERT_EQ(r.size(), 9u);  // 0, 2.5, ..., 20
+  for (std::size_t k = 0; k < r.size(); ++k)
+    EXPECT_NEAR(r[k], 25.0 * static_cast<double>(k), 1e-9);
+}
+
+TEST(ResampleLinear, HandlesIrregularSpacing) {
+  std::vector<double> times{0.0, 1.0, 5.0};
+  std::vector<double> values{0.0, 1.0, 9.0};
+  const auto r = resample_linear(times, values, 1.0);
+  ASSERT_EQ(r.size(), 6u);
+  EXPECT_NEAR(r[0], 0.0, 1e-12);
+  EXPECT_NEAR(r[1], 1.0, 1e-12);
+  EXPECT_NEAR(r[3], 5.0, 1e-12);  // interpolated on the 1→5 segment
+}
+
+TEST(ResampleLinear, RejectsBadInput) {
+  std::vector<double> times{0.0};
+  std::vector<double> values{0.0};
+  EXPECT_THROW(resample_linear(times, values, 1.0), ContractViolation);
+  std::vector<double> t2{0.0, 1.0};
+  std::vector<double> v1{0.0};
+  EXPECT_THROW(resample_linear(t2, v1, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tscclock

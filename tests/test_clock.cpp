@@ -1,0 +1,197 @@
+// Tests for the composed TscNtpClock facade on controlled synthetic inputs.
+#include "core/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synthetic_link.hpp"
+
+namespace tscclock::core {
+namespace {
+
+using testing::SyntheticLink;
+
+Params test_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.warmup_samples = 16;
+  p.offset_window = 320.0;
+  p.local_rate_window = 1600.0;
+  p.gap_threshold = 800.0;
+  p.shift_window = 800.0;
+  p.local_rate_subwindows = 10;
+  p.top_window = 16.0 * 4000;
+  return p;
+}
+
+TEST(TscNtpClock, RejectsInvalidExchanges) {
+  TscNtpClock clock(test_params(), 2e-9);
+  RawExchange bad;
+  bad.ta = 100;
+  bad.tf = 100;  // no round trip
+  EXPECT_THROW(clock.process_exchange(bad), ContractViolation);
+}
+
+TEST(TscNtpClock, ReadsRequireInitialization) {
+  TscNtpClock clock(test_params(), 2e-9);
+  EXPECT_THROW((void)clock.uncorrected_time(0), ContractViolation);
+  EXPECT_THROW((void)clock.absolute_time(0), ContractViolation);
+}
+
+TEST(TscNtpClock, FirstPacketAlignsClockToServer) {
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period * 1.00005);
+  const auto ex = link.next();
+  const auto report = clock.process_exchange(ex);
+  EXPECT_NEAR(report.naive_offset, 0.0, 1e-9);
+  EXPECT_NEAR(report.offset_estimate, 0.0, 1e-9);
+  // C(Tf) sits between the server stamps adjusted by half the RTT.
+  const Seconds reading = clock.uncorrected_time(ex.tf);
+  EXPECT_NEAR(reading, 0.5 * (ex.tb + ex.te) + link.min_rtt() / 2, 50e-6);
+}
+
+TEST(TscNtpClock, ConvergesToTruePeriodDespiteBadGuess) {
+  SyntheticLink link;
+  const double truth = link.config().period;
+  TscNtpClock clock(test_params(), truth * 1.00005);  // 50 PPM off
+  for (int i = 0; i < 1000; ++i)
+    clock.process_exchange(link.next());
+  EXPECT_NEAR(clock.period() / truth, 1.0, 1e-8);
+  EXPECT_TRUE(clock.status().warmed_up);
+}
+
+TEST(TscNtpClock, PeriodUpdatePreservesClockContinuity) {
+  // §6.1 "Clock Offset Consistency": C may never jump when p̂ changes.
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period * 1.00005);
+  Seconds prev_reading = 0;
+  bool have_prev = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto ex = link.next();
+    const auto report = clock.process_exchange(ex);
+    const Seconds now = clock.uncorrected_time(ex.tf);
+    if (have_prev) {
+      // Reading advanced by ~poll seconds; never a step (poll ± 5 ms covers
+      // the initial 50 PPM guess error over 16 s which is only 0.8 ms).
+      EXPECT_NEAR(now - prev_reading, 16.0, 5e-3) << "at packet " << i
+                                                  << (report.rate_updated
+                                                          ? " (rate update)"
+                                                          : "");
+    }
+    prev_reading = now;
+    have_prev = true;
+  }
+}
+
+TEST(TscNtpClock, DifferenceClockAccuracyAfterWarmup) {
+  // Paper §5.2: after a few minutes, sub-µs accuracy on few-second
+  // intervals (GPS-grade for interval measurement).
+  SyntheticLink link;
+  const double truth = link.config().period;
+  TscNtpClock clock(test_params(), truth * 1.00005);
+  RawExchange last;
+  for (int i = 0; i < 500; ++i) {
+    last = link.next();
+    clock.process_exchange(last);
+  }
+  const auto five_seconds = static_cast<TscCount>(5.0 / truth);
+  const Seconds measured = clock.difference(last.tf, last.tf + five_seconds);
+  EXPECT_NEAR(measured, 5.0, 1e-6);
+}
+
+TEST(TscNtpClock, AbsoluteClockTracksTrueTime) {
+  SyntheticLink link;
+  const double truth = link.config().period;
+  TscNtpClock clock(test_params(), truth * 1.00005);
+  RawExchange last;
+  Seconds true_tf = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Seconds before = link.now();
+    last = link.next();
+    // True full-arrival time of this packet:
+    true_tf = before + link.config().d_forward + link.config().d_server +
+              link.config().d_backward;
+    clock.process_exchange(last);
+  }
+  // Absolute clock error vs truth: bounded by the Δ/2 = 25 µs ambiguity.
+  const Seconds err = clock.absolute_time(last.tf) - true_tf;
+  EXPECT_NEAR(err, link.asymmetry() / 2, 10e-6);
+}
+
+TEST(TscNtpClock, StatusCountsEvents) {
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period);
+  for (int i = 0; i < 100; ++i) clock.process_exchange(link.next());
+  // Server fault: sanity triggers counted.
+  for (int i = 0; i < 5; ++i) clock.process_exchange(link.next(0, 0, 0.150));
+  const auto s = clock.status();
+  EXPECT_EQ(s.packets_processed, 105u);
+  EXPECT_GT(s.rate_accepted, 50u);
+  EXPECT_GT(s.offset_sanity_triggers, 0u);
+}
+
+TEST(TscNtpClock, UpshiftReportedThroughFacade) {
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period);
+  for (int i = 0; i < 200; ++i) clock.process_exchange(link.next());
+  bool upshift = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto report =
+        clock.process_exchange(link.next(0.45e-3, 0.45e-3));
+    if (report.shift && report.shift->upward) upshift = true;
+  }
+  EXPECT_TRUE(upshift);
+  EXPECT_EQ(clock.status().upshifts, 1u);
+  // r̂ settles at the new level.
+  EXPECT_NEAR(clock.status().min_rtt, link.min_rtt() + 0.9e-3, 50e-6);
+}
+
+TEST(TscNtpClock, GapDetectionFlagsLongPause) {
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period);
+  for (int i = 0; i < 200; ++i) clock.process_exchange(link.next());
+  link.advance(2000.0);  // > gap_threshold = 800 s
+  const auto report = clock.process_exchange(link.next());
+  EXPECT_TRUE(report.gap_detected);
+}
+
+TEST(TscNtpClock, OffsetEstimateBoundedAndStableOnCleanStream) {
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period * 0.99995);
+  Seconds at_half = 0;
+  for (int i = 0; i < 2000; ++i) {
+    clock.process_exchange(link.next());
+    if (i == 1000) at_half = clock.offset_estimate();
+  }
+  // θ̂ legitimately reports the offset C accumulated while running at the
+  // −50 PPM initial guess (≈ 50 PPM × poll before the first correction),
+  // bounded by ~2 polls' worth of drift...
+  EXPECT_LT(std::fabs(clock.offset_estimate()), 2 * 50e-6 * 16.0 + 50e-6);
+  // ...and on a clean constant-rate link it must not wander thereafter.
+  EXPECT_NEAR(clock.offset_estimate(), at_half, 5e-6);
+}
+
+TEST(TscNtpClock, TopWindowUpdatesFire) {
+  auto params = test_params();
+  params.top_window = 16.0 * 100;  // small so updates occur
+  SyntheticLink link;
+  TscNtpClock clock(params, link.config().period);
+  for (int i = 0; i < 400; ++i) clock.process_exchange(link.next());
+  EXPECT_GE(clock.status().top_window_updates, 3u);
+  // Estimates remain sane across window churn.
+  EXPECT_LT(std::fabs(clock.offset_estimate()), 100e-6);
+  EXPECT_NEAR(clock.period() / link.config().period, 1.0, 1e-7);
+}
+
+TEST(TscNtpClock, MonotonicInputEnforced) {
+  SyntheticLink link;
+  TscNtpClock clock(test_params(), link.config().period);
+  const auto a = link.next();
+  const auto b = link.next();
+  clock.process_exchange(b);
+  EXPECT_THROW(clock.process_exchange(a), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tscclock::core

@@ -1,0 +1,148 @@
+// Read-path tests for TscNtpClock: the difference and absolute clocks are
+// the library's actual products, so their behaviour *between* exchanges —
+// extrapolation, continuity, coherence with the status report — gets its
+// own suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clock.hpp"
+#include "synthetic_link.hpp"
+
+namespace tscclock::core {
+namespace {
+
+using testing::SyntheticLink;
+
+Params test_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.warmup_samples = 16;
+  p.offset_window = 320.0;
+  p.local_rate_window = 1600.0;
+  p.gap_threshold = 800.0;
+  p.shift_window = 800.0;
+  p.local_rate_subwindows = 10;
+  return p;
+}
+
+struct WarmClock {
+  WarmClock() : clock(test_params(), link.config().period * 1.00002) {
+    for (int i = 0; i < 400; ++i) {
+      last = link.next();
+      clock.process_exchange(last);
+    }
+  }
+  SyntheticLink link;
+  TscNtpClock clock;
+  RawExchange last{};
+};
+
+TEST(ClockReads, AbsoluteTimeMonotoneBetweenExchanges) {
+  WarmClock w;
+  Seconds prev = w.clock.absolute_time(w.last.tf);
+  for (int k = 1; k <= 1000; ++k) {
+    const TscCount t = w.last.tf + static_cast<TscCount>(k) * 8'000'000;
+    const Seconds now = w.clock.absolute_time(t);
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ClockReads, AbsoluteMinusUncorrectedIsOffsetAtAnchor) {
+  WarmClock w;
+  const Seconds diff = w.clock.uncorrected_time(w.last.tf) -
+                       w.clock.absolute_time(w.last.tf);
+  EXPECT_NEAR(diff, w.clock.offset_estimate(), 1e-12);
+}
+
+TEST(ClockReads, ExtrapolationUsesLocalRateSlope) {
+  WarmClock w;
+  const auto status = w.clock.status();
+  ASSERT_TRUE(status.local_rate_usable);
+  const double gamma = status.local_rate_residual;
+  // θ̂ extrapolated per eq. (23): reading one hour ahead shifts the
+  // correction by −γ̂_l·3600.
+  const TscCount hour_ahead =
+      w.last.tf + static_cast<TscCount>(3600.0 / w.clock.period());
+  const Seconds implied_theta = w.clock.uncorrected_time(hour_ahead) -
+                                w.clock.absolute_time(hour_ahead);
+  EXPECT_NEAR(implied_theta, w.clock.offset_estimate() - gamma * 3600.0,
+              1e-9);
+}
+
+TEST(ClockReads, DifferenceMatchesStatusPeriod) {
+  WarmClock w;
+  const TscCount a = w.last.tf;
+  const TscCount b = a + 123'456'789;
+  EXPECT_DOUBLE_EQ(w.clock.difference(a, b),
+                   123'456'789.0 * w.clock.period());
+}
+
+TEST(ClockReads, StatusIsIdempotent) {
+  WarmClock w;
+  const auto s1 = w.clock.status();
+  const auto s2 = w.clock.status();
+  EXPECT_EQ(s1.packets_processed, s2.packets_processed);
+  EXPECT_DOUBLE_EQ(s1.period, s2.period);
+  EXPECT_DOUBLE_EQ(s1.offset, s2.offset);
+  // Reads do not mutate state either.
+  (void)w.clock.absolute_time(w.last.tf + 1000);
+  (void)w.clock.difference(w.last.tf, w.last.tf + 1000);
+  const auto s3 = w.clock.status();
+  EXPECT_DOUBLE_EQ(s3.offset, s1.offset);
+}
+
+TEST(ClockReads, AbsoluteClockErrorBoundedOverIdleHour) {
+  // No exchanges for an hour: the absolute clock keeps extrapolating; on a
+  // constant-rate link the error stays within the local-rate residual
+  // times the idle span plus the ambiguity.
+  WarmClock w;
+  const Seconds idle = 3600.0;
+  const TscCount t =
+      w.last.tf + static_cast<TscCount>(idle / w.link.config().period);
+  const Seconds true_t =
+      static_cast<double>(counter_delta(t, w.link.config().counter_base)) *
+      w.link.config().period;
+  const Seconds err = w.clock.absolute_time(t) - true_t;
+  EXPECT_NEAR(err, w.link.asymmetry() / 2, 60e-6);
+}
+
+TEST(ClockReads, ReadsConsistentAcrossRateUpdates) {
+  // Snapshot a future instant's reading, process more packets (which
+  // update p̂), and re-read: the change is bounded by Δp̂·distance, never a
+  // step.
+  WarmClock w;
+  const TscCount probe =
+      w.last.tf + static_cast<TscCount>(100.0 / w.clock.period());
+  const Seconds before = w.clock.uncorrected_time(probe);
+  for (int i = 0; i < 50; ++i) w.clock.process_exchange(w.link.next());
+  const Seconds after = w.clock.uncorrected_time(probe);
+  EXPECT_NEAR(after, before, 1e-3 /* generous: ~µs expected */);
+}
+
+TEST(ClockReads, WarmupBoundaryIsSeamless) {
+  // The packet at which warm-up completes must not produce a read step.
+  SyntheticLink link;
+  auto params = test_params();
+  TscNtpClock clock(params, link.config().period * 1.00005);
+  Seconds prev_reading = 0;
+  bool warmed_prev = false;
+  for (int i = 0; i < 60; ++i) {
+    const auto ex = link.next();
+    clock.process_exchange(ex);
+    const Seconds reading = clock.uncorrected_time(ex.tf);
+    const bool warmed = clock.status().warmed_up;
+    if (i > 0) {
+      EXPECT_NEAR(reading - prev_reading, 16.0, 2e-3)
+          << "packet " << i
+          << (warmed != warmed_prev ? " (warm-up boundary)" : "");
+    }
+    prev_reading = reading;
+    warmed_prev = warmed;
+  }
+  EXPECT_TRUE(clock.status().warmed_up);
+}
+
+}  // namespace
+}  // namespace tscclock::core

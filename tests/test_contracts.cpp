@@ -1,0 +1,56 @@
+// Contract-checking machinery tests.
+#include "common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tscclock {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(TSC_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(TSC_EXPECTS(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(TSC_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesExpressionAndLocation) {
+  try {
+    TSC_EXPECTS(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  // Catchable as std::logic_error per the exception taxonomy.
+  try {
+    TSC_EXPECTS(false);
+    FAIL();
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(Contracts, SideEffectsEvaluatedOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  TSC_EXPECTS(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace tscclock

@@ -1,0 +1,169 @@
+// Tests for level-shift detection and reaction (paper §6.2).
+#include "core/level_shift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/point_error.hpp"
+
+namespace tscclock::core {
+namespace {
+
+Params test_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.shift_window = 160.0;  // Ts = 10 packets
+  return p;
+}
+
+constexpr double kPeriod = 2e-9;
+
+// Convenience: RTT counts for a given RTT in seconds.
+TscDelta counts(Seconds rtt) { return static_cast<TscDelta>(rtt / kPeriod); }
+
+struct Harness {
+  Harness() : filter(test_params()), detector(test_params()) {}
+
+  std::optional<LevelShiftDetector::Event> feed(Seconds rtt) {
+    filter.add(counts(rtt));
+    return detector.check(filter, kPeriod, seq++);
+  }
+
+  RttFilter filter;
+  LevelShiftDetector detector;
+  std::uint64_t seq = 0;
+};
+
+TEST(LevelShift, NoEventOnStableStream) {
+  Harness h;
+  for (int i = 0; i < 100; ++i) {
+    const auto ev = h.feed(0.9e-3 + (i % 3) * 20e-6);
+    EXPECT_FALSE(ev.has_value());
+  }
+  EXPECT_EQ(h.detector.upshift_count(), 0u);
+  EXPECT_EQ(h.detector.downshift_count(), 0u);
+}
+
+TEST(LevelShift, CongestionDoesNotTriggerUpshift) {
+  // Congestion raises *some* RTTs; as long as occasional quality packets
+  // arrive within Ts, the windowed minimum stays near r̂.
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  for (int i = 0; i < 100; ++i) {
+    const Seconds rtt = (i % 5 == 0) ? 0.9e-3 : 0.9e-3 + 5e-3;
+    h.feed(rtt);
+  }
+  EXPECT_EQ(h.detector.upshift_count(), 0u);
+}
+
+TEST(LevelShift, PermanentUpshiftDetectedAfterTs) {
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  // Permanent +0.9 ms shift: detection exactly when the whole Ts window
+  // (10 packets) sits above the threshold.
+  int detected_at = -1;
+  for (int i = 0; i < 30; ++i) {
+    const auto ev = h.feed(1.8e-3);
+    if (ev && ev->upward) {
+      detected_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(detected_at, 8);  // needs the window to flush the old level
+  ASSERT_LE(detected_at, 11);
+  EXPECT_EQ(h.detector.upshift_count(), 1u);
+  // Reaction: r̂ moved to the new level.
+  EXPECT_NEAR(delta_to_seconds(h.filter.rhat(), kPeriod), 1.8e-3, 50e-6);
+}
+
+TEST(LevelShift, ShiftSeqPointsTsBack) {
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  std::optional<LevelShiftDetector::Event> event;
+  for (int i = 0; i < 30 && !event; ++i) {
+    auto ev = h.feed(1.8e-3);
+    if (ev && ev->upward) event = ev;
+  }
+  ASSERT_TRUE(event.has_value());
+  EXPECT_EQ(event->shift_seq, event->detect_seq - 10);  // Ts = 10 packets
+  EXPECT_EQ(h.detector.last_upshift_seq(), event->shift_seq);
+}
+
+TEST(LevelShift, TemporaryShiftShorterThanTsIgnored) {
+  // Fig. 11(c): an up-shift lasting less than Ts never fires.
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  for (int i = 0; i < 6; ++i) {  // 6 < Ts = 10 packets
+    const auto ev = h.feed(1.8e-3);
+    EXPECT_FALSE(ev && ev->upward);
+  }
+  for (int i = 0; i < 30; ++i) {
+    const auto ev = h.feed(0.9e-3);
+    EXPECT_FALSE(ev && ev->upward);
+  }
+  EXPECT_EQ(h.detector.upshift_count(), 0u);
+}
+
+TEST(LevelShift, DownshiftImmediate) {
+  // Fig. 11(d): a downward shift is unambiguous and absorbed instantly.
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  const auto ev = h.feed(0.5e-3);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->upward);
+  EXPECT_EQ(h.detector.downshift_count(), 1u);
+  EXPECT_NEAR(delta_to_seconds(h.filter.rhat(), kPeriod), 0.5e-3, 1e-6);
+}
+
+TEST(LevelShift, SmallMinimumImprovementsAreNotEvents) {
+  // Normal warm-up: the minimum creeps down by < 4E without reports.
+  Harness h;
+  h.feed(0.94e-3);
+  const auto ev1 = h.feed(0.93e-3);
+  EXPECT_FALSE(ev1.has_value());
+  const auto ev2 = h.feed(0.91e-3);
+  EXPECT_FALSE(ev2.has_value());
+  EXPECT_EQ(h.detector.downshift_count(), 0u);
+}
+
+TEST(LevelShift, UpshiftAfterDownshiftSequence) {
+  // Fig. 11(c) full cycle: up 0.9 ms (detected), back down (instant).
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  for (int i = 0; i < 15; ++i) h.feed(1.8e-3);
+  EXPECT_EQ(h.detector.upshift_count(), 1u);
+  const auto ev = h.feed(0.9e-3);  // route restored
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->upward);
+  EXPECT_NEAR(delta_to_seconds(h.filter.rhat(), kPeriod), 0.9e-3, 50e-6);
+}
+
+TEST(LevelShift, DisabledDetectorNeverFiresUpward) {
+  auto params = test_params();
+  params.enable_level_shift = false;
+  RttFilter filter(params);
+  LevelShiftDetector detector(params);
+  for (int i = 0; i < 20; ++i) {
+    filter.add(counts(0.9e-3));
+    detector.check(filter, kPeriod, i);
+  }
+  for (int i = 20; i < 60; ++i) {
+    filter.add(counts(1.8e-3));
+    const auto ev = detector.check(filter, kPeriod, i);
+    EXPECT_FALSE(ev && ev->upward);
+  }
+  EXPECT_EQ(detector.upshift_count(), 0u);
+}
+
+TEST(LevelShift, NoRetriggerAfterReaction) {
+  Harness h;
+  for (int i = 0; i < 20; ++i) h.feed(0.9e-3);
+  int upshifts = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto ev = h.feed(1.8e-3);
+    if (ev && ev->upward) ++upshifts;
+  }
+  EXPECT_EQ(upshifts, 1);  // reaction re-bases r̂; condition clears
+}
+
+}  // namespace
+}  // namespace tscclock::core

@@ -1,0 +1,105 @@
+// Tests for the naive estimators (paper §4): exact recovery on clean
+// synthetic data, and the documented failure modes on noisy data.
+#include "core/naive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "synthetic_link.hpp"
+
+namespace tscclock::core {
+namespace {
+
+using testing::SyntheticLink;
+
+TEST(NaiveRate, ExactOnCleanLink) {
+  SyntheticLink link;
+  const auto a = link.next();
+  SyntheticLink::Config config;  // defaults
+  for (int i = 0; i < 100; ++i) link.next();
+  SyntheticLink link2;  // unused; keep a long baseline on link
+  (void)link2;
+  const auto b = link.next();
+  const auto r = naive_rate(a, b);
+  EXPECT_NEAR(r.forward / config.period, 1.0, 1e-9);
+  EXPECT_NEAR(r.backward / config.period, 1.0, 1e-9);
+  EXPECT_NEAR(r.combined / config.period, 1.0, 1e-9);
+}
+
+TEST(NaiveRate, QueueingErrorDampedByBaseline) {
+  // The same 1 ms queueing excursion hurts a short baseline far more than a
+  // long one: error ~ q/Δ(t) (paper §4.1).
+  SyntheticLink link;
+  const auto j = link.next();
+  const auto i_short = link.next(1e-3, 0.0);
+  SyntheticLink link_long;
+  const auto j2 = link_long.next();
+  for (int k = 0; k < 5000; ++k) link_long.next();
+  const auto i_long = link_long.next(1e-3, 0.0);
+
+  const double p = SyntheticLink::Config{}.period;
+  const double err_short = std::fabs(naive_rate(j, i_short).combined / p - 1.0);
+  const double err_long = std::fabs(naive_rate(j2, i_long).combined / p - 1.0);
+  EXPECT_GT(err_short, 1000 * err_long);
+}
+
+TEST(NaiveRate, ForwardAndBackwardSeeDifferentDirections) {
+  SyntheticLink link;
+  const auto j = link.next();
+  for (int k = 0; k < 10; ++k) link.next();
+  const auto i = link.next(2e-3, 0.0);  // forward queueing only
+  const auto r = naive_rate(j, i);
+  const double p = SyntheticLink::Config{}.period;
+  // Forward estimate corrupted, backward unaffected.
+  EXPECT_GT(std::fabs(r.forward / p - 1.0), 1e-6);
+  EXPECT_LT(std::fabs(r.backward / p - 1.0), 1e-8);
+}
+
+TEST(NaiveRate, RejectsNonPositiveBaseline) {
+  SyntheticLink link;
+  const auto a = link.next();
+  EXPECT_THROW(naive_rate(a, a), ContractViolation);
+}
+
+TEST(NaiveOffset, AsymmetryAmbiguityIsMinusHalfDelta) {
+  // With a clock perfectly aligned to true time, the naive offset estimate
+  // equals −Δ/2 when q = 0 (paper eq. 18/19 discussion).
+  SyntheticLink link;
+  const double p = link.config().period;
+  // Clock C(T) = true time exactly: anchored at counter_base ↔ t=0.
+  const CounterTimescale clock(link.config().counter_base, 0.0, p);
+  const auto ex = link.next();
+  const Seconds theta = naive_offset(ex, clock);
+  EXPECT_NEAR(theta, -link.asymmetry() / 2, 1e-9);
+}
+
+TEST(NaiveOffset, QueueingBiasesEstimate) {
+  SyntheticLink link;
+  const double p = link.config().period;
+  const CounterTimescale clock(link.config().counter_base, 0.0, p);
+  // Forward queueing pushes the estimate negative: θ̂ error −(q→−q←)/2.
+  const auto fwd = link.next(1e-3, 0.0);
+  EXPECT_NEAR(naive_offset(fwd, clock), -link.asymmetry() / 2 - 0.5e-3, 1e-9);
+  const auto bwd = link.next(0.0, 1e-3);
+  EXPECT_NEAR(naive_offset(bwd, clock), -link.asymmetry() / 2 + 0.5e-3, 1e-9);
+}
+
+TEST(NaiveOffset, TracksClockOffset) {
+  // If the clock runs 5 ms ahead of true time, the naive offset reports it.
+  SyntheticLink link;
+  const double p = link.config().period;
+  const CounterTimescale clock(link.config().counter_base, 5e-3, p);
+  const auto ex = link.next();
+  EXPECT_NEAR(naive_offset(ex, clock), 5e-3 - link.asymmetry() / 2, 1e-9);
+}
+
+TEST(NaiveOffset, ServerFaultShiftsEstimate) {
+  SyntheticLink link;
+  const double p = link.config().period;
+  const CounterTimescale clock(link.config().counter_base, 0.0, p);
+  const auto ex = link.next(0.0, 0.0, 0.150);  // 150 ms server stamp fault
+  EXPECT_NEAR(naive_offset(ex, clock), -link.asymmetry() / 2 - 0.150, 1e-9);
+}
+
+}  // namespace
+}  // namespace tscclock::core

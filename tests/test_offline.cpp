@@ -1,0 +1,150 @@
+// Tests for the offline (two-sided) offset smoother.
+#include "core/offline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clock.hpp"
+#include "synthetic_link.hpp"
+
+namespace tscclock::core {
+namespace {
+
+using testing::SyntheticLink;
+
+Params test_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.offset_window = 320.0;
+  return p;
+}
+
+std::vector<RawExchange> clean_trace(SyntheticLink& link, int n) {
+  std::vector<RawExchange> out;
+  for (int i = 0; i < n; ++i) out.push_back(link.next());
+  return out;
+}
+
+// True offset of the smoother's clock at a counter value: the smoother
+// anchors C at the first packet's server midpoint, which absorbs +Δ/2
+// (so tracking error = offsets[k] − theta_true(k) ≈ −Δ/2, the ambiguity).
+Seconds theta_true(const OfflineResult& result, const SyntheticLink& link,
+                   TscCount tf_counts) {
+  const Seconds true_time =
+      static_cast<double>(counter_delta(tf_counts,
+                                        link.config().counter_base)) *
+      link.config().period;
+  return result.timescale.read(tf_counts) - true_time;
+}
+
+TEST(Offline, RejectsTinyTraces) {
+  SyntheticLink link;
+  std::vector<RawExchange> one{link.next()};
+  EXPECT_THROW(smooth_offsets(one, test_params(), link.config().period),
+               ContractViolation);
+}
+
+TEST(Offline, RecoversPeriodAndMinimum) {
+  SyntheticLink link;
+  auto trace = clean_trace(link, 400);
+  const auto result =
+      smooth_offsets(trace, test_params(), link.config().period * 1.00005);
+  EXPECT_NEAR(result.period / link.config().period, 1.0, 1e-7);
+  EXPECT_NEAR(delta_to_seconds(result.rhat_counts, result.period),
+              link.min_rtt(), 20e-6);
+}
+
+TEST(Offline, CleanTraceSitsAtAsymmetryAmbiguity) {
+  SyntheticLink link;
+  auto trace = clean_trace(link, 400);
+  const auto result =
+      smooth_offsets(trace, test_params(), link.config().period);
+  ASSERT_EQ(result.offsets.size(), trace.size());
+  for (std::size_t k = 5; k + 5 < result.offsets.size(); ++k)
+    EXPECT_NEAR(result.offsets[k] - theta_true(result, link, trace[k].tf),
+                -link.asymmetry() / 2, 5e-6)
+        << "packet " << k;
+  EXPECT_EQ(result.poor_windows, 0u);
+}
+
+TEST(Offline, SmoothsThroughCongestionBurst) {
+  // A burst of congested packets in the middle: the two-sided window sees
+  // clean packets on BOTH sides, so even mid-burst estimates stay clean —
+  // the §5.3 advantage over the causal estimator.
+  SyntheticLink link;
+  std::vector<RawExchange> trace;
+  for (int i = 0; i < 100; ++i) trace.push_back(link.next());
+  for (int i = 0; i < 12; ++i) trace.push_back(link.next(6e-3, 6e-3));
+  for (int i = 0; i < 100; ++i) trace.push_back(link.next());
+  const auto result =
+      smooth_offsets(trace, test_params(), link.config().period);
+  for (std::size_t k = 100; k < 112; ++k)
+    EXPECT_NEAR(result.offsets[k] - theta_true(result, link, trace[k].tf),
+                -link.asymmetry() / 2, 10e-6)
+        << "mid-burst packet " << k;
+}
+
+TEST(Offline, FallsBackWhenWholeWindowCongested) {
+  // Congestion longer than the whole window: the best packet in the
+  // two-sided window is still congested → poor_windows counted, estimate
+  // equals that best packet's naive value.
+  SyntheticLink link;
+  std::vector<RawExchange> trace;
+  for (int i = 0; i < 60; ++i) trace.push_back(link.next());
+  for (int i = 0; i < 60; ++i) trace.push_back(link.next(5e-3, 5e-3));
+  for (int i = 0; i < 60; ++i) trace.push_back(link.next());
+  const auto result =
+      smooth_offsets(trace, test_params(), link.config().period);
+  EXPECT_GT(result.poor_windows, 0u);
+  // Even the fallback stays bounded: symmetric congestion cancels in the
+  // naive midpoint, so errors remain µs-scale here.
+  for (std::size_t k = 85; k < 95; ++k)
+    EXPECT_NEAR(result.offsets[k] - theta_true(result, link, trace[k].tf),
+                -link.asymmetry() / 2, 50e-6);
+}
+
+TEST(Offline, HandlesGapsWithoutStateDecay) {
+  SyntheticLink link;
+  std::vector<RawExchange> trace;
+  for (int i = 0; i < 100; ++i) trace.push_back(link.next());
+  link.advance(2 * duration::kDay);
+  for (int i = 0; i < 100; ++i) trace.push_back(link.next());
+  const auto result =
+      smooth_offsets(trace, test_params(), link.config().period);
+  // Packets right after the gap are estimated from the fresh side only.
+  for (std::size_t k = 100; k < 110; ++k)
+    EXPECT_NEAR(result.offsets[k] - theta_true(result, link, trace[k].tf),
+                -link.asymmetry() / 2, 10e-6);
+}
+
+TEST(Offline, AgreesWithOnlineOnCleanData) {
+  // On clean data the smoother and the on-line estimator must agree to
+  // within the noise floor (both sit at −Δ/2 with µs spread).
+  SyntheticLink link;
+  auto trace = clean_trace(link, 300);
+  const auto offline =
+      smooth_offsets(trace, test_params(), link.config().period);
+  TscNtpClock online(test_params(), link.config().period);
+  std::vector<Seconds> online_offsets;
+  for (const auto& ex : trace)
+    online_offsets.push_back(online.process_exchange(ex).offset_estimate);
+  for (std::size_t k = 50; k < trace.size(); ++k)
+    EXPECT_NEAR(offline.offsets[k], online_offsets[k], 10e-6)
+        << "packet " << k;
+}
+
+TEST(Offline, AgingCanBeDisabled) {
+  SyntheticLink link;
+  auto trace = clean_trace(link, 200);
+  auto params = test_params();
+  params.enable_aging = false;
+  const auto result =
+      smooth_offsets(trace, params, link.config().period);
+  EXPECT_EQ(result.offsets.size(), trace.size());
+  EXPECT_NEAR(result.offsets[100] - theta_true(result, link, trace[100].tf),
+              -link.asymmetry() / 2, 5e-6);
+}
+
+}  // namespace
+}  // namespace tscclock::core

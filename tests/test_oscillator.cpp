@@ -1,0 +1,161 @@
+// Tests for the oscillator model: the simulated hardware must satisfy the
+// paper's two characterization facts (§3.1) — SKM below τ* and a 0.1 PPM
+// rate-error bound over all scales — since the algorithms assume them.
+#include "sim/oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/allan.hpp"
+#include "common/contracts.hpp"
+#include "common/time_types.hpp"
+
+namespace tscclock::sim {
+namespace {
+
+TEST(Oscillator, MonotonicCounter) {
+  Oscillator osc(OscillatorConfig::machine_room(1));
+  TscCount prev = osc.read(0.0);
+  for (int k = 1; k <= 1000; ++k) {
+    const TscCount now = osc.read(k * 0.5);
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Oscillator, RejectsTimeReversal) {
+  Oscillator osc(OscillatorConfig::machine_room(1));
+  osc.read(100.0);
+  EXPECT_THROW(osc.read(99.0), ContractViolation);
+}
+
+TEST(Oscillator, FrequencyNearNominalPlusSkew) {
+  auto config = OscillatorConfig::machine_room(2);
+  Oscillator osc(config);
+  const TscCount c0 = osc.read(0.0);
+  const TscCount c1 = osc.read(1000.0);
+  const double measured_freq = static_cast<double>(c1 - c0) / 1000.0;
+  const double expected =
+      config.nominal_frequency_hz * (1.0 + ppm(config.skew_ppm));
+  // Within wander bounds (~0.1 PPM).
+  EXPECT_NEAR(measured_freq / expected, 1.0, 2e-7);
+}
+
+TEST(Oscillator, MeanPeriodInvertsTrueFrequency) {
+  auto config = OscillatorConfig::machine_room(3);
+  Oscillator osc(config);
+  EXPECT_NEAR(osc.mean_period() * config.nominal_frequency_hz *
+                  (1.0 + ppm(config.skew_ppm)),
+              1.0, 1e-12);
+  EXPECT_NEAR(osc.nominal_period() * config.nominal_frequency_hz, 1.0, 1e-12);
+}
+
+TEST(Oscillator, DeterministicForSeed) {
+  Oscillator a(OscillatorConfig::machine_room(7));
+  Oscillator b(OscillatorConfig::machine_room(7));
+  for (int k = 0; k < 50; ++k) {
+    const Seconds t = k * 13.0;
+    EXPECT_EQ(a.read(t), b.read(t));
+  }
+}
+
+TEST(Oscillator, DifferentSeedsDiffer) {
+  Oscillator a(OscillatorConfig::machine_room(7));
+  Oscillator b(OscillatorConfig::machine_room(8));
+  a.read(5000.0);
+  b.read(5000.0);
+  EXPECT_NE(a.read(10000.0), b.read(10000.0));
+}
+
+TEST(Oscillator, RateErrorBoundedOverDays) {
+  // The 0.1 PPM bound of §3.1, measured as the deviation of the realized
+  // rate over τ* windows from the long-run mean rate.
+  Oscillator osc(OscillatorConfig::machine_room(11));
+  const double p = osc.mean_period();
+  std::vector<double> offsets;  // θ(t) with p̂ = mean period
+  const Seconds step = 250.0;
+  const int n = static_cast<int>(2 * duration::kDay / step);
+  TscCount c0 = osc.read(0.0);
+  for (int k = 1; k <= n; ++k) {
+    const Seconds t = k * step;
+    const TscCount c = osc.read(t);
+    offsets.push_back(delta_to_seconds(counter_delta(c, c0), p) - t);
+  }
+  // Rate over each 1000 s window.
+  const int w = 4;  // 4 × 250 s
+  for (std::size_t k = w; k < offsets.size(); ++k) {
+    const double rate = (offsets[k] - offsets[k - w]) / (w * step);
+    EXPECT_LT(std::fabs(rate), ppm(0.15)) << "window " << k;
+  }
+}
+
+TEST(Oscillator, SkmHoldsBelowTauStar) {
+  // Over 1000 s the offset curve must be nearly linear (Fig. 2 left):
+  // residuals from the endpoint-fitted line stay in the few-µs range.
+  Oscillator osc(OscillatorConfig::machine_room(13));
+  const double p = osc.mean_period();
+  const Seconds span = 1000.0;
+  const Seconds step = 20.0;
+  std::vector<double> offsets;
+  const TscCount c0 = osc.read(0.0);
+  const int n = static_cast<int>(span / step);
+  for (int k = 0; k <= n; ++k) {
+    const TscCount c = osc.read(k * step);
+    offsets.push_back(delta_to_seconds(counter_delta(c, c0), p) - k * step);
+  }
+  const double slope = (offsets.back() - offsets.front()) / span;
+  for (int k = 0; k <= n; ++k) {
+    const double line = offsets.front() + slope * k * step;
+    EXPECT_LT(std::fabs(offsets[k] - line), 3e-6);
+  }
+}
+
+TEST(Oscillator, LaboratoryWandersMoreThanMachineRoomAtDayScale) {
+  const auto run = [](const OscillatorConfig& config) {
+    Oscillator osc(config);
+    const double p = osc.mean_period();
+    std::vector<double> phase;
+    const Seconds step = 500.0;
+    const TscCount c0 = osc.read(0.0);
+    for (int k = 0; k <= 3 * 86400 / 500; ++k) {
+      const TscCount c = osc.read(k * step);
+      phase.push_back(delta_to_seconds(counter_delta(c, c0), p) - k * step);
+    }
+    const std::size_t ms[] = {86400 / 500};  // τ = 1 day
+    return allan_deviation(phase, step, ms).at(0).deviation;
+  };
+  const double lab = run(OscillatorConfig::laboratory(17));
+  const double mr = run(OscillatorConfig::machine_room(17));
+  EXPECT_GT(lab, mr);
+}
+
+TEST(Oscillator, MachineRoomHasOscillatoryComponent) {
+  const auto config = OscillatorConfig::machine_room(19);
+  EXPECT_GT(config.oscillatory_amplitude_ppm, 0.0);
+  EXPECT_EQ(OscillatorConfig::laboratory(19).oscillatory_amplitude_ppm, 0.0);
+}
+
+TEST(Oscillator, LongGapIntegrationStaysBounded) {
+  // A multi-day read gap (outage scenarios) must not corrupt the phase.
+  Oscillator osc(OscillatorConfig::machine_room(23));
+  const double p = osc.mean_period();
+  const TscCount c0 = osc.read(0.0);
+  const Seconds gap = 4 * duration::kDay;
+  const TscCount c1 = osc.read(gap);
+  const double implied = delta_to_seconds(counter_delta(c1, c0), p);
+  EXPECT_NEAR(implied, gap, gap * ppm(0.15));
+}
+
+TEST(Oscillator, ConfigValidation) {
+  auto config = OscillatorConfig::machine_room(1);
+  config.nominal_frequency_hz = 0.0;
+  EXPECT_THROW(Oscillator{config}, ContractViolation);
+  config = OscillatorConfig::machine_room(1);
+  config.max_substep_s = 0.0;
+  EXPECT_THROW(Oscillator{config}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace tscclock::sim

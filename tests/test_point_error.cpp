@@ -1,0 +1,102 @@
+// Tests for the RTT filter (point errors, running and windowed minima).
+#include "core/point_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace tscclock::core {
+namespace {
+
+Params small_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.shift_window = 160.0;  // 10-packet local window for tight tests
+  return p;
+}
+
+TEST(RttFilter, TracksRunningMinimum) {
+  RttFilter f(small_params());
+  EXPECT_FALSE(f.valid());
+  f.add(1000);
+  EXPECT_TRUE(f.valid());
+  EXPECT_EQ(f.rhat(), 1000);
+  f.add(1200);
+  EXPECT_EQ(f.rhat(), 1000);
+  f.add(900);
+  EXPECT_EQ(f.rhat(), 900);
+  EXPECT_EQ(f.samples(), 3u);
+}
+
+TEST(RttFilter, PointErrorInSeconds) {
+  RttFilter f(small_params());
+  f.add(1000);
+  f.add(1500);
+  EXPECT_DOUBLE_EQ(f.point_error(1500, 1e-6), 500e-6);
+  EXPECT_DOUBLE_EQ(f.point_error(1000, 1e-6), 0.0);
+}
+
+TEST(RttFilter, PointErrorReEvaluatesWithPeriod) {
+  // §6.1: point errors change implicitly when p̂ changes.
+  RttFilter f(small_params());
+  f.add(1000);
+  EXPECT_DOUBLE_EQ(f.point_error(1100, 1e-6), 100e-6);
+  EXPECT_DOUBLE_EQ(f.point_error(1100, 2e-6), 200e-6);
+}
+
+TEST(RttFilter, LocalMinFillsAfterWindow) {
+  auto params = small_params();
+  RttFilter f(params);
+  const std::size_t w = params.packets(params.shift_window);
+  for (std::size_t i = 0; i < w - 1; ++i) f.add(1000 + static_cast<int>(i));
+  EXPECT_FALSE(f.local_min_full());
+  f.add(2000);
+  EXPECT_TRUE(f.local_min_full());
+  EXPECT_EQ(f.local_min(), 1000);
+}
+
+TEST(RttFilter, LocalMinSlidesAboveGlobal) {
+  // After an upward shift in delays, r̂_l floats above r̂ — the §6.2
+  // detection signal.
+  auto params = small_params();
+  const std::size_t w = params.packets(params.shift_window);
+  RttFilter f(params);
+  for (std::size_t i = 0; i < w; ++i) f.add(1000);
+  for (std::size_t i = 0; i < w; ++i) f.add(1900);  // shifted up
+  EXPECT_EQ(f.rhat(), 1000);       // global min remembers the old level
+  EXPECT_EQ(f.local_min(), 1900);  // local window sees only the new level
+}
+
+TEST(RttFilter, ForceRhatOverridesAndRecovers) {
+  RttFilter f(small_params());
+  f.add(1000);
+  f.force_rhat(1800);
+  EXPECT_EQ(f.rhat(), 1800);
+  f.add(1500);  // downward shifts re-assert automatically
+  EXPECT_EQ(f.rhat(), 1500);
+}
+
+TEST(RttFilter, ResetLocalWindow) {
+  auto params = small_params();
+  RttFilter f(params);
+  for (int i = 0; i < 20; ++i) f.add(1000);
+  f.reset_local_window();
+  EXPECT_FALSE(f.local_min_valid());
+  f.add(1100);
+  EXPECT_TRUE(f.local_min_valid());
+  EXPECT_EQ(f.local_min(), 1100);
+}
+
+TEST(RttFilter, ContractsOnMisuse) {
+  RttFilter f(small_params());
+  EXPECT_THROW((void)f.rhat(), ContractViolation);
+  EXPECT_THROW((void)f.point_error(100, 1e-6), ContractViolation);
+  EXPECT_THROW(f.add(0), ContractViolation);
+  EXPECT_THROW(f.add(-5), ContractViolation);
+  f.add(100);
+  EXPECT_THROW((void)f.point_error(100, 0.0), ContractViolation);
+  EXPECT_THROW(f.force_rhat(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace tscclock::core

@@ -1,0 +1,251 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// across seeds, servers, environments and polling periods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "core/clock.hpp"
+#include "sim/scenario.hpp"
+#include "synthetic_link.hpp"
+
+namespace tscclock {
+namespace {
+
+// ---------------------------------------------------------------------
+// Property 1 — across random scenarios: the offset sanity check bounds the
+// step between successive reported estimates by Es; the clock C(t) never
+// steps; point errors are never negative; r̂ is non-increasing between
+// upward-shift reactions and window updates.
+// ---------------------------------------------------------------------
+class ScenarioProperties
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 sim::ServerKind, Seconds>> {};
+
+TEST_P(ScenarioProperties, CoreInvariantsHold) {
+  const auto [seed, kind, poll] = GetParam();
+  sim::ScenarioConfig scenario;
+  scenario.server = kind;
+  scenario.poll_period = poll;
+  scenario.duration = 6 * duration::kHour;
+  scenario.seed = seed;
+  // Stress: a fault and a shift in every run.
+  scenario.events.add_server_fault(2 * duration::kHour,
+                                   2 * duration::kHour + 300, 0.150);
+  scenario.events.add_level_shift(
+      {4 * duration::kHour, sim::kForever, 0.7e-3, 0.0});
+
+  sim::Testbed testbed(scenario);
+  core::Params params;
+  params.poll_period = poll;
+  core::TscNtpClock clock(params, testbed.nominal_period());
+
+  bool have_prev = false;
+  Seconds prev_estimate = 0;
+  Seconds prev_reading = 0;
+  TscCount prev_tf = 0;
+  bool prev_gap_blend = false;
+
+  while (auto ex = testbed.next()) {
+    if (ex->lost) continue;
+    const auto report = clock.process_exchange(
+        {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
+
+    // Point errors are non-negative by construction.
+    EXPECT_GE(report.point_error, 0.0);
+
+    if (have_prev) {
+      // Sanity invariant: successive reported estimates differ by ≤ Es
+      // except through the gap-blend path (its own guard), the lock-out
+      // escapes (which exist precisely to accept a persistent large
+      // correction), and warm-up (where p̂ legitimately moves by tens of
+      // PPM per packet and θ̂ must track the resulting clock drift).
+      if (!report.gap_blend && !prev_gap_blend &&
+          !report.offset_sanity_released && !report.rate_sanity_released &&
+          clock.status().warmed_up) {
+        EXPECT_LE(std::fabs(report.offset_estimate - prev_estimate),
+                  params.offset_sanity + 1e-9)
+            << "packet " << clock.status().packets_processed;
+      }
+      // The clock function is affine: under the *current* timescale the
+      // reading difference equals the difference clock exactly.
+      const Seconds reading = clock.uncorrected_time(ex->tf_counts);
+      const Seconds prev_now = clock.uncorrected_time(prev_tf);
+      const Seconds elapsed = clock.difference(prev_tf, ex->tf_counts);
+      EXPECT_NEAR(reading - prev_now, elapsed, 1e-9);
+      EXPECT_GT(reading, prev_reading);
+      // Continuity (§6.1): a p̂ update re-anchors at the current packet, so
+      // the reading of the *previous* packet's timestamp moves by at most
+      // |Δp̂|·interval. Post-warm-up, the rate sanity check bounds |Δp̂| by
+      // max(3e-7, 4·Σquality); during warm-up the initial guess error
+      // (tens of PPM) dominates.
+      // Steps where the rate lock-out escape fired legitimately accept a
+      // large p̂ change (that is its purpose) — exempt, like warm-up.
+      const double dp_allow =
+          clock.status().warmed_up && !report.rate_sanity_released
+              ? 2 * std::max(3e-7, 8 * clock.status().period_quality)
+              : ppm(400.0);
+      const double dp_bound = dp_allow * elapsed;
+      EXPECT_NEAR(prev_now, prev_reading, dp_bound);
+    }
+    prev_estimate = report.offset_estimate;
+    prev_reading = clock.uncorrected_time(ex->tf_counts);
+    prev_tf = ex->tf_counts;
+    prev_gap_blend = report.gap_blend;
+    have_prev = true;
+  }
+  // After six hours the clock is warmed up and rate is within the paper's
+  // bound for every tested configuration.
+  EXPECT_TRUE(clock.status().warmed_up);
+  EXPECT_LT(std::fabs(clock.period() / testbed.true_period() - 1.0),
+            ppm(0.3));
+}
+
+std::string scenario_name(
+    const ::testing::TestParamInfo<
+        std::tuple<std::uint64_t, sim::ServerKind, Seconds>>& info) {
+  const auto seed = std::get<0>(info.param);
+  const auto kind = std::get<1>(info.param);
+  const auto poll = std::get<2>(info.param);
+  return "seed" + std::to_string(seed) + "_" + sim::to_string(kind) +
+         "_poll" + std::to_string(static_cast<int>(poll));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsServersPolls, ScenarioProperties,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u),
+                       ::testing::Values(sim::ServerKind::kLoc,
+                                         sim::ServerKind::kInt,
+                                         sim::ServerKind::kExt),
+                       ::testing::Values(16.0, 64.0)),
+    scenario_name);
+
+// ---------------------------------------------------------------------
+// Property 2 — the difference clock is exact-additive: for any split point,
+// difference(a, c) == difference(a, b) + difference(b, c).
+// ---------------------------------------------------------------------
+class DifferenceClockProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferenceClockProperties, Additivity) {
+  testing::SyntheticLink link;
+  core::Params params;
+  params.warmup_samples = 8;
+  core::TscNtpClock clock(params, link.config().period);
+  for (int i = 0; i < 100; ++i) clock.process_exchange(link.next());
+  const TscCount base = link.counts(link.now());
+  const auto step = static_cast<TscCount>(GetParam());
+  const TscCount a = base;
+  const TscCount b = base + step;
+  const TscCount c = base + 3 * step;
+  EXPECT_DOUBLE_EQ(clock.difference(a, c),
+                   clock.difference(a, b) + clock.difference(b, c));
+  // Anti-symmetry.
+  EXPECT_DOUBLE_EQ(clock.difference(a, b), -clock.difference(b, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, DifferenceClockProperties,
+                         ::testing::Values(1, 1000, 500'000'000));
+
+// ---------------------------------------------------------------------
+// Property 3 — rate estimate quality bound is honest on clean synthetic
+// links across skews and polling periods.
+// ---------------------------------------------------------------------
+class RateQualityProperties
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RateQualityProperties, QualityBoundCoversTrueError) {
+  const auto [skew_ppm, poll] = GetParam();
+  testing::SyntheticLink::Config config;
+  config.poll = poll;
+  testing::SyntheticLink link(config);
+  core::Params params;
+  params.poll_period = poll;
+  params.warmup_samples = 8;
+  core::TscNtpClock clock(params, config.period * (1.0 + ppm(skew_ppm)));
+  for (int i = 0; i < 600; ++i) clock.process_exchange(link.next());
+  const double true_error = std::fabs(clock.period() / config.period - 1.0);
+  EXPECT_LE(true_error, clock.status().period_quality + 1e-10);
+  EXPECT_LT(true_error, ppm(0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewsPolls, RateQualityProperties,
+    ::testing::Combine(::testing::Values(-80.0, -5.0, 0.0, 5.0, 80.0),
+                       ::testing::Values(16.0, 64.0)));
+
+// ---------------------------------------------------------------------
+// Property 4 — ablation direction: each robustness stage must not *hurt*
+// under the fault it was designed for (and must measurably help).
+// ---------------------------------------------------------------------
+class SanityAblation : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SanityAblation, ServerFaultDamage) {
+  const bool enable_sanity = GetParam();
+  testing::SyntheticLink link;
+  core::Params params;
+  params.warmup_samples = 8;
+  params.offset_window = 320.0;
+  params.enable_offset_sanity = enable_sanity;
+  core::TscNtpClock clock(params, link.config().period);
+  for (int i = 0; i < 100; ++i) clock.process_exchange(link.next());
+  const Seconds before = clock.offset_estimate();
+  double worst = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto r = clock.process_exchange(link.next(0, 0, 0.150));
+    worst = std::max(worst, std::fabs(r.offset_estimate - before));
+  }
+  if (enable_sanity) {
+    EXPECT_LT(worst, 2e-3);  // contained
+  } else {
+    EXPECT_GT(worst, 50e-3);  // dragged to the fault level
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OnOff, SanityAblation, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "enabled" : "disabled";
+                         });
+
+// ---------------------------------------------------------------------
+// Property 5 — determinism: identical configuration ⇒ identical results,
+// across every server kind.
+// ---------------------------------------------------------------------
+class DeterminismProperties
+    : public ::testing::TestWithParam<sim::ServerKind> {};
+
+TEST_P(DeterminismProperties, RunsAreReproducible) {
+  auto once = [&] {
+    sim::ScenarioConfig scenario;
+    scenario.server = GetParam();
+    scenario.duration = duration::kHour;
+    scenario.seed = 4242;
+    sim::Testbed testbed(scenario);
+    core::Params params;
+    core::TscNtpClock clock(params, testbed.nominal_period());
+    Seconds last = 0;
+    while (auto ex = testbed.next()) {
+      if (ex->lost) continue;
+      last = clock
+                 .process_exchange({ex->ta_counts, ex->tb_stamp, ex->te_stamp,
+                                    ex->tf_counts})
+                 .offset_estimate;
+    }
+    return std::make_pair(last, clock.period());
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Servers, DeterminismProperties,
+                         ::testing::Values(sim::ServerKind::kLoc,
+                                           sim::ServerKind::kInt,
+                                           sim::ServerKind::kExt),
+                         [](const auto& info) {
+                           return sim::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tscclock

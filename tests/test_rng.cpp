@@ -1,0 +1,149 @@
+// Tests for the deterministic random source and its distributions.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace tscclock {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkedChildrenAreDecorrelated) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.uniform() == c2.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsReproducible) {
+  Rng p1(7);
+  Rng p2(7);
+  Rng a = p1.fork(3);
+  Rng b = p2.fork(3);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ContractViolation);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  RunningMoments m;
+  for (int i = 0; i < 50000; ++i) m.update(rng.exponential(2.5));
+  EXPECT_NEAR(m.mean(), 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW(rng.exponential(-1.0), ContractViolation);
+}
+
+TEST(Rng, ParetoMeanMatchesLomaxFormula) {
+  // Lomax mean = scale / (shape - 1) for shape > 1.
+  Rng rng(17);
+  RunningMoments m;
+  const double shape = 3.0;
+  const double scale = 2.0;
+  for (int i = 0; i < 200000; ++i) m.update(rng.pareto(shape, scale));
+  EXPECT_NEAR(m.mean(), scale / (shape - 1.0), 0.05);
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  // P(X > 10·mean) should exceed the exponential equivalent by far.
+  Rng rng(19);
+  const double mean = 1.0;
+  int pareto_exceed = 0;
+  int exp_exceed = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.pareto(2.0, mean) > 10 * mean) ++pareto_exceed;
+    if (rng.exponential(mean) > 10 * mean) ++exp_exceed;
+  }
+  EXPECT_GT(pareto_exceed, 5 * (exp_exceed + 1));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  RunningMoments m;
+  for (int i = 0; i < 100000; ++i) m.update(rng.normal(0.5));
+  EXPECT_NEAR(m.mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.stddev(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalZeroStddevIsZero) {
+  Rng rng(23);
+  EXPECT_EQ(rng.normal(0.0), 0.0);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_THROW(rng.bernoulli(1.5), ContractViolation);
+  EXPECT_THROW(rng.bernoulli(-0.1), ContractViolation);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.25)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(37);
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.categorical(weights) == 1) ++ones;
+  EXPECT_NEAR(ones / 100000.0, 0.75, 0.01);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(41);
+  std::vector<double> draws;
+  for (int i = 0; i < 20001; ++i) draws.push_back(rng.lognormal_median(3.0, 0.5));
+  EXPECT_NEAR(percentile(draws, 0.5), 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tscclock

@@ -1,0 +1,219 @@
+// Dedicated tests for the lock-out escape mechanics of the rate and offset
+// sanity checks (the engineering additions documented in DESIGN.md §5):
+// they must block transient faults, release under *persistent stable*
+// disagreement, and never freeze permanently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clock.hpp"
+#include "core/offset.hpp"
+#include "core/point_error.hpp"
+#include "core/rate.hpp"
+#include "synthetic_link.hpp"
+
+namespace tscclock::core {
+namespace {
+
+using testing::SyntheticLink;
+
+Params test_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.warmup_samples = 8;
+  p.offset_window = 320.0;
+  return p;
+}
+
+// ------------------------------------------------------------- rate escape
+struct RateHarness {
+  explicit RateHarness(const Params& params, double period)
+      : filter(params), rate(params, period) {}
+
+  GlobalRateEstimator::Result feed(const RawExchange& ex, double hint) {
+    filter.add(ex.rtt_counts());
+    PacketRecord rec;
+    rec.seq = seq++;
+    rec.stamps = ex;
+    rec.rtt = ex.rtt_counts();
+    rec.error_counts = rec.rtt - filter.rhat();
+    return rate.process(rec, filter.point_error(rec.rtt, hint));
+  }
+
+  RttFilter filter;
+  GlobalRateEstimator rate;
+  std::uint64_t seq = 0;
+};
+
+TEST(RateSanityEscape, BlocksShortFaultEntirely) {
+  SyntheticLink link;
+  const double truth = link.config().period;
+  auto params = test_params();
+  RateHarness h(params, truth);
+  for (int i = 0; i < 500; ++i) h.feed(link.next(), truth);
+  const double before = h.rate.period();
+  // Fault shorter than the release count: fully rejected.
+  for (std::size_t i = 0; i + 1 < params.rate_sanity_release_count; ++i) {
+    const Seconds drift = 50e-3 + 1e-3 * static_cast<double>(i);
+    h.feed(link.next(0, 0, drift), truth);
+  }
+  EXPECT_DOUBLE_EQ(h.rate.period(), before);
+  EXPECT_GT(h.rate.sanity_count(), 0u);
+  EXPECT_EQ(h.rate.release_count(), 0u);
+  // Honest packet: accepted normally, estimate stays sane.
+  h.feed(link.next(), truth);
+  EXPECT_NEAR(h.rate.period() / truth, 1.0, 1e-7);
+}
+
+TEST(RateSanityEscape, ReleasesUnderPersistentDisagreement) {
+  SyntheticLink link;
+  const double truth = link.config().period;
+  auto params = test_params();
+  RateHarness h(params, truth);
+  for (int i = 0; i < 500; ++i) h.feed(link.next(), truth);
+  // A *persistent* server timescale shift: every candidate moves by the
+  // same large relative amount. After release_count consecutive blocks the
+  // escape must fire rather than freeze forever.
+  bool released = false;
+  for (int i = 0; i < 40 && !released; ++i) {
+    const Seconds drift = 1e-3 * (500.0 + i) * 16.0 * 1e-3;  // growing shift
+    released = h.feed(link.next(0, 0, 0.5 + drift), truth).sanity_released;
+  }
+  EXPECT_TRUE(released);
+  EXPECT_GE(h.rate.release_count(), 1u);
+}
+
+TEST(RateSanityEscape, CounterResetsOnAcceptedCandidate) {
+  SyntheticLink link;
+  const double truth = link.config().period;
+  auto params = test_params();
+  RateHarness h(params, truth);
+  for (int i = 0; i < 500; ++i) h.feed(link.next(), truth);
+  // Alternate faulty and clean packets: the consecutive-block counter can
+  // never reach the release threshold.
+  for (int i = 0; i < 60; ++i) {
+    h.feed(link.next(0, 0, 0.4), truth);  // blocked
+    h.feed(link.next(), truth);           // accepted, resets the counter
+  }
+  EXPECT_EQ(h.rate.release_count(), 0u);
+  EXPECT_NEAR(h.rate.period() / truth, 1.0, 1e-7);
+}
+
+// ----------------------------------------------------------- offset escape
+struct OffsetHarness {
+  OffsetHarness(const Params& params, const SyntheticLink& link)
+      : filter(params),
+        offset(params),
+        clock(link.config().counter_base, 0.0, link.config().period) {}
+
+  OffsetEvaluation feed(const RawExchange& ex, bool gap = false) {
+    filter.add(ex.rtt_counts());
+    PacketRecord rec;
+    rec.seq = seq++;
+    rec.stamps = ex;
+    rec.rtt = ex.rtt_counts();
+    rec.error_counts = rec.rtt - filter.rhat();
+    return offset.process(rec, clock, 0.0, gap, false);
+  }
+
+  RttFilter filter;
+  OffsetEstimator offset;
+  CounterTimescale clock;
+  std::uint64_t seq = 0;
+};
+
+TEST(OffsetSanityEscape, FaultWashoutDoesNotRelease) {
+  // While a fault washes out of the window, candidates move packet to
+  // packet (each clean arrival shifts the weighted mixture), so the
+  // stability requirement keeps the escape quiet and the estimate frozen
+  // at the trusted level until candidates return.
+  SyntheticLink link;
+  auto params = test_params();
+  OffsetHarness h(params, link);
+  for (int i = 0; i < 50; ++i) h.feed(link.next());
+  const Seconds before = h.offset.estimate();
+  for (int i = 0; i < 10; ++i) h.feed(link.next(0, 0, 0.150));
+  Seconds worst = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto eval = h.feed(link.next());
+    worst = std::max(worst, std::fabs(eval.estimate - before));
+  }
+  EXPECT_EQ(h.offset.release_count(), 0u);
+  EXPECT_LT(worst, 3e-3);  // contained throughout the washout
+  EXPECT_NEAR(h.offset.estimate(), before, 1e-4);  // and fully recovered
+}
+
+TEST(OffsetSanityEscape, PersistentStableLevelReleases) {
+  // A persistent large *stable* disagreement (e.g. the server timescale
+  // permanently stepped): the escape must eventually accept it instead of
+  // freezing forever.
+  SyntheticLink link;
+  auto params = test_params();
+  params.offset_sanity_release_count = 15;  // explicit, small for the test
+  OffsetHarness h(params, link);
+  for (int i = 0; i < 50; ++i) h.feed(link.next());
+  OffsetEvaluation eval;
+  int packets_until_release = 0;
+  for (int i = 0; i < 200; ++i) {
+    eval = h.feed(link.next(0, 0, 0.050));  // permanent 50 ms server step
+    ++packets_until_release;
+    if (eval.sanity_released) break;
+  }
+  EXPECT_TRUE(eval.sanity_released);
+  EXPECT_GE(h.offset.release_count(), 1u);
+  // After release the estimate follows the new (stable) level.
+  for (int i = 0; i < 40; ++i) eval = h.feed(link.next(0, 0, 0.050));
+  EXPECT_NEAR(eval.estimate, -link.asymmetry() / 2 - 0.050, 1e-3);
+}
+
+TEST(OffsetSanityEscape, GapPacketExemptFromSanity) {
+  // Across a gap the clock drifted unobserved; the first packet after the
+  // gap must not be frozen against the stale value even if the candidate
+  // moved by more than Es.
+  SyntheticLink link;
+  auto params = test_params();
+  OffsetHarness h(params, link);
+  for (int i = 0; i < 50; ++i) h.feed(link.next());
+  link.advance(3 * duration::kDay);
+  // Emulate several ms of unobserved drift with a changed server stamp
+  // level (the physical cause differs, the estimator sees the same thing).
+  const auto eval = h.feed(link.next(0, 0, 5e-3), /*gap=*/true);
+  EXPECT_FALSE(eval.sanity_triggered);
+  EXPECT_NEAR(eval.estimate, -link.asymmetry() / 2 - 5e-3, 1e-4);
+}
+
+// ---------------------------------------------------- end-to-end no-freeze
+TEST(LockoutFreedom, ClockNeverFreezesForever) {
+  // The invariant that motivated the escapes: no matter what the server
+  // does, the composed clock eventually tracks a *stable* world again.
+  SyntheticLink link;
+  auto params = test_params();
+  core::TscNtpClock clock(params, link.config().period);
+  for (int i = 0; i < 300; ++i) clock.process_exchange(link.next());
+  // Hostile phase: a permanent 80 ms server step (beyond any sanity
+  // threshold) plus heavy queueing noise.
+  for (int i = 0; i < 600; ++i)
+    clock.process_exchange(
+        link.next((i % 3) * 2e-3, (i % 2) * 1.5e-3, 0.080));
+  // The clock must have released and resumed tracking the (shifted) world:
+  // θ̂ equals the clock's *actual* offset relative to the stepped server
+  // timescale. (C itself drifted during the chaos — the rate estimator was
+  // fed poisoned stamps — so compare against C's true offset, not 0.)
+  Seconds final_estimate = 0;
+  RawExchange last{};
+  for (int i = 0; i < 100; ++i) {
+    last = link.next(0, 0, 0.080);
+    final_estimate = clock.process_exchange(last).offset_estimate;
+  }
+  const Seconds true_tf =
+      static_cast<double>(counter_delta(last.tf,
+                                        link.config().counter_base)) *
+      link.config().period;
+  const Seconds clock_offset = clock.uncorrected_time(last.tf) - true_tf;
+  EXPECT_NEAR(final_estimate - clock_offset,
+              -link.asymmetry() / 2 - 0.080, 2e-3);
+  EXPECT_GE(clock.status().offset_sanity_releases, 1u);
+}
+
+}  // namespace
+}  // namespace tscclock::core

@@ -1,0 +1,201 @@
+// Tests for server-identity tracking and the clock's server-change
+// reaction, including the testbed's mid-trace server switching.
+#include "core/server_change.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clock.hpp"
+#include "sim/scenario.hpp"
+#include "synthetic_link.hpp"
+
+namespace tscclock {
+namespace {
+
+using core::ServerChangeDetector;
+using core::ServerIdentity;
+using testing::SyntheticLink;
+
+TEST(ServerChangeDetector, FirstObservationIsNotAChange) {
+  ServerChangeDetector det;
+  EXPECT_FALSE(det.has_identity());
+  EXPECT_FALSE(det.observe({1, 1}, 0).has_value());
+  EXPECT_TRUE(det.has_identity());
+  EXPECT_EQ(det.changes(), 0u);
+}
+
+TEST(ServerChangeDetector, DetectsIdentityChange) {
+  ServerChangeDetector det;
+  det.observe({1, 1}, 0);
+  const auto change = det.observe({2, 1}, 5);
+  ASSERT_TRUE(change.has_value());
+  EXPECT_EQ(change->previous.reference_id, 1u);
+  EXPECT_EQ(change->current.reference_id, 2u);
+  EXPECT_EQ(change->packet_index, 5u);
+  EXPECT_EQ(det.changes(), 1u);
+}
+
+TEST(ServerChangeDetector, StratumChangeCounts) {
+  ServerChangeDetector det;
+  det.observe({1, 1}, 0);
+  EXPECT_TRUE(det.observe({1, 2}, 1).has_value());
+}
+
+TEST(ServerChangeDetector, StableIdentityIsSilent) {
+  ServerChangeDetector det;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(det.observe({7, 1}, static_cast<std::uint64_t>(i)));
+  EXPECT_EQ(det.changes(), 0u);
+}
+
+TEST(ClockServerChange, ResetsRttLevel) {
+  // After notify_server_change the minimum re-forms from new data only:
+  // a *smaller* new minimum is adopted instantly even though the old path's
+  // minimum was larger — exactly what a route/server change needs.
+  SyntheticLink::Config far_config;
+  far_config.d_forward = 900e-6;
+  far_config.d_backward = 850e-6;
+  SyntheticLink far_link(far_config);
+  core::Params params;
+  params.poll_period = 16.0;
+  params.warmup_samples = 8;
+  core::TscNtpClock clock(params, far_config.period);
+  for (int i = 0; i < 100; ++i) clock.process_exchange(far_link.next());
+  const double rhat_far = clock.status().min_rtt;
+  EXPECT_NEAR(rhat_far, 900e-6 + 40e-6 + 850e-6, 30e-6);
+
+  clock.notify_server_change();
+  EXPECT_EQ(clock.status().server_changes, 1u);
+
+  // New nearby server: same oscillator (continue the counter timeline).
+  SyntheticLink::Config near_config = far_config;
+  near_config.d_forward = 200e-6;
+  near_config.d_backward = 150e-6;
+  SyntheticLink near_link(near_config);
+  near_link.advance(far_link.now());
+  for (int i = 0; i < 50; ++i) clock.process_exchange(near_link.next());
+  EXPECT_NEAR(clock.status().min_rtt, 200e-6 + 40e-6 + 150e-6, 30e-6);
+}
+
+TEST(ClockServerChange, OffsetSurvivesSwitchToCloserServer) {
+  // Switching servers changes Δ (so the ambiguity moves by ΔΔ/2) but must
+  // not destabilize the estimate.
+  SyntheticLink::Config config;
+  SyntheticLink link(config);
+  core::Params params;
+  params.poll_period = 16.0;
+  params.warmup_samples = 8;
+  params.offset_window = 320.0;
+  core::TscNtpClock clock(params, config.period);
+  for (int i = 0; i < 200; ++i) clock.process_exchange(link.next());
+  const Seconds before = clock.offset_estimate();
+
+  clock.notify_server_change();
+  SyntheticLink::Config closer = config;
+  closer.d_forward = 200e-6;
+  closer.d_backward = 180e-6;  // Δ: 50 µs → 20 µs
+  SyntheticLink near_link(closer);
+  near_link.advance(link.now());
+  Seconds last = 0;
+  for (int i = 0; i < 100; ++i)
+    last = clock.process_exchange(near_link.next()).offset_estimate;
+  // New ambiguity −10 µs instead of −25 µs: estimate moves by ~15 µs.
+  EXPECT_NEAR(last - before, 15e-6, 10e-6);
+}
+
+TEST(TestbedServerSwitch, IdentityChangesAtSwitchTime) {
+  sim::ScenarioConfig scenario;
+  scenario.server = sim::ServerKind::kInt;
+  scenario.duration = 2 * duration::kHour;
+  scenario.seed = 11;
+  scenario.server_switches.push_back(
+      {duration::kHour, sim::ServerKind::kLoc});
+  sim::Testbed testbed(scenario);
+  bool saw_switch = false;
+  std::uint32_t before_id = 0;
+  while (auto ex = testbed.next()) {
+    if (ex->lost) continue;
+    if (ex->truth.ta < duration::kHour) {
+      before_id = ex->server_id;
+    } else {
+      EXPECT_NE(ex->server_id, before_id);
+      saw_switch = true;
+      // The RTT level now reflects ServerLoc (0.38 ms not 0.89 ms).
+      EXPECT_LT(ex->truth.rtt(), 0.7e-3 + 20e-3);
+    }
+  }
+  EXPECT_TRUE(saw_switch);
+}
+
+TEST(TestbedServerSwitch, RttLevelDropsAfterSwitch) {
+  sim::ScenarioConfig scenario;
+  scenario.server = sim::ServerKind::kInt;
+  scenario.duration = 2 * duration::kHour;
+  scenario.seed = 13;
+  scenario.server_switches.push_back(
+      {duration::kHour, sim::ServerKind::kLoc});
+  sim::Testbed testbed(scenario);
+  double min_before = 1;
+  double min_after = 1;
+  while (auto ex = testbed.next()) {
+    if (ex->lost) continue;
+    auto& slot = ex->truth.ta < duration::kHour ? min_before : min_after;
+    slot = std::min(slot, ex->truth.rtt());
+  }
+  EXPECT_NEAR(min_before, 0.89e-3, 0.15e-3);
+  EXPECT_NEAR(min_after, 0.38e-3, 0.10e-3);
+}
+
+TEST(TestbedServerSwitch, RejectsOutOfOrderSwitches) {
+  sim::ScenarioConfig scenario;
+  scenario.server_switches.push_back({200.0, sim::ServerKind::kLoc});
+  scenario.server_switches.push_back({100.0, sim::ServerKind::kExt});
+  EXPECT_THROW(sim::Testbed{scenario}, ContractViolation);
+}
+
+TEST(EndToEnd, NotifiedClockRecoversFasterAfterSwitchToFartherServer) {
+  // Switching Int → Ext raises the minimum RTT by ~13 ms. Without
+  // notification this looks like a massive upward shift (detected only
+  // after Ts, all packets mis-rated meanwhile); with notification the
+  // filter restarts instantly.
+  const auto run = [](bool notify) {
+    sim::ScenarioConfig scenario;
+    scenario.duration = 4 * duration::kHour;
+    scenario.seed = 17;
+    scenario.server_switches.push_back(
+        {2 * duration::kHour, sim::ServerKind::kExt});
+    sim::Testbed testbed(scenario);
+    core::Params params;
+    params.poll_period = scenario.poll_period;
+    core::TscNtpClock clock(params, testbed.nominal_period());
+    core::ServerChangeDetector detector;
+    std::size_t weighted_after_switch = 0;
+    std::size_t total_after_switch = 0;
+    std::uint64_t idx = 0;
+    while (auto ex = testbed.next()) {
+      if (ex->lost) continue;
+      if (notify &&
+          detector.observe({ex->server_id, ex->server_stratum}, idx++))
+        clock.notify_server_change();
+      const auto report = clock.process_exchange(
+          {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
+      if (ex->truth.ta > 2 * duration::kHour + 600) {
+        ++total_after_switch;
+        if (report.offset_weighted) ++weighted_after_switch;
+      }
+    }
+    return std::make_pair(weighted_after_switch, total_after_switch);
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  ASSERT_GT(with.second, 100u);
+  // With notification the weighted path resumes essentially immediately.
+  EXPECT_GT(with.first * 10, with.second * 9);
+  // Without it, a large fraction of post-switch packets are mis-rated
+  // until the level-shift machinery reacts.
+  EXPECT_LT(without.first, with.first);
+}
+
+}  // namespace
+}  // namespace tscclock

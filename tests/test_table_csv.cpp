@@ -1,0 +1,87 @@
+// Tests for the reporting substrate (ASCII tables, CSV export).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace tscclock {
+namespace {
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("%8.1f", 2.5), "     2.5");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.add_row({"xxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, one row.
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TablePrinter, RejectsEmptyHeaders) {
+  EXPECT_THROW(TablePrinter({}), ContractViolation);
+}
+
+TEST(PrintHelpers, BannerAndComparison) {
+  std::ostringstream os;
+  print_banner(os, "Figure 9");
+  print_comparison(os, "median", "30us", "28us");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("==== Figure 9 ===="), std::string::npos);
+  EXPECT_NE(out.find("paper=30us"), std::string::npos);
+  EXPECT_NE(out.find("measured=28us"), std::string::npos);
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = "/tmp/tscclock_test_csv.csv";
+  {
+    CsvWriter csv(path, {"t", "value"});
+    const double row1[] = {1.0, 2.5};
+    csv.write_row(row1);
+    csv.write_row({"x", "y"});
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,value");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 2), "1,");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, RejectsWrongArity) {
+  const std::string path = "/tmp/tscclock_test_csv2.csv";
+  CsvWriter csv(path, {"a", "b"});
+  const double row[] = {1.0};
+  EXPECT_THROW(csv.write_row(row), ContractViolation);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tscclock

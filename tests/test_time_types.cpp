@@ -1,0 +1,103 @@
+// Unit tests for the time/counter vocabulary (common/time_types).
+#include "common/time_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace tscclock {
+namespace {
+
+TEST(PpmConversion, RoundTrips) {
+  EXPECT_DOUBLE_EQ(ppm(1.0), 1e-6);
+  EXPECT_DOUBLE_EQ(to_ppm(ppm(0.1)), 0.1);
+  EXPECT_DOUBLE_EQ(ppm(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ppm(-50.0), -5e-5);
+}
+
+TEST(CounterDelta, HandlesForwardDifferences) {
+  EXPECT_EQ(counter_delta(100, 40), 60);
+  EXPECT_EQ(counter_delta(40, 100), -60);
+  EXPECT_EQ(counter_delta(0, 0), 0);
+}
+
+TEST(CounterDelta, HandlesLargeCounters) {
+  const TscCount big = 4'000'000'000'000'000ULL;  // months at ~550 MHz
+  EXPECT_EQ(counter_delta(big + 123, big), 123);
+}
+
+TEST(DeltaToSeconds, ConvertsWithPeriod) {
+  const double period = 2e-9;  // 500 MHz
+  EXPECT_DOUBLE_EQ(delta_to_seconds(500'000'000, period), 1.0);
+  EXPECT_DOUBLE_EQ(delta_to_seconds(-500'000'000, period), -1.0);
+  EXPECT_NEAR(seconds_to_delta(1.0, period), 5e8, 1e-3);
+}
+
+TEST(CounterTimescale, ReadsAffine) {
+  CounterTimescale ts(1000, 5.0, 1e-3);
+  EXPECT_DOUBLE_EQ(ts.read(1000), 5.0);
+  EXPECT_DOUBLE_EQ(ts.read(2000), 6.0);
+  EXPECT_DOUBLE_EQ(ts.read(0), 4.0);
+}
+
+TEST(CounterTimescale, BetweenUsesPeriodOnly) {
+  CounterTimescale ts(1000, 5.0, 1e-3);
+  EXPECT_DOUBLE_EQ(ts.between(1000, 3000), 2.0);
+  EXPECT_DOUBLE_EQ(ts.between(3000, 1000), -2.0);
+}
+
+TEST(CounterTimescale, RebaseKeepsClockFunction) {
+  CounterTimescale ts(0, 0.0, 1e-6);
+  const Seconds before = ts.read(12345678);
+  ts.rebase(10'000'000);
+  EXPECT_DOUBLE_EQ(ts.read(12345678), before);
+  EXPECT_EQ(ts.anchor_count(), 10'000'000u);
+}
+
+TEST(CounterTimescale, PeriodChangePreservesReadingAtAnchor) {
+  CounterTimescale ts(0, 0.0, 1.0e-9);
+  const TscCount pivot = 500'000'000;
+  const Seconds at_pivot = ts.read(pivot);
+  ts.set_period_preserving_reading(pivot, 1.1e-9);
+  EXPECT_DOUBLE_EQ(ts.read(pivot), at_pivot);          // continuity
+  EXPECT_DOUBLE_EQ(ts.period(), 1.1e-9);
+  // Future readings use the new period.
+  EXPECT_NEAR(ts.read(pivot + 1'000'000) - at_pivot, 1.1e-3, 1e-12);
+}
+
+TEST(CounterTimescale, ShiftMovesWholeTimescale) {
+  CounterTimescale ts(0, 0.0, 1e-9);
+  const Seconds before = ts.read(1000);
+  ts.shift(0.5);
+  EXPECT_DOUBLE_EQ(ts.read(1000), before + 0.5);
+}
+
+TEST(CounterTimescale, RejectsNonPositivePeriod) {
+  EXPECT_THROW(CounterTimescale(0, 0.0, 0.0), ContractViolation);
+  EXPECT_THROW(CounterTimescale(0, 0.0, -1e-9), ContractViolation);
+  CounterTimescale ts(0, 0.0, 1e-9);
+  EXPECT_THROW(ts.set_period_preserving_reading(0, 0.0), ContractViolation);
+}
+
+TEST(CounterTimescale, SubNanosecondConsistencyAtMonthScale) {
+  // Differencing first keeps double error < 1 ns even at ~4e15 counts.
+  const double period = 1.822e-9;
+  CounterTimescale ts(4'000'000'000'000'000ULL, 7.0e6, period);
+  const TscCount a = 4'000'000'000'000'000ULL + 1'000'000;
+  const TscCount b = a + 548'000'000;  // ~1 s later
+  EXPECT_NEAR(ts.read(b) - ts.read(a), 548'000'000 * period, 1e-9);
+}
+
+TEST(FormatDuration, PicksAdaptiveUnits) {
+  EXPECT_EQ(format_duration(30e-6), "30.0us");
+  EXPECT_EQ(format_duration(1.5e-3), "1.500ms");
+  EXPECT_EQ(format_duration(2.0), "2.000s");
+  EXPECT_EQ(format_duration(5e-9), "5.0ns");
+}
+
+TEST(FormatRateError, QuotesPpm) {
+  EXPECT_EQ(format_rate_error(ppm(0.1)), "0.1 PPM");
+}
+
+}  // namespace
+}  // namespace tscclock

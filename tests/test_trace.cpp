@@ -1,0 +1,123 @@
+// Tests for trace persistence (sim/trace): exact round-trip of counter
+// values, format validation, and the offline-processing workflow.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/offline.hpp"
+
+namespace tscclock::sim {
+namespace {
+
+std::vector<Exchange> sample_trace(Seconds duration = 1800.0) {
+  ScenarioConfig scenario;
+  scenario.duration = duration;
+  scenario.seed = 77;
+  Testbed testbed(scenario);
+  return testbed.generate_all();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "/tmp/tscclock_trace_test.csv";
+};
+
+TEST_F(TraceTest, RoundTripIsExact) {
+  const auto original = sample_trace();
+  ASSERT_FALSE(original.empty());
+  write_trace(path_, original);
+  const auto loaded = read_trace(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t k = 0; k < original.size(); ++k) {
+    const auto& a = original[k];
+    const auto& b = loaded[k];
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.lost, b.lost);
+    // Counter values are integers and must survive exactly.
+    EXPECT_EQ(a.ta_counts, b.ta_counts);
+    EXPECT_EQ(a.tf_counts, b.tf_counts);
+    EXPECT_EQ(a.tf_counts_corrected, b.tf_counts_corrected);
+    EXPECT_EQ(a.server_id, b.server_id);
+    EXPECT_EQ(a.server_stratum, b.server_stratum);
+    // Seconds survive to sub-ns at these magnitudes.
+    EXPECT_NEAR(a.tb_stamp, b.tb_stamp, 1e-9);
+    EXPECT_NEAR(a.te_stamp, b.te_stamp, 1e-9);
+    EXPECT_NEAR(a.tg, b.tg, 1e-9);
+    EXPECT_NEAR(a.truth.tf, b.truth.tf, 1e-9);
+  }
+}
+
+TEST_F(TraceTest, EmptyTraceRoundTrips) {
+  write_trace(path_, {});
+  EXPECT_TRUE(read_trace(path_).empty());
+}
+
+TEST_F(TraceTest, RejectsMissingFile) {
+  EXPECT_THROW(read_trace("/tmp/definitely_missing_tscclock.csv"),
+               std::runtime_error);
+}
+
+TEST_F(TraceTest, RejectsBadHeader) {
+  std::ofstream out(path_);
+  out << "not,a,trace\n";
+  out.close();
+  EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceTest, RejectsCorruptRow) {
+  const auto original = sample_trace(600.0);
+  write_trace(path_, original);
+  std::ofstream out(path_, std::ios::app);
+  out << "1,0,not_a_number,0,0,0,0,1,0,1,1,0,0,0,0,0,0,0\n";
+  out.close();
+  EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceTest, RejectsWrongArity) {
+  const auto original = sample_trace(600.0);
+  write_trace(path_, original);
+  std::ofstream out(path_, std::ios::app);
+  out << "1,2,3\n";
+  out.close();
+  EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceTest, SupportsOfflineWorkflow) {
+  // The intended pipeline: generate → persist → reload → smooth offline.
+  ScenarioConfig scenario;
+  scenario.duration = 2 * duration::kHour;
+  scenario.seed = 99;
+  Testbed testbed(scenario);
+  write_trace(path_, testbed.generate_all());
+
+  const auto loaded = read_trace(path_);
+  std::vector<core::RawExchange> raws;
+  for (const auto& ex : loaded) {
+    if (ex.lost) continue;
+    raws.push_back({ex.ta_counts, ex.tb_stamp, ex.te_stamp, ex.tf_counts});
+  }
+  core::Params params;
+  params.poll_period = scenario.poll_period;
+  const auto result = core::smooth_offsets(
+      raws, params, 1.0 / 548.6552e6);
+  EXPECT_EQ(result.offsets.size(), raws.size());
+  // Smoothed offsets track the reference within tens of µs.
+  std::size_t checked = 0;
+  std::size_t idx = 0;
+  for (const auto& ex : loaded) {
+    if (ex.lost) continue;
+    const std::size_t k = idx++;
+    if (!ex.ref_available || k < 50) continue;
+    const Seconds theta_g = result.timescale.read(ex.tf_counts) - ex.tg;
+    EXPECT_NEAR(result.offsets[k], theta_g, 120e-6);
+    ++checked;
+  }
+  EXPECT_GT(checked, 300u);
+}
+
+}  // namespace
+}  // namespace tscclock::sim

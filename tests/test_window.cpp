@@ -1,0 +1,114 @@
+// Tests for the top-level sliding window (paper §6.1 "Windowing").
+#include "core/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tscclock::core {
+namespace {
+
+Params test_params() {
+  Params p;
+  p.poll_period = 16.0;
+  p.top_window = 16.0 * 20;  // 20-packet top window for tight tests
+  // Keep the cross-field invariant top_window >= local_rate_window.
+  p.local_rate_window = 16.0 * 10;
+  p.gap_threshold = 16.0 * 5;
+  p.shift_window = 16.0 * 5;
+  return p;
+}
+
+PacketRecord make_record(std::uint64_t seq, TscDelta rtt) {
+  PacketRecord rec;
+  rec.seq = seq;
+  rec.rtt = rtt;
+  rec.stamps.ta = 1000 * seq;
+  rec.stamps.tf = 1000 * seq + static_cast<TscCount>(rtt);
+  return rec;
+}
+
+TEST(TopWindow, NoUpdateUntilFull) {
+  TopWindow w(test_params());
+  for (std::uint64_t i = 0; i < 19; ++i) {
+    const auto u = w.add(make_record(i, 1000), 0);
+    EXPECT_FALSE(u.triggered);
+  }
+  EXPECT_EQ(w.stored(), 19u);
+}
+
+TEST(TopWindow, UpdateDiscardsOldestHalf) {
+  TopWindow w(test_params());
+  TopWindow::Update update;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    update = w.add(make_record(i, 1000 + static_cast<TscDelta>(i)), 0);
+  EXPECT_TRUE(update.triggered);
+  EXPECT_EQ(w.stored(), 10u);
+  EXPECT_EQ(update.oldest_seq, 10u);
+  EXPECT_EQ(w.updates(), 1u);
+}
+
+TEST(TopWindow, NewMinimumFromRetainedHalf) {
+  TopWindow w(test_params());
+  TopWindow::Update update;
+  // Oldest half has the global min (900); retained half bottoms at 1000.
+  for (std::uint64_t i = 0; i < 10; ++i)
+    update = w.add(make_record(i, 900 + static_cast<TscDelta>(i)), 0);
+  for (std::uint64_t i = 10; i < 20; ++i)
+    update = w.add(make_record(i, 1000 + static_cast<TscDelta>(i)), 0);
+  ASSERT_TRUE(update.triggered);
+  EXPECT_EQ(update.new_rhat, 1010);  // min of retained half
+}
+
+TEST(TopWindow, MinRespectsShiftPoint) {
+  TopWindow w(test_params());
+  TopWindow::Update update;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    update = w.add(make_record(i, i < 15 ? 1000 : 2000), /*min_valid_seq=*/15);
+  ASSERT_TRUE(update.triggered);
+  // Only packets with seq >= 15 count: minimum is the post-shift level.
+  EXPECT_EQ(update.new_rhat, 2000);
+}
+
+TEST(TopWindow, MinFallsBackWhenNoPacketBeyondShiftPoint) {
+  TopWindow w(test_params());
+  TopWindow::Update update;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    update = w.add(make_record(i, 1000), /*min_valid_seq=*/1000);
+  ASSERT_TRUE(update.triggered);
+  EXPECT_EQ(update.new_rhat, 1000);  // all-retained fallback
+}
+
+TEST(TopWindow, AnchorCandidateFromOldestQuarterBestQuality) {
+  TopWindow w(test_params());
+  TopWindow::Update update;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    // Retained half = seqs 10..19; its oldest quarter = seqs 10,11.
+    const TscDelta rtt = (i == 11) ? 500 : 1000;
+    update = w.add(make_record(i, rtt), 0);
+  }
+  ASSERT_TRUE(update.triggered);
+  ASSERT_TRUE(update.anchor_candidate.has_value());
+  EXPECT_EQ(update.anchor_candidate->seq, 11u);
+  EXPECT_EQ(update.anchor_error_counts, 0);  // it *is* the minimum
+}
+
+TEST(TopWindow, RepeatedUpdatesEveryHalfWindow) {
+  TopWindow w(test_params());
+  int updates = 0;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    if (w.add(make_record(i, 1000), 0).triggered) ++updates;
+  // First at 20, then every 10 packets: (100-20)/10 + 1 = 9.
+  EXPECT_EQ(updates, 9);
+  EXPECT_EQ(w.updates(), 9u);
+}
+
+TEST(TopWindow, AnchorErrorNonNegative) {
+  TopWindow w(test_params());
+  TopWindow::Update update;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    update = w.add(make_record(i, 1500 - static_cast<TscDelta>(i * 10)), 0);
+  ASSERT_TRUE(update.triggered);
+  EXPECT_GE(update.anchor_error_counts, 0);
+}
+
+}  // namespace
+}  // namespace tscclock::core

@@ -1,0 +1,225 @@
+// Tests for the NTP wire substrate: byte buffers, timestamp formats and the
+// 48-byte packet codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "wire/buffer.hpp"
+#include "wire/ntp_packet.hpp"
+#include "wire/ntp_timestamp.hpp"
+
+namespace tscclock::wire {
+namespace {
+
+// ---------------------------------------------------------------- buffers
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  w.u64(0x0708090a0b0c0d0eULL);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 14u);
+  EXPECT_EQ(d[0], 0x01);
+  EXPECT_EQ(d[1], 0x02);
+  EXPECT_EQ(d[2], 0x03);
+  EXPECT_EQ(d[5], 0x06);
+  EXPECT_EQ(d[6], 0x07);
+  EXPECT_EQ(d[13], 0x0e);
+}
+
+TEST(ByteReaderWriter, RoundTripsAllWidths) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xcdef);
+  w.u32(0x01234567);
+  w.u64(0x89abcdef01234567ULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xcdef);
+  EXPECT_EQ(r.u32(), 0x01234567u);
+  EXPECT_EQ(r.u64(), 0x89abcdef01234567ULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, ThrowsPastEnd) {
+  std::vector<std::uint8_t> data{1, 2, 3};
+  ByteReader r(data);
+  r.u16();
+  EXPECT_THROW(r.u16(), BufferError);
+}
+
+TEST(ByteWriter, BytesAppends) {
+  ByteWriter w;
+  const std::uint8_t raw[] = {9, 8, 7};
+  w.bytes(raw);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.data()[2], 7);
+}
+
+// ------------------------------------------------------------- timestamps
+TEST(NtpTimestamp, PackedRoundTrip) {
+  NtpTimestamp ts{0x12345678, 0x9abcdef0};
+  EXPECT_EQ(NtpTimestamp::from_packed(ts.packed()), ts);
+}
+
+TEST(NtpTimestamp, SecondsRoundTripToResolution) {
+  const Seconds values[] = {0.0, 1.5, 1234567.875, 4.2e9};
+  for (Seconds v : values) {
+    const Seconds rt = from_ntp_timestamp(to_ntp_timestamp(v));
+    const double wrapped = std::fmod(v, 4294967296.0);
+    EXPECT_NEAR(rt, wrapped, kNtpTimestampResolution);
+  }
+}
+
+TEST(NtpTimestamp, FractionCarryPropagates) {
+  // A value infinitesimally below a whole second must not produce
+  // fraction overflow.
+  const Seconds v = 2.0 - 1e-12;
+  const auto ts = to_ntp_timestamp(v);
+  EXPECT_EQ(ts.seconds, 2u);
+  EXPECT_EQ(ts.fraction, 0u);
+}
+
+TEST(NtpTimestamp, ZeroDetection) {
+  EXPECT_TRUE(NtpTimestamp{}.is_zero());
+  EXPECT_FALSE((NtpTimestamp{1, 0}).is_zero());
+  EXPECT_FALSE((NtpTimestamp{0, 1}).is_zero());
+}
+
+TEST(NtpTimestamp, EpochConversionsAreSubNanosecond) {
+  // The whole point of the epoch-relative helpers: double-precision error
+  // must not appear even at 2004-era values (~3.3e9 s).
+  constexpr std::uint32_t epoch = 3'297'000'000u;
+  const Seconds values[] = {0.0, 1e-6, 16.000000123, 7.9e6 + 0.123456789};
+  for (Seconds v : values) {
+    const auto ts = to_ntp_timestamp_at_epoch(v, epoch);
+    const Seconds rt = from_ntp_timestamp_at_epoch(ts, epoch);
+    EXPECT_NEAR(rt, v, 1e-9) << v;
+  }
+}
+
+TEST(NtpTimestamp, EpochConversionRejectsEraOverflow) {
+  constexpr std::uint32_t epoch = 4'294'967'000u;
+  EXPECT_THROW(to_ntp_timestamp_at_epoch(1000.0, epoch),
+               tscclock::ContractViolation);
+}
+
+TEST(NtpShort, RoundTrip) {
+  const Seconds values[] = {0.0, 0.5, 1.25, 100.0078125};
+  for (Seconds v : values)
+    EXPECT_NEAR(from_ntp_short(to_ntp_short(v)), v, 1.0 / 65536.0);
+}
+
+TEST(NtpShort, RejectsOutOfRange) {
+  EXPECT_THROW(to_ntp_short(-1.0), tscclock::ContractViolation);
+  EXPECT_THROW(to_ntp_short(70000.0), tscclock::ContractViolation);
+}
+
+// ---------------------------------------------------------------- packets
+NtpPacket sample_packet() {
+  NtpPacket p;
+  p.leap = LeapIndicator::kNoWarning;
+  p.version = 4;
+  p.mode = NtpMode::kServer;
+  p.stratum = 1;
+  p.poll = 6;
+  p.precision = -20;
+  p.root_delay = to_ntp_short(0.015);
+  p.root_dispersion = to_ntp_short(0.001);
+  p.reference_id = reference_id_from_string("GPS");
+  p.reference_time = {100, 200};
+  p.origin_time = {101, 201};
+  p.receive_time = {102, 202};
+  p.transmit_time = {103, 203};
+  return p;
+}
+
+TEST(NtpPacket, EncodeIs48Bytes) {
+  EXPECT_EQ(encode(sample_packet()).size(), kNtpPacketSize);
+}
+
+TEST(NtpPacket, EncodeDecodeRoundTrip) {
+  const auto p = sample_packet();
+  EXPECT_EQ(decode(encode(p)), p);
+}
+
+TEST(NtpPacket, FirstByteLayout) {
+  auto p = sample_packet();
+  p.leap = LeapIndicator::kUnsynchronized;  // 3 << 6
+  p.version = 4;                            // 4 << 3
+  p.mode = NtpMode::kClient;                // 3
+  const auto bytes = encode(p);
+  EXPECT_EQ(bytes[0], (3 << 6) | (4 << 3) | 3);
+}
+
+TEST(NtpPacket, DecodeRejectsShortInput) {
+  std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_THROW(decode(tiny), PacketError);
+}
+
+TEST(NtpPacket, DecodeRejectsBadVersion) {
+  auto bytes = encode(sample_packet());
+  bytes[0] = (bytes[0] & ~0x38) | (7 << 3);  // version 7
+  EXPECT_THROW(decode(bytes), PacketError);
+}
+
+TEST(NtpPacket, DecodeRejectsReservedMode) {
+  auto bytes = encode(sample_packet());
+  bytes[0] = bytes[0] & ~0x07;  // mode 0
+  EXPECT_THROW(decode(bytes), PacketError);
+}
+
+TEST(NtpPacket, ReferenceIdPacksAscii) {
+  EXPECT_EQ(reference_id_from_string("GPS"),
+            (std::uint32_t('G') << 24) | (std::uint32_t('P') << 16) |
+                (std::uint32_t('S') << 8));
+  EXPECT_EQ(reference_id_from_string("ATOM"),
+            (std::uint32_t('A') << 24) | (std::uint32_t('T') << 16) |
+                (std::uint32_t('O') << 8) | std::uint32_t('M'));
+}
+
+TEST(NtpPacket, ClientRequestShape) {
+  const auto req = make_client_request({55, 66}, 4);
+  EXPECT_EQ(req.mode, NtpMode::kClient);
+  EXPECT_EQ(req.transmit_time, (NtpTimestamp{55, 66}));
+  EXPECT_EQ(req.poll, 4);
+  EXPECT_EQ(req.stratum, 0);
+}
+
+TEST(NtpPacket, ServerReplyEchoesOrigin) {
+  const auto req = make_client_request({55, 66}, 4);
+  const auto rep = make_server_reply(req, {70, 0}, {70, 500}, 1,
+                                     reference_id_from_string("GPS"));
+  EXPECT_EQ(rep.mode, NtpMode::kServer);
+  EXPECT_EQ(rep.origin_time, req.transmit_time);  // Ta echoed
+  EXPECT_EQ(rep.receive_time, (NtpTimestamp{70, 0}));
+  EXPECT_EQ(rep.transmit_time, (NtpTimestamp{70, 500}));
+  EXPECT_EQ(rep.stratum, 1);
+}
+
+TEST(NtpPacket, ServerReplyRequiresClientMode) {
+  auto req = make_client_request({1, 2}, 4);
+  req.mode = NtpMode::kBroadcast;
+  EXPECT_THROW(make_server_reply(req, {1, 0}, {1, 1}, 1, 0),
+               tscclock::ContractViolation);
+}
+
+TEST(NtpPacket, WireRoundTripPreservesServerStampsExactly) {
+  // The full exchange path used by the testbed: epoch conversion → packet →
+  // bytes → packet → epoch conversion, exact to one wire LSB.
+  constexpr std::uint32_t epoch = 3'297'000'000u;
+  const Seconds tb = 123456.000001234;
+  const Seconds te = 123456.000041234;
+  const auto req = make_client_request(to_ntp_timestamp_at_epoch(0.0, epoch), 4);
+  const auto rep = make_server_reply(
+      decode(encode(req)), to_ntp_timestamp_at_epoch(tb, epoch),
+      to_ntp_timestamp_at_epoch(te, epoch), 1, 0);
+  const auto rx = decode(encode(rep));
+  EXPECT_NEAR(from_ntp_timestamp_at_epoch(rx.receive_time, epoch), tb, 1e-9);
+  EXPECT_NEAR(from_ntp_timestamp_at_epoch(rx.transmit_time, epoch), te, 1e-9);
+}
+
+}  // namespace
+}  // namespace tscclock::wire

@@ -1,0 +1,123 @@
+// Property suites for the NTP wire substrate: round-trip exactness across
+// value sweeps, and decode robustness against arbitrary byte patterns
+// (malformed input must throw, never crash or mis-parse silently).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "wire/ntp_packet.hpp"
+#include "wire/ntp_timestamp.hpp"
+
+namespace tscclock::wire {
+namespace {
+
+// ---------------------------------------------------- timestamp round trip
+class TimestampRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimestampRoundTrip, ExactToOneLsb) {
+  const Seconds value = GetParam();
+  const auto ts = to_ntp_timestamp(value);
+  EXPECT_NEAR(from_ntp_timestamp(ts), std::fmod(value, 4294967296.0),
+              kNtpTimestampResolution);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, TimestampRoundTrip,
+    ::testing::Values(0.0, 1e-9, 0.5, 1.0, 16.000001, 3600.0, 86400.25,
+                      3.3e9, 4.294967295e9));
+
+class EpochRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpochRoundTrip, SubNanosecond) {
+  constexpr std::uint32_t epoch = 3'297'000'000u;
+  const Seconds value = GetParam();
+  const auto ts = to_ntp_timestamp_at_epoch(value, epoch);
+  EXPECT_NEAR(from_ntp_timestamp_at_epoch(ts, epoch), value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, EpochRoundTrip,
+    ::testing::Values(0.0, 1e-6, 1.0, 16.123456789, 86400.0, 7.9e6,
+                      7.9e6 + 1e-6));
+
+// -------------------------------------------------------- random packets
+TEST(PacketProperties, RandomPacketsRoundTrip) {
+  Rng rng(404);
+  for (int trial = 0; trial < 2000; ++trial) {
+    NtpPacket p;
+    p.leap = static_cast<LeapIndicator>(rng.engine()() % 4);
+    p.version = static_cast<std::uint8_t>(1 + rng.engine()() % 4);
+    p.mode = static_cast<NtpMode>(1 + rng.engine()() % 7);
+    p.stratum = static_cast<std::uint8_t>(rng.engine()());
+    p.poll = static_cast<std::int8_t>(rng.engine()());
+    p.precision = static_cast<std::int8_t>(rng.engine()());
+    p.root_delay = NtpShort::from_packed(
+        static_cast<std::uint32_t>(rng.engine()()));
+    p.root_dispersion = NtpShort::from_packed(
+        static_cast<std::uint32_t>(rng.engine()()));
+    p.reference_id = static_cast<std::uint32_t>(rng.engine()());
+    p.reference_time = NtpTimestamp::from_packed(rng.engine()());
+    p.origin_time = NtpTimestamp::from_packed(rng.engine()());
+    p.receive_time = NtpTimestamp::from_packed(rng.engine()());
+    p.transmit_time = NtpTimestamp::from_packed(rng.engine()());
+    ASSERT_EQ(decode(encode(p)), p) << "trial " << trial;
+  }
+}
+
+TEST(PacketProperties, ArbitraryBytesNeverCrash) {
+  // Decode of random 48-byte buffers either succeeds (structurally valid)
+  // or throws PacketError — never UB, never a partial parse.
+  Rng rng(808);
+  int ok = 0;
+  int rejected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::array<std::uint8_t, kNtpPacketSize> bytes{};
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.engine()());
+    try {
+      const auto p = decode(bytes);
+      // If it parsed, re-encoding must reproduce the input exactly.
+      EXPECT_EQ(encode(p), bytes);
+      ++ok;
+    } catch (const PacketError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(ok + rejected, 5000);
+}
+
+TEST(PacketProperties, TruncatedBuffersAlwaysThrow) {
+  const auto full = encode(make_client_request({1, 2}, 4));
+  for (std::size_t len = 0; len < kNtpPacketSize; ++len) {
+    std::vector<std::uint8_t> truncated(full.begin(),
+                                        full.begin() + static_cast<long>(len));
+    EXPECT_THROW(decode(truncated), PacketError) << "length " << len;
+  }
+}
+
+TEST(PacketProperties, OversizedBuffersIgnoreTrailingBytes) {
+  // Real UDP datagrams may carry extensions/MAC after the 48-byte header;
+  // decode parses the header and ignores the rest.
+  const auto p = make_client_request({9, 9}, 6);
+  const auto bytes = encode(p);
+  std::vector<std::uint8_t> oversized(bytes.begin(), bytes.end());
+  oversized.resize(kNtpPacketSize + 20, 0xab);
+  EXPECT_EQ(decode(oversized), p);
+}
+
+// ------------------------------------------------------------ short format
+class ShortRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShortRoundTrip, WithinOneLsb) {
+  const Seconds value = GetParam();
+  EXPECT_NEAR(from_ntp_short(to_ntp_short(value)), value, 1.0 / 65536.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ShortRoundTrip,
+                         ::testing::Values(0.0, 1.0 / 65536.0, 0.015, 1.0,
+                                           100.5, 65535.99));
+
+}  // namespace
+}  // namespace tscclock::wire
