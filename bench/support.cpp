@@ -4,6 +4,9 @@
 
 namespace tscclock::bench {
 
+// The sweep engine's run_scenario (src/sweep/sweep.cpp) mirrors this drive
+// loop; changes to the exchange-processing sequence here should be applied
+// there too.
 RunResult run_clock(sim::Testbed& testbed, const core::Params& params,
                     Seconds discard_warmup_s) {
   RunResult result;
@@ -69,9 +72,7 @@ std::vector<std::string> percentile_headers(const std::string& first) {
 }
 
 core::Params params_for(const sim::ScenarioConfig& scenario) {
-  core::Params p;
-  p.poll_period = scenario.poll_period;
-  return p;
+  return core::Params::for_poll_period(scenario.poll_period);
 }
 
 }  // namespace tscclock::bench

@@ -123,6 +123,10 @@ class Testbed {
   /// Drain the whole configured duration.
   std::vector<Exchange> generate_all();
 
+  /// Poll slots enumerated so far, including outage-skipped ones (after a
+  /// full drain: the total slot count of the configured duration).
+  [[nodiscard]] std::uint64_t polls_enumerated() const { return poll_index_; }
+
   [[nodiscard]] const ScenarioConfig& config() const { return config_; }
   [[nodiscard]] const Oscillator& oscillator() const { return oscillator_; }
   [[nodiscard]] Oscillator& oscillator() { return oscillator_; }

@@ -1,0 +1,90 @@
+#include "sweep/scenario_grid.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/contracts.hpp"
+#include "common/table.hpp"
+
+namespace tscclock::sweep {
+
+namespace {
+
+/// FNV-1a 64-bit over the identity string.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer: spreads related inputs (master ^ hash) across the
+/// full 64-bit space so mt19937_64 seeds are well decorrelated.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string scenario_name(sim::ServerKind server, sim::Environment environment,
+                          Seconds poll_period, const std::string& schedule) {
+  return sim::to_string(server) + "/" + sim::to_string(environment) + "/" +
+         strfmt("poll%g", poll_period) + "/" + schedule;
+}
+
+std::uint64_t scenario_seed(std::uint64_t master_seed,
+                            const std::string& identity) {
+  return splitmix64(master_seed ^ fnv1a(identity));
+}
+
+std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
+  TSC_EXPECTS(!grid.servers.empty());
+  TSC_EXPECTS(!grid.environments.empty());
+  TSC_EXPECTS(!grid.poll_periods.empty());
+  TSC_EXPECTS(!grid.schedules.empty());
+  TSC_EXPECTS(grid.duration > 0.0);
+  for (const auto poll : grid.poll_periods) TSC_EXPECTS(poll >= kMinPollPeriod);
+
+  std::vector<SweepScenario> scenarios;
+  scenarios.reserve(grid.size());
+  std::set<std::string> seen_names;
+  for (const auto server : grid.servers) {
+    for (const auto environment : grid.environments) {
+      for (const auto poll : grid.poll_periods) {
+        for (const auto& schedule : grid.schedules) {
+          SweepScenario scenario;
+          scenario.index = scenarios.size();
+          scenario.name =
+              scenario_name(server, environment, poll, schedule.name);
+          // Identity = name = seed derivation input: a duplicate axis value
+          // (or two schedules sharing a name) would silently collapse two
+          // cells onto one RNG stream.
+          TSC_EXPECTS(seen_names.insert(scenario.name).second);
+
+          sim::ScenarioConfig& config = scenario.config;
+          config.server = server;
+          config.environment = environment;
+          config.poll_period = poll;
+          // Poll jitter must stay strictly inside half the poll period
+          // (Testbed contract); clamp for short poll periods.
+          config.poll_jitter = std::min(grid.poll_jitter, poll / 4);
+          config.duration = grid.duration;
+          config.use_wire_format = grid.use_wire_format;
+          config.events = schedule.events;
+          config.server_switches = schedule.server_switches;
+          config.seed = scenario_seed(grid.master_seed, scenario.name);
+
+          scenarios.push_back(std::move(scenario));
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+}  // namespace tscclock::sweep

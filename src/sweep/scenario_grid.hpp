@@ -1,0 +1,79 @@
+// Grid expansion for the multi-scenario sweep (paper §6 / Table 2 campaign).
+//
+// A GridSpec is the cartesian product
+//
+//   servers × environments × poll periods × schedule variants
+//
+// expanded into concrete ScenarioConfigs. Each scenario's RNG seed is derived
+// from the master seed and the scenario's *identity* (its descriptor string),
+// never from its position in the expanded list: reordering the grid axes, or
+// adding a new axis value, cannot silently re-seed existing scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "sim/events.hpp"
+#include "sim/scenario.hpp"
+
+namespace tscclock::sweep {
+
+/// One named fault/switch plan applied to every grid cell it appears in.
+/// An empty variant ("steady") runs the plain scenario.
+struct ScheduleVariant {
+  std::string name = "steady";
+  sim::EventSchedule events;
+  std::vector<sim::ScenarioConfig::ServerSwitch> server_switches;
+};
+
+/// Smallest poll period the sweep accepts. The simulated paths have ms-scale
+/// minimum delays with heavy-tailed (Pareto) spikes; polling faster than this
+/// can schedule the next poll before the previous exchange has fully arrived,
+/// violating the oscillator's monotonic-read contract mid-trace.
+constexpr Seconds kMinPollPeriod = 1.0;
+
+/// The sweep's cartesian grid plus the scalar knobs shared by every cell.
+struct GridSpec {
+  std::vector<sim::ServerKind> servers = {
+      sim::ServerKind::kLoc, sim::ServerKind::kInt, sim::ServerKind::kExt};
+  std::vector<sim::Environment> environments = {
+      sim::Environment::kLaboratory, sim::Environment::kMachineRoom};
+  std::vector<Seconds> poll_periods = {16.0, 64.0};
+  std::vector<ScheduleVariant> schedules = {ScheduleVariant{}};
+
+  Seconds duration = duration::kDay;
+  Seconds poll_jitter = 0.25;
+  bool use_wire_format = true;
+  std::uint64_t master_seed = 42;
+
+  [[nodiscard]] std::size_t size() const {
+    return servers.size() * environments.size() * poll_periods.size() *
+           schedules.size();
+  }
+};
+
+/// One expanded grid cell, ready to drive a Testbed.
+struct SweepScenario {
+  std::size_t index = 0;  ///< position in the expanded grid (reporting order)
+  std::string name;       ///< canonical descriptor, e.g. "ServerInt/machine-room/poll16/steady"
+  sim::ScenarioConfig config;
+};
+
+/// Canonical descriptor of a grid cell; doubles as the seed-derivation
+/// identity, so it must depend only on what the scenario *is*.
+std::string scenario_name(sim::ServerKind server, sim::Environment environment,
+                          Seconds poll_period, const std::string& schedule);
+
+/// Deterministic per-scenario seed: splitmix64 finalization of the master
+/// seed XOR an FNV-1a hash of the identity string. Independent of grid
+/// enumeration order by construction.
+std::uint64_t scenario_seed(std::uint64_t master_seed,
+                            const std::string& identity);
+
+/// Expand the cartesian product in deterministic axis order
+/// (servers → environments → poll periods → schedules).
+std::vector<SweepScenario> expand_grid(const GridSpec& grid);
+
+}  // namespace tscclock::sweep

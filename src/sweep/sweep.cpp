@@ -1,0 +1,279 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <span>
+
+#include "common/allan.hpp"
+#include "common/table.hpp"
+#include "core/server_change.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace tscclock::sweep {
+
+namespace {
+
+/// ADEV averaging factors: τ = factor · poll period. Shared between the tau
+/// labelling in run_scenario and the factor list in fill_adev — the two are
+/// matched by exact float tau equality, so they must come from one place.
+constexpr std::size_t kAdevShortFactor = 16;
+constexpr std::size_t kAdevLongFactor = 256;
+
+/// Fill both ADEV scales from one resampled series; allan_deviation skips
+/// factors the trace is too short to support, leaving the 0 sentinel.
+///
+/// Computed over the longest stretch free of gaps > 4·tau0: interpolating
+/// across an outage would fabricate collinear samples whose second
+/// differences are exactly zero, biasing ADEV low for precisely the
+/// robustness schedules the sweep is meant to compare. Ordinary packet loss
+/// (a 2·tau0 hole) stays within one stretch.
+void fill_adev(const std::vector<double>& times,
+               const std::vector<double>& errors, double tau0,
+               ScenarioResult& result) {
+  if (times.size() < 3) return;
+  std::size_t best_begin = 0;
+  std::size_t best_len = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= times.size(); ++i) {
+    if (i == times.size() || times[i] - times[i - 1] > 4 * tau0) {
+      if (i - begin > best_len) {
+        best_len = i - begin;
+        best_begin = begin;
+      }
+      begin = i;
+    }
+  }
+  if (best_len < 3) return;
+  const std::span<const double> seg_times(times.data() + best_begin, best_len);
+  const std::span<const double> seg_errors(errors.data() + best_begin,
+                                           best_len);
+  const auto regular = resample_linear(seg_times, seg_errors, tau0);
+  const std::size_t factors[] = {kAdevShortFactor, kAdevLongFactor};
+  for (const auto& point : allan_deviation(regular, tau0, factors)) {
+    if (point.tau == result.adev_short_tau) result.adev_short = point.deviation;
+    if (point.tau == result.adev_long_tau) result.adev_long = point.deviation;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Seed a result with the scenario's identity/grid coordinates (shared by
+/// the success and failure paths so FAILED rows group correctly).
+ScenarioResult result_for(const SweepScenario& scenario) {
+  ScenarioResult result;
+  result.scenario_index = scenario.index;
+  result.name = scenario.name;
+  result.seed = scenario.config.seed;
+  result.server = scenario.config.server;
+  result.environment = scenario.config.environment;
+  return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const SweepScenario& scenario,
+                            Seconds discard_warmup) {
+  ScenarioResult result = result_for(scenario);
+
+  // Drive loop closely mirrors bench::run_clock (bench/support.cpp) with two
+  // deliberate differences: server changes are forwarded to the clock (the
+  // sweep grid includes switching schedules; the figure benches don't), and
+  // warm-up is cut on the observable tb_stamp rather than ground truth.
+  // Keep the exchange-processing sequence in step with that loop.
+  sim::Testbed testbed(scenario.config);
+  const core::Params params =
+      core::Params::for_poll_period(scenario.config.poll_period);
+  core::TscNtpClock clock(params, testbed.nominal_period());
+  core::ServerChangeDetector server_changes;
+
+  std::vector<double> times;          ///< server receive stamps [s]
+  std::vector<double> clock_errors;   ///< Ca(Tf) − Tg
+  std::vector<double> offset_errors;  ///< θ̂ − θg
+
+  while (auto ex = testbed.next()) {
+    ++result.exchanges;
+    if (ex->lost) {
+      ++result.lost;
+      continue;
+    }
+
+    // Identity tracking on the transport-level endpoint id (≈ the server
+    // address, which a real client knows because it chose the server —
+    // §6.1's campaign re-pointed the daemon explicitly). Not the NTP
+    // reference-id field: that can be identical across distinct servers
+    // (kInt and kLoc both report "GPS"). A change restarts the RTT filter
+    // and deweights the offset window.
+    if (server_changes.observe(
+            core::ServerIdentity{ex->server_id, ex->server_stratum},
+            ex->index)) {
+      clock.notify_server_change();
+    }
+
+    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
+                                ex->tf_counts};
+    const auto report = clock.process_exchange(raw);
+    if (!ex->ref_available) continue;
+    if (ex->tb_stamp < discard_warmup) continue;
+
+    ++result.evaluated;
+    const Seconds reference_offset =
+        clock.uncorrected_time(ex->tf_counts) - ex->tg;
+    times.push_back(ex->tb_stamp);
+    clock_errors.push_back(clock.absolute_time(ex->tf_counts) - ex->tg);
+    offset_errors.push_back(report.offset_estimate - reference_offset);
+  }
+
+  // The testbed owns the slot arithmetic; reading its counter after the
+  // drain keeps polls/skipped exact by construction.
+  result.polls = static_cast<std::size_t>(testbed.polls_enumerated());
+  result.skipped = result.polls - result.exchanges;
+  // A trace can end with no evaluable points (warm-up discard covering the
+  // whole duration, or total loss); summarize() requires a non-empty series.
+  if (!clock_errors.empty()) result.clock_error = summarize(clock_errors);
+  if (!offset_errors.empty()) result.offset_error = summarize(offset_errors);
+
+  const double poll = scenario.config.poll_period;
+  result.adev_short_tau = static_cast<double>(kAdevShortFactor) * poll;
+  result.adev_long_tau = static_cast<double>(kAdevLongFactor) * poll;
+  fill_adev(times, clock_errors, poll, result);
+
+  result.final_status = clock.status();
+  return result;
+}
+
+namespace {
+
+ScenarioResult failed_result(const SweepScenario& scenario,
+                             std::string error) {
+  ScenarioResult result = result_for(scenario);
+  result.failed = true;
+  result.error = std::move(error);
+  return result;
+}
+
+}  // namespace
+
+ScenarioSweep::ScenarioSweep(GridSpec grid)
+    : grid_(std::move(grid)), scenarios_(expand_grid(grid_)) {}
+
+std::vector<ScenarioResult> ScenarioSweep::run(
+    const SweepOptions& options) const {
+  std::vector<ScenarioResult> results(scenarios_.size());
+  // No point spawning more workers than there are scenarios.
+  ThreadPool pool(std::min(ThreadPool::resolve_thread_count(options.threads),
+                           scenarios_.size()));
+  const Seconds warmup = options.discard_warmup;
+  parallel_for(pool, scenarios_.size(), [&](std::size_t i) {
+    // Contain failures to their grid cell: one throwing scenario must not
+    // discard the rest of a long sweep.
+    try {
+      results[i] = run_scenario(scenarios_[i], warmup);
+    } catch (const std::exception& e) {
+      results[i] = failed_result(scenarios_[i], e.what());
+    } catch (...) {
+      results[i] = failed_result(scenarios_[i], "unknown exception");
+    }
+  });
+  return results;
+}
+
+namespace {
+
+/// Medians-of-medians aggregate for one group key (server kind or
+/// environment).
+struct GroupAggregate {
+  std::vector<double> medians;       ///< per-scenario |median| clock error
+  std::vector<double> tails;         ///< per-scenario worst |tail| clock error
+  std::size_t scenarios = 0;
+  std::size_t evaluated = 0;
+  std::size_t lost = 0;
+};
+
+void add_to_group(GroupAggregate& group, const ScenarioResult& r) {
+  ++group.scenarios;
+  group.evaluated += r.evaluated;
+  group.lost += r.lost;
+  // A scenario with no evaluable points has no error summary; counting its
+  // zero-initialized percentiles would misread total data loss as perfect
+  // synchronization.
+  if (r.evaluated == 0) return;
+  group.medians.push_back(std::fabs(r.clock_error.percentiles.p50));
+  // The error distributions are negatively biased (asymmetric forward
+  // paths), so the worst tail can sit at either percentile extreme.
+  group.tails.push_back(std::max(std::fabs(r.clock_error.percentiles.p01),
+                                 std::fabs(r.clock_error.percentiles.p99)));
+}
+
+void print_group_table(std::ostream& os, const std::string& axis,
+                       const std::map<std::string, GroupAggregate>& groups) {
+  TablePrinter table({axis, "scenarios", "evaluated", "lost",
+                      "median |err| [us]", "worst |tail| [us]"});
+  for (const auto& [key, group] : groups) {
+    const bool has_data = !group.medians.empty();
+    table.add_row(
+        {key, strfmt("%zu", group.scenarios), strfmt("%zu", group.evaluated),
+         strfmt("%zu", group.lost),
+         has_data ? strfmt("%.1f", percentile(group.medians, 0.5) * 1e6)
+                  : std::string("n/a"),
+         has_data ? strfmt("%.1f", *std::max_element(group.tails.begin(),
+                                                     group.tails.end()) *
+                                       1e6)
+                  : std::string("n/a")});
+  }
+  table.print(os);
+}
+
+}  // namespace
+
+void print_sweep_report(std::ostream& os,
+                        const std::vector<ScenarioResult>& results) {
+  print_banner(os, "Per-scenario summary");
+  TablePrinter table({"scenario", "polls", "skip", "lost", "eval", "sw",
+                      "median [us]", "p99 [us]", "ADEV(short)", "ADEV(long)"});
+  for (const auto& r : results) {
+    if (r.failed) {
+      table.add_row({r.name, "FAILED", "-", "-", "-", "-", "-", "-", "-",
+                     "-"});
+      continue;
+    }
+    // No evaluable points → no error statistics; zeros here would be
+    // indistinguishable from a perfect run.
+    const bool has_data = r.evaluated > 0;
+    table.add_row({r.name, strfmt("%zu", r.polls), strfmt("%zu", r.skipped),
+                   strfmt("%zu", r.lost), strfmt("%zu", r.evaluated),
+                   strfmt("%llu", static_cast<unsigned long long>(
+                                      r.final_status.server_changes)),
+                   has_data ? strfmt("%.1f", r.clock_error.percentiles.p50 * 1e6)
+                            : std::string("n/a"),
+                   has_data ? strfmt("%.1f", r.clock_error.percentiles.p99 * 1e6)
+                            : std::string("n/a"),
+                   r.adev_short > 0 ? strfmt("%.3f PPM", to_ppm(r.adev_short))
+                                    : std::string("n/a"),
+                   r.adev_long > 0 ? strfmt("%.3f PPM", to_ppm(r.adev_long))
+                                   : std::string("n/a")});
+  }
+  table.print(os);
+  for (const auto& r : results) {
+    if (r.failed) os << "FAILED " << r.name << ": " << r.error << "\n";
+  }
+
+  std::map<std::string, GroupAggregate> by_server;
+  std::map<std::string, GroupAggregate> by_environment;
+  for (const auto& r : results) {
+    if (r.failed) continue;
+    add_to_group(by_server[sim::to_string(r.server)], r);
+    add_to_group(by_environment[sim::to_string(r.environment)], r);
+  }
+
+  print_banner(os, "Aggregate by server");
+  print_group_table(os, "server", by_server);
+  print_banner(os, "Aggregate by environment");
+  print_group_table(os, "environment", by_environment);
+}
+
+}  // namespace tscclock::sweep

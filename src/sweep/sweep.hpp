@@ -1,0 +1,100 @@
+// ScenarioSweep: play many Testbed + TscNtpClock pipelines in parallel and
+// reduce them into aggregate error/ADEV summary tables.
+//
+// Determinism contract: results are bit-identical for a fixed GridSpec
+// regardless of thread count. Each scenario runs on its own Testbed seeded
+// purely from the scenario identity (see scenario_grid.hpp), writes into its
+// own pre-allocated result slot, and the reduction happens single-threaded
+// in grid order after the pool drains — the work-stealing schedule can never
+// leak into the output.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/clock.hpp"
+#include "sweep/scenario_grid.hpp"
+
+namespace tscclock::sweep {
+
+/// Reduced outcome of one scenario run (everything deterministic; no wall
+///-clock quantities, so results can be compared bit-for-bit in tests).
+struct ScenarioResult {
+  std::size_t scenario_index = 0;
+  std::string name;
+  std::uint64_t seed = 0;
+  // Grid coordinates, carried so reporting never has to re-parse `name`.
+  sim::ServerKind server = sim::ServerKind::kInt;
+  sim::Environment environment = sim::Environment::kMachineRoom;
+
+  /// Set when the scenario's run threw instead of completing; the rest of
+  /// the sweep still finishes, and `error` holds the exception text.
+  bool failed = false;
+  std::string error;
+
+  std::size_t polls = 0;       ///< poll slots in the configured duration
+  std::size_t skipped = 0;     ///< polls suppressed by scheduled outages
+  std::size_t exchanges = 0;   ///< generated exchanges (incl. lost)
+  std::size_t lost = 0;        ///< exchanges lost in transit
+  /// Non-lost exchanges with a DAG reference that also survived the
+  /// warm-up discard (the error summaries are computed over exactly these).
+  std::size_t evaluated = 0;
+
+  /// Absolute clock error Ca(Tf_i) − Tg_i against the DAG monitor [s],
+  /// post warm-up discard.
+  SeriesSummary clock_error;
+  /// Offset tracking error θ̂(t_i) − θg_i [s], post warm-up discard.
+  SeriesSummary offset_error;
+
+  /// Allan deviation of the absolute clock error at two scales
+  /// (16 and 256 polling periods), computed over the longest outage-free
+  /// stretch of the trace; 0 is the not-computable sentinel (stretch too
+  /// short for the scale), rendered as "n/a" in reports.
+  double adev_short_tau = 0;
+  double adev_short = 0;
+  double adev_long_tau = 0;
+  double adev_long = 0;
+
+  core::ClockStatus final_status;
+};
+
+struct SweepOptions {
+  std::size_t threads = 0;  ///< 0 = hardware_concurrency
+  /// Points earlier than this (by server receive time) are excluded from the
+  /// error summaries, matching the paper's post-warm-up analyses.
+  Seconds discard_warmup = duration::kHour;
+};
+
+/// Run one scenario synchronously (also the unit the pool executes).
+ScenarioResult run_scenario(const SweepScenario& scenario,
+                            Seconds discard_warmup);
+
+class ScenarioSweep {
+ public:
+  explicit ScenarioSweep(GridSpec grid);
+
+  [[nodiscard]] const GridSpec& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<SweepScenario>& scenarios() const {
+    return scenarios_;
+  }
+
+  /// Expand, fan out over a work-stealing pool, and return per-scenario
+  /// results in grid order.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const SweepOptions& options = {}) const;
+
+ private:
+  GridSpec grid_;
+  std::vector<SweepScenario> scenarios_;
+};
+
+/// Print the per-scenario summary table plus aggregates grouped by server
+/// and by environment: the median of the per-scenario |median| errors and
+/// the worst |tail| — max over scenarios of max(|p01|, |p99|), since the
+/// negatively-biased error distributions can put the worst tail at either
+/// extreme.
+void print_sweep_report(std::ostream& os,
+                        const std::vector<ScenarioResult>& results);
+
+}  // namespace tscclock::sweep

@@ -1,0 +1,131 @@
+#include "sweep/thread_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace tscclock::sweep {
+
+namespace {
+
+/// Identifies the pool worker executing on this thread (nullptr elsewhere),
+/// so nested submissions can target the submitter's own queue.
+struct WorkerIdentity {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerIdentity t_worker;
+
+}  // namespace
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested) {
+  if (requested == 0) requested = std::thread::hardware_concurrency();
+  return requested == 0 ? 1 : requested;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = resolve_thread_count(threads);
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<Worker>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const bool from_worker = t_worker.pool == this;
+  std::size_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++pending_;
+    target = from_worker ? t_worker.index : next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    if (from_worker) {
+      queues_[target]->queue.push_front(std::move(task));
+    } else {
+      queues_[target]->queue.push_back(std::move(task));
+    }
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  all_idle_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
+  auto& worker = *queues_[self];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.queue.empty()) return false;
+  task = std::move(worker.queue.front());
+  worker.queue.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, std::function<void()>& task) {
+  // Scan siblings starting just after ourselves so steals spread out instead
+  // of all hammering queue 0.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    auto& victim = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) continue;
+    task = std::move(victim.queue.back());
+    victim.queue.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  t_worker = {this, self};
+  for (;;) {
+    std::function<void()> task;
+    if (!try_pop_own(self, task) && !try_steal(self, task)) {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      if (shutdown_ && pending_ == 0) return;
+      // Re-check the queues outside the lock on every wakeup; pending_ > 0
+      // covers both queued and currently-executing tasks, so a spurious
+      // pass through the loop is cheap and cannot deadlock.
+      work_available_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      --pending_;
+      if (pending_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace tscclock::sweep

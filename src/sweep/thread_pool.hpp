@@ -1,0 +1,76 @@
+// Work-stealing thread pool for the scenario sweep engine.
+//
+// Each worker owns a deque: it pops work from the front of its own queue and,
+// when empty, steals from the back of a sibling's queue. Tasks are submitted
+// round-robin across workers, so a sweep over scenarios of wildly different
+// cost (a week of ServerExt vs. an hour of ServerLoc) still keeps every core
+// busy until the queue drains. Determinism is the caller's job: tasks must
+// write to disjoint result slots, so the schedule (which worker runs what,
+// in what order) cannot influence the reduced output.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tscclock::sweep {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// The worker count a given request resolves to (the constructor's
+  /// default policy, exposed so callers can cap it, e.g. by task count).
+  [[nodiscard]] static std::size_t resolve_thread_count(std::size_t requested);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Safe to call from any thread, including from inside
+  /// a running task (nested submissions go to the submitting worker's own
+  /// queue, front position, for cache locality).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing. If any task
+  /// threw, the first captured exception is rethrown here (the remaining
+  /// tasks still ran to completion); a worker never dies on a throwing task.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> queue;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop_own(std::size_t self, std::function<void()>& task);
+  bool try_steal(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t pending_ = 0;  ///< submitted but not yet completed
+  std::size_t next_queue_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;  ///< first task exception, for wait_idle
+};
+
+/// Run `fn(i)` for every i in [0, n) on `pool`, blocking until all complete.
+/// Each index is an independent task; `fn` must confine writes to slot i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace tscclock::sweep

@@ -190,6 +190,89 @@ TEST(Testbed, ServerFaultVisibleInStamps) {
   EXPECT_TRUE(saw_fault);
 }
 
+TEST(Testbed, ServerSwitchChangesIdentityMidTrace) {
+  auto config = short_config();
+  config.server_switches = {{1200.0, ServerKind::kLoc},
+                            {2400.0, ServerKind::kExt}};
+  Testbed tb(config);
+  std::uint32_t last_id = 0;
+  std::vector<std::uint32_t> id_sequence;
+  while (auto ex = tb.next()) {
+    // Identity is assigned before loss is decided, so lost exchanges carry
+    // the active attachment's id too.
+    if (ex->server_id != last_id) {
+      id_sequence.push_back(ex->server_id);
+      last_id = ex->server_id;
+    }
+    const Seconds t = ex->truth.ta;
+    const std::uint32_t expected = t < 1200.0 ? 1u : (t < 2400.0 ? 2u : 3u);
+    EXPECT_EQ(ex->server_id, expected) << "at t=" << t;
+    EXPECT_EQ(ex->server_stratum, 1);
+  }
+  EXPECT_EQ(id_sequence, (std::vector<std::uint32_t>{1, 2, 3}))
+      << "each switch takes effect exactly once, in order";
+}
+
+TEST(Testbed, SwitchDuringOutageAppliesAtFirstPollAfterGap) {
+  // The switch instant falls inside an outage: no poll is emitted at the
+  // switch time itself (skipped, not lost), and the first post-outage
+  // exchange already carries the new identity.
+  auto config = short_config();
+  config.events.add_outage(1100.0, 1500.0);
+  config.server_switches = {{1200.0, ServerKind::kLoc}};
+  Testbed tb(config);
+  std::optional<std::uint64_t> last_index_before;
+  std::optional<std::uint64_t> first_index_after;
+  while (auto ex = tb.next()) {
+    EXPECT_FALSE(ex->truth.ta >= 1100.0 && ex->truth.ta < 1500.0)
+        << "poll emitted inside outage at " << ex->truth.ta;
+    if (ex->truth.ta < 1100.0) {
+      EXPECT_EQ(ex->server_id, 1u);
+      last_index_before = ex->index;
+    } else if (!first_index_after) {
+      first_index_after = ex->index;
+      EXPECT_EQ(ex->server_id, 2u)
+          << "first poll after the gap must use the switched server";
+    }
+  }
+  ASSERT_TRUE(last_index_before.has_value());
+  ASSERT_TRUE(first_index_after.has_value());
+  // The suppressed polls consume indices: the sequence numbers across the
+  // gap jump by the number of skipped slots (≈ 400 s / 16 s), so the
+  // synchronization layer sees a genuine data gap, not a renumbering.
+  const auto jump = *first_index_after - *last_index_before;
+  EXPECT_GE(jump, 24u);
+  EXPECT_LE(jump, 27u);
+}
+
+TEST(Testbed, LostExchangesDistinctFromSkippedPolls) {
+  // Loss produces an element with lost=true (the poll happened, the packet
+  // died); an outage produces no element at all. Fed by ServerExt's loss
+  // rate over a day so both behaviours coexist in one trace.
+  auto config = short_config(ServerKind::kExt);
+  config.duration = duration::kDay;
+  config.events.add_outage(10000.0, 12000.0);
+  config.server_switches = {{43200.0, ServerKind::kExt}};
+  Testbed tb(config);
+  std::size_t produced = 0;
+  std::size_t lost_after_switch = 0;
+  while (auto ex = tb.next()) {
+    ++produced;
+    EXPECT_FALSE(ex->truth.ta >= 10000.0 && ex->truth.ta < 12000.0);
+    if (ex->lost && ex->truth.ta >= 43200.0) {
+      ++lost_after_switch;
+      EXPECT_EQ(ex->server_id, 2u)
+          << "lost exchange must be attributed to the switched server";
+    }
+  }
+  const auto slots = static_cast<std::size_t>(config.duration / 16.0);
+  const auto outage_slots = static_cast<std::size_t>(2000.0 / 16.0);
+  EXPECT_LE(produced, slots - outage_slots + 2);
+  EXPECT_GE(produced, slots - outage_slots - 2);
+  EXPECT_GT(lost_after_switch, 0u)
+      << "expected ServerExt losses in half a day of polls";
+}
+
 TEST(Testbed, NamesForDisplay) {
   EXPECT_EQ(to_string(ServerKind::kLoc), "ServerLoc");
   EXPECT_EQ(to_string(ServerKind::kInt), "ServerInt");

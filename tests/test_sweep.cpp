@@ -1,0 +1,316 @@
+// Tests for the scenario sweep engine: grid expansion, identity-based seed
+// derivation, the work-stealing pool, and the determinism contract (results
+// bit-identical across thread counts for a fixed master seed).
+#include "sweep/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "sweep/scenario_grid.hpp"
+#include "sweep/thread_pool.hpp"
+
+namespace tscclock::sweep {
+namespace {
+
+/// Small, fast grid: 2 servers × 1 environment × 2 poll periods = 4
+/// scenarios of one simulated hour each.
+GridSpec small_grid() {
+  GridSpec grid;
+  grid.servers = {sim::ServerKind::kLoc, sim::ServerKind::kInt};
+  grid.environments = {sim::Environment::kMachineRoom};
+  grid.poll_periods = {16.0, 32.0};
+  grid.duration = duration::kHour;
+  grid.master_seed = 20040704;
+  return grid;
+}
+
+// -- Grid expansion --------------------------------------------------------
+
+TEST(ScenarioGrid, ExpandsFullCartesianProduct) {
+  GridSpec grid;  // default: 3 servers × 2 envs × 2 polls × 1 schedule
+  const auto scenarios = expand_grid(grid);
+  ASSERT_EQ(scenarios.size(), 12u);
+  ASSERT_EQ(scenarios.size(), grid.size());
+
+  std::set<std::string> names;
+  std::set<std::uint64_t> seeds;
+  for (const auto& s : scenarios) {
+    names.insert(s.name);
+    seeds.insert(s.config.seed);
+    EXPECT_EQ(s.index, names.size() - 1) << "indices follow grid order";
+  }
+  EXPECT_EQ(names.size(), 12u) << "scenario names are unique";
+  EXPECT_EQ(seeds.size(), 12u) << "scenario seeds are unique";
+}
+
+TEST(ScenarioGrid, SeedIndependentOfEnumerationOrder) {
+  GridSpec forward = small_grid();
+  GridSpec reversed = small_grid();
+  std::reverse(reversed.servers.begin(), reversed.servers.end());
+  std::reverse(reversed.poll_periods.begin(), reversed.poll_periods.end());
+
+  const auto a = expand_grid(forward);
+  const auto b = expand_grid(reversed);
+  ASSERT_EQ(a.size(), b.size());
+
+  // Same identity → same seed, wherever it lands in the expansion.
+  for (const auto& sa : a) {
+    const auto it = std::find_if(b.begin(), b.end(), [&](const auto& sb) {
+      return sb.name == sa.name;
+    });
+    ASSERT_NE(it, b.end()) << "scenario " << sa.name << " lost on reorder";
+    EXPECT_EQ(it->config.seed, sa.config.seed) << sa.name;
+  }
+}
+
+TEST(ScenarioGrid, SeedDependsOnMasterSeedAndIdentity) {
+  EXPECT_NE(scenario_seed(1, "ServerInt/machine-room/poll16/steady"),
+            scenario_seed(2, "ServerInt/machine-room/poll16/steady"));
+  EXPECT_NE(scenario_seed(1, "ServerInt/machine-room/poll16/steady"),
+            scenario_seed(1, "ServerInt/machine-room/poll64/steady"));
+  // Stable across calls (pure function of its inputs).
+  EXPECT_EQ(scenario_seed(42, "x"), scenario_seed(42, "x"));
+}
+
+TEST(ScenarioGrid, PollJitterClampedForShortPeriods) {
+  GridSpec grid = small_grid();
+  grid.poll_periods = {1.0};
+  grid.poll_jitter = 0.6;  // would violate the Testbed jitter contract
+  const auto scenarios = expand_grid(grid);
+  for (const auto& s : scenarios) {
+    EXPECT_LT(s.config.poll_jitter, s.config.poll_period / 2);
+    sim::Testbed tb(s.config);  // must not trip the contract check
+    EXPECT_TRUE(tb.next().has_value());
+  }
+}
+
+TEST(ScenarioGrid, RejectsSubSecondPollPeriods) {
+  // Polling faster than the paths' heavy-tailed delay scale can schedule a
+  // poll before the previous exchange arrived, breaking the oscillator's
+  // monotonic-read contract mid-trace — rejected up front instead.
+  GridSpec grid = small_grid();
+  grid.poll_periods = {0.5};
+  EXPECT_THROW(expand_grid(grid), ContractViolation);
+}
+
+TEST(ScenarioGrid, RejectsDuplicateIdentities) {
+  GridSpec grid = small_grid();
+  grid.servers = {sim::ServerKind::kLoc, sim::ServerKind::kLoc};
+  EXPECT_THROW(expand_grid(grid), ContractViolation);
+}
+
+// -- Thread pool -----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    pool.submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> out(257, 0);
+  parallel_for(pool, out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::count(out.begin(), out.end(), 1),
+            static_cast<long>(out.size()));
+}
+
+TEST(ThreadPool, NestedSubmissionCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &total] {
+      total.fetch_add(1);
+      pool.submit([&total] { total.fetch_add(1); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, TaskExceptionRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&completed, i] {
+      if (i == 3) throw std::runtime_error("scenario 3 failed");
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 7) << "remaining tasks still ran";
+  // The pool stays usable and the error is not re-reported.
+  pool.submit([&completed] { completed.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(completed.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadedPoolWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> total{0};
+  parallel_for(pool, 64, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 64);
+}
+
+// -- Determinism contract --------------------------------------------------
+
+void expect_bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.polls, b.polls);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.exchanges, b.exchanges);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.final_status.server_changes, b.final_status.server_changes);
+  // Bit-level double equality, not EXPECT_NEAR: the contract is that the
+  // schedule cannot perturb a single ULP of any reduced value.
+  EXPECT_EQ(a.clock_error.mean, b.clock_error.mean);
+  EXPECT_EQ(a.clock_error.stddev, b.clock_error.stddev);
+  EXPECT_EQ(a.clock_error.percentiles.p01, b.clock_error.percentiles.p01);
+  EXPECT_EQ(a.clock_error.percentiles.p50, b.clock_error.percentiles.p50);
+  EXPECT_EQ(a.clock_error.percentiles.p99, b.clock_error.percentiles.p99);
+  EXPECT_EQ(a.offset_error.mean, b.offset_error.mean);
+  EXPECT_EQ(a.offset_error.percentiles.p50, b.offset_error.percentiles.p50);
+  EXPECT_EQ(a.adev_short, b.adev_short);
+  EXPECT_EQ(a.adev_long, b.adev_long);
+  EXPECT_EQ(a.final_status.packets_processed, b.final_status.packets_processed);
+  EXPECT_EQ(a.final_status.period, b.final_status.period);
+  EXPECT_EQ(a.final_status.offset, b.final_status.offset);
+}
+
+TEST(ScenarioSweep, BitIdenticalAcrossThreadCounts) {
+  ScenarioSweep engine(small_grid());
+  SweepOptions options;
+  options.discard_warmup = 20 * duration::kMinute;
+
+  std::vector<std::size_t> thread_counts = {1, 4};
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 1 && hw != 4) thread_counts.push_back(hw);
+
+  options.threads = thread_counts.front();
+  const auto reference = engine.run(options);
+  ASSERT_EQ(reference.size(), engine.scenarios().size());
+
+  for (std::size_t k = 1; k < thread_counts.size(); ++k) {
+    options.threads = thread_counts[k];
+    const auto other = engine.run(options);
+    ASSERT_EQ(other.size(), reference.size())
+        << "thread count " << thread_counts[k];
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      expect_bit_identical(reference[i], other[i]);
+    }
+  }
+}
+
+TEST(ScenarioSweep, ResultsIndexedInGridOrder) {
+  ScenarioSweep engine(small_grid());
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto results = engine.run(options);
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].scenario_index, i);
+    EXPECT_EQ(results[i].name, engine.scenarios()[i].name);
+  }
+}
+
+// -- Scenario pipeline behaviours -----------------------------------------
+
+TEST(ScenarioSweep, OutageScheduleSkipsPolls) {
+  GridSpec grid = small_grid();
+  grid.servers = {sim::ServerKind::kInt};
+  grid.poll_periods = {16.0};
+  ScheduleVariant outage;
+  outage.name = "outage";
+  outage.events.add_outage(1200.0, 2100.0);  // 900 s ≈ 56 poll slots
+  grid.schedules = {outage};
+
+  ScenarioSweep engine(grid);
+  SweepOptions options;
+  options.threads = 1;
+  options.discard_warmup = 0;
+  const auto results = engine.run(options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GE(results[0].skipped, 50u);
+  EXPECT_LE(results[0].skipped, 60u);
+  EXPECT_EQ(results[0].polls, results[0].skipped + results[0].exchanges);
+}
+
+TEST(ScenarioSweep, ServerSwitchesReachTheClock) {
+  GridSpec grid = small_grid();
+  grid.servers = {sim::ServerKind::kInt};
+  grid.poll_periods = {16.0};
+  ScheduleVariant switching;
+  switching.name = "switch";
+  switching.server_switches = {{1200.0, sim::ServerKind::kLoc},
+                               {2400.0, sim::ServerKind::kExt}};
+  grid.schedules = {switching};
+
+  ScenarioSweep engine(grid);
+  SweepOptions options;
+  options.threads = 1;
+  options.discard_warmup = 0;
+  const auto results = engine.run(options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].final_status.server_changes, 2u)
+      << "packet-layer changes must be forwarded to TscNtpClock";
+}
+
+TEST(ScenarioSweep, WarmupCoveringWholeTraceYieldsEmptySummaries) {
+  GridSpec grid = small_grid();
+  grid.servers = {sim::ServerKind::kLoc};
+  grid.poll_periods = {16.0};
+  ScenarioSweep engine(grid);
+  SweepOptions options;
+  options.threads = 1;
+  options.discard_warmup = 2 * grid.duration;  // discards every point
+  const auto results = engine.run(options);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].evaluated, 0u);
+  EXPECT_EQ(results[0].clock_error.count, 0u);
+  EXPECT_EQ(results[0].adev_short, 0.0);
+  // Reporting an all-discarded sweep must not crash, and must not print the
+  // zero-initialized statistics as if they were a perfect run.
+  std::ostringstream os;
+  print_sweep_report(os, results);
+  EXPECT_NE(os.str().find("Aggregate by server"), std::string::npos);
+  EXPECT_NE(os.str().find("n/a"), std::string::npos);
+}
+
+TEST(ScenarioSweep, ReportPrintsEveryScenarioAndAggregates) {
+  ScenarioSweep engine(small_grid());
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto results = engine.run(options);
+
+  std::ostringstream os;
+  print_sweep_report(os, results);
+  const std::string report = os.str();
+  for (const auto& scenario : engine.scenarios()) {
+    EXPECT_NE(report.find(scenario.name), std::string::npos) << scenario.name;
+  }
+  EXPECT_NE(report.find("Aggregate by server"), std::string::npos);
+  EXPECT_NE(report.find("Aggregate by environment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tscclock::sweep

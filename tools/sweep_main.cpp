@@ -1,0 +1,254 @@
+// sweep: run a grid of synchronization scenarios in parallel and print
+// aggregate error/ADEV tables.
+//
+//   sweep [--servers loc,int,ext] [--envs lab,machine] [--polls 16,64]
+//         [--schedules steady,outage,switch,stress] [--duration-hours 24]
+//         [--seed 42] [--threads 0] [--warmup-s 3600] [--no-wire]
+//
+// The default grid is the ISSUE's 3 servers × 2 environments × 2 poll
+// periods = 12 scenarios over one simulated day. Named schedule variants
+// layer the paper's §6 robustness events on every grid cell:
+//   steady  — no events;
+//   outage  — a 30-minute connectivity gap at 40% of the trace;
+//   switch  — the §6.1 campaign: Server → Loc at 1/3, → Ext at 2/3;
+//   stress  — outage + mid-trace switch + a 150 ms server fault window.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "sweep/sweep.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+double parse_double(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  // Non-finite values would sail through the downstream range checks
+  // (NaN fails every comparison; inf makes the trace unbounded).
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
+    std::fprintf(stderr, "invalid number '%s' for %s\n", text.c_str(),
+                 flag.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  // strtoull silently wraps negative input to a huge value.
+  if (end == text.c_str() || *end != '\0' ||
+      text.find('-') != std::string::npos) {
+    std::fprintf(stderr, "invalid integer '%s' for %s\n", text.c_str(),
+                 flag.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+sim::ServerKind parse_server(const std::string& name) {
+  if (name == "loc") return sim::ServerKind::kLoc;
+  if (name == "int") return sim::ServerKind::kInt;
+  if (name == "ext") return sim::ServerKind::kExt;
+  std::fprintf(stderr, "unknown server '%s' (expected loc|int|ext)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+sim::Environment parse_environment(const std::string& name) {
+  if (name == "lab") return sim::Environment::kLaboratory;
+  if (name == "machine") return sim::Environment::kMachineRoom;
+  std::fprintf(stderr, "unknown environment '%s' (expected lab|machine)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/// Build one of the named schedule variants, with event times placed
+/// relative to the trace duration.
+sweep::ScheduleVariant make_schedule(const std::string& name,
+                                     Seconds duration) {
+  sweep::ScheduleVariant variant;
+  variant.name = name;
+  if (name == "steady") return variant;
+  if (name == "outage") {
+    variant.events.add_outage(0.4 * duration,
+                              0.4 * duration + 30 * duration::kMinute);
+    return variant;
+  }
+  if (name == "switch") {
+    variant.server_switches = {
+        {duration / 3, sim::ServerKind::kLoc},
+        {2 * duration / 3, sim::ServerKind::kExt},
+    };
+    return variant;
+  }
+  if (name == "stress") {
+    variant.events.add_outage(0.25 * duration,
+                              0.25 * duration + 20 * duration::kMinute);
+    variant.events.add_server_fault(0.55 * duration,
+                                    0.55 * duration + 10 * duration::kMinute,
+                                    150 * duration::kMillisecond);
+    variant.server_switches = {{duration / 2, sim::ServerKind::kLoc}};
+    return variant;
+  }
+  std::fprintf(stderr,
+               "unknown schedule '%s' (expected steady|outage|switch|stress)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: sweep [options]\n"
+      "  --servers LIST     comma list of loc,int,ext      (default all)\n"
+      "  --envs LIST        comma list of lab,machine      (default both)\n"
+      "  --polls LIST       poll periods in seconds        (default 16,64)\n"
+      "  --schedules LIST   steady,outage,switch,stress    (default steady)\n"
+      "  --duration-hours H simulated hours per scenario   (default 24)\n"
+      "  --seed N           master seed                    (default 42)\n"
+      "  --threads N        worker threads, 0 = all cores  (default 0)\n"
+      "  --warmup-s S       discard first S seconds        (default 3600)\n"
+      "  --no-wire          skip the NTP wire-format round trip\n"
+      "  --help             this text\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sweep::GridSpec grid;
+  sweep::SweepOptions options;
+  std::vector<std::string> schedule_names = {"steady"};
+  double duration_hours = 24.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--servers") {
+      grid.servers.clear();
+      for (const auto& s : split_csv(value())) grid.servers.push_back(parse_server(s));
+    } else if (arg == "--envs") {
+      grid.environments.clear();
+      for (const auto& e : split_csv(value()))
+        grid.environments.push_back(parse_environment(e));
+    } else if (arg == "--polls") {
+      grid.poll_periods.clear();
+      for (const auto& p : split_csv(value()))
+        grid.poll_periods.push_back(parse_double("--polls", p));
+    } else if (arg == "--schedules") {
+      schedule_names = split_csv(value());
+    } else if (arg == "--duration-hours") {
+      duration_hours = parse_double("--duration-hours", value());
+    } else if (arg == "--seed") {
+      grid.master_seed = parse_u64("--seed", value());
+    } else if (arg == "--threads") {
+      const std::uint64_t threads = parse_u64("--threads", value());
+      if (threads > 4096) {
+        std::fprintf(stderr, "--threads must be in [0, 4096] (0 = all cores)\n");
+        return 2;
+      }
+      options.threads = static_cast<std::size_t>(threads);
+    } else if (arg == "--warmup-s") {
+      options.discard_warmup = parse_double("--warmup-s", value());
+    } else if (arg == "--no-wire") {
+      grid.use_wire_format = false;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (grid.servers.empty() || grid.environments.empty() ||
+      grid.poll_periods.empty() || schedule_names.empty()) {
+    std::fprintf(stderr,
+                 "--servers/--envs/--polls/--schedules must not be empty\n");
+    return 2;
+  }
+  // Duplicate axis values would collapse two grid cells onto one scenario
+  // name and therefore one RNG seed; reject them up front.
+  const auto has_duplicates = [](auto values) {
+    std::sort(values.begin(), values.end());
+    return std::adjacent_find(values.begin(), values.end()) != values.end();
+  };
+  // Poll periods collide on their *formatted* form (the scenario-name
+  // identity uses %g), so near-equal values must be rejected too.
+  std::vector<std::string> poll_names;
+  for (const auto poll : grid.poll_periods)
+    poll_names.push_back(strfmt("%g", poll));
+  if (has_duplicates(grid.servers) || has_duplicates(grid.environments) ||
+      has_duplicates(poll_names) || has_duplicates(schedule_names)) {
+    std::fprintf(
+        stderr,
+        "--servers/--envs/--polls/--schedules entries must be unique\n");
+    return 2;
+  }
+  if (duration_hours <= 0.0) {
+    std::fprintf(stderr, "--duration-hours must be positive\n");
+    return 2;
+  }
+  grid.duration = duration_hours * duration::kHour;
+  if (options.discard_warmup < 0.0) {
+    std::fprintf(stderr, "--warmup-s must be non-negative\n");
+    return 2;
+  }
+  if (options.discard_warmup >= grid.duration) {
+    std::fprintf(stderr,
+                 "--warmup-s (%g) must be below the scenario duration (%g s)\n",
+                 options.discard_warmup, grid.duration);
+    return 2;
+  }
+  for (const auto poll : grid.poll_periods) {
+    if (poll < sweep::kMinPollPeriod) {
+      std::fprintf(stderr,
+                   "--polls entries must be >= %g s (the simulated paths "
+                   "have ms-scale heavy-tailed delays)\n",
+                   sweep::kMinPollPeriod);
+      return 2;
+    }
+  }
+  grid.schedules.clear();
+  for (const auto& name : schedule_names)
+    grid.schedules.push_back(make_schedule(name, grid.duration));
+
+  sweep::ScenarioSweep engine(grid);
+  print_banner(std::cout,
+               strfmt("Scenario sweep: %zu scenarios, %.1f simulated hours "
+                      "each, master seed %llu",
+                      engine.scenarios().size(), duration_hours,
+                      static_cast<unsigned long long>(grid.master_seed)));
+
+  const auto results = engine.run(options);
+  print_sweep_report(std::cout, results);
+  for (const auto& r : results) {
+    if (r.failed) return 1;
+  }
+  return 0;
+}
