@@ -50,8 +50,12 @@ HeadToHead duel(const sim::EventSchedule& events, bool congested,
 
   core::Params params;
   params.poll_period = scenario.poll_period;
-  core::TscNtpClock tsc(params, testbed.nominal_period());
-  // Give the SW clock the same nominal tick (same ~52 PPM initial error).
+  // The TSC clock runs inside the shared harness; the SW clock is co-driven
+  // from the record stream so both see the identical exchange sequence.
+  // Both start from the same nominal tick (same ~52 PPM initial error).
+  auto config = bench::session_config(params, 2 * duration::kHour);
+  config.emit_unevaluated = true;  // the SW clock must also eat warm-up
+  harness::ClockSession session(config, testbed.nominal_period());
   baseline::SwNtpClock sw(baseline::PllConfig{}, testbed.nominal_period());
 
   HeadToHead result;
@@ -63,29 +67,29 @@ HeadToHead duel(const sim::EventSchedule& events, bool congested,
   double tsc_rate_max = 0;
   const double truth = testbed.true_period();
 
-  while (auto ex = testbed.next()) {
-    if (ex->lost) continue;
-    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
-                                ex->tf_counts};
-    tsc.process_exchange(raw);
-    sw.process_exchange(raw);
-    if (!ex->ref_available || ex->truth.tb < 2 * duration::kHour) continue;
+  harness::CallbackSink duel_sink([&](const harness::SampleRecord& rec) {
+    if (rec.lost) return;
+    sw.process_exchange(rec.raw);
+    if (!rec.evaluated) return;
 
-    tsc_err.push_back(std::fabs(tsc.absolute_time(ex->tf_counts) - ex->tg));
-    sw_err.push_back(std::fabs(sw.time(ex->tf_counts) - ex->tg));
+    tsc_err.push_back(std::fabs(rec.abs_clock_error));
+    sw_err.push_back(std::fabs(sw.time(rec.raw.tf) - rec.tg));
     result.tsc_worst = std::max(result.tsc_worst, tsc_err.back());
     result.sw_worst = std::max(result.sw_worst, sw_err.back());
 
     sw_rate_min = std::min(sw_rate_min, sw.effective_rate());
     sw_rate_max = std::max(sw_rate_max, sw.effective_rate());
-    const double tsc_rate = tsc.period() / truth;
+    const double tsc_rate = rec.period / truth;
     tsc_rate_min = std::min(tsc_rate_min, tsc_rate);
     tsc_rate_max = std::max(tsc_rate_max, tsc_rate);
-  }
+  });
+  session.add_sink(duel_sink);
+  const auto& summary = session.run(testbed);
+
   result.tsc = percentile_summary(tsc_err);
   result.sw = percentile_summary(sw_err);
   result.sw_steps = sw.status().steps;
-  result.tsc_sanity = tsc.status().offset_sanity_triggers;
+  result.tsc_sanity = summary.final_status.offset_sanity_triggers;
   result.sw_rate_wobble_ppm = (sw_rate_max - sw_rate_min) * 1e6;
   result.tsc_rate_wobble_ppm = (tsc_rate_max - tsc_rate_min) * 1e6;
   return result;
@@ -100,8 +104,7 @@ void report(const char* name, const HeadToHead& r) {
                  strfmt("%.4f", r.tsc_rate_wobble_ppm)});
   table.add_row({"SW-NTP", strfmt("%.1f", r.sw.p50 * 1e6),
                  strfmt("%.1f", r.sw.p99 * 1e6),
-                 strfmt("%.1f", r.sw_worst * 1e6),
-                 strfmt("%llu", static_cast<unsigned long long>(r.sw_steps)),
+                 strfmt("%.1f", r.sw_worst * 1e6), format_count(r.sw_steps),
                  strfmt("%.4f", r.sw_rate_wobble_ppm)});
   print_banner(std::cout, name);
   table.print(std::cout);
@@ -124,13 +127,13 @@ int main() {
   report("Baseline duel (iii): 25-minute 150 ms server fault", faulted);
   print_comparison(std::cout, "SW-NTP reset behaviour",
                    "steps (resets) to follow the faulty server",
-                   strfmt("%llu step(s); worst error %.1f ms",
-                          static_cast<unsigned long long>(faulted.sw_steps),
+                   strfmt("%s step(s); worst error %.1f ms",
+                          format_count(faulted.sw_steps).c_str(),
                           faulted.sw_worst * 1e3));
   print_comparison(std::cout, "TSC-NTP sanity behaviour",
                    "no reset, damage ~1 ms",
-                   strfmt("%llu sanity trigger(s); worst error %.2f ms",
-                          static_cast<unsigned long long>(faulted.tsc_sanity),
+                   strfmt("%s sanity trigger(s); worst error %.2f ms",
+                          format_count(faulted.tsc_sanity).c_str(),
                           faulted.tsc_worst * 1e3));
   std::cout << "\nRate: the SW-NTP clock deliberately varies its rate by\n"
                "many PPM to chase offset; the TSC difference clock's rate\n"

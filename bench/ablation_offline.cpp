@@ -35,40 +35,44 @@ int main() {
 
   sim::Testbed testbed(scenario);
 
+  // Perturbed exchange list: drain the testbed, then layer the storm spikes
+  // on top so both the host stamp and the DAG reference stamp move.
+  std::vector<sim::Exchange> exchanges;
   std::vector<core::RawExchange> raws;
   std::vector<double> tg;
   std::vector<double> tb;
   Rng storm(99);
-  while (auto ex = testbed.next()) {
-    if (ex->lost || !ex->ref_available) continue;
-    core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
-                          ex->tf_counts};
-    const bool in_storm = ex->truth.tb > 10 * duration::kHour &&
-                          ex->truth.tb < 11 * duration::kHour;
-    double tg_value = ex->tg;
+  for (auto& ex : testbed.generate_all()) {
+    if (ex.lost || !ex.ref_available) continue;
+    const bool in_storm = ex.truth.tb > 10 * duration::kHour &&
+                          ex.truth.tb < 11 * duration::kHour;
     if (in_storm && storm.bernoulli(0.8)) {
-      // Heavy backward queueing spike: the packet genuinely arrives later,
-      // so both the host stamp and the DAG reference stamp move.
+      // Heavy backward queueing spike: the packet genuinely arrives later.
       const double spike = storm.exponential(4e-3);
-      raw.tf += static_cast<TscCount>(spike / testbed.true_period());
-      tg_value += spike;
+      ex.tf_counts += static_cast<TscCount>(spike / testbed.true_period());
+      ex.tg += spike;
     }
-    raws.push_back(raw);
-    tg.push_back(tg_value);
-    tb.push_back(ex->tb_stamp);
+    exchanges.push_back(ex);
+    raws.push_back({ex.ta_counts, ex.tb_stamp, ex.te_stamp, ex.tf_counts});
+    tg.push_back(ex.tg);
+    tb.push_back(ex.tb_stamp);
   }
 
   core::Params params;
   params.poll_period = scenario.poll_period;
 
-  // Online pass.
-  core::TscNtpClock online(params, testbed.nominal_period());
-  std::vector<double> online_err(raws.size());
-  for (std::size_t k = 0; k < raws.size(); ++k) {
-    const auto report = online.process_exchange(raws[k]);
-    online_err[k] = report.offset_estimate -
-                    (online.uncorrected_time(raws[k].tf) - tg[k]);
-  }
+  // Online pass: replay the perturbed exchanges through the canonical
+  // harness sequence (the session scores each packet exactly as the figure
+  // benches do).
+  harness::ClockSession online(bench::session_config(params),
+                               testbed.nominal_period());
+  std::vector<double> online_err;
+  online_err.reserve(exchanges.size());
+  harness::CallbackSink online_sink([&](const harness::SampleRecord& rec) {
+    online_err.push_back(rec.offset_error);
+  });
+  online.add_sink(online_sink);
+  for (const auto& ex : exchanges) online.process(ex);
 
   // Offline pass.
   const auto offline =

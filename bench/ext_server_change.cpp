@@ -11,7 +11,6 @@
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/server_change.hpp"
 #include "support.hpp"
 
 using namespace tscclock;
@@ -35,35 +34,31 @@ Outcome run(bool use_identity) {
 
   core::Params params;
   params.poll_period = scenario.poll_period;
-  core::TscNtpClock clock(params, testbed.nominal_period());
-  core::ServerChangeDetector detector;
+  // The identity → notify_server_change() wiring is the harness's: the
+  // ablation simply turns it off to expose the unassisted level-shift path.
+  auto config = bench::session_config(params);
+  config.track_server_changes = use_identity;
+  harness::ClockSession session(config, testbed.nominal_period());
 
   Outcome out;
   std::vector<double> errs;
   std::size_t weighted = 0;
   std::size_t total = 0;
-  std::uint64_t idx = 0;
-  while (auto ex = testbed.next()) {
-    if (ex->lost) continue;
-    if (use_identity &&
-        detector.observe({ex->server_id, ex->server_stratum}, idx++))
-      clock.notify_server_change();
-    const auto report = clock.process_exchange(
-        {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
-    if (!ex->ref_available) continue;
-    if (ex->truth.tb > 4 * duration::kHour + 300) {
+  harness::CallbackSink post_switch([&](const harness::SampleRecord& rec) {
+    if (rec.truth_tb > 4 * duration::kHour + 300) {
       ++total;
-      if (report.offset_weighted) ++weighted;
-      const double theta_g =
-          clock.uncorrected_time(ex->tf_counts) - ex->tg;
-      errs.push_back(report.offset_estimate - theta_g);
+      if (rec.report.offset_weighted) ++weighted;
+      errs.push_back(rec.offset_error);
     }
-  }
+  });
+  session.add_sink(post_switch);
+  const auto& summary = session.run(testbed);
+
   out.post_switch_err = percentile_summary(errs);
   out.weighted_fraction =
       static_cast<double>(weighted) / static_cast<double>(total);
-  out.upshifts = clock.status().upshifts;
-  out.server_changes = clock.status().server_changes;
+  out.upshifts = summary.final_status.upshifts;
+  out.server_changes = summary.final_status.server_changes;
   return out;
 }
 
@@ -83,17 +78,14 @@ int main() {
                  strfmt("%+.1f", with.post_switch_err.p50 * 1e6),
                  strfmt("%.1f", with.post_switch_err.iqr() * 1e6),
                  strfmt("%.1f%%", 100 * with.weighted_fraction),
-                 strfmt("%llu", static_cast<unsigned long long>(with.upshifts)),
-                 strfmt("%llu",
-                        static_cast<unsigned long long>(with.server_changes))});
+                 format_count(with.upshifts),
+                 format_count(with.server_changes)});
   table.add_row(
       {"without (RTT level shift only)",
        strfmt("%+.1f", without.post_switch_err.p50 * 1e6),
        strfmt("%.1f", without.post_switch_err.iqr() * 1e6),
        strfmt("%.1f%%", 100 * without.weighted_fraction),
-       strfmt("%llu", static_cast<unsigned long long>(without.upshifts)),
-       strfmt("%llu",
-              static_cast<unsigned long long>(without.server_changes))});
+       format_count(without.upshifts), format_count(without.server_changes)});
   table.print(std::cout);
 
   print_comparison(std::cout, "post-switch median",

@@ -26,13 +26,20 @@ Trace collect(sim::Environment env, Seconds duration, std::uint64_t seed) {
   scenario.seed = seed;
   sim::Testbed testbed(scenario);
 
+  // This figure characterizes the raw oscillator, so only the reference
+  // stamps and counter readings are used — but the stream is still driven
+  // through the shared harness like every other consumer.
   std::vector<double> tg;
   std::vector<TscCount> tf;
-  while (auto ex = testbed.next()) {
-    if (ex->lost || !ex->ref_available) continue;
-    tg.push_back(ex->tg);
-    tf.push_back(ex->tf_counts);
-  }
+  harness::ClockSession session(
+      bench::session_config(bench::params_for(scenario)),
+      testbed.nominal_period());
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
+    tg.push_back(rec.tg);
+    tf.push_back(rec.raw.tf);
+  });
+  session.add_sink(collect);
+  session.run(testbed);
   // Detrending p̂: forces θ(first) = θ(last) = 0 (paper §3.1).
   const double phat = (tg.back() - tg.front()) /
                       static_cast<double>(counter_delta(tf.back(), tf.front()));

@@ -41,18 +41,22 @@ TraceAllan analyze(sim::Environment env, sim::ServerKind kind,
   // "Corrected Tf,i timestamps were used here, as otherwise the
   // timestamping noise adds considerable spurious variation at small
   // scales" (§3.1).
-  while (auto ex = testbed.next()) {
-    if (ex->lost || !ex->ref_available) continue;
+  harness::ClockSession session(
+      bench::session_config(bench::params_for(scenario)),
+      testbed.nominal_period());
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
     if (first) {
-      tf0 = ex->tf_counts_corrected;
-      tg0 = ex->tg;
+      tf0 = rec.tf_counts_corrected;
+      tg0 = rec.tg;
       first = false;
     }
     const double elapsed =
-        delta_to_seconds(counter_delta(ex->tf_counts_corrected, tf0), period);
-    times.push_back(ex->tg - tg0);
-    theta.push_back(elapsed - (ex->tg - tg0));
-  }
+        delta_to_seconds(counter_delta(rec.tf_counts_corrected, tf0), period);
+    times.push_back(rec.tg - tg0);
+    theta.push_back(elapsed - (rec.tg - tg0));
+  });
+  session.add_sink(collect);
+  session.run(testbed);
 
   const auto regular = resample_linear(times, theta, scenario.poll_period);
   const auto factors = log_spaced_factors(regular.size(), 4);

@@ -24,12 +24,16 @@ int main() {
   std::vector<double> backward;  // d← = Tg − Te (paper's calculation)
   std::vector<double> server;    // d↑ = Te − Tb
   std::vector<double> te;
-  while (auto ex = testbed.next()) {
-    if (ex->lost || !ex->ref_available) continue;
-    backward.push_back(ex->tg - ex->te_stamp);
-    server.push_back(ex->te_stamp - ex->tb_stamp);
-    te.push_back(ex->tb_stamp);
-  }
+  harness::ClockSession session(
+      bench::session_config(bench::params_for(scenario)),
+      testbed.nominal_period());
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
+    backward.push_back(rec.tg - rec.raw.te);
+    server.push_back(rec.raw.te - rec.raw.tb);
+    te.push_back(rec.raw.tb);
+  });
+  session.add_sink(collect);
+  session.run(testbed);
 
   // Sampled series (every 50th packet) as the "plot".
   TablePrinter series({"Te [s]", "backward d<- [ms]", "server d^ [ms]"});

@@ -36,24 +36,24 @@ int main() {
   std::size_t late_total = 0;
   double worst_late = 0;
 
-  while (auto ex = testbed.next()) {
-    if (ex->lost || !ex->ref_available) continue;
-    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
-                                ex->tf_counts};
+  harness::ClockSession session(
+      bench::session_config(bench::params_for(scenario)),
+      testbed.nominal_period());
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
     if (!have_first) {
-      first = raw;
-      tg_first = ex->tg;
+      first = rec.raw;
+      tg_first = rec.tg;
       have_first = true;
-      continue;
+      return;
     }
     const double backward =
-        (raw.te - first.te) /
-        static_cast<double>(counter_delta(raw.tf, first.tf));
+        (rec.raw.te - first.te) /
+        static_cast<double>(counter_delta(rec.raw.tf, first.tf));
     const double reference =
-        (ex->tg - tg_first) /
-        static_cast<double>(counter_delta(raw.tf, first.tf));
+        (rec.tg - tg_first) /
+        static_cast<double>(counter_delta(rec.raw.tf, first.tf));
     Sample s;
-    s.t_day = ex->tb_stamp / duration::kDay;
+    s.t_day = rec.t_day;
     s.naive_ppm = (backward - pbar) / pbar * 1e6;
     s.ref_ppm = (reference - pbar) / pbar * 1e6;
     samples.push_back(s);
@@ -64,7 +64,9 @@ int main() {
       if (err < 0.1) ++within_01ppm_late;
       worst_late = std::max(worst_late, err);
     }
-  }
+  });
+  session.add_sink(collect);
+  session.run(testbed);
 
   TablePrinter table({"Te [day]", "naive (p-pbar)/pbar [PPM]",
                       "reference [PPM]"});

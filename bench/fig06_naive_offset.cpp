@@ -19,20 +19,18 @@ int main() {
   scenario.seed = 505;  // same trace family as Figure 5
   sim::Testbed testbed(scenario);
 
-  core::Params params = bench::params_for(scenario);
-  core::TscNtpClock clock(params, testbed.nominal_period());
+  harness::ClockSession session(
+      bench::session_config(bench::params_for(scenario)),
+      testbed.nominal_period());
 
   std::vector<double> naive_err;
   std::vector<double> t_day;
-  while (auto ex = testbed.next()) {
-    if (ex->lost) continue;
-    const auto report = clock.process_exchange(
-        {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
-    if (!ex->ref_available) continue;
-    const Seconds theta_g = clock.uncorrected_time(ex->tf_counts) - ex->tg;
-    naive_err.push_back(report.naive_offset - theta_g);
-    t_day.push_back(ex->tb_stamp / duration::kDay);
-  }
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
+    naive_err.push_back(rec.naive_error);
+    t_day.push_back(rec.t_day);
+  });
+  session.add_sink(collect);
+  session.run(testbed);
 
   TablePrinter table({"Te [day]", "naive offset error [ms]"});
   for (std::size_t i = 0; i < naive_err.size();

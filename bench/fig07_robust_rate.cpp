@@ -28,7 +28,6 @@ Run run_with_threshold(double e_star) {
 
   core::Params params = bench::params_for(scenario);
   params.rate_accept_error = e_star;
-  core::TscNtpClock clock(params, testbed.nominal_period());
   const double truth = testbed.true_period();
 
   Run out;
@@ -36,23 +35,28 @@ Run run_with_threshold(double e_star) {
   std::size_t total = 0;
   TscCount tf_first = 0;
   bool have_first = false;
-  while (auto ex = testbed.next()) {
-    if (ex->lost) continue;
-    const auto report = clock.process_exchange(
-        {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
+  // The rate series includes reference-less packets (rate acceptance is a
+  // host-side decision), so the session emits every non-lost record.
+  auto config = bench::session_config(params);
+  config.emit_unevaluated = true;
+  harness::ClockSession session(config, testbed.nominal_period());
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
+    if (rec.lost) return;
     if (!have_first) {
-      tf_first = ex->tf_counts;
+      tf_first = rec.raw.tf;
       have_first = true;
     }
     ++total;
-    if (report.rate_accepted) ++accepted;
-    if (!clock.status().warmed_up) continue;
-    out.t_day.push_back(ex->tb_stamp / duration::kDay);
-    out.rel_err.push_back(std::fabs(clock.period() / truth - 1.0));
+    if (rec.report.rate_accepted) ++accepted;
+    if (!rec.warmed_up) return;
+    out.t_day.push_back(rec.t_day);
+    out.rel_err.push_back(std::fabs(rec.period / truth - 1.0));
     const double span =
-        delta_to_seconds(counter_delta(ex->tf_counts, tf_first), truth);
+        delta_to_seconds(counter_delta(rec.raw.tf, tf_first), truth);
     out.bound.push_back(2 * e_star / span);
-  }
+  });
+  session.add_sink(collect);
+  session.run(testbed);
   out.accepted_fraction =
       static_cast<double>(accepted) / static_cast<double>(total);
   return out;

@@ -94,9 +94,8 @@ int main() {
                             worst * 1e3, 0.150 / worst));
     print_comparison(
         std::cout, "sanity check triggered", "yes",
-        strfmt("%llu trigger(s)",
-               static_cast<unsigned long long>(
-                   run.final_status.offset_sanity_triggers)));
+        strfmt("%s trigger(s)",
+               format_count(run.final_status.offset_sanity_triggers).c_str()));
     const auto tail = errors_between(run, 0.7, 1.0);
     print_comparison(std::cout, "after the fault clears",
                      "returns to ~30 us with no reset",
@@ -156,10 +155,8 @@ int main() {
                      "immediate and seamless (Delta unchanged)",
                      strfmt("median %+.1f us -> %+.1f us", before.p50 * 1e6,
                             after.p50 * 1e6));
-    print_comparison(
-        std::cout, "downshift events observed", ">= 1",
-        strfmt("%llu", static_cast<unsigned long long>(
-                           run.final_status.downshifts)));
+    print_comparison(std::cout, "downshift events observed", ">= 1",
+                     format_count(run.final_status.downshifts));
   }
   return 0;
 }

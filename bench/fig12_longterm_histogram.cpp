@@ -75,12 +75,12 @@ void run_poll(Seconds poll, double days, double paper_median_us,
                               static_cast<double>(errors.size()),
                           errors.size()));
   std::cout << strfmt(
-      "events: %llu sanity trigger(s), %llu gap blend(s), %llu upshift(s), "
-      "%llu lost packets\n",
-      static_cast<unsigned long long>(run.final_status.offset_sanity_triggers),
-      static_cast<unsigned long long>(run.final_status.gap_blends),
-      static_cast<unsigned long long>(run.final_status.upshifts),
-      static_cast<unsigned long long>(run.lost));
+      "events: %s sanity trigger(s), %s gap blend(s), %s upshift(s), "
+      "%s lost packets\n",
+      format_count(run.final_status.offset_sanity_triggers).c_str(),
+      format_count(run.final_status.gap_blends).c_str(),
+      format_count(run.final_status.upshifts).c_str(),
+      format_count(run.lost).c_str());
 }
 
 }  // namespace

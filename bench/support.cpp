@@ -4,40 +4,43 @@
 
 namespace tscclock::bench {
 
-// The sweep engine's run_scenario (src/sweep/sweep.cpp) mirrors this drive
-// loop; changes to the exchange-processing sequence here should be applied
-// there too.
+harness::SessionConfig session_config(const core::Params& params,
+                                      Seconds discard_warmup_s) {
+  harness::SessionConfig config;
+  config.params = params;
+  config.discard_warmup = discard_warmup_s;
+  config.warmup_policy = harness::WarmupPolicy::kGroundTruth;
+  return config;
+}
+
+RunPoint to_run_point(const harness::SampleRecord& record) {
+  RunPoint pt;
+  pt.t_day = record.t_day;
+  pt.reference_offset = record.reference_offset;
+  pt.offset_estimate = record.report.offset_estimate;
+  pt.offset_error = record.offset_error;
+  pt.naive_error = record.naive_error;
+  pt.point_error = record.report.point_error;
+  pt.abs_clock_error = record.abs_clock_error;
+  pt.sanity_triggered = record.report.sanity_triggered;
+  pt.upshift = record.report.shift && record.report.shift->upward;
+  pt.downshift = record.report.shift && !record.report.shift->upward;
+  return pt;
+}
+
 RunResult run_clock(sim::Testbed& testbed, const core::Params& params,
                     Seconds discard_warmup_s) {
   RunResult result;
-  core::TscNtpClock clock(params, testbed.nominal_period());
-
-  while (auto ex = testbed.next()) {
-    ++result.exchanges;
-    if (ex->lost) {
-      ++result.lost;
-      continue;
-    }
-    core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
-                          ex->tf_counts};
-    const auto report = clock.process_exchange(raw);
-    if (!ex->ref_available) continue;
-    if (ex->truth.tb < discard_warmup_s) continue;
-
-    RunPoint pt;
-    pt.t_day = ex->tb_stamp / duration::kDay;
-    pt.reference_offset = clock.uncorrected_time(ex->tf_counts) - ex->tg;
-    pt.offset_estimate = report.offset_estimate;
-    pt.offset_error = report.offset_estimate - pt.reference_offset;
-    pt.naive_error = report.naive_offset - pt.reference_offset;
-    pt.point_error = report.point_error;
-    pt.abs_clock_error = clock.absolute_time(ex->tf_counts) - ex->tg;
-    pt.sanity_triggered = report.sanity_triggered;
-    pt.upshift = report.shift && report.shift->upward;
-    pt.downshift = report.shift && !report.shift->upward;
-    result.points.push_back(pt);
-  }
-  result.final_status = clock.status();
+  harness::ClockSession session(session_config(params, discard_warmup_s),
+                                testbed.nominal_period());
+  harness::CallbackSink points([&](const harness::SampleRecord& record) {
+    result.points.push_back(to_run_point(record));
+  });
+  session.add_sink(points);
+  const auto& summary = session.run(testbed);
+  result.exchanges = summary.exchanges;
+  result.lost = summary.lost;
+  result.final_status = summary.final_status;
   return result;
 }
 

@@ -1,12 +1,15 @@
-// Shared harness for the per-figure bench executables: drives a Testbed
-// stream through a TscNtpClock, aligns the estimates with the DAG reference
-// exactly as the paper does, and provides uniform reporting helpers.
+// Shared helpers for the per-figure bench executables, built on the
+// canonical drive layer in src/harness/ (harness::ClockSession): run_clock
+// is a thin adapter that drives a Testbed stream through a TscNtpClock with
+// the benches' historical conventions (ground-truth warm-up cut, DAG
+// reference alignment) and collects the per-packet fields the figures plot.
 //
 // Reference convention (paper §2.4, §5.3): the reference offset of packet i
 // is θg_i = C(Tf_i) − Tg_i, where C is the algorithm's own uncorrected
 // clock; the reported error is θ̂(t_i) − θg_i. Because both use the same C,
 // the arbitrary clock origin cancels and the error measures pure tracking
-// quality (up to the Δ/2 asymmetry ambiguity).
+// quality (up to the Δ/2 asymmetry ambiguity). The alignment itself lives in
+// harness::ClockSession — identically for benches, examples and the sweep.
 #pragma once
 
 #include <string>
@@ -16,6 +19,8 @@
 #include "common/time_types.hpp"
 #include "core/clock.hpp"
 #include "core/params.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
 
 namespace tscclock::bench {
@@ -41,11 +46,22 @@ struct RunResult {
   std::size_t lost = 0;
 };
 
-/// Feed every exchange of the testbed through a fresh TscNtpClock.
-/// `discard_warmup_s` drops the first seconds from `points` (the paper's
-/// long traces are all analysed post-warm-up).
+/// Feed every exchange of the testbed through a fresh TscNtpClock via
+/// harness::ClockSession. `discard_warmup_s` drops the first seconds from
+/// `points`, cut on ground-truth server time (WarmupPolicy::kGroundTruth —
+/// the benches' historical convention; the paper's long traces are all
+/// analysed post-warm-up). Server changes are forwarded to the clock, so
+/// switching schedules are handled identically to the sweep.
 RunResult run_clock(sim::Testbed& testbed, const core::Params& params,
                     Seconds discard_warmup_s = 0.0);
+
+/// The benches' historical session configuration (ground-truth warm-up cut,
+/// server-change forwarding), for benches that attach their own sinks.
+harness::SessionConfig session_config(const core::Params& params,
+                                      Seconds discard_warmup_s = 0.0);
+
+/// Convert one evaluated harness record to a figure point.
+RunPoint to_run_point(const harness::SampleRecord& record);
 
 /// Extract one field from the run as a vector (for percentile summaries).
 std::vector<double> offset_errors(const RunResult& run);

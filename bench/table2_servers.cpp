@@ -48,15 +48,19 @@ int main() {
     // Δ̂_i = (Tf−Ta)·p̂ − 2·Tg + Tb + Te evaluated at the min-RTT packet.
     double min_rtt = 1e9;
     double delta_at_min = 0;
-    while (auto ex = testbed.next()) {
-      if (ex->lost || !ex->ref_available) continue;
-      const double rtt = delta_to_seconds(
-          counter_delta(ex->tf_counts, ex->ta_counts), period);
+    harness::ClockSession session(
+        bench::session_config(bench::params_for(scenario)),
+        testbed.nominal_period());
+    harness::CallbackSink track_min([&](const harness::SampleRecord& rec) {
+      const double rtt =
+          delta_to_seconds(counter_delta(rec.raw.tf, rec.raw.ta), period);
       if (rtt < min_rtt) {
         min_rtt = rtt;
-        delta_at_min = rtt - 2 * ex->tg + ex->tb_stamp + ex->te_stamp;
+        delta_at_min = rtt - 2 * rec.tg + rec.raw.tb + rec.raw.te;
       }
-    }
+    });
+    session.add_sink(track_min);
+    session.run(testbed);
 
     table.add_row({to_string(row.kind), row.reference, row.distance, row.hops,
                    strfmt("%.2f", row.paper_rtt_ms),

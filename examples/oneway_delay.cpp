@@ -17,19 +17,31 @@
 #include <vector>
 
 #include "common/stats.hpp"
-#include "core/clock.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
 
 using namespace tscclock;
 
 namespace {
 
-/// A host: testbed (own oscillator + NTP path to its server) + clock.
+/// A host: testbed (own oscillator + NTP path to its server) + a harness
+/// session driving its own TSC-NTP clock one exchange at a time.
 struct Host {
   Host(std::uint64_t seed, Seconds duration)
       : scenario(make_scenario(seed, duration)),
         testbed(scenario),
-        clock(make_params(scenario), testbed.nominal_period()) {}
+        session(make_config(scenario), testbed.nominal_period()),
+        poll_times([this](const harness::SampleRecord& rec) {
+          last_poll_time = rec.truth_ta;
+        }) {
+    session.add_sink(poll_times);
+  }
+
+  // The session holds a pointer to poll_times and the sink's lambda captures
+  // `this`; a copy or move would leave them dangling.
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
 
   static sim::ScenarioConfig make_scenario(std::uint64_t seed,
                                            Seconds duration) {
@@ -39,33 +51,31 @@ struct Host {
     s.seed = seed;
     return s;
   }
-  static core::Params make_params(const sim::ScenarioConfig& s) {
-    core::Params p;
-    p.poll_period = s.poll_period;
-    return p;
+  static harness::SessionConfig make_config(const sim::ScenarioConfig& s) {
+    harness::SessionConfig c;
+    c.params.poll_period = s.poll_period;
+    c.emit_unevaluated = true;  // poll instants matter even for lost replies
+    return c;
   }
 
-  /// Generate and process the next NTP exchange. The oscillator is read in
-  /// strictly increasing order, so probes must be interleaved *between*
-  /// exchange windows (see main loop).
-  bool step() {
-    auto ex = testbed.next();
-    if (!ex) return false;
-    if (!ex->lost)
-      clock.process_exchange(
-          {ex->ta_counts, ex->tb_stamp, ex->te_stamp, ex->tf_counts});
-    last_poll_time = ex->truth.ta;
-    return true;
-  }
+  /// Generate and process the next NTP exchange through the shared harness
+  /// sequence. The oscillator is read in strictly increasing order, so
+  /// probes must be interleaved *between* exchange windows (see main loop).
+  bool step() { return session.step(testbed); }
 
   /// Raw counter value at true time t (what a driver timestamp would read).
   TscCount stamp(Seconds t) { return testbed.oscillator().read(t); }
+
+  [[nodiscard]] const core::TscNtpClock& clock() const {
+    return session.clock();
+  }
 
   Seconds last_poll_time = 0;
 
   sim::ScenarioConfig scenario;
   sim::Testbed testbed;
-  core::TscNtpClock clock;
+  harness::ClockSession session;
+  harness::CallbackSink poll_times;
 };
 
 }  // namespace
@@ -96,8 +106,8 @@ int main() {
     const TscCount departure = sender.stamp(t);
     const TscCount arrival = receiver.stamp(t + true_delay);
 
-    const Seconds measured = receiver.clock.absolute_time(arrival) -
-                             sender.clock.absolute_time(departure);
+    const Seconds measured = receiver.clock().absolute_time(arrival) -
+                             sender.clock().absolute_time(departure);
     measurement_errors.push_back(measured - true_delay);
     true_delays.push_back(true_delay);
   }

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/allan.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
 
 using namespace tscclock;
@@ -22,24 +24,30 @@ int main() {
   scenario.seed = 2026;
   sim::Testbed testbed(scenario);
 
+  // The characterization consumes (corrected counter, reference time) pairs;
+  // the stream is driven through the shared harness like every consumer.
   std::vector<double> times;
   std::vector<double> theta;
   const double period = testbed.true_period();
   bool first = true;
   TscCount tf0 = 0;
   double tg0 = 0;
-  while (auto ex = testbed.next()) {
-    if (ex->lost || !ex->ref_available) continue;
+  harness::SessionConfig config;
+  config.params.poll_period = scenario.poll_period;
+  harness::ClockSession session(config, testbed.nominal_period());
+  harness::CallbackSink collect([&](const harness::SampleRecord& rec) {
     if (first) {
-      tf0 = ex->tf_counts_corrected;
-      tg0 = ex->tg;
+      tf0 = rec.tf_counts_corrected;
+      tg0 = rec.tg;
       first = false;
     }
     const double elapsed =
-        delta_to_seconds(counter_delta(ex->tf_counts_corrected, tf0), period);
-    times.push_back(ex->tg - tg0);
-    theta.push_back(elapsed - (ex->tg - tg0));
-  }
+        delta_to_seconds(counter_delta(rec.tf_counts_corrected, tf0), period);
+    times.push_back(rec.tg - tg0);
+    theta.push_back(elapsed - (rec.tg - tg0));
+  });
+  session.add_sink(collect);
+  session.run(testbed);
 
   const auto phase = resample_linear(times, theta, scenario.poll_period);
   const auto factors = log_spaced_factors(phase.size(), 4);

@@ -2,12 +2,18 @@
 // for six hours of simulated time, then read both clocks.
 //
 //   1. Build a testbed (oscillator + path + server + DAG reference).
-//   2. Feed each completed NTP exchange into TscNtpClock::process_exchange.
+//   2. Drive it through harness::ClockSession — the canonical exchange
+//      pipeline shared by the benches, the examples and the sweep — with a
+//      callback sink observing each scored packet.
 //   3. Read the difference clock (time intervals) and absolute clock
 //      (absolute time), and inspect the synchronization status.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
-#include "core/clock.hpp"
+#include "common/table.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
 
 using namespace tscclock;
@@ -22,35 +28,32 @@ int main() {
   scenario.seed = 7;
   sim::Testbed testbed(scenario);
 
-  // -- 2. The clock: paper-default parameters, nominal period as the guess.
-  core::Params params;
-  params.poll_period = scenario.poll_period;
-  core::TscNtpClock clock(params, testbed.nominal_period());
+  // -- 2. The session: paper-default parameters, nominal period as the
+  //       initial guess, every scored packet delivered to the sink.
+  harness::SessionConfig config;
+  config.params.poll_period = scenario.poll_period;
+  harness::ClockSession session(config, testbed.nominal_period());
 
-  std::size_t fed = 0;
   double worst_error_us = 0;
   TscCount last_tf = 0;
   Seconds last_tg = 0;
-  while (auto exchange = testbed.next()) {
-    if (exchange->lost) continue;  // the algorithm never sees lost packets
-    core::RawExchange raw{exchange->ta_counts, exchange->tb_stamp,
-                          exchange->te_stamp, exchange->tf_counts};
-    clock.process_exchange(raw);
-    ++fed;
-    if (exchange->ref_available && clock.status().warmed_up) {
-      const Seconds err =
-          clock.absolute_time(exchange->tf_counts) - exchange->tg;
-      worst_error_us = std::max(worst_error_us, std::abs(err) * 1e6);
-      last_tf = exchange->tf_counts;
-      last_tg = exchange->tg;
-    }
-  }
+  harness::CallbackSink observer([&](const harness::SampleRecord& rec) {
+    if (!rec.warmed_up) return;
+    worst_error_us =
+        std::max(worst_error_us, std::abs(rec.abs_clock_error) * 1e6);
+    last_tf = rec.raw.tf;
+    last_tg = rec.tg;
+  });
+  session.add_sink(observer);
+  const auto& summary = session.run(testbed);
+  const auto& status = summary.final_status;
+  auto& clock = session.clock();
 
   // -- 3. Read the clocks. -------------------------------------------------
-  const auto status = clock.status();
-  std::printf("fed %zu NTP exchanges (poll %.0fs, %s, %s)\n", fed,
-              scenario.poll_period, to_string(scenario.server).c_str(),
-              to_string(scenario.environment).c_str());
+  std::printf("fed %zu NTP exchanges (poll %.0fs, %s, %s; %zu lost)\n",
+              summary.exchanges - summary.lost, scenario.poll_period,
+              to_string(scenario.server).c_str(),
+              to_string(scenario.environment).c_str(), summary.lost);
   std::printf("estimated period   : %.9e s/cycle (true %.9e)\n",
               clock.period(), testbed.true_period());
   std::printf("rate error         : %.4f PPM (quality bound %.4f PPM)\n",
@@ -69,9 +72,9 @@ int main() {
   std::printf("absolute clock err : %+.1f us vs GPS reference "
               "(worst post-warmup %.1f us)\n",
               (clock.absolute_time(last_tf) - last_tg) * 1e6, worst_error_us);
-  std::printf("sanity triggers=%llu fallbacks=%llu upshifts=%llu\n",
-              static_cast<unsigned long long>(status.offset_sanity_triggers),
-              static_cast<unsigned long long>(status.offset_fallbacks),
-              static_cast<unsigned long long>(status.upshifts));
+  std::printf("sanity triggers=%s fallbacks=%s upshifts=%s\n",
+              format_count(status.offset_sanity_triggers).c_str(),
+              format_count(status.offset_fallbacks).c_str(),
+              format_count(status.upshifts).c_str());
   return 0;
 }

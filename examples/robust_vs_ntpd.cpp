@@ -10,7 +10,9 @@
 
 #include "baseline/swntp.hpp"
 #include "common/stats.hpp"
-#include "core/clock.hpp"
+#include "common/table.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
 
 using namespace tscclock;
@@ -33,9 +35,15 @@ int main() {
   scenario.path_override = path;
   sim::Testbed testbed(scenario);
 
-  core::Params params;
-  params.poll_period = scenario.poll_period;
-  core::TscNtpClock tsc(params, testbed.nominal_period());
+  // The TSC clock runs inside the shared harness drive layer; the SW-NTP
+  // baseline is co-driven from the record stream so both clocks see the
+  // identical exchange sequence.
+  harness::SessionConfig config;
+  config.params.poll_period = scenario.poll_period;
+  config.discard_warmup = duration::kHour;
+  config.warmup_policy = harness::WarmupPolicy::kGroundTruth;
+  config.emit_unevaluated = true;  // the SW clock must also eat warm-up
+  harness::ClockSession session(config, testbed.nominal_period());
   baseline::SwNtpClock sw(baseline::PllConfig{}, testbed.nominal_period());
 
   std::vector<double> tsc_abs;
@@ -45,27 +53,26 @@ int main() {
   std::printf("%8s %14s %14s %10s\n", "hour", "TSC-NTP err", "SW-NTP err",
               "SW steps");
   int next_report = 2;
-  while (auto ex = testbed.next()) {
-    if (ex->lost) continue;
-    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
-                                ex->tf_counts};
-    tsc.process_exchange(raw);
-    sw.process_exchange(raw);
+  harness::CallbackSink duel([&](const harness::SampleRecord& rec) {
+    if (rec.lost) return;
+    sw.process_exchange(rec.raw);
     sw_rate_lo = std::min(sw_rate_lo, sw.effective_rate());
     sw_rate_hi = std::max(sw_rate_hi, sw.effective_rate());
-    if (!ex->ref_available || ex->truth.tb < duration::kHour) continue;
-    const double e_tsc = tsc.absolute_time(ex->tf_counts) - ex->tg;
-    const double e_sw = sw.time(ex->tf_counts) - ex->tg;
+    if (!rec.evaluated) return;
+    const double e_tsc = rec.abs_clock_error;
+    const double e_sw = sw.time(rec.raw.tf) - rec.tg;
     tsc_abs.push_back(std::fabs(e_tsc));
     sw_abs.push_back(std::fabs(e_sw));
-    const double hour = ex->truth.tb / duration::kHour;
+    const double hour = rec.truth_tb / duration::kHour;
     if (hour >= next_report) {
-      std::printf("%8.1f %12.1fus %12.1fus %10llu\n", hour, e_tsc * 1e6,
-                  e_sw * 1e6,
-                  static_cast<unsigned long long>(sw.status().steps));
+      std::printf("%8.1f %12.1fus %12.1fus %10s\n", hour, e_tsc * 1e6,
+                  e_sw * 1e6, format_count(sw.status().steps).c_str());
       next_report += 2;
     }
-  }
+  });
+  session.add_sink(duel);
+  session.run(testbed);
+  const auto& tsc = session.clock();
 
   const auto st = percentile_summary(tsc_abs);
   const auto ss = percentile_summary(sw_abs);
@@ -76,16 +83,16 @@ int main() {
   std::printf("  TSC-NTP: median %6.1f us, p99 %8.1f us, sanity holds, "
               "0 steps\n",
               st.p50 * 1e6, st.p99 * 1e6);
-  std::printf("  SW-NTP : median %6.1f us, p99 %8.1f us, %llu step(s), "
+  std::printf("  SW-NTP : median %6.1f us, p99 %8.1f us, %s step(s), "
               "rate swung %.1f PPM\n",
               ss.p50 * 1e6, ss.p99 * 1e6,
-              static_cast<unsigned long long>(sw.status().steps),
+              format_count(sw.status().steps).c_str(),
               (sw_rate_hi - sw_rate_lo) * 1e6);
   const auto status = tsc.status();
-  std::printf("  TSC-NTP events: %llu offset sanity, %llu rate sanity, "
-              "%llu upshift(s) detected\n",
-              static_cast<unsigned long long>(status.offset_sanity_triggers),
-              static_cast<unsigned long long>(status.rate_sanity_blocks),
-              static_cast<unsigned long long>(status.upshifts));
+  std::printf("  TSC-NTP events: %s offset sanity, %s rate sanity, "
+              "%s upshift(s) detected\n",
+              format_count(status.offset_sanity_triggers).c_str(),
+              format_count(status.rate_sanity_blocks).c_str(),
+              format_count(status.upshifts).c_str());
   return 0;
 }

@@ -11,11 +11,18 @@ CsvWriter::CsvWriter(const std::string& path,
     : out_(path), columns_(columns.size()) {
   TSC_EXPECTS(!columns.empty());
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  // Mid-run failures (disk full, quota) must surface as exceptions, not as
+  // a silently truncated file reported as success.
+  out_.exceptions(std::ios::badbit | std::ios::failbit);
   for (std::size_t i = 0; i < columns.size(); ++i) {
     if (i) out_ << ',';
     out_ << columns[i];
   }
   out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();  // throws via the enabled exceptions
 }
 
 void CsvWriter::write_row(std::span<const double> values) {

@@ -18,6 +18,11 @@ class CsvWriter {
   void write_row(std::span<const double> values);
   void write_row(const std::vector<std::string>& cells);
 
+  /// Flush and close, surfacing a failed final flush (disk full at the end
+  /// of a long dump) as an exception — the ofstream destructor would
+  /// swallow it. Idempotent; the writer is unusable afterwards.
+  void close();
+
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
 
  private:

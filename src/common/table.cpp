@@ -24,6 +24,10 @@ std::string strfmt(const char* format, ...) {
   return out;
 }
 
+std::string format_count(std::uint64_t value) {
+  return strfmt("%llu", static_cast<unsigned long long>(value));
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
   TSC_EXPECTS(!headers_.empty());

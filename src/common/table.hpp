@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -12,6 +13,12 @@ namespace tscclock {
 
 /// printf-style formatting into a std::string.
 std::string strfmt(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+/// Canonical rendering of an event/packet counter for table cells and
+/// reports. All counter columns in the sweep and bench tables go through
+/// this one helper so they stay consistent (and so the unsigned-long-long
+/// cast printf requires lives in exactly one place).
+std::string format_count(std::uint64_t value);
 
 /// Column-aligned table writer.
 ///

@@ -1,0 +1,91 @@
+#include "harness/session.hpp"
+
+namespace tscclock::harness {
+
+ClockSession::ClockSession(const SessionConfig& config, double nominal_period)
+    : config_(config), clock_(config.params, nominal_period) {}
+
+void ClockSession::add_sink(SampleSink& sink) { sinks_.push_back(&sink); }
+
+void ClockSession::emit(const SampleRecord& record) {
+  for (auto* sink : sinks_) sink->on_sample(record);
+}
+
+void ClockSession::process(const sim::Exchange& ex) {
+  ++summary_.exchanges;
+  if (ex.lost) {
+    ++summary_.lost;
+    if (config_.emit_unevaluated) {
+      SampleRecord record;
+      record.index = ex.index;
+      record.lost = true;
+      record.truth_ta = ex.truth.ta;
+      record.truth_tb = ex.truth.tb;
+      // A lost poll has no server stamp, so the warm-up flag is cut on
+      // ground truth under either policy.
+      record.in_warmup = ex.truth.tb < config_.discard_warmup;
+      emit(record);
+    }
+    return;
+  }
+
+  SampleRecord record;
+  record.index = ex.index;
+  record.ref_available = ex.ref_available;
+  record.raw = core::RawExchange{ex.ta_counts, ex.tb_stamp, ex.te_stamp,
+                                 ex.tf_counts};
+  record.tf_counts_corrected = ex.tf_counts_corrected;
+  record.tg = ex.tg;
+  record.truth_ta = ex.truth.ta;
+  record.truth_tb = ex.truth.tb;
+  record.t_day = ex.tb_stamp / duration::kDay;
+
+  if (config_.track_server_changes &&
+      server_changes_.observe(
+          core::ServerIdentity{ex.server_id, ex.server_stratum}, ex.index)) {
+    clock_.notify_server_change();
+    record.server_changed = true;
+  }
+
+  record.report = clock_.process_exchange(record.raw);
+  record.warmed_up = clock_.status().warmed_up;
+  record.period = clock_.period();
+
+  const Seconds cut_time = config_.warmup_policy == WarmupPolicy::kObservable
+                               ? ex.tb_stamp
+                               : ex.truth.tb;
+  record.in_warmup = cut_time < config_.discard_warmup;
+
+  if (ex.ref_available) {
+    record.reference_offset = clock_.uncorrected_time(ex.tf_counts) - ex.tg;
+    record.offset_error = record.report.offset_estimate -
+                          record.reference_offset;
+    record.naive_error = record.report.naive_offset - record.reference_offset;
+    record.abs_clock_error = clock_.absolute_time(ex.tf_counts) - ex.tg;
+  }
+
+  record.evaluated = ex.ref_available && !record.in_warmup;
+  if (record.evaluated) ++summary_.evaluated;
+  if (record.evaluated || config_.emit_unevaluated) emit(record);
+}
+
+bool ClockSession::step(sim::Testbed& testbed) {
+  auto exchange = testbed.next();
+  if (!exchange) return false;
+  process(*exchange);
+  return true;
+}
+
+const SessionSummary& ClockSession::run(sim::Testbed& testbed) {
+  while (step(testbed)) {
+  }
+  summary_.polls_enumerated = testbed.polls_enumerated();
+  return summary();
+}
+
+const SessionSummary& ClockSession::summary() {
+  summary_.final_status = clock_.status();
+  return summary_;
+}
+
+}  // namespace tscclock::harness

@@ -1,0 +1,165 @@
+// ClockSession: the single canonical Testbed → TscNtpClock drive loop.
+//
+// Every evaluation surface in this repo — the per-figure benches, the
+// examples, and the parallel scenario sweep — measures the same thing: a
+// Testbed exchange stream processed by a TscNtpClock and scored against the
+// DAG reference monitor. ClockSession owns that exchange-processing
+// sequence exactly once:
+//
+//   1. drain the Testbed (loss accounting for exchanges that never arrive);
+//   2. feed each reply's transport identity to a ServerChangeDetector and
+//      forward changes via TscNtpClock::notify_server_change() (identity
+//      lives on the transport endpoint, not the NTP reference-id field —
+//      two distinct servers can both report "GPS");
+//   3. process_exchange() on the {Ta, Tb, Te, Tf} quadruple;
+//   4. align with the reference: θg_i = C(Tf_i) − Tg_i, where C is the
+//      algorithm's own uncorrected clock (paper §2.4, §5.3). Because both
+//      the estimate and θg use the same C, the arbitrary clock origin
+//      cancels and the error measures pure tracking quality (up to the Δ/2
+//      path-asymmetry ambiguity);
+//   5. apply the configured warm-up policy and emit a SampleRecord to every
+//      attached SampleSink.
+//
+// Consumers differ only in which sink they attach (vector collector for
+// figures, percentile/ADEV reducer for the sweep, CSV writer for offline
+// inspection, ad-hoc callback for everything else) — never in how the
+// stream is driven.
+//
+// Warm-up policies (see WarmupPolicy): the figure benches historically cut
+// warm-up on ground-truth time (truth.tb, simulation-only), while the sweep
+// cuts on the observable server stamp (tb_stamp, what a deployed client
+// could actually do). Both conventions are preserved and must be chosen
+// explicitly per session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "core/clock.hpp"
+#include "core/params.hpp"
+#include "core/server_change.hpp"
+#include "sim/scenario.hpp"
+
+namespace tscclock::harness {
+
+/// Which timebase the warm-up discard cut uses.
+enum class WarmupPolicy {
+  /// Cut on the observable server receive stamp Tb (what a real client can
+  /// measure). The sweep's historical convention.
+  kObservable,
+  /// Cut on ground-truth server arrival time (simulation-only). The figure
+  /// benches' historical convention; keeps their fixed-seed outputs stable.
+  kGroundTruth,
+};
+
+struct SessionConfig {
+  core::Params params;
+  /// Records earlier than this (by the policy's timebase) are flagged as
+  /// warm-up and excluded from `evaluated` (the paper analyses all long
+  /// traces post-warm-up).
+  Seconds discard_warmup = 0.0;
+  WarmupPolicy warmup_policy = WarmupPolicy::kObservable;
+  /// Route reply identities through a ServerChangeDetector and forward
+  /// changes to the clock. On single-server traces the detector never fires,
+  /// so this is a no-op there; disable only to study the unassisted
+  /// level-shift path (see bench/ext_server_change.cpp).
+  bool track_server_changes = true;
+  /// Also emit records for lost, reference-less and warm-up exchanges
+  /// (flagged via SampleRecord::lost / ref_available / in_warmup). Off by
+  /// default: most consumers only score evaluated packets.
+  bool emit_unevaluated = false;
+};
+
+/// One exchange as scored by the session — a superset of the fields the
+/// figure benches (bench::RunPoint) and the sweep reduction historically
+/// collected, so every consumer can be fed from the same record stream.
+struct SampleRecord {
+  std::uint64_t index = 0;  ///< poll sequence number (sim::Exchange::index)
+  bool lost = false;        ///< no reply reached the host
+  bool ref_available = false;
+  bool in_warmup = false;       ///< before the configured discard cut
+  bool evaluated = false;       ///< !lost && ref_available && !in_warmup
+  bool server_changed = false;  ///< this reply triggered notify_server_change
+
+  // -- Observables (valid when !lost) --------------------------------------
+  core::RawExchange raw;             ///< the {Ta, Tb, Te, Tf} quadruple
+  TscCount tf_counts_corrected = 0;  ///< side-mode-corrected Tf (§2.4)
+  Seconds tg = 0;        ///< DAG stamp (valid when ref_available)
+  Seconds truth_ta = 0;  ///< ground-truth wire departure (simulation-only;
+                         ///< also filled for lost records)
+  Seconds truth_tb = 0;  ///< ground-truth server arrival (simulation-only)
+  double t_day = 0;      ///< raw.tb in days (figure x-axes)
+
+  // -- Clock state after this exchange (valid when !lost) ------------------
+  core::ProcessReport report;
+  bool warmed_up = false;  ///< clock's own warm-up flag (§6.1)
+  double period = 0;       ///< p̂ after this packet [s/count]
+
+  // -- Reference-aligned errors (valid when !lost && ref_available) --------
+  Seconds reference_offset = 0;  ///< θg = C(Tf) − Tg
+  Seconds offset_error = 0;      ///< θ̂(t) − θg
+  Seconds naive_error = 0;       ///< θ̂_i (naive) − θg
+  Seconds abs_clock_error = 0;   ///< Ca(Tf) − Tg
+};
+
+/// Aggregate outcome of a session (counts match the legacy drive loops:
+/// `exchanges` includes lost ones, `evaluated` survives warm-up discard).
+struct SessionSummary {
+  std::size_t exchanges = 0;
+  std::size_t lost = 0;
+  std::size_t evaluated = 0;
+  /// Poll slots enumerated by the Testbed including outage-skipped ones;
+  /// filled by run() after the drain (the Testbed owns the slot arithmetic).
+  std::uint64_t polls_enumerated = 0;
+  core::ClockStatus final_status;
+};
+
+/// Receives every record the session emits. Implementations must not assume
+/// they are the only sink attached.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+  virtual void on_sample(const SampleRecord& record) = 0;
+};
+
+class ClockSession {
+ public:
+  /// `nominal_period` is the spec-sheet counter period used as the clock's
+  /// initial guess (normally sim::Testbed::nominal_period()).
+  ClockSession(const SessionConfig& config, double nominal_period);
+
+  /// Attach a sink (non-owning; must outlive the session's processing).
+  /// Sinks are invoked in attachment order, synchronously per record.
+  void add_sink(SampleSink& sink);
+
+  /// Process one exchange through the canonical sequence. Exposed so
+  /// consumers that interleave other work between polls (e.g. the one-way
+  /// delay example) or replay perturbed exchange vectors still share it.
+  void process(const sim::Exchange& exchange);
+
+  /// Pull one exchange from the testbed and process it. Returns false when
+  /// the testbed's configured duration is exhausted.
+  bool step(sim::Testbed& testbed);
+
+  /// Drain the whole testbed and return the final summary.
+  const SessionSummary& run(sim::Testbed& testbed);
+
+  /// The summary so far (final_status is refreshed on access).
+  const SessionSummary& summary();
+
+  [[nodiscard]] core::TscNtpClock& clock() { return clock_; }
+  [[nodiscard]] const core::TscNtpClock& clock() const { return clock_; }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+ private:
+  void emit(const SampleRecord& record);
+
+  SessionConfig config_;
+  core::TscNtpClock clock_;
+  core::ServerChangeDetector server_changes_;
+  std::vector<SampleSink*> sinks_;
+  SessionSummary summary_;
+};
+
+}  // namespace tscclock::harness

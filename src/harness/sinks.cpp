@@ -1,0 +1,120 @@
+#include "harness/sinks.hpp"
+
+#include <span>
+
+#include "common/allan.hpp"
+#include "common/table.hpp"
+
+namespace tscclock::harness {
+
+ReducerSink::ReducerSink(double tau0, std::size_t adev_short_factor,
+                         std::size_t adev_long_factor)
+    : tau0_(tau0),
+      short_factor_(adev_short_factor),
+      long_factor_(adev_long_factor) {}
+
+void ReducerSink::on_sample(const SampleRecord& record) {
+  if (!record.evaluated) return;
+  times_.push_back(record.raw.tb);
+  clock_errors_.push_back(record.abs_clock_error);
+  offset_errors_.push_back(record.offset_error);
+}
+
+namespace {
+
+/// Fill both ADEV scales from one resampled series; allan_deviation skips
+/// factors the trace is too short to support, leaving the 0 sentinel.
+///
+/// Computed over the longest stretch free of gaps > 4·tau0: interpolating
+/// across an outage would fabricate collinear samples whose second
+/// differences are exactly zero, biasing ADEV low for precisely the
+/// robustness schedules a sweep is meant to compare. Ordinary packet loss
+/// (a 2·tau0 hole) stays within one stretch.
+void fill_adev(const std::vector<double>& times,
+               const std::vector<double>& errors, double tau0,
+               std::size_t short_factor, std::size_t long_factor,
+               ReducerSink::Reduction& out) {
+  if (times.size() < 3) return;
+  std::size_t best_begin = 0;
+  std::size_t best_len = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= times.size(); ++i) {
+    if (i == times.size() || times[i] - times[i - 1] > 4 * tau0) {
+      if (i - begin > best_len) {
+        best_len = i - begin;
+        best_begin = begin;
+      }
+      begin = i;
+    }
+  }
+  if (best_len < 3) return;
+  const std::span<const double> seg_times(times.data() + best_begin, best_len);
+  const std::span<const double> seg_errors(errors.data() + best_begin,
+                                           best_len);
+  const auto regular = resample_linear(seg_times, seg_errors, tau0);
+  const std::size_t factors[] = {short_factor, long_factor};
+  for (const auto& point : allan_deviation(regular, tau0, factors)) {
+    if (point.tau == out.adev_short_tau) out.adev_short = point.deviation;
+    if (point.tau == out.adev_long_tau) out.adev_long = point.deviation;
+  }
+}
+
+}  // namespace
+
+ReducerSink::Reduction ReducerSink::reduce() const {
+  Reduction out;
+  out.evaluated = clock_errors_.size();
+  // A stream can end with no evaluable points (warm-up discard covering the
+  // whole duration, or total loss); summarize() requires a non-empty series.
+  if (!clock_errors_.empty()) out.clock_error = summarize(clock_errors_);
+  if (!offset_errors_.empty()) out.offset_error = summarize(offset_errors_);
+  out.adev_short_tau = static_cast<double>(short_factor_) * tau0_;
+  out.adev_long_tau = static_cast<double>(long_factor_) * tau0_;
+  fill_adev(times_, clock_errors_, tau0_, short_factor_, long_factor_, out);
+  return out;
+}
+
+CsvTraceSink::CsvTraceSink(const std::string& path)
+    : writer_(path,
+              {"scenario",      "index",          "lost",
+               "ref_available", "in_warmup",      "evaluated",
+               "server_changed", "warmed_up",
+               "t_day",         "tb_stamp",       "truth_tb",
+               "offset_estimate",
+               "reference_offset", "offset_error", "naive_error",
+               "point_error",   "abs_clock_error", "period",
+               "sanity_triggered", "upshift",      "downshift"}) {}
+
+void CsvTraceSink::on_sample(const SampleRecord& r) {
+  const bool upshift = r.report.shift && r.report.shift->upward;
+  const bool downshift = r.report.shift && !r.report.shift->upward;
+  // truth_tb is the one time column lost records carry (no reply, no
+  // tb_stamp), so gap/loss timing survives into offline analysis. The
+  // ref_available flag marks rows whose reference-aligned error columns are
+  // not meaningful (printed as zeros) — without it they would read as
+  // spurious perfect-tracking samples.
+  writer_.write_row(std::vector<std::string>{
+      scenario_,
+      format_count(r.index),
+      r.lost ? "1" : "0",
+      r.ref_available ? "1" : "0",
+      r.in_warmup ? "1" : "0",
+      r.evaluated ? "1" : "0",
+      r.server_changed ? "1" : "0",
+      r.warmed_up ? "1" : "0",
+      strfmt("%.6f", r.t_day),
+      strfmt("%.6f", r.raw.tb),
+      strfmt("%.6f", r.truth_tb),
+      strfmt("%.9e", r.report.offset_estimate),
+      strfmt("%.9e", r.reference_offset),
+      strfmt("%.9e", r.offset_error),
+      strfmt("%.9e", r.naive_error),
+      strfmt("%.9e", r.report.point_error),
+      strfmt("%.9e", r.abs_clock_error),
+      strfmt("%.12e", r.period),
+      r.report.sanity_triggered ? "1" : "0",
+      upshift ? "1" : "0",
+      downshift ? "1" : "0"});
+}
+
+}  // namespace tscclock::harness

@@ -1,0 +1,121 @@
+// Pluggable SampleSink implementations for ClockSession:
+//
+//   CollectorSink — buffers every record (figure benches, golden tests);
+//   CallbackSink  — ad-hoc per-record lambda (co-driven baseline clocks,
+//                   streaming minima, progress printing);
+//   ReducerSink   — the sweep's reduction: error summaries + two-scale Allan
+//                   deviation over the evaluated stream;
+//   CsvTraceSink  — per-exchange CSV rows for offline inspection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "harness/session.hpp"
+
+namespace tscclock::harness {
+
+/// Buffers every record it receives, in emission order.
+class CollectorSink final : public SampleSink {
+ public:
+  void on_sample(const SampleRecord& record) override {
+    records_.push_back(record);
+  }
+  [[nodiscard]] const std::vector<SampleRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<SampleRecord> records_;
+};
+
+/// Invokes a callable for every record. The callable may read the session's
+/// clock (sinks run synchronously, right after the record's exchange was
+/// processed) and drive secondary consumers such as a baseline clock fed
+/// from the same exchange stream.
+class CallbackSink final : public SampleSink {
+ public:
+  using Callback = std::function<void(const SampleRecord&)>;
+  explicit CallbackSink(Callback callback) : callback_(std::move(callback)) {}
+  void on_sample(const SampleRecord& record) override { callback_(record); }
+
+ private:
+  Callback callback_;
+};
+
+/// Reduces the evaluated stream into the sweep's per-scenario statistics:
+/// SeriesSummary of the absolute clock error Ca(Tf)−Tg and of the offset
+/// tracking error θ̂−θg, plus the Allan deviation of the clock error at two
+/// scales (adev factors × the polling period).
+///
+/// The sink consumes records one at a time but currently retains the three
+/// series it reduces (times, clock errors, offset errors): exact percentiles
+/// need the sorted sample set. Replacing the buffers with an O(1)-memory
+/// quantile/ADEV sketch is the scale work this seam exists for — consumers
+/// only ever see reduce().
+class ReducerSink final : public SampleSink {
+ public:
+  struct Reduction {
+    std::size_t evaluated = 0;
+    /// Zero-initialized when evaluated == 0 (callers must not read a
+    /// summary of an empty stream as a perfect run).
+    SeriesSummary clock_error;
+    SeriesSummary offset_error;
+    /// 0 is the not-computable sentinel (trace too short for the scale).
+    double adev_short_tau = 0;
+    double adev_short = 0;
+    double adev_long_tau = 0;
+    double adev_long = 0;
+  };
+
+  /// `tau0` is the polling period: the ADEV resampling grid and the scale
+  /// unit for the averaging factors.
+  explicit ReducerSink(double tau0, std::size_t adev_short_factor = 16,
+                       std::size_t adev_long_factor = 256);
+
+  void on_sample(const SampleRecord& record) override;
+
+  /// Reduce what has been consumed so far.
+  [[nodiscard]] Reduction reduce() const;
+
+ private:
+  double tau0_;
+  std::size_t short_factor_;
+  std::size_t long_factor_;
+  std::vector<double> times_;          ///< server receive stamps [s]
+  std::vector<double> clock_errors_;   ///< Ca(Tf) − Tg
+  std::vector<double> offset_errors_;  ///< θ̂ − θg
+};
+
+/// Writes one CSV row per record (lost and warm-up records included when the
+/// session emits them, flagged by the lost/evaluated columns). Pair with
+/// SessionConfig::emit_unevaluated = true for gap-visible traces.
+class CsvTraceSink final : public SampleSink {
+ public:
+  /// Opens `path` (overwriting) and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit CsvTraceSink(const std::string& path);
+
+  /// Label written into the `scenario` column of subsequent rows, so one
+  /// file can hold the traces of a whole sweep grid.
+  void set_scenario(std::string name) { scenario_ = std::move(name); }
+
+  void on_sample(const SampleRecord& record) override;
+
+  /// Flush and close with error checking (see CsvWriter::close).
+  void close() { writer_.close(); }
+
+  [[nodiscard]] std::size_t rows_written() const {
+    return writer_.rows_written();
+  }
+
+ private:
+  CsvWriter writer_;
+  std::string scenario_;
+};
+
+}  // namespace tscclock::harness

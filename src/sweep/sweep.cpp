@@ -4,61 +4,16 @@
 #include <cmath>
 #include <cstddef>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <ostream>
-#include <span>
 
-#include "common/allan.hpp"
 #include "common/table.hpp"
-#include "core/server_change.hpp"
+#include "harness/sinks.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace tscclock::sweep {
-
-namespace {
-
-/// ADEV averaging factors: τ = factor · poll period. Shared between the tau
-/// labelling in run_scenario and the factor list in fill_adev — the two are
-/// matched by exact float tau equality, so they must come from one place.
-constexpr std::size_t kAdevShortFactor = 16;
-constexpr std::size_t kAdevLongFactor = 256;
-
-/// Fill both ADEV scales from one resampled series; allan_deviation skips
-/// factors the trace is too short to support, leaving the 0 sentinel.
-///
-/// Computed over the longest stretch free of gaps > 4·tau0: interpolating
-/// across an outage would fabricate collinear samples whose second
-/// differences are exactly zero, biasing ADEV low for precisely the
-/// robustness schedules the sweep is meant to compare. Ordinary packet loss
-/// (a 2·tau0 hole) stays within one stretch.
-void fill_adev(const std::vector<double>& times,
-               const std::vector<double>& errors, double tau0,
-               ScenarioResult& result) {
-  if (times.size() < 3) return;
-  std::size_t best_begin = 0;
-  std::size_t best_len = 0;
-  std::size_t begin = 0;
-  for (std::size_t i = 1; i <= times.size(); ++i) {
-    if (i == times.size() || times[i] - times[i - 1] > 4 * tau0) {
-      if (i - begin > best_len) {
-        best_len = i - begin;
-        best_begin = begin;
-      }
-      begin = i;
-    }
-  }
-  if (best_len < 3) return;
-  const std::span<const double> seg_times(times.data() + best_begin, best_len);
-  const std::span<const double> seg_errors(errors.data() + best_begin,
-                                           best_len);
-  const auto regular = resample_linear(seg_times, seg_errors, tau0);
-  const std::size_t factors[] = {kAdevShortFactor, kAdevLongFactor};
-  for (const auto& point : allan_deviation(regular, tau0, factors)) {
-    if (point.tau == result.adev_short_tau) result.adev_short = point.deviation;
-    if (point.tau == result.adev_long_tau) result.adev_long = point.deviation;
-  }
-}
-
-}  // namespace
 
 namespace {
 
@@ -77,72 +32,45 @@ ScenarioResult result_for(const SweepScenario& scenario) {
 }  // namespace
 
 ScenarioResult run_scenario(const SweepScenario& scenario,
-                            Seconds discard_warmup) {
+                            Seconds discard_warmup,
+                            harness::SampleSink* trace_sink) {
   ScenarioResult result = result_for(scenario);
 
-  // Drive loop closely mirrors bench::run_clock (bench/support.cpp) with two
-  // deliberate differences: server changes are forwarded to the clock (the
-  // sweep grid includes switching schedules; the figure benches don't), and
-  // warm-up is cut on the observable tb_stamp rather than ground truth.
-  // Keep the exchange-processing sequence in step with that loop.
+  // The drive loop is the shared harness::ClockSession — the same canonical
+  // exchange-processing sequence the figure benches use (bench::run_clock).
+  // The sweep's one convention difference is declared in the config: warm-up
+  // is cut on the observable tb_stamp rather than on ground truth.
   sim::Testbed testbed(scenario.config);
-  const core::Params params =
-      core::Params::for_poll_period(scenario.config.poll_period);
-  core::TscNtpClock clock(params, testbed.nominal_period());
-  core::ServerChangeDetector server_changes;
+  harness::SessionConfig config;
+  config.params = core::Params::for_poll_period(scenario.config.poll_period);
+  config.discard_warmup = discard_warmup;
+  config.warmup_policy = harness::WarmupPolicy::kObservable;
+  // Trace dumps want gap-visible streams (lost and warm-up rows, flagged);
+  // the reducer filters on `evaluated` either way.
+  config.emit_unevaluated = trace_sink != nullptr;
+  harness::ClockSession session(config, testbed.nominal_period());
 
-  std::vector<double> times;          ///< server receive stamps [s]
-  std::vector<double> clock_errors;   ///< Ca(Tf) − Tg
-  std::vector<double> offset_errors;  ///< θ̂ − θg
+  harness::ReducerSink reducer(scenario.config.poll_period);
+  session.add_sink(reducer);
+  if (trace_sink != nullptr) session.add_sink(*trace_sink);
 
-  while (auto ex = testbed.next()) {
-    ++result.exchanges;
-    if (ex->lost) {
-      ++result.lost;
-      continue;
-    }
-
-    // Identity tracking on the transport-level endpoint id (≈ the server
-    // address, which a real client knows because it chose the server —
-    // §6.1's campaign re-pointed the daemon explicitly). Not the NTP
-    // reference-id field: that can be identical across distinct servers
-    // (kInt and kLoc both report "GPS"). A change restarts the RTT filter
-    // and deweights the offset window.
-    if (server_changes.observe(
-            core::ServerIdentity{ex->server_id, ex->server_stratum},
-            ex->index)) {
-      clock.notify_server_change();
-    }
-
-    const core::RawExchange raw{ex->ta_counts, ex->tb_stamp, ex->te_stamp,
-                                ex->tf_counts};
-    const auto report = clock.process_exchange(raw);
-    if (!ex->ref_available) continue;
-    if (ex->tb_stamp < discard_warmup) continue;
-
-    ++result.evaluated;
-    const Seconds reference_offset =
-        clock.uncorrected_time(ex->tf_counts) - ex->tg;
-    times.push_back(ex->tb_stamp);
-    clock_errors.push_back(clock.absolute_time(ex->tf_counts) - ex->tg);
-    offset_errors.push_back(report.offset_estimate - reference_offset);
-  }
-
-  // The testbed owns the slot arithmetic; reading its counter after the
-  // drain keeps polls/skipped exact by construction.
-  result.polls = static_cast<std::size_t>(testbed.polls_enumerated());
+  const auto& summary = session.run(testbed);
+  result.exchanges = summary.exchanges;
+  result.lost = summary.lost;
+  result.evaluated = summary.evaluated;
+  // The testbed owns the slot arithmetic; the session reads its counter
+  // after the drain, keeping polls/skipped exact by construction.
+  result.polls = static_cast<std::size_t>(summary.polls_enumerated);
   result.skipped = result.polls - result.exchanges;
-  // A trace can end with no evaluable points (warm-up discard covering the
-  // whole duration, or total loss); summarize() requires a non-empty series.
-  if (!clock_errors.empty()) result.clock_error = summarize(clock_errors);
-  if (!offset_errors.empty()) result.offset_error = summarize(offset_errors);
+  result.final_status = summary.final_status;
 
-  const double poll = scenario.config.poll_period;
-  result.adev_short_tau = static_cast<double>(kAdevShortFactor) * poll;
-  result.adev_long_tau = static_cast<double>(kAdevLongFactor) * poll;
-  fill_adev(times, clock_errors, poll, result);
-
-  result.final_status = clock.status();
+  const auto reduction = reducer.reduce();
+  result.clock_error = reduction.clock_error;
+  result.offset_error = reduction.offset_error;
+  result.adev_short_tau = reduction.adev_short_tau;
+  result.adev_short = reduction.adev_short;
+  result.adev_long_tau = reduction.adev_long_tau;
+  result.adev_long = reduction.adev_long;
   return result;
 }
 
@@ -164,6 +92,29 @@ ScenarioSweep::ScenarioSweep(GridSpec grid)
 std::vector<ScenarioResult> ScenarioSweep::run(
     const SweepOptions& options) const {
   std::vector<ScenarioResult> results(scenarios_.size());
+  // Trace dumping buffers each scenario's records in its own collector (the
+  // workers must not share a file writer) and serializes them to the CSV in
+  // grid order, so the dump is deterministic like the rest of the reduction.
+  // The sink is opened before any work runs — an unwritable path must fail
+  // fast, not after a long sweep has completed. Completed scenarios are
+  // flushed (and their buffers freed) as soon as every earlier grid cell has
+  // been written, bounding memory to the pool's completion skew rather than
+  // the whole grid.
+  const bool dump_csv = !options.csv_path.empty();
+  csv_error_.clear();
+  std::optional<harness::CsvTraceSink> csv;
+  std::vector<std::unique_ptr<harness::CollectorSink>> collectors;
+  std::vector<char> collected;
+  std::mutex csv_mutex;
+  std::size_t next_to_write = 0;
+  bool draining = false;
+  if (dump_csv) {
+    csv.emplace(options.csv_path);
+    collectors.resize(scenarios_.size());
+    for (auto& c : collectors) c = std::make_unique<harness::CollectorSink>();
+    collected.assign(scenarios_.size(), 0);
+  }
+
   // No point spawning more workers than there are scenarios.
   ThreadPool pool(std::min(ThreadPool::resolve_thread_count(options.threads),
                            scenarios_.size()));
@@ -172,13 +123,53 @@ std::vector<ScenarioResult> ScenarioSweep::run(
     // Contain failures to their grid cell: one throwing scenario must not
     // discard the rest of a long sweep.
     try {
-      results[i] = run_scenario(scenarios_[i], warmup);
+      results[i] = run_scenario(scenarios_[i], warmup,
+                                dump_csv ? collectors[i].get() : nullptr);
     } catch (const std::exception& e) {
       results[i] = failed_result(scenarios_[i], e.what());
     } catch (...) {
       results[i] = failed_result(scenarios_[i], "unknown exception");
     }
+    if (!dump_csv) return;
+    std::unique_lock<std::mutex> lock(csv_mutex);
+    collected[i] = 1;
+    // One drainer at a time serializes ready cells to the file in grid
+    // order; the file I/O happens outside the lock, so other finishing
+    // workers only ever take the mutex to mark completion (never stalling
+    // behind a write). Cells completed while the drainer was writing are
+    // picked up when it re-checks under the lock.
+    if (draining) return;
+    draining = true;
+    while (next_to_write < scenarios_.size() && collected[next_to_write]) {
+      const std::size_t index = next_to_write;
+      const auto buffer = std::move(collectors[index]);
+      ++next_to_write;
+      lock.unlock();
+      // A FAILED cell's buffer holds a silently truncated trace — drop it
+      // (its absence from the dump mirrors the FAILED row in the report).
+      // A mid-run write failure (disk full) aborts the dump but not the
+      // sweep: buffers still drain (bounded memory) and the error is
+      // reported via csv_error() alongside the intact results.
+      if (csv && !results[index].failed) {
+        try {
+          csv->set_scenario(scenarios_[index].name);
+          for (const auto& record : buffer->records()) csv->on_sample(record);
+        } catch (const std::exception& e) {
+          csv_error_ = e.what();
+          csv.reset();
+        }
+      }
+      lock.lock();
+    }
+    draining = false;
   });
+  if (csv) {
+    try {
+      csv->close();  // surface a failed final flush, not just failed writes
+    } catch (const std::exception& e) {
+      csv_error_ = e.what();
+    }
+  }
   return results;
 }
 
@@ -216,8 +207,8 @@ void print_group_table(std::ostream& os, const std::string& axis,
   for (const auto& [key, group] : groups) {
     const bool has_data = !group.medians.empty();
     table.add_row(
-        {key, strfmt("%zu", group.scenarios), strfmt("%zu", group.evaluated),
-         strfmt("%zu", group.lost),
+        {key, format_count(group.scenarios), format_count(group.evaluated),
+         format_count(group.lost),
          has_data ? strfmt("%.1f", percentile(group.medians, 0.5) * 1e6)
                   : std::string("n/a"),
          has_data ? strfmt("%.1f", *std::max_element(group.tails.begin(),
@@ -244,10 +235,9 @@ void print_sweep_report(std::ostream& os,
     // No evaluable points → no error statistics; zeros here would be
     // indistinguishable from a perfect run.
     const bool has_data = r.evaluated > 0;
-    table.add_row({r.name, strfmt("%zu", r.polls), strfmt("%zu", r.skipped),
-                   strfmt("%zu", r.lost), strfmt("%zu", r.evaluated),
-                   strfmt("%llu", static_cast<unsigned long long>(
-                                      r.final_status.server_changes)),
+    table.add_row({r.name, format_count(r.polls), format_count(r.skipped),
+                   format_count(r.lost), format_count(r.evaluated),
+                   format_count(r.final_status.server_changes),
                    has_data ? strfmt("%.1f", r.clock_error.percentiles.p50 * 1e6)
                             : std::string("n/a"),
                    has_data ? strfmt("%.1f", r.clock_error.percentiles.p99 * 1e6)

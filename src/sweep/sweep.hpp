@@ -10,10 +10,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "core/clock.hpp"
+#include "harness/session.hpp"
 #include "sweep/scenario_grid.hpp"
 
 namespace tscclock::sweep {
@@ -64,11 +66,22 @@ struct SweepOptions {
   /// Points earlier than this (by server receive time) are excluded from the
   /// error summaries, matching the paper's post-warm-up analyses.
   Seconds discard_warmup = duration::kHour;
+  /// When non-empty, every scenario's per-exchange trace (including lost and
+  /// warm-up records, flagged) is dumped to this CSV file in grid order via
+  /// harness::CsvTraceSink, so sweep cells can be inspected offline without
+  /// rerunning benches. FAILED cells contribute no rows (their buffer is a
+  /// silently truncated trace); see ScenarioSweep::csv_error() for mid-run
+  /// dump failures.
+  std::string csv_path;
 };
 
-/// Run one scenario synchronously (also the unit the pool executes).
+/// Run one scenario synchronously (also the unit the pool executes) through
+/// the shared harness drive layer (harness::ClockSession, observable warm-up
+/// cut). `trace_sink`, when given, additionally receives every record —
+/// including unevaluated ones — for trace dumping.
 ScenarioResult run_scenario(const SweepScenario& scenario,
-                            Seconds discard_warmup);
+                            Seconds discard_warmup,
+                            harness::SampleSink* trace_sink = nullptr);
 
 class ScenarioSweep {
  public:
@@ -80,13 +93,21 @@ class ScenarioSweep {
   }
 
   /// Expand, fan out over a work-stealing pool, and return per-scenario
-  /// results in grid order.
+  /// results in grid order. An unwritable `csv_path` throws before any
+  /// scenario runs (fail fast); a *mid-run* dump write failure (disk full)
+  /// must not discard hours of computed results, so it aborts only the dump
+  /// and is reported via csv_error() instead.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const SweepOptions& options = {}) const;
+
+  /// Empty, or the reason the last run's CSV trace dump was aborted (the
+  /// dumped file is incomplete and should be discarded).
+  [[nodiscard]] const std::string& csv_error() const { return csv_error_; }
 
  private:
   GridSpec grid_;
   std::vector<SweepScenario> scenarios_;
+  mutable std::string csv_error_;  ///< set by run(), see csv_error()
 };
 
 /// Print the per-scenario summary table plus aggregates grouped by server

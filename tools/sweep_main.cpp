@@ -130,6 +130,8 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
       "  --warmup-s S       discard first S seconds        (default 3600)\n"
       "  --no-wire          skip the NTP wire-format round trip\n"
+      "  --csv PATH         dump every scenario's per-exchange trace to a\n"
+      "                     CSV file (grid order; lost/warm-up rows flagged)\n"
       "  --help             this text\n");
   std::exit(code);
 }
@@ -180,6 +182,12 @@ int main(int argc, char** argv) {
       options.discard_warmup = parse_double("--warmup-s", value());
     } else if (arg == "--no-wire") {
       grid.use_wire_format = false;
+    } else if (arg == "--csv") {
+      options.csv_path = value();
+      if (options.csv_path.empty()) {
+        std::fprintf(stderr, "--csv requires a non-empty path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(2);
@@ -245,8 +253,27 @@ int main(int argc, char** argv) {
                       engine.scenarios().size(), duration_hours,
                       static_cast<unsigned long long>(grid.master_seed)));
 
-  const auto results = engine.run(options);
+  std::vector<sweep::ScenarioResult> results;
+  try {
+    results = engine.run(options);
+  } catch (const std::exception& e) {
+    // Per-scenario failures are contained in their grid cell and mid-run
+    // trace-dump failures are reported via csv_error(); only setup errors
+    // (e.g. an unwritable --csv path, caught before any work runs) reach
+    // here.
+    std::fprintf(stderr, "sweep failed: %s\n", e.what());
+    return 2;
+  }
   print_sweep_report(std::cout, results);
+  if (!options.csv_path.empty()) {
+    if (engine.csv_error().empty()) {
+      std::cout << "\nper-exchange trace dump: " << options.csv_path << "\n";
+    } else {
+      std::fprintf(stderr, "trace dump to %s failed (file incomplete): %s\n",
+                   options.csv_path.c_str(), engine.csv_error().c_str());
+      return 1;
+    }
+  }
   for (const auto& r : results) {
     if (r.failed) return 1;
   }
