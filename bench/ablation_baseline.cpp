@@ -9,11 +9,13 @@
 //         offset; the TSC difference clock stays within the hardware bound.
 #include <cmath>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "baseline/swntp.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "harness/estimator.hpp"
 #include "support.hpp"
 
 using namespace tscclock;
@@ -50,13 +52,19 @@ HeadToHead duel(const sim::EventSchedule& events, bool congested,
 
   core::Params params;
   params.poll_period = scenario.poll_period;
-  // The TSC clock runs inside the shared harness; the SW clock is co-driven
-  // from the record stream so both see the identical exchange sequence.
-  // Both start from the same nominal tick (same ~52 PPM initial error).
-  auto config = bench::session_config(params, 2 * duration::kHour);
-  config.emit_unevaluated = true;  // the SW clock must also eat warm-up
-  harness::ClockSession session(config, testbed.nominal_period());
-  baseline::SwNtpClock sw(baseline::PllConfig{}, testbed.nominal_period());
+  // Both clocks run as estimator lanes of one MultiEstimatorSession, fed the
+  // identical exchange sequence (warm-up included — every lane processes
+  // every non-lost exchange regardless of emission flags). Both start from
+  // the same nominal tick (same ~52 PPM initial error).
+  const auto config = bench::session_config(params, 2 * duration::kHour);
+  harness::MultiEstimatorSession session;
+  const std::size_t tsc_lane = session.add_lane(
+      config, std::make_unique<harness::TscNtpEstimator>(
+                  params, testbed.nominal_period()));
+  auto sw_estimator = std::make_unique<harness::SwNtpEstimator>(
+      baseline::PllConfig{}, testbed.nominal_period());
+  const baseline::SwNtpClock& sw = sw_estimator->sw_clock();
+  const std::size_t sw_lane = session.add_lane(config, std::move(sw_estimator));
 
   HeadToHead result;
   std::vector<double> tsc_err;
@@ -67,29 +75,29 @@ HeadToHead duel(const sim::EventSchedule& events, bool congested,
   double tsc_rate_max = 0;
   const double truth = testbed.true_period();
 
-  harness::CallbackSink duel_sink([&](const harness::SampleRecord& rec) {
-    if (rec.lost) return;
-    sw.process_exchange(rec.raw);
-    if (!rec.evaluated) return;
-
+  harness::CallbackSink tsc_sink([&](const harness::SampleRecord& rec) {
     tsc_err.push_back(std::fabs(rec.abs_clock_error));
-    sw_err.push_back(std::fabs(sw.time(rec.raw.tf) - rec.tg));
     result.tsc_worst = std::max(result.tsc_worst, tsc_err.back());
-    result.sw_worst = std::max(result.sw_worst, sw_err.back());
-
-    sw_rate_min = std::min(sw_rate_min, sw.effective_rate());
-    sw_rate_max = std::max(sw_rate_max, sw.effective_rate());
     const double tsc_rate = rec.period / truth;
     tsc_rate_min = std::min(tsc_rate_min, tsc_rate);
     tsc_rate_max = std::max(tsc_rate_max, tsc_rate);
   });
-  session.add_sink(duel_sink);
-  const auto& summary = session.run(testbed);
+  harness::CallbackSink sw_sink([&](const harness::SampleRecord& rec) {
+    sw_err.push_back(std::fabs(rec.abs_clock_error));
+    result.sw_worst = std::max(result.sw_worst, sw_err.back());
+    sw_rate_min = std::min(sw_rate_min, sw.effective_rate());
+    sw_rate_max = std::max(sw_rate_max, sw.effective_rate());
+  });
+  session.add_sink(tsc_lane, tsc_sink);
+  session.add_sink(sw_lane, sw_sink);
+  session.run(testbed);
 
   result.tsc = percentile_summary(tsc_err);
   result.sw = percentile_summary(sw_err);
   result.sw_steps = sw.status().steps;
-  result.tsc_sanity = summary.final_status.offset_sanity_triggers;
+  result.tsc_sanity = session.lane(tsc_lane)
+                          .summary()
+                          .final_status.offset_sanity_triggers;
   result.sw_rate_wobble_ppm = (sw_rate_max - sw_rate_min) * 1e6;
   result.tsc_rate_wobble_ppm = (tsc_rate_max - tsc_rate_min) * 1e6;
   return result;

@@ -63,16 +63,17 @@ int main() {
 
   // Online pass: replay the perturbed exchanges through the canonical
   // harness sequence (the session scores each packet exactly as the figure
-  // benches do).
+  // benches do). Every replayed exchange has a reference and no warm-up cut
+  // applies, so the collected records align 1:1 with `raws`.
   harness::ClockSession online(bench::session_config(params),
                                testbed.nominal_period());
-  std::vector<double> online_err;
-  online_err.reserve(exchanges.size());
-  harness::CallbackSink online_sink([&](const harness::SampleRecord& rec) {
-    online_err.push_back(rec.offset_error);
-  });
-  online.add_sink(online_sink);
+  harness::CollectorSink online_records;
+  online.add_sink(online_records);
   for (const auto& ex : exchanges) online.process(ex);
+  std::vector<double> online_err;
+  online_err.reserve(online_records.records().size());
+  for (const auto& rec : online_records.records())
+    online_err.push_back(rec.offset_error);
 
   // Offline pass.
   const auto offline =

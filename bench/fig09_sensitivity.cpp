@@ -52,12 +52,12 @@ int main(int argc, char** argv) {
   print_banner(std::cout,
                "Figure 9(a): sensitivity to window size tau'/tau*");
   {
-    TablePrinter table(bench::percentile_headers("tau'/tau* (local rate)"));
+    TablePrinter table(percentile_headers("tau'/tau* (local rate)"));
     const double fracs[] = {1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2, 4};
     for (bool local : {false, true}) {
       for (double f : fracs) {
         const auto s = run_once(days, 16.0, f, 4.0, local, 20.0);
-        table.add_row(bench::percentile_row_us(
+        table.add_row(percentile_row_us(
             strfmt("%-6.4g (%s)", f, local ? "with" : "none"), s));
       }
     }
@@ -70,12 +70,12 @@ int main(int argc, char** argv) {
   // ---- (b) quality scale E/δ -------------------------------------------
   print_banner(std::cout, "Figure 9(b): sensitivity to quality scale E/delta");
   {
-    TablePrinter table(bench::percentile_headers("E/delta (local rate)"));
+    TablePrinter table(percentile_headers("E/delta (local rate)"));
     const double es[] = {1, 2, 3, 4, 7, 10, 20};
     for (bool local : {false, true}) {
       for (double e : es) {
         const auto s = run_once(days, 16.0, 0.5, e, local, 20.0);
-        table.add_row(bench::percentile_row_us(
+        table.add_row(percentile_row_us(
             strfmt("%-4.3g (%s)", e, local ? "with" : "none"), s));
       }
     }
@@ -87,12 +87,12 @@ int main(int argc, char** argv) {
   // ---- (c) polling period ----------------------------------------------
   print_banner(std::cout, "Figure 9(c): sensitivity to polling period");
   {
-    TablePrinter table(bench::percentile_headers("poll [s]"));
+    TablePrinter table(percentile_headers("poll [s]"));
     double median_16 = 0;
     double median_512 = 0;
     for (double poll : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
       const auto s = run_once(days, poll, 1.0, 4.0, false, 5.0);
-      table.add_row(bench::percentile_row_us(strfmt("%.0f", poll), s));
+      table.add_row(percentile_row_us(strfmt("%.0f", poll), s));
       if (poll == 16.0) median_16 = s.p50;
       if (poll == 512.0) median_512 = s.p50;
     }

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   print_banner(std::cout,
                "Figure 10: performance over four operating environments");
 
-  TablePrinter table(bench::percentile_headers("environment"));
+  TablePrinter table(percentile_headers("environment"));
   const auto lab_int =
       run_env(sim::Environment::kLaboratory, sim::ServerKind::kInt, days);
   const auto mr_int =
@@ -45,10 +45,10 @@ int main(int argc, char** argv) {
       run_env(sim::Environment::kMachineRoom, sim::ServerKind::kLoc, days);
   const auto mr_ext =
       run_env(sim::Environment::kMachineRoom, sim::ServerKind::kExt, days);
-  table.add_row(bench::percentile_row_us("Lab-Int", lab_int));
-  table.add_row(bench::percentile_row_us("MR-Int", mr_int));
-  table.add_row(bench::percentile_row_us("MR-Loc", mr_loc));
-  table.add_row(bench::percentile_row_us("MR-Ext", mr_ext));
+  table.add_row(percentile_row_us("Lab-Int", lab_int));
+  table.add_row(percentile_row_us("MR-Int", mr_int));
+  table.add_row(percentile_row_us("MR-Loc", mr_loc));
+  table.add_row(percentile_row_us("MR-Ext", mr_ext));
   table.print(std::cout);
 
   print_comparison(std::cout, "lab -> machine room",

@@ -58,22 +58,6 @@ std::vector<double> naive_errors(const RunResult& run) {
   return out;
 }
 
-std::vector<std::string> percentile_row_us(const std::string& label,
-                                           const PercentileSummary& s) {
-  return {label,
-          strfmt("%8.1f", s.p01 * 1e6),
-          strfmt("%8.1f", s.p25 * 1e6),
-          strfmt("%8.1f", s.p50 * 1e6),
-          strfmt("%8.1f", s.p75 * 1e6),
-          strfmt("%8.1f", s.p99 * 1e6),
-          strfmt("%7.1f", s.iqr() * 1e6)};
-}
-
-std::vector<std::string> percentile_headers(const std::string& first) {
-  return {first,       "p1 [us]",  "p25 [us]", "median [us]",
-          "p75 [us]",  "p99 [us]", "IQR [us]"};
-}
-
 core::Params params_for(const sim::ScenarioConfig& scenario) {
   return core::Params::for_poll_period(scenario.poll_period);
 }

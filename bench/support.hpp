@@ -67,13 +67,9 @@ RunPoint to_run_point(const harness::SampleRecord& record);
 std::vector<double> offset_errors(const RunResult& run);
 std::vector<double> naive_errors(const RunResult& run);
 
-/// Format a percentile summary (input seconds, printed in µs),
-/// matching the five curves of paper figures 9/10.
-std::vector<std::string> percentile_row_us(const std::string& label,
-                                           const PercentileSummary& s);
-
-/// Standard column headers matching percentile_row_us.
-std::vector<std::string> percentile_headers(const std::string& first);
+// Percentile table rendering (percentile_row_us / percentile_headers) moved
+// to common/table.hpp so the benches and the sweep's estimator comparison
+// render from one implementation.
 
 /// Default parameters matched to a scenario's polling period.
 core::Params params_for(const sim::ScenarioConfig& scenario);

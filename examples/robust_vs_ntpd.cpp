@@ -6,11 +6,13 @@
 // clock stays within the hardware bound.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "baseline/swntp.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "harness/estimator.hpp"
 #include "harness/session.hpp"
 #include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
@@ -35,16 +37,27 @@ int main() {
   scenario.path_override = path;
   sim::Testbed testbed(scenario);
 
-  // The TSC clock runs inside the shared harness drive layer; the SW-NTP
-  // baseline is co-driven from the record stream so both clocks see the
-  // identical exchange sequence.
+  // Both clocks run as estimator lanes of one MultiEstimatorSession — the
+  // same drive layer every other comparison in this repo uses — so they see
+  // the identical exchange sequence, each scored by its own lane.
   harness::SessionConfig config;
   config.params.poll_period = scenario.poll_period;
   config.discard_warmup = duration::kHour;
   config.warmup_policy = harness::WarmupPolicy::kGroundTruth;
-  config.emit_unevaluated = true;  // the SW clock must also eat warm-up
-  harness::ClockSession session(config, testbed.nominal_period());
-  baseline::SwNtpClock sw(baseline::PllConfig{}, testbed.nominal_period());
+
+  harness::MultiEstimatorSession session;
+  const std::size_t tsc_lane = session.add_lane(
+      config, std::make_unique<harness::TscNtpEstimator>(
+                  config.params, testbed.nominal_period()));
+  // The SW lane also emits warm-up records: its rate swing is tracked from
+  // the first packet, like the original hand-rolled duel did.
+  harness::SessionConfig sw_config = config;
+  sw_config.emit_unevaluated = true;
+  auto sw_estimator = std::make_unique<harness::SwNtpEstimator>(
+      baseline::PllConfig{}, testbed.nominal_period());
+  const baseline::SwNtpClock& sw = sw_estimator->sw_clock();
+  const std::size_t sw_lane =
+      session.add_lane(sw_config, std::move(sw_estimator));
 
   std::vector<double> tsc_abs;
   std::vector<double> sw_abs;
@@ -53,26 +66,33 @@ int main() {
   std::printf("%8s %14s %14s %10s\n", "hour", "TSC-NTP err", "SW-NTP err",
               "SW steps");
   int next_report = 2;
-  harness::CallbackSink duel([&](const harness::SampleRecord& rec) {
+  // Lanes process each exchange in order, so by the time the SW lane's sink
+  // fires the TSC lane has already scored the same packet — the progress
+  // printout can show both.
+  double last_tsc_error = 0;
+  harness::CallbackSink tsc_sink([&](const harness::SampleRecord& rec) {
+    last_tsc_error = rec.abs_clock_error;
+    tsc_abs.push_back(std::fabs(rec.abs_clock_error));
+  });
+  harness::CallbackSink sw_sink([&](const harness::SampleRecord& rec) {
     if (rec.lost) return;
-    sw.process_exchange(rec.raw);
     sw_rate_lo = std::min(sw_rate_lo, sw.effective_rate());
     sw_rate_hi = std::max(sw_rate_hi, sw.effective_rate());
     if (!rec.evaluated) return;
-    const double e_tsc = rec.abs_clock_error;
-    const double e_sw = sw.time(rec.raw.tf) - rec.tg;
-    tsc_abs.push_back(std::fabs(e_tsc));
+    const double e_sw = rec.abs_clock_error;
     sw_abs.push_back(std::fabs(e_sw));
     const double hour = rec.truth_tb / duration::kHour;
     if (hour >= next_report) {
-      std::printf("%8.1f %12.1fus %12.1fus %10s\n", hour, e_tsc * 1e6,
-                  e_sw * 1e6, format_count(sw.status().steps).c_str());
+      std::printf("%8.1f %12.1fus %12.1fus %10s\n", hour,
+                  last_tsc_error * 1e6, e_sw * 1e6,
+                  format_count(sw.status().steps).c_str());
       next_report += 2;
     }
   });
-  session.add_sink(duel);
+  session.add_sink(tsc_lane, tsc_sink);
+  session.add_sink(sw_lane, sw_sink);
   session.run(testbed);
-  const auto& tsc = session.clock();
+  const auto& tsc = session.lane(tsc_lane).clock();
 
   const auto st = percentile_summary(tsc_abs);
   const auto ss = percentile_summary(sw_abs);

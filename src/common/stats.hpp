@@ -146,4 +146,50 @@ class RunningMoments {
   double m2_ = 0;
 };
 
+/// P² single-quantile estimator (Jain & Chlamtac, CACM 1985): tracks one
+/// quantile of a stream with five markers — O(1) memory and O(1) per
+/// sample, no buffering. Exact for the first five observations, a
+/// piecewise-parabolic approximation afterwards; accuracy tests live in
+/// tests/test_stats.cpp.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median.
+  explicit P2Quantile(double q);
+
+  void add(double value);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Current estimate; exact while count() <= 5. Requires count() > 0.
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::size_t count_ = 0;
+  double heights_[5] = {0, 0, 0, 0, 0};    ///< marker heights q_i
+  double positions_[5] = {1, 2, 3, 4, 5};  ///< actual positions n_i
+  double desired_[5] = {0, 0, 0, 0, 0};    ///< desired positions n'_i
+  double desired_increment_[5] = {0, 0, 0, 0, 0};
+};
+
+/// O(1)-memory replacement for summarize(): count/min/max/mean/stddev are
+/// exact (the same Welford recurrence in the same order, so they match the
+/// buffered reduction bit-for-bit), the five percentiles are P²
+/// approximations. This is the streaming half of the sweep's
+/// StreamingReducerSink.
+class StreamingSeriesSummary {
+ public:
+  StreamingSeriesSummary();
+
+  void add(double value);
+  [[nodiscard]] std::size_t count() const { return moments_.count(); }
+  /// Zero-initialized when no samples were consumed (mirrors the buffered
+  /// reduction's empty-stream convention).
+  [[nodiscard]] SeriesSummary summary() const;
+
+ private:
+  RunningMoments moments_;
+  double min_ = 0;
+  double max_ = 0;
+  P2Quantile p01_, p25_, p50_, p75_, p99_;
+};
+
 }  // namespace tscclock

@@ -28,6 +28,22 @@ std::string format_count(std::uint64_t value) {
   return strfmt("%llu", static_cast<unsigned long long>(value));
 }
 
+std::vector<std::string> percentile_row_us(const std::string& label,
+                                           const PercentileSummary& summary) {
+  return {label,
+          strfmt("%8.1f", summary.p01 * 1e6),
+          strfmt("%8.1f", summary.p25 * 1e6),
+          strfmt("%8.1f", summary.p50 * 1e6),
+          strfmt("%8.1f", summary.p75 * 1e6),
+          strfmt("%8.1f", summary.p99 * 1e6),
+          strfmt("%7.1f", summary.iqr() * 1e6)};
+}
+
+std::vector<std::string> percentile_headers(const std::string& first) {
+  return {first,       "p1 [us]",  "p25 [us]", "median [us]",
+          "p75 [us]",  "p99 [us]", "IQR [us]"};
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {
   TSC_EXPECTS(!headers_.empty());

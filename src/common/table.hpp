@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
+
 namespace tscclock {
 
 /// printf-style formatting into a std::string.
@@ -37,6 +39,16 @@ class TablePrinter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Format a percentile summary (input seconds, printed in µs), matching the
+/// five curves of paper figures 9/10. Shared by the figure benches and the
+/// sweep's estimator-comparison table so every surface renders percentile
+/// rows identically.
+std::vector<std::string> percentile_row_us(const std::string& label,
+                                           const PercentileSummary& summary);
+
+/// Standard column headers matching percentile_row_us.
+std::vector<std::string> percentile_headers(const std::string& first);
 
 /// Section banner used by every bench binary:
 ///   ==== Figure 9(a): sensitivity to window size ====

@@ -1,0 +1,183 @@
+#include "harness/estimator.hpp"
+
+#include "common/contracts.hpp"
+#include "core/naive.hpp"
+
+namespace tscclock::harness {
+
+// -- SwNtpEstimator --------------------------------------------------------
+
+SwNtpEstimator::SwNtpEstimator(const baseline::PllConfig& config,
+                               double nominal_period)
+    : sw_(config, nominal_period),
+      nominal_period_(nominal_period),
+      uncorrected_(0, 0.0, nominal_period) {
+  TSC_EXPECTS(nominal_period > 0.0);
+}
+
+core::ProcessReport SwNtpEstimator::process_exchange(
+    const core::RawExchange& exchange) {
+  if (!initialized_) {
+    // Same origin convention as TscNtpClock: C starts on the server midpoint
+    // of the first exchange, so θg traces of different estimators on one
+    // stream are directly comparable.
+    const Seconds host_half_rtt =
+        0.5 * delta_to_seconds(exchange.rtt_counts(), nominal_period_);
+    const Seconds server_mid = 0.5 * (exchange.tb + exchange.te);
+    uncorrected_ = CounterTimescale(exchange.tf, server_mid + host_half_rtt,
+                                    nominal_period_);
+    initialized_ = true;
+  }
+  sw_.process_exchange(exchange);
+
+  core::ProcessReport report;
+  // θ̂(t) = C(t) − Ca(t): the total correction the discipline currently
+  // applies, in the same host−server convention as the robust clock.
+  report.offset_estimate =
+      uncorrected_.read(exchange.tf) - sw_.time(exchange.tf);
+  // Per-packet view: the PLL's raw offset sample (server − client) mapped
+  // into the same convention.
+  report.naive_offset =
+      report.offset_estimate - sw_.status().last_offset_sample;
+  return report;
+}
+
+Seconds SwNtpEstimator::uncorrected_time(TscCount count) const {
+  TSC_EXPECTS(initialized_);
+  return uncorrected_.read(count);
+}
+
+Seconds SwNtpEstimator::absolute_time(TscCount count) const {
+  TSC_EXPECTS(initialized_);
+  return sw_.time(count);
+}
+
+double SwNtpEstimator::period() const {
+  // The deliberately-varied disciplined rate (base frequency term + any
+  // active slew), expressed as a period so rate-wobble analyses treat every
+  // estimator uniformly.
+  return nominal_period_ * sw_.effective_rate();
+}
+
+core::ClockStatus SwNtpEstimator::status() const {
+  const auto sw_status = sw_.status();
+  core::ClockStatus s;
+  s.packets_processed = sw_status.samples;
+  s.warmed_up = initialized_;
+  s.period = period();
+  s.offset = sw_status.last_offset_sample;
+  return s;
+}
+
+// -- NaiveEstimator --------------------------------------------------------
+
+NaiveEstimator::NaiveEstimator(double nominal_period)
+    : timescale_(0, 0.0, nominal_period) {
+  TSC_EXPECTS(nominal_period > 0.0);
+}
+
+core::ProcessReport NaiveEstimator::process_exchange(
+    const core::RawExchange& exchange) {
+  core::ProcessReport report;
+  if (!first_) {
+    const Seconds host_half_rtt =
+        0.5 * delta_to_seconds(exchange.rtt_counts(), timescale_.period());
+    const Seconds server_mid = 0.5 * (exchange.tb + exchange.te);
+    timescale_ = CounterTimescale(exchange.tf, server_mid + host_half_rtt,
+                                  timescale_.period());
+    first_ = exchange;
+  } else {
+    // Widening-baseline naive rate (eq. 17): first exchange to current one.
+    // The period update preserves the reading at Tf, so C stays continuous
+    // and usable as the θg alignment timebase.
+    const double period =
+        core::naive_rate(*first_, exchange).combined;
+    timescale_.set_period_preserving_reading(exchange.tf, period);
+    report.rate_accepted = true;
+    report.rate_updated = true;
+  }
+  current_offset_ = core::naive_offset(exchange, timescale_);
+  report.naive_offset = current_offset_;
+  report.offset_estimate = current_offset_;
+  ++packets_;
+  return report;
+}
+
+Seconds NaiveEstimator::uncorrected_time(TscCount count) const {
+  TSC_EXPECTS(packets_ > 0);
+  return timescale_.read(count);
+}
+
+Seconds NaiveEstimator::absolute_time(TscCount count) const {
+  TSC_EXPECTS(packets_ > 0);
+  return timescale_.read(count) - current_offset_;
+}
+
+core::ClockStatus NaiveEstimator::status() const {
+  core::ClockStatus s;
+  s.packets_processed = packets_;
+  s.warmed_up = warmed_up();
+  s.period = timescale_.period();
+  s.offset = current_offset_;
+  return s;
+}
+
+// -- Registry --------------------------------------------------------------
+
+std::string to_string(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kRobust:
+      return "robust";
+    case EstimatorKind::kSwNtp:
+      return "swntp";
+    case EstimatorKind::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+std::string estimator_description(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kRobust:
+      return "robust TSC-NTP clock (paper §6: RTT filter, decoupled "
+             "rate/offset, level shifts, sanity checks)";
+    case EstimatorKind::kSwNtp:
+      return "ntpd-style SW clock (clock filter + PLL discipline, steps and "
+             "slews — the §1 baseline)";
+    case EstimatorKind::kNaive:
+      return "naive per-packet estimates (§4: unfiltered offset over the "
+             "widening-baseline naive rate)";
+  }
+  return "unknown";
+}
+
+std::optional<EstimatorKind> parse_estimator(std::string_view name) {
+  if (name == "robust") return EstimatorKind::kRobust;
+  if (name == "swntp") return EstimatorKind::kSwNtp;
+  if (name == "naive") return EstimatorKind::kNaive;
+  return std::nullopt;
+}
+
+const std::vector<EstimatorKind>& all_estimator_kinds() {
+  static const std::vector<EstimatorKind> kinds = {
+      EstimatorKind::kRobust, EstimatorKind::kSwNtp, EstimatorKind::kNaive};
+  return kinds;
+}
+
+std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
+                                               const core::Params& params,
+                                               double nominal_period) {
+  switch (kind) {
+    case EstimatorKind::kRobust:
+      return std::make_unique<TscNtpEstimator>(params, nominal_period);
+    case EstimatorKind::kSwNtp:
+      return std::make_unique<SwNtpEstimator>(baseline::PllConfig{},
+                                              nominal_period);
+    case EstimatorKind::kNaive:
+      return std::make_unique<NaiveEstimator>(nominal_period);
+  }
+  TSC_EXPECTS(false);
+  return nullptr;
+}
+
+}  // namespace tscclock::harness

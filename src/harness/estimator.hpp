@@ -1,0 +1,206 @@
+// ClockEstimator: the algorithm-facing seam of the drive layer.
+//
+// The paper's central claims are comparative — the robust TSC clock vs an
+// ntpd-style SW clock (§3, Figs 5-7) and vs the naive per-packet estimates
+// (§4). ClockSession owns *how* an exchange stream is driven and scored;
+// ClockEstimator abstracts *what* processes it, so every algorithm is graded
+// by the identical measurement pipeline instead of a co-driven side loop:
+//
+//   * process one {Ta, Tb, Te, Tf} exchange and report the generic
+//     per-packet outputs (offset estimate, per-packet naive offset, point
+//     error, event flags — fields that do not apply to an algorithm stay at
+//     their zero defaults);
+//   * expose the algorithm's own uncorrected clock C(T) — the timebase the
+//     θg alignment divides out (θg = C(Tf) − Tg; both the estimate and θg
+//     use the same C, so the arbitrary clock origin cancels);
+//   * expose the absolute clock Ca(T) (the algorithm's estimate of true
+//     time) and a status snapshot for the session summary.
+//
+// Three adapters cover the paper's comparison set:
+//   TscNtpEstimator — wraps core::TscNtpClock (the robust algorithm);
+//   SwNtpEstimator  — wraps baseline::SwNtpClock; its stepped/slewed reading
+//                     IS the estimator's absolute clock, scored exactly like
+//                     the legacy hand-rolled duel loops did (sw.time(Tf)−Tg);
+//   NaiveEstimator  — core::naive_rate / core::naive_offset per §4: the
+//                     per-packet estimates with no filtering at all.
+//
+// EstimatorKind names the built-in set for the sweep's estimator axis and
+// the `tools/sweep --estimators` flag.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/swntp.hpp"
+#include "common/time_types.hpp"
+#include "core/clock.hpp"
+#include "core/params.hpp"
+
+namespace tscclock::harness {
+
+class ClockEstimator {
+ public:
+  virtual ~ClockEstimator() = default;
+
+  /// Stable identifier, e.g. "robust" (doubles as the report/CSV label).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Process one completed exchange. Timestamps are causally ordered
+  /// (tf > ta) and later than any previously processed exchange. Fields of
+  /// the report that have no analogue for the algorithm stay zero/false.
+  virtual core::ProcessReport process_exchange(
+      const core::RawExchange& exchange) = 0;
+
+  /// React to a packet-layer server change. Default: ignore (the ntpd-style
+  /// and naive baselines have no server-change machinery — that is part of
+  /// what the comparison measures).
+  virtual void notify_server_change() {}
+
+  /// The algorithm's own uncorrected clock C(T): monotone, never stepped by
+  /// offset corrections. Used for the θg reference alignment. Only called
+  /// after at least one exchange has been processed.
+  [[nodiscard]] virtual Seconds uncorrected_time(TscCount count) const = 0;
+
+  /// The algorithm's absolute clock Ca(T) — its estimate of true time.
+  /// Only called after at least one exchange has been processed.
+  [[nodiscard]] virtual Seconds absolute_time(TscCount count) const = 0;
+
+  /// Current period estimate p̂ [s/count] of the clock actually serving
+  /// reads (for the SW clock: the deliberately-varied disciplined rate).
+  [[nodiscard]] virtual double period() const = 0;
+
+  /// The estimator's own warm-up flag (§6.1); algorithms without an explicit
+  /// warm-up report true once initialized.
+  [[nodiscard]] virtual bool warmed_up() const = 0;
+
+  /// Clock resets ("steps") performed so far — the failure mode the paper's
+  /// introduction criticizes. Step-free algorithms report 0.
+  [[nodiscard]] virtual std::uint64_t steps() const { return 0; }
+
+  /// Generic status counters for the session summary. Counters that do not
+  /// apply stay zero.
+  [[nodiscard]] virtual core::ClockStatus status() const = 0;
+};
+
+/// The robust TSC-NTP algorithm (paper §6) behind the estimator seam.
+class TscNtpEstimator final : public ClockEstimator {
+ public:
+  TscNtpEstimator(const core::Params& params, double nominal_period)
+      : clock_(params, nominal_period) {}
+
+  [[nodiscard]] std::string_view name() const override { return "robust"; }
+  core::ProcessReport process_exchange(
+      const core::RawExchange& exchange) override {
+    return clock_.process_exchange(exchange);
+  }
+  void notify_server_change() override { clock_.notify_server_change(); }
+  [[nodiscard]] Seconds uncorrected_time(TscCount count) const override {
+    return clock_.uncorrected_time(count);
+  }
+  [[nodiscard]] Seconds absolute_time(TscCount count) const override {
+    return clock_.absolute_time(count);
+  }
+  [[nodiscard]] double period() const override { return clock_.period(); }
+  [[nodiscard]] bool warmed_up() const override {
+    return clock_.status().warmed_up;
+  }
+  [[nodiscard]] core::ClockStatus status() const override {
+    return clock_.status();
+  }
+
+  /// The full robust-clock API, for consumers that need more than the
+  /// estimator surface (difference-clock reads, parameter inspection).
+  [[nodiscard]] core::TscNtpClock& clock() { return clock_; }
+  [[nodiscard]] const core::TscNtpClock& clock() const { return clock_; }
+
+ private:
+  core::TscNtpClock clock_;
+};
+
+/// The ntpd-style disciplined software clock (clock filter + PLL + steps)
+/// behind the estimator seam. Its stepped/slewed reading is the absolute
+/// clock; the uncorrected clock is a free-running nominal-rate timescale
+/// aligned at the first exchange exactly like TscNtpClock's origin, so θg
+/// traces of different estimators stay directly comparable.
+class SwNtpEstimator final : public ClockEstimator {
+ public:
+  SwNtpEstimator(const baseline::PllConfig& config, double nominal_period);
+
+  [[nodiscard]] std::string_view name() const override { return "swntp"; }
+  core::ProcessReport process_exchange(
+      const core::RawExchange& exchange) override;
+  [[nodiscard]] Seconds uncorrected_time(TscCount count) const override;
+  [[nodiscard]] Seconds absolute_time(TscCount count) const override;
+  [[nodiscard]] double period() const override;
+  [[nodiscard]] bool warmed_up() const override { return initialized_; }
+  [[nodiscard]] std::uint64_t steps() const override {
+    return sw_.status().steps;
+  }
+  [[nodiscard]] core::ClockStatus status() const override;
+
+  [[nodiscard]] baseline::SwNtpClock& sw_clock() { return sw_; }
+  [[nodiscard]] const baseline::SwNtpClock& sw_clock() const { return sw_; }
+
+ private:
+  baseline::SwNtpClock sw_;
+  double nominal_period_;
+  CounterTimescale uncorrected_;  ///< free-running C(T) for θg alignment
+  bool initialized_ = false;
+};
+
+/// The §4 naive estimates behind the estimator seam: the per-packet offset
+/// θ̂_i = ½(C(Ta)+C(Tf)) − ½(Tb+Te) with no filtering, over a clock rated by
+/// the widening-baseline naive rate p̂ = ½(p̂→ + p̂←) from the first exchange
+/// to the current one (eq. 17). This is the baseline figures 5 and 6
+/// contrast against.
+class NaiveEstimator final : public ClockEstimator {
+ public:
+  explicit NaiveEstimator(double nominal_period);
+
+  [[nodiscard]] std::string_view name() const override { return "naive"; }
+  core::ProcessReport process_exchange(
+      const core::RawExchange& exchange) override;
+  [[nodiscard]] Seconds uncorrected_time(TscCount count) const override;
+  [[nodiscard]] Seconds absolute_time(TscCount count) const override;
+  [[nodiscard]] double period() const override {
+    return timescale_.period();
+  }
+  [[nodiscard]] bool warmed_up() const override { return packets_ >= 2; }
+  [[nodiscard]] core::ClockStatus status() const override;
+
+ private:
+  CounterTimescale timescale_;
+  std::optional<core::RawExchange> first_;
+  Seconds current_offset_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+// -- Registry --------------------------------------------------------------
+
+/// The built-in estimator set, i.e. the sweep's estimator axis values.
+enum class EstimatorKind { kRobust, kSwNtp, kNaive };
+
+/// Canonical spelling: "robust" / "swntp" / "naive".
+std::string to_string(EstimatorKind kind);
+
+/// One-line description for `tools/sweep --list-estimators`.
+std::string estimator_description(EstimatorKind kind);
+
+/// Parse a canonical spelling; std::nullopt for unknown names.
+std::optional<EstimatorKind> parse_estimator(std::string_view name);
+
+/// Every built-in kind, in canonical (reporting) order.
+const std::vector<EstimatorKind>& all_estimator_kinds();
+
+/// Construct a fresh estimator. `params` configures the robust algorithm
+/// (the baselines derive what they need from the poll period and nominal
+/// tick); `nominal_period` is the spec-sheet counter period.
+std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
+                                               const core::Params& params,
+                                               double nominal_period);
+
+}  // namespace tscclock::harness

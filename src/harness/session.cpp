@@ -1,11 +1,31 @@
 #include "harness/session.hpp"
 
+#include "common/contracts.hpp"
+
 namespace tscclock::harness {
 
 ClockSession::ClockSession(const SessionConfig& config, double nominal_period)
-    : config_(config), clock_(config.params, nominal_period) {}
+    : ClockSession(config, std::make_unique<TscNtpEstimator>(config.params,
+                                                             nominal_period)) {}
+
+ClockSession::ClockSession(const SessionConfig& config,
+                           std::unique_ptr<ClockEstimator> estimator)
+    : config_(config), estimator_(std::move(estimator)) {
+  TSC_EXPECTS(estimator_ != nullptr);
+  robust_ = dynamic_cast<TscNtpEstimator*>(estimator_.get());
+}
 
 void ClockSession::add_sink(SampleSink& sink) { sinks_.push_back(&sink); }
+
+core::TscNtpClock& ClockSession::clock() {
+  TSC_EXPECTS(robust_ != nullptr);
+  return robust_->clock();
+}
+
+const core::TscNtpClock& ClockSession::clock() const {
+  TSC_EXPECTS(robust_ != nullptr);
+  return robust_->clock();
+}
 
 void ClockSession::emit(const SampleRecord& record) {
   for (auto* sink : sinks_) sink->on_sample(record);
@@ -43,13 +63,13 @@ void ClockSession::process(const sim::Exchange& ex) {
   if (config_.track_server_changes &&
       server_changes_.observe(
           core::ServerIdentity{ex.server_id, ex.server_stratum}, ex.index)) {
-    clock_.notify_server_change();
+    estimator_->notify_server_change();
     record.server_changed = true;
   }
 
-  record.report = clock_.process_exchange(record.raw);
-  record.warmed_up = clock_.status().warmed_up;
-  record.period = clock_.period();
+  record.report = estimator_->process_exchange(record.raw);
+  record.warmed_up = estimator_->warmed_up();
+  record.period = estimator_->period();
 
   const Seconds cut_time = config_.warmup_policy == WarmupPolicy::kObservable
                                ? ex.tb_stamp
@@ -57,11 +77,12 @@ void ClockSession::process(const sim::Exchange& ex) {
   record.in_warmup = cut_time < config_.discard_warmup;
 
   if (ex.ref_available) {
-    record.reference_offset = clock_.uncorrected_time(ex.tf_counts) - ex.tg;
+    record.reference_offset =
+        estimator_->uncorrected_time(ex.tf_counts) - ex.tg;
     record.offset_error = record.report.offset_estimate -
                           record.reference_offset;
     record.naive_error = record.report.naive_offset - record.reference_offset;
-    record.abs_clock_error = clock_.absolute_time(ex.tf_counts) - ex.tg;
+    record.abs_clock_error = estimator_->absolute_time(ex.tf_counts) - ex.tg;
   }
 
   record.evaluated = ex.ref_available && !record.in_warmup;
@@ -84,8 +105,50 @@ const SessionSummary& ClockSession::run(sim::Testbed& testbed) {
 }
 
 const SessionSummary& ClockSession::summary() {
-  summary_.final_status = clock_.status();
+  summary_.final_status = estimator_->status();
   return summary_;
+}
+
+// -- MultiEstimatorSession -------------------------------------------------
+
+std::size_t MultiEstimatorSession::add_lane(
+    const SessionConfig& config, std::unique_ptr<ClockEstimator> estimator) {
+  lanes_.push_back(
+      std::make_unique<ClockSession>(config, std::move(estimator)));
+  return lanes_.size() - 1;
+}
+
+void MultiEstimatorSession::add_sink(std::size_t lane, SampleSink& sink) {
+  TSC_EXPECTS(lane < lanes_.size());
+  lanes_[lane]->add_sink(sink);
+}
+
+ClockSession& MultiEstimatorSession::lane(std::size_t index) {
+  TSC_EXPECTS(index < lanes_.size());
+  return *lanes_[index];
+}
+
+const ClockSession& MultiEstimatorSession::lane(std::size_t index) const {
+  TSC_EXPECTS(index < lanes_.size());
+  return *lanes_[index];
+}
+
+void MultiEstimatorSession::process(const sim::Exchange& exchange) {
+  for (auto& lane : lanes_) lane->process(exchange);
+}
+
+bool MultiEstimatorSession::step(sim::Testbed& testbed) {
+  auto exchange = testbed.next();
+  if (!exchange) return false;
+  process(*exchange);
+  return true;
+}
+
+void MultiEstimatorSession::run(sim::Testbed& testbed) {
+  while (step(testbed)) {
+  }
+  for (auto& lane : lanes_)
+    lane->set_polls_enumerated(testbed.polls_enumerated());
 }
 
 }  // namespace tscclock::harness

@@ -1,14 +1,14 @@
-// ClockSession: the single canonical Testbed → TscNtpClock drive loop.
+// ClockSession: the single canonical Testbed → estimator drive loop.
 //
 // Every evaluation surface in this repo — the per-figure benches, the
 // examples, and the parallel scenario sweep — measures the same thing: a
-// Testbed exchange stream processed by a TscNtpClock and scored against the
-// DAG reference monitor. ClockSession owns that exchange-processing
+// Testbed exchange stream processed by a clock algorithm and scored against
+// the DAG reference monitor. ClockSession owns that exchange-processing
 // sequence exactly once:
 //
 //   1. drain the Testbed (loss accounting for exchanges that never arrive);
 //   2. feed each reply's transport identity to a ServerChangeDetector and
-//      forward changes via TscNtpClock::notify_server_change() (identity
+//      forward changes via ClockEstimator::notify_server_change() (identity
 //      lives on the transport endpoint, not the NTP reference-id field —
 //      two distinct servers can both report "GPS");
 //   3. process_exchange() on the {Ta, Tb, Te, Tf} quadruple;
@@ -20,10 +20,16 @@
 //   5. apply the configured warm-up policy and emit a SampleRecord to every
 //      attached SampleSink.
 //
-// Consumers differ only in which sink they attach (vector collector for
-// figures, percentile/ADEV reducer for the sweep, CSV writer for offline
-// inspection, ad-hoc callback for everything else) — never in how the
-// stream is driven.
+// Which algorithm processes the stream is a ClockEstimator (see
+// harness/estimator.hpp); the default is the robust TscNtpClock via
+// TscNtpEstimator. Consumers differ only in their estimator and in which
+// sink they attach (vector collector for figures, percentile/ADEV reducer
+// for the sweep, CSV writer for offline inspection, ad-hoc callback for
+// everything else) — never in how the stream is driven.
+//
+// MultiEstimatorSession fans one exchange stream into N estimators, each
+// scored by its own ClockSession lane with its own sink chain — the paper's
+// comparative evaluations (robust vs SW-NTP vs naive) on identical packets.
 //
 // Warm-up policies (see WarmupPolicy): the figure benches historically cut
 // warm-up on ground-truth time (truth.tb, simulation-only), while the sweep
@@ -33,12 +39,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/time_types.hpp"
 #include "core/clock.hpp"
 #include "core/params.hpp"
 #include "core/server_change.hpp"
+#include "harness/estimator.hpp"
 #include "sim/scenario.hpp"
 
 namespace tscclock::harness {
@@ -125,9 +133,14 @@ class SampleSink {
 
 class ClockSession {
  public:
+  /// Default-estimator session: the robust TscNtpClock via TscNtpEstimator.
   /// `nominal_period` is the spec-sheet counter period used as the clock's
   /// initial guess (normally sim::Testbed::nominal_period()).
   ClockSession(const SessionConfig& config, double nominal_period);
+
+  /// Drive an arbitrary estimator through the identical pipeline.
+  ClockSession(const SessionConfig& config,
+               std::unique_ptr<ClockEstimator> estimator);
 
   /// Attach a sink (non-owning; must outlive the session's processing).
   /// Sinks are invoked in attachment order, synchronously per record.
@@ -148,18 +161,68 @@ class ClockSession {
   /// The summary so far (final_status is refreshed on access).
   const SessionSummary& summary();
 
-  [[nodiscard]] core::TscNtpClock& clock() { return clock_; }
-  [[nodiscard]] const core::TscNtpClock& clock() const { return clock_; }
+  /// Record the testbed's poll-slot count after an external drain (run()
+  /// does this itself; MultiEstimatorSession drives process() directly and
+  /// back-fills each lane through this).
+  void set_polls_enumerated(std::uint64_t polls) {
+    summary_.polls_enumerated = polls;
+  }
+
+  /// The robust clock behind the default estimator. Precondition: the
+  /// session drives a TscNtpEstimator (the default); sessions constructed
+  /// around another estimator must use estimator() instead.
+  [[nodiscard]] core::TscNtpClock& clock();
+  [[nodiscard]] const core::TscNtpClock& clock() const;
+
+  [[nodiscard]] ClockEstimator& estimator() { return *estimator_; }
+  [[nodiscard]] const ClockEstimator& estimator() const { return *estimator_; }
   [[nodiscard]] const SessionConfig& config() const { return config_; }
 
  private:
   void emit(const SampleRecord& record);
 
   SessionConfig config_;
-  core::TscNtpClock clock_;
+  std::unique_ptr<ClockEstimator> estimator_;
+  TscNtpEstimator* robust_ = nullptr;  ///< set when estimator_ is the default
   core::ServerChangeDetector server_changes_;
   std::vector<SampleSink*> sinks_;
   SessionSummary summary_;
+};
+
+/// Fan one exchange stream into N estimators: every lane is a full
+/// ClockSession (own estimator, own ServerChangeDetector, own warm-up
+/// bookkeeping, own sink chain) fed the identical sim::Exchange sequence.
+/// This is the drive layer for every head-to-head comparison — the legacy
+/// pattern of co-driving a baseline clock from a CallbackSink is replaced by
+/// one lane per algorithm, all scored by the same pipeline.
+class MultiEstimatorSession {
+ public:
+  /// Add a lane; returns its index. Lanes process each exchange in the
+  /// order they were added (they are independent, so order only affects
+  /// sink callback interleaving within one exchange).
+  std::size_t add_lane(const SessionConfig& config,
+                       std::unique_ptr<ClockEstimator> estimator);
+
+  /// Attach a sink to one lane (non-owning).
+  void add_sink(std::size_t lane, SampleSink& sink);
+
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
+  [[nodiscard]] ClockSession& lane(std::size_t index);
+  [[nodiscard]] const ClockSession& lane(std::size_t index) const;
+
+  /// Process one exchange through every lane.
+  void process(const sim::Exchange& exchange);
+
+  /// Pull one exchange from the testbed into every lane. Returns false when
+  /// the testbed's configured duration is exhausted.
+  bool step(sim::Testbed& testbed);
+
+  /// Drain the whole testbed through every lane and back-fill each lane's
+  /// poll-slot count.
+  void run(sim::Testbed& testbed);
+
+ private:
+  std::vector<std::unique_ptr<ClockSession>> lanes_;
 };
 
 }  // namespace tscclock::harness

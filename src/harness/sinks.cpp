@@ -74,9 +74,38 @@ ReducerSink::Reduction ReducerSink::reduce() const {
   return out;
 }
 
+StreamingReducerSink::StreamingReducerSink(double tau0,
+                                           std::size_t adev_short_factor,
+                                           std::size_t adev_long_factor)
+    : tau0_(tau0),
+      short_factor_(adev_short_factor),
+      long_factor_(adev_long_factor),
+      adev_(tau0, {adev_short_factor, adev_long_factor}) {}
+
+void StreamingReducerSink::on_sample(const SampleRecord& record) {
+  if (!record.evaluated) return;
+  clock_error_.add(record.abs_clock_error);
+  offset_error_.add(record.offset_error);
+  adev_.add(record.raw.tb, record.abs_clock_error);
+}
+
+StreamingReducerSink::Reduction StreamingReducerSink::reduce() const {
+  Reduction out;
+  out.evaluated = clock_error_.count();
+  if (clock_error_.count() > 0) out.clock_error = clock_error_.summary();
+  if (offset_error_.count() > 0) out.offset_error = offset_error_.summary();
+  out.adev_short_tau = static_cast<double>(short_factor_) * tau0_;
+  out.adev_long_tau = static_cast<double>(long_factor_) * tau0_;
+  for (const auto& point : adev_.result()) {
+    if (point.tau == out.adev_short_tau) out.adev_short = point.deviation;
+    if (point.tau == out.adev_long_tau) out.adev_long = point.deviation;
+  }
+  return out;
+}
+
 CsvTraceSink::CsvTraceSink(const std::string& path)
     : writer_(path,
-              {"scenario",      "index",          "lost",
+              {"scenario",      "estimator",      "index",          "lost",
                "ref_available", "in_warmup",      "evaluated",
                "server_changed", "warmed_up",
                "t_day",         "tb_stamp",       "truth_tb",
@@ -95,6 +124,7 @@ void CsvTraceSink::on_sample(const SampleRecord& r) {
   // spurious perfect-tracking samples.
   writer_.write_row(std::vector<std::string>{
       scenario_,
+      estimator_,
       format_count(r.index),
       r.lost ? "1" : "0",
       r.ref_available ? "1" : "0",

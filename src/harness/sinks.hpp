@@ -1,11 +1,16 @@
 // Pluggable SampleSink implementations for ClockSession:
 //
-//   CollectorSink — buffers every record (figure benches, golden tests);
-//   CallbackSink  — ad-hoc per-record lambda (co-driven baseline clocks,
-//                   streaming minima, progress printing);
-//   ReducerSink   — the sweep's reduction: error summaries + two-scale Allan
-//                   deviation over the evaluated stream;
-//   CsvTraceSink  — per-exchange CSV rows for offline inspection.
+//   CollectorSink        — buffers every record (figure benches, golden
+//                          tests);
+//   CallbackSink         — ad-hoc per-record lambda (streaming minima,
+//                          progress printing);
+//   ReducerSink          — the sweep's exact reduction: error summaries +
+//                          two-scale Allan deviation over the evaluated
+//                          stream (buffers the reduced series);
+//   StreamingReducerSink — the same reduction in O(1) memory (P² quantile
+//                          sketch + streaming ADEV accumulator), for traces
+//                          too long to buffer;
+//   CsvTraceSink         — per-exchange CSV rows for offline inspection.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/allan.hpp"
 #include "common/csv.hpp"
 #include "common/stats.hpp"
 #include "harness/session.hpp"
@@ -52,11 +58,12 @@ class CallbackSink final : public SampleSink {
 /// tracking error θ̂−θg, plus the Allan deviation of the clock error at two
 /// scales (adev factors × the polling period).
 ///
-/// The sink consumes records one at a time but currently retains the three
-/// series it reduces (times, clock errors, offset errors): exact percentiles
-/// need the sorted sample set. Replacing the buffers with an O(1)-memory
-/// quantile/ADEV sketch is the scale work this seam exists for — consumers
-/// only ever see reduce().
+/// The sink retains the three series it reduces (times, clock errors,
+/// offset errors) because exact percentiles need the sorted sample set —
+/// the golden sweep tests pin every reduced value bit-for-bit against
+/// summarize(). For traces too long to buffer, StreamingReducerSink below
+/// computes the same Reduction in O(1) memory with P²-approximated
+/// percentiles (everything else bit-identical).
 class ReducerSink final : public SampleSink {
  public:
   struct Reduction {
@@ -91,6 +98,35 @@ class ReducerSink final : public SampleSink {
   std::vector<double> offset_errors_;  ///< θ̂ − θg
 };
 
+/// O(1)-memory drop-in for ReducerSink: identical Reduction shape, identical
+/// count/min/max/mean/stddev and ADEV values (the streaming ADEV replicates
+/// the buffered stretch/resample/accumulate arithmetic exactly), with the
+/// five percentiles approximated by a P² sketch. Use for month-scale sweeps
+/// where buffering every evaluated exchange is no longer acceptable;
+/// tolerance tests against the exact sink live in tests/test_harness.cpp.
+class StreamingReducerSink final : public SampleSink {
+ public:
+  using Reduction = ReducerSink::Reduction;
+
+  /// Same parameters as ReducerSink.
+  explicit StreamingReducerSink(double tau0,
+                                std::size_t adev_short_factor = 16,
+                                std::size_t adev_long_factor = 256);
+
+  void on_sample(const SampleRecord& record) override;
+
+  /// Reduce what has been consumed so far.
+  [[nodiscard]] Reduction reduce() const;
+
+ private:
+  double tau0_;
+  std::size_t short_factor_;
+  std::size_t long_factor_;
+  StreamingSeriesSummary clock_error_;
+  StreamingSeriesSummary offset_error_;
+  StreamingGapAdev adev_;  ///< over (tb, Ca(Tf) − Tg), like the exact sink
+};
+
 /// Writes one CSV row per record (lost and warm-up records included when the
 /// session emits them, flagged by the lost/evaluated columns). Pair with
 /// SessionConfig::emit_unevaluated = true for gap-visible traces.
@@ -104,6 +140,10 @@ class CsvTraceSink final : public SampleSink {
   /// file can hold the traces of a whole sweep grid.
   void set_scenario(std::string name) { scenario_ = std::move(name); }
 
+  /// Label written into the `estimator` column of subsequent rows, so one
+  /// file can hold every estimator's trace of a multi-estimator sweep.
+  void set_estimator(std::string name) { estimator_ = std::move(name); }
+
   void on_sample(const SampleRecord& record) override;
 
   /// Flush and close with error checking (see CsvWriter::close).
@@ -116,6 +156,7 @@ class CsvTraceSink final : public SampleSink {
  private:
   CsvWriter writer_;
   std::string scenario_;
+  std::string estimator_ = "robust";
 };
 
 }  // namespace tscclock::harness

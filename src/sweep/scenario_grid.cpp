@@ -49,6 +49,15 @@ std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
   TSC_EXPECTS(!grid.schedules.empty());
   TSC_EXPECTS(grid.duration > 0.0);
   for (const auto poll : grid.poll_periods) TSC_EXPECTS(poll >= kMinPollPeriod);
+  // The estimator axis is not part of the expansion (it never touches the
+  // seeds), but a sweep with no or duplicate estimators is still a grid
+  // misconfiguration — reject it where every other axis is validated.
+  TSC_EXPECTS(!grid.estimators.empty());
+  {
+    std::set<harness::EstimatorKind> unique_estimators(grid.estimators.begin(),
+                                                       grid.estimators.end());
+    TSC_EXPECTS(unique_estimators.size() == grid.estimators.size());
+  }
 
   std::vector<SweepScenario> scenarios;
   scenarios.reserve(grid.size());

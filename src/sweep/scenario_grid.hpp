@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/time_types.hpp"
+#include "harness/estimator.hpp"
 #include "sim/events.hpp"
 #include "sim/scenario.hpp"
 
@@ -43,11 +44,21 @@ struct GridSpec {
   std::vector<Seconds> poll_periods = {16.0, 64.0};
   std::vector<ScheduleVariant> schedules = {ScheduleVariant{}};
 
+  /// The estimator axis: every scenario's one exchange stream is fanned into
+  /// all of these (harness::MultiEstimatorSession), so the algorithms are
+  /// graded head-to-head on identical packets. Deliberately NOT part of the
+  /// scenario identity: the per-scenario RNG seed must stay the same no
+  /// matter which estimators score the trace.
+  std::vector<harness::EstimatorKind> estimators = {
+      harness::EstimatorKind::kRobust};
+
   Seconds duration = duration::kDay;
   Seconds poll_jitter = 0.25;
   bool use_wire_format = true;
   std::uint64_t master_seed = 42;
 
+  /// Number of *scenarios* (grid cells); each cell produces one result per
+  /// estimator, so a sweep yields size() × estimators.size() result rows.
   [[nodiscard]] std::size_t size() const {
     return servers.size() * environments.size() * poll_periods.size() *
            schedules.size();

@@ -9,6 +9,7 @@
 #include <optional>
 #include <ostream>
 
+#include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "harness/sinks.hpp"
 #include "sweep/thread_pool.hpp"
@@ -19,66 +20,125 @@ namespace {
 
 /// Seed a result with the scenario's identity/grid coordinates (shared by
 /// the success and failure paths so FAILED rows group correctly).
-ScenarioResult result_for(const SweepScenario& scenario) {
+ScenarioResult result_for(const SweepScenario& scenario,
+                          harness::EstimatorKind estimator) {
   ScenarioResult result;
   result.scenario_index = scenario.index;
   result.name = scenario.name;
   result.seed = scenario.config.seed;
   result.server = scenario.config.server;
   result.environment = scenario.config.environment;
+  result.estimator = estimator;
   return result;
 }
 
+/// Either reduction engine behind one reduce() call: the exact buffered
+/// sink (golden determinism) or the O(1)-memory streaming sink.
+struct LaneReducer {
+  std::optional<harness::ReducerSink> exact;
+  std::optional<harness::StreamingReducerSink> streaming;
+
+  LaneReducer(double tau0, bool use_streaming) {
+    if (use_streaming)
+      streaming.emplace(tau0);
+    else
+      exact.emplace(tau0);
+  }
+  [[nodiscard]] harness::SampleSink& sink() {
+    return streaming ? static_cast<harness::SampleSink&>(*streaming)
+                     : static_cast<harness::SampleSink&>(*exact);
+  }
+  [[nodiscard]] harness::ReducerSink::Reduction reduce() const {
+    return streaming ? streaming->reduce() : exact->reduce();
+  }
+};
+
 }  // namespace
 
-ScenarioResult run_scenario(const SweepScenario& scenario,
-                            Seconds discard_warmup,
-                            harness::SampleSink* trace_sink) {
-  ScenarioResult result = result_for(scenario);
+std::vector<ScenarioResult> run_scenario_multi(
+    const SweepScenario& scenario,
+    std::span<const harness::EstimatorKind> estimators,
+    Seconds discard_warmup, std::span<harness::SampleSink* const> trace_sinks,
+    bool streaming_reduction) {
+  TSC_EXPECTS(!estimators.empty());
+  TSC_EXPECTS(trace_sinks.empty() || trace_sinks.size() == estimators.size());
 
-  // The drive loop is the shared harness::ClockSession — the same canonical
-  // exchange-processing sequence the figure benches use (bench::run_clock).
-  // The sweep's one convention difference is declared in the config: warm-up
-  // is cut on the observable tb_stamp rather than on ground truth.
+  // The drive loop is the shared harness layer — the same canonical
+  // exchange-processing sequence the figure benches use — with one
+  // ClockSession lane per estimator fed the identical Testbed stream. The
+  // sweep's one convention difference is declared in the config: warm-up is
+  // cut on the observable tb_stamp rather than on ground truth.
   sim::Testbed testbed(scenario.config);
   harness::SessionConfig config;
   config.params = core::Params::for_poll_period(scenario.config.poll_period);
   config.discard_warmup = discard_warmup;
   config.warmup_policy = harness::WarmupPolicy::kObservable;
-  // Trace dumps want gap-visible streams (lost and warm-up rows, flagged);
-  // the reducer filters on `evaluated` either way.
-  config.emit_unevaluated = trace_sink != nullptr;
-  harness::ClockSession session(config, testbed.nominal_period());
 
-  harness::ReducerSink reducer(scenario.config.poll_period);
-  session.add_sink(reducer);
-  if (trace_sink != nullptr) session.add_sink(*trace_sink);
+  harness::MultiEstimatorSession session;
+  std::vector<LaneReducer> reducers;
+  reducers.reserve(estimators.size());
+  for (std::size_t e = 0; e < estimators.size(); ++e) {
+    harness::SampleSink* trace =
+        trace_sinks.empty() ? nullptr : trace_sinks[e];
+    // Trace dumps want gap-visible streams (lost and warm-up rows, flagged);
+    // the reducer filters on `evaluated` either way.
+    harness::SessionConfig lane_config = config;
+    lane_config.emit_unevaluated = trace != nullptr;
+    const std::size_t lane = session.add_lane(
+        lane_config, harness::make_estimator(estimators[e], config.params,
+                                             testbed.nominal_period()));
+    reducers.emplace_back(scenario.config.poll_period, streaming_reduction);
+    session.add_sink(lane, reducers.back().sink());
+    if (trace != nullptr) session.add_sink(lane, *trace);
+  }
 
-  const auto& summary = session.run(testbed);
-  result.exchanges = summary.exchanges;
-  result.lost = summary.lost;
-  result.evaluated = summary.evaluated;
-  // The testbed owns the slot arithmetic; the session reads its counter
-  // after the drain, keeping polls/skipped exact by construction.
-  result.polls = static_cast<std::size_t>(summary.polls_enumerated);
-  result.skipped = result.polls - result.exchanges;
-  result.final_status = summary.final_status;
+  session.run(testbed);
 
-  const auto reduction = reducer.reduce();
-  result.clock_error = reduction.clock_error;
-  result.offset_error = reduction.offset_error;
-  result.adev_short_tau = reduction.adev_short_tau;
-  result.adev_short = reduction.adev_short;
-  result.adev_long_tau = reduction.adev_long_tau;
-  result.adev_long = reduction.adev_long;
-  return result;
+  std::vector<ScenarioResult> results;
+  results.reserve(estimators.size());
+  for (std::size_t e = 0; e < estimators.size(); ++e) {
+    ScenarioResult result = result_for(scenario, estimators[e]);
+    const auto& summary = session.lane(e).summary();
+    result.exchanges = summary.exchanges;
+    result.lost = summary.lost;
+    result.evaluated = summary.evaluated;
+    // The testbed owns the slot arithmetic; each lane records its counter
+    // after the drain, keeping polls/skipped exact by construction.
+    result.polls = static_cast<std::size_t>(summary.polls_enumerated);
+    result.skipped = result.polls - result.exchanges;
+    result.final_status = summary.final_status;
+    result.steps = session.lane(e).estimator().steps();
+
+    const auto reduction = reducers[e].reduce();
+    result.clock_error = reduction.clock_error;
+    result.offset_error = reduction.offset_error;
+    result.adev_short_tau = reduction.adev_short_tau;
+    result.adev_short = reduction.adev_short;
+    result.adev_long_tau = reduction.adev_long_tau;
+    result.adev_long = reduction.adev_long;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+ScenarioResult run_scenario(const SweepScenario& scenario,
+                            Seconds discard_warmup,
+                            harness::SampleSink* trace_sink) {
+  const harness::EstimatorKind kinds[] = {harness::EstimatorKind::kRobust};
+  harness::SampleSink* const sinks[] = {trace_sink};
+  auto results = run_scenario_multi(
+      scenario, kinds, discard_warmup,
+      trace_sink != nullptr ? std::span<harness::SampleSink* const>(sinks)
+                            : std::span<harness::SampleSink* const>());
+  return std::move(results.front());
 }
 
 namespace {
 
 ScenarioResult failed_result(const SweepScenario& scenario,
+                             harness::EstimatorKind estimator,
                              std::string error) {
-  ScenarioResult result = result_for(scenario);
+  ScenarioResult result = result_for(scenario, estimator);
   result.failed = true;
   result.error = std::move(error);
   return result;
@@ -91,15 +151,18 @@ ScenarioSweep::ScenarioSweep(GridSpec grid)
 
 std::vector<ScenarioResult> ScenarioSweep::run(
     const SweepOptions& options) const {
-  std::vector<ScenarioResult> results(scenarios_.size());
-  // Trace dumping buffers each scenario's records in its own collector (the
-  // workers must not share a file writer) and serializes them to the CSV in
-  // grid order, so the dump is deterministic like the rest of the reduction.
-  // The sink is opened before any work runs — an unwritable path must fail
-  // fast, not after a long sweep has completed. Completed scenarios are
-  // flushed (and their buffers freed) as soon as every earlier grid cell has
-  // been written, bounding memory to the pool's completion skew rather than
-  // the whole grid.
+  // One result row per (scenario, estimator), scenario-major.
+  const std::vector<harness::EstimatorKind>& estimators = grid_.estimators;
+  const std::size_t lanes = estimators.size();
+  std::vector<ScenarioResult> results(scenarios_.size() * lanes);
+  // Trace dumping buffers each (scenario, estimator) cell's records in its
+  // own collector (the workers must not share a file writer) and serializes
+  // them to the CSV in grid order, so the dump is deterministic like the
+  // rest of the reduction. The sink is opened before any work runs — an
+  // unwritable path must fail fast, not after a long sweep has completed.
+  // Completed cells are flushed (and their buffers freed) as soon as every
+  // earlier grid cell has been written, bounding memory to the pool's
+  // completion skew rather than the whole grid.
   const bool dump_csv = !options.csv_path.empty();
   csv_error_.clear();
   std::optional<harness::CsvTraceSink> csv;
@@ -110,29 +173,43 @@ std::vector<ScenarioResult> ScenarioSweep::run(
   bool draining = false;
   if (dump_csv) {
     csv.emplace(options.csv_path);
-    collectors.resize(scenarios_.size());
+    collectors.resize(results.size());
     for (auto& c : collectors) c = std::make_unique<harness::CollectorSink>();
-    collected.assign(scenarios_.size(), 0);
+    collected.assign(results.size(), 0);
   }
 
-  // No point spawning more workers than there are scenarios.
+  // No point spawning more workers than there are scenarios (the estimator
+  // fan-out shares one Testbed drain, so a scenario is the work unit).
   ThreadPool pool(std::min(ThreadPool::resolve_thread_count(options.threads),
                            scenarios_.size()));
   const Seconds warmup = options.discard_warmup;
   parallel_for(pool, scenarios_.size(), [&](std::size_t i) {
-    // Contain failures to their grid cell: one throwing scenario must not
+    // Contain failures to their grid cells: one throwing scenario must not
     // discard the rest of a long sweep.
     try {
-      results[i] = run_scenario(scenarios_[i], warmup,
-                                dump_csv ? collectors[i].get() : nullptr);
+      std::vector<harness::SampleSink*> trace_sinks;
+      if (dump_csv) {
+        trace_sinks.reserve(lanes);
+        for (std::size_t e = 0; e < lanes; ++e)
+          trace_sinks.push_back(collectors[i * lanes + e].get());
+      }
+      auto cell_results = run_scenario_multi(scenarios_[i], estimators,
+                                             warmup, trace_sinks,
+                                             options.streaming_reduction);
+      for (std::size_t e = 0; e < lanes; ++e)
+        results[i * lanes + e] = std::move(cell_results[e]);
     } catch (const std::exception& e) {
-      results[i] = failed_result(scenarios_[i], e.what());
+      for (std::size_t k = 0; k < lanes; ++k)
+        results[i * lanes + k] =
+            failed_result(scenarios_[i], estimators[k], e.what());
     } catch (...) {
-      results[i] = failed_result(scenarios_[i], "unknown exception");
+      for (std::size_t k = 0; k < lanes; ++k)
+        results[i * lanes + k] =
+            failed_result(scenarios_[i], estimators[k], "unknown exception");
     }
     if (!dump_csv) return;
     std::unique_lock<std::mutex> lock(csv_mutex);
-    collected[i] = 1;
+    for (std::size_t e = 0; e < lanes; ++e) collected[i * lanes + e] = 1;
     // One drainer at a time serializes ready cells to the file in grid
     // order; the file I/O happens outside the lock, so other finishing
     // workers only ever take the mutex to mark completion (never stalling
@@ -140,7 +217,7 @@ std::vector<ScenarioResult> ScenarioSweep::run(
     // picked up when it re-checks under the lock.
     if (draining) return;
     draining = true;
-    while (next_to_write < scenarios_.size() && collected[next_to_write]) {
+    while (next_to_write < results.size() && collected[next_to_write]) {
       const std::size_t index = next_to_write;
       const auto buffer = std::move(collectors[index]);
       ++next_to_write;
@@ -152,7 +229,8 @@ std::vector<ScenarioResult> ScenarioSweep::run(
       // reported via csv_error() alongside the intact results.
       if (csv && !results[index].failed) {
         try {
-          csv->set_scenario(scenarios_[index].name);
+          csv->set_scenario(scenarios_[index / lanes].name);
+          csv->set_estimator(harness::to_string(estimators[index % lanes]));
           for (const auto& record : buffer->records()) csv->on_sample(record);
         } catch (const std::exception& e) {
           csv_error_ = e.what();
@@ -223,21 +301,35 @@ void print_group_table(std::ostream& os, const std::string& axis,
 
 void print_sweep_report(std::ostream& os,
                         const std::vector<ScenarioResult>& results) {
-  print_banner(os, "Per-scenario summary");
-  TablePrinter table({"scenario", "polls", "skip", "lost", "eval", "sw",
-                      "median [us]", "p99 [us]", "ADEV(short)", "ADEV(long)"});
+  // Distinct estimators, in order of first appearance (= grid axis order).
+  std::vector<harness::EstimatorKind> estimators;
   for (const auto& r : results) {
+    if (std::find(estimators.begin(), estimators.end(), r.estimator) ==
+        estimators.end()) {
+      estimators.push_back(r.estimator);
+    }
+  }
+  const bool multi = estimators.size() > 1;
+
+  print_banner(os, "Per-scenario summary");
+  TablePrinter table({"scenario", "estimator", "polls", "skip", "lost",
+                      "eval", "sw", "steps", "median [us]", "p99 [us]",
+                      "ADEV(short)", "ADEV(long)"});
+  for (const auto& r : results) {
+    const std::string estimator = harness::to_string(r.estimator);
     if (r.failed) {
-      table.add_row({r.name, "FAILED", "-", "-", "-", "-", "-", "-", "-",
-                     "-"});
+      table.add_row({r.name, estimator, "FAILED", "-", "-", "-", "-", "-",
+                     "-", "-", "-", "-"});
       continue;
     }
     // No evaluable points → no error statistics; zeros here would be
     // indistinguishable from a perfect run.
     const bool has_data = r.evaluated > 0;
-    table.add_row({r.name, format_count(r.polls), format_count(r.skipped),
+    table.add_row({r.name, estimator, format_count(r.polls),
+                   format_count(r.skipped),
                    format_count(r.lost), format_count(r.evaluated),
                    format_count(r.final_status.server_changes),
+                   format_count(r.steps),
                    has_data ? strfmt("%.1f", r.clock_error.percentiles.p50 * 1e6)
                             : std::string("n/a"),
                    has_data ? strfmt("%.1f", r.clock_error.percentiles.p99 * 1e6)
@@ -249,15 +341,45 @@ void print_sweep_report(std::ostream& os,
   }
   table.print(os);
   for (const auto& r : results) {
-    if (r.failed) os << "FAILED " << r.name << ": " << r.error << "\n";
+    if (r.failed) {
+      os << "FAILED " << r.name << " [" << harness::to_string(r.estimator)
+         << "]: " << r.error << "\n";
+    }
   }
 
+  if (multi) {
+    // Per-cell head-to-head: every estimator's clock-error percentiles on
+    // the identical seed/exchange stream, rendered by the same
+    // percentile_row_us the figure benches use.
+    print_banner(os, "Estimator comparison (identical seeds per scenario)");
+    auto headers = percentile_headers("scenario / estimator");
+    headers.push_back("steps");
+    TablePrinter comparison(headers);
+    for (const auto& r : results) {
+      const std::string label =
+          r.name + " / " + harness::to_string(r.estimator);
+      if (r.failed || r.evaluated == 0) {
+        comparison.add_row({label, "-", "-", "-", "-", "-", "-",
+                            r.failed ? "FAILED" : "n/a"});
+        continue;
+      }
+      auto row = percentile_row_us(label, r.clock_error.percentiles);
+      row.push_back(format_count(r.steps));
+      comparison.add_row(std::move(row));
+    }
+    comparison.print(os);
+  }
+
+  // Aggregates stay per estimator: mixing algorithms in one group would
+  // average incomparable error regimes.
   std::map<std::string, GroupAggregate> by_server;
   std::map<std::string, GroupAggregate> by_environment;
   for (const auto& r : results) {
     if (r.failed) continue;
-    add_to_group(by_server[sim::to_string(r.server)], r);
-    add_to_group(by_environment[sim::to_string(r.environment)], r);
+    const std::string suffix =
+        multi ? " / " + harness::to_string(r.estimator) : std::string();
+    add_to_group(by_server[sim::to_string(r.server) + suffix], r);
+    add_to_group(by_environment[sim::to_string(r.environment) + suffix], r);
   }
 
   print_banner(os, "Aggregate by server");

@@ -10,18 +10,21 @@
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "core/clock.hpp"
+#include "harness/estimator.hpp"
 #include "harness/session.hpp"
 #include "sweep/scenario_grid.hpp"
 
 namespace tscclock::sweep {
 
-/// Reduced outcome of one scenario run (everything deterministic; no wall
-///-clock quantities, so results can be compared bit-for-bit in tests).
+/// Reduced outcome of one (scenario, estimator) cell (everything
+/// deterministic; no wall-clock quantities, so results can be compared
+/// bit-for-bit in tests).
 struct ScenarioResult {
   std::size_t scenario_index = 0;
   std::string name;
@@ -29,6 +32,9 @@ struct ScenarioResult {
   // Grid coordinates, carried so reporting never has to re-parse `name`.
   sim::ServerKind server = sim::ServerKind::kInt;
   sim::Environment environment = sim::Environment::kMachineRoom;
+  /// Which algorithm scored this row. Every estimator of a scenario shares
+  /// the scenario's seed — the axis never reseeds the trace.
+  harness::EstimatorKind estimator = harness::EstimatorKind::kRobust;
 
   /// Set when the scenario's run threw instead of completing; the rest of
   /// the sweep still finishes, and `error` holds the exception text.
@@ -58,6 +64,10 @@ struct ScenarioResult {
   double adev_long_tau = 0;
   double adev_long = 0;
 
+  /// Clock resets performed by the estimator (the SW-NTP failure mode the
+  /// paper's comparison centres on; 0 for step-free algorithms).
+  std::uint64_t steps = 0;
+
   core::ClockStatus final_status;
 };
 
@@ -66,22 +76,42 @@ struct SweepOptions {
   /// Points earlier than this (by server receive time) are excluded from the
   /// error summaries, matching the paper's post-warm-up analyses.
   Seconds discard_warmup = duration::kHour;
+  /// Reduce each cell with the O(1)-memory StreamingReducerSink instead of
+  /// the exact buffered ReducerSink: same counts/means/ADEV bit-for-bit,
+  /// P²-approximated percentiles. For grids × durations too large to buffer
+  /// every evaluated exchange. Default off — the determinism tests pin the
+  /// exact reduction.
+  bool streaming_reduction = false;
   /// When non-empty, every scenario's per-exchange trace (including lost and
   /// warm-up records, flagged) is dumped to this CSV file in grid order via
-  /// harness::CsvTraceSink, so sweep cells can be inspected offline without
-  /// rerunning benches. FAILED cells contribute no rows (their buffer is a
-  /// silently truncated trace); see ScenarioSweep::csv_error() for mid-run
-  /// dump failures.
+  /// harness::CsvTraceSink — with multiple estimators, grouped by scenario
+  /// then estimator, labelled by the scenario/estimator columns. FAILED
+  /// cells contribute no rows (their buffer is a silently truncated trace);
+  /// see ScenarioSweep::csv_error() for mid-run dump failures.
   std::string csv_path;
 };
 
-/// Run one scenario synchronously (also the unit the pool executes) through
-/// the shared harness drive layer (harness::ClockSession, observable warm-up
+/// Run one scenario synchronously through the shared drive layer with the
+/// default robust estimator (harness::ClockSession, observable warm-up
 /// cut). `trace_sink`, when given, additionally receives every record —
-/// including unevaluated ones — for trace dumping.
+/// including unevaluated ones — for trace dumping. Equivalent to
+/// run_scenario_multi with {kRobust}.
 ScenarioResult run_scenario(const SweepScenario& scenario,
                             Seconds discard_warmup,
                             harness::SampleSink* trace_sink = nullptr);
+
+/// Run one scenario's exchange stream through every estimator at once (the
+/// unit the pool executes): one Testbed drain fanned into N
+/// harness::ClockSession lanes via MultiEstimatorSession, so all algorithms
+/// score identical packets from the scenario's one seed. Returns one result
+/// per estimator, in `estimators` order. `trace_sinks`, when non-empty,
+/// must hold one sink per estimator (entries may be null).
+std::vector<ScenarioResult> run_scenario_multi(
+    const SweepScenario& scenario,
+    std::span<const harness::EstimatorKind> estimators,
+    Seconds discard_warmup,
+    std::span<harness::SampleSink* const> trace_sinks = {},
+    bool streaming_reduction = false);
 
 class ScenarioSweep {
  public:
@@ -92,11 +122,12 @@ class ScenarioSweep {
     return scenarios_;
   }
 
-  /// Expand, fan out over a work-stealing pool, and return per-scenario
-  /// results in grid order. An unwritable `csv_path` throws before any
-  /// scenario runs (fail fast); a *mid-run* dump write failure (disk full)
-  /// must not discard hours of computed results, so it aborts only the dump
-  /// and is reported via csv_error() instead.
+  /// Expand, fan out over a work-stealing pool, and return per-cell results
+  /// in grid order: scenario-major, the grid's estimators minor, i.e.
+  /// results[i * estimators.size() + e]. An unwritable `csv_path` throws
+  /// before any scenario runs (fail fast); a *mid-run* dump write failure
+  /// (disk full) must not discard hours of computed results, so it aborts
+  /// only the dump and is reported via csv_error() instead.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const SweepOptions& options = {}) const;
 

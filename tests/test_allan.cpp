@@ -117,5 +117,116 @@ TEST(ResampleLinear, RejectsBadInput) {
   EXPECT_THROW(resample_linear(t2, v1, 1.0), ContractViolation);
 }
 
+// -- StreamingGapAdev ------------------------------------------------------
+
+/// The buffered reference: split at gaps > 4·tau0, longest stretch first-
+/// wins, resample, overlapping ADEV — the exact pipeline ReducerSink uses.
+std::vector<AllanPoint> buffered_gap_adev(const std::vector<double>& times,
+                                          const std::vector<double>& values,
+                                          double tau0,
+                                          std::span<const std::size_t> ms) {
+  if (times.size() < 3) return {};
+  std::size_t best_begin = 0;
+  std::size_t best_len = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= times.size(); ++i) {
+    if (i == times.size() || times[i] - times[i - 1] > 4 * tau0) {
+      if (i - begin > best_len) {
+        best_len = i - begin;
+        best_begin = begin;
+      }
+      begin = i;
+    }
+  }
+  if (best_len < 3) return {};
+  const std::span<const double> seg_times(times.data() + best_begin,
+                                          best_len);
+  const std::span<const double> seg_values(values.data() + best_begin,
+                                           best_len);
+  const auto regular = resample_linear(seg_times, seg_values, tau0);
+  return allan_deviation(regular, tau0, ms);
+}
+
+/// Irregular sample times with jitter and two injected gaps (one splitting
+/// the series into unequal stretches, so the longest-stretch selection has
+/// real work to do).
+void make_gappy_series(Rng& rng, std::size_t n, double tau0,
+                       std::vector<double>& times,
+                       std::vector<double>& values) {
+  double t = 0.0;
+  double walk = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    t += tau0 * rng.uniform(0.8, 1.2);
+    if (k == n / 5 || k == (3 * n) / 4) t += 20 * tau0;  // gaps
+    walk += rng.normal(1e-7);
+    times.push_back(t);
+    values.push_back(walk + rng.normal(5e-7));
+  }
+}
+
+TEST(StreamingGapAdev, BitIdenticalToBufferedPipeline) {
+  Rng rng(2024);
+  std::vector<double> times;
+  std::vector<double> values;
+  const double tau0 = 16.0;
+  make_gappy_series(rng, 4000, tau0, times, values);
+
+  const std::size_t ms[] = {16, 256};
+  const auto reference = buffered_gap_adev(times, values, tau0, ms);
+  ASSERT_EQ(reference.size(), 2u);
+
+  StreamingGapAdev streaming(tau0, {16, 256});
+  for (std::size_t k = 0; k < times.size(); ++k)
+    streaming.add(times[k], values[k]);
+  const auto result = streaming.result();
+  ASSERT_EQ(result.size(), reference.size());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].tau, reference[i].tau);
+    // Bit-level equality: the streaming resampler and accumulator replicate
+    // the buffered arithmetic exactly.
+    EXPECT_EQ(result[i].deviation, reference[i].deviation);
+    EXPECT_EQ(result[i].terms, reference[i].terms);
+  }
+}
+
+TEST(StreamingGapAdev, MidStreamResultMatchesBufferedPrefix) {
+  Rng rng(77);
+  std::vector<double> times;
+  std::vector<double> values;
+  const double tau0 = 16.0;
+  make_gappy_series(rng, 2000, tau0, times, values);
+
+  StreamingGapAdev streaming(tau0, {16});
+  const std::size_t cut = 1234;
+  for (std::size_t k = 0; k < cut; ++k) streaming.add(times[k], values[k]);
+
+  std::vector<double> prefix_times(times.begin(), times.begin() + cut);
+  std::vector<double> prefix_values(values.begin(), values.begin() + cut);
+  const std::size_t ms[] = {16};
+  const auto reference = buffered_gap_adev(prefix_times, prefix_values, tau0,
+                                           ms);
+  const auto result = streaming.result();
+  ASSERT_EQ(result.size(), reference.size());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].deviation, reference[0].deviation);
+  EXPECT_EQ(result[0].terms, reference[0].terms);
+
+  // result() is a snapshot: continuing afterwards still matches the full
+  // buffered reduction.
+  for (std::size_t k = cut; k < times.size(); ++k)
+    streaming.add(times[k], values[k]);
+  const auto full_reference = buffered_gap_adev(times, values, tau0, ms);
+  const auto full = streaming.result();
+  ASSERT_EQ(full.size(), 1u);
+  EXPECT_EQ(full[0].deviation, full_reference[0].deviation);
+}
+
+TEST(StreamingGapAdev, TooShortSeriesYieldsNoPoints) {
+  StreamingGapAdev streaming(1.0, {4});
+  streaming.add(0.0, 1e-6);
+  streaming.add(1.0, 2e-6);
+  EXPECT_TRUE(streaming.result().empty());
+}
+
 }  // namespace
 }  // namespace tscclock

@@ -440,6 +440,72 @@ TEST(Sinks, CsvTraceSinkWritesHeaderAndOneRowPerRecord) {
   EXPECT_GT(rows, 0u);
 }
 
+// -- Streaming reduction (O(1)-memory ReducerSink replacement) -------------
+
+TEST(Sinks, StreamingReducerMatchesExactReducerOnLongTrace) {
+  // Several hours with an outage: exercises the gap-split stretch selection
+  // inside the ADEV reduction as well as the P² percentile sketch.
+  auto scenario = plain_scenario(31337);
+  scenario.duration = 8 * duration::kHour;
+  scenario.events.add_outage(4 * duration::kHour, 4.5 * duration::kHour);
+  sim::Testbed testbed(scenario);
+  SessionConfig config;
+  config.params = params_for(scenario);
+  config.discard_warmup = duration::kHour;
+  ClockSession session(config, testbed.nominal_period());
+  ReducerSink exact(scenario.poll_period);
+  StreamingReducerSink streaming(scenario.poll_period);
+  session.add_sink(exact);
+  session.add_sink(streaming);
+  session.run(testbed);
+
+  const auto a = exact.reduce();
+  const auto b = streaming.reduce();
+  ASSERT_GT(a.evaluated, 1000u);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+
+  // Exact-by-construction fields: same arithmetic in the same order.
+  EXPECT_EQ(a.clock_error.count, b.clock_error.count);
+  EXPECT_EQ(a.clock_error.mean, b.clock_error.mean);
+  EXPECT_EQ(a.clock_error.stddev, b.clock_error.stddev);
+  EXPECT_EQ(a.clock_error.min, b.clock_error.min);
+  EXPECT_EQ(a.clock_error.max, b.clock_error.max);
+  EXPECT_EQ(a.offset_error.mean, b.offset_error.mean);
+  EXPECT_EQ(a.offset_error.stddev, b.offset_error.stddev);
+  EXPECT_EQ(a.adev_short_tau, b.adev_short_tau);
+  EXPECT_EQ(a.adev_long_tau, b.adev_long_tau);
+  // The streaming ADEV replicates stretch selection, resampling and the
+  // accumulation order of the buffered pipeline exactly.
+  EXPECT_EQ(a.adev_short, b.adev_short);
+  EXPECT_EQ(a.adev_long, b.adev_long);
+  ASSERT_GT(a.adev_short, 0.0);
+  ASSERT_GT(a.adev_long, 0.0);
+
+  // P² percentiles: approximate, bounded by a fraction of the spread.
+  const double clock_scale = a.clock_error.max - a.clock_error.min;
+  ASSERT_GT(clock_scale, 0.0);
+  EXPECT_NEAR(a.clock_error.percentiles.p50, b.clock_error.percentiles.p50,
+              0.10 * clock_scale);
+  EXPECT_NEAR(a.clock_error.percentiles.p25, b.clock_error.percentiles.p25,
+              0.10 * clock_scale);
+  EXPECT_NEAR(a.clock_error.percentiles.p75, b.clock_error.percentiles.p75,
+              0.10 * clock_scale);
+  EXPECT_NEAR(a.clock_error.percentiles.p99, b.clock_error.percentiles.p99,
+              0.20 * clock_scale);
+  const double offset_scale = a.offset_error.max - a.offset_error.min;
+  EXPECT_NEAR(a.offset_error.percentiles.p50, b.offset_error.percentiles.p50,
+              0.10 * offset_scale);
+}
+
+TEST(Sinks, StreamingReducerOfEmptyStreamIsZeroInitialized) {
+  StreamingReducerSink reducer(16.0);
+  const auto reduction = reducer.reduce();
+  EXPECT_EQ(reduction.evaluated, 0u);
+  EXPECT_EQ(reduction.clock_error.count, 0u);
+  EXPECT_EQ(reduction.adev_short, 0.0);
+  EXPECT_EQ(reduction.adev_long, 0.0);
+}
+
 // -- Sweep CSV dump (the --csv satellite, via the library API) -------------
 
 TEST(SweepCsv, DumpWritesScenarioLabelledRowsInGridOrder) {

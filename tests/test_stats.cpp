@@ -169,5 +169,95 @@ TEST(RunningMoments, DegenerateCases) {
   EXPECT_DOUBLE_EQ(m.mean(), 3.0);
 }
 
+// -- P² quantile sketch ----------------------------------------------------
+
+TEST(P2Quantile, ExactForFiveOrFewerSamples) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  EXPECT_EQ(median.value(), 3.0);
+  median.add(1.0);
+  median.add(5.0);
+  // Exact interpolated percentile of {1, 3, 5}.
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(2.0);
+  median.add(4.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+}
+
+TEST(P2Quantile, ApproximatesUniformStreamQuantiles) {
+  Rng rng(4242);
+  P2Quantile p50(0.5);
+  P2Quantile p99(0.99);
+  P2Quantile p01(0.01);
+  for (int k = 0; k < 100000; ++k) {
+    const double x = rng.uniform();
+    p50.add(x);
+    p99.add(x);
+    p01.add(x);
+  }
+  EXPECT_NEAR(p50.value(), 0.50, 0.01);
+  EXPECT_NEAR(p99.value(), 0.99, 0.005);
+  EXPECT_NEAR(p01.value(), 0.01, 0.005);
+}
+
+TEST(P2Quantile, ApproximatesHeavyTailedStreamMedian) {
+  // Pareto-style heavy tail: the regime the sweep's error series live in.
+  Rng rng(777);
+  P2Quantile p50(0.5);
+  std::vector<double> all;
+  for (int k = 0; k < 20000; ++k) {
+    const double x = rng.pareto(2.5, 1e-3);
+    p50.add(x);
+    all.push_back(x);
+  }
+  const double exact = percentile(all, 0.5);
+  EXPECT_NEAR(p50.value(), exact, 0.05 * exact + 1e-6);
+}
+
+TEST(P2Quantile, RejectsDegenerateQuantile) {
+  EXPECT_THROW(P2Quantile(0.0), ContractViolation);
+  EXPECT_THROW(P2Quantile(1.0), ContractViolation);
+  P2Quantile q(0.5);
+  EXPECT_THROW(q.value(), ContractViolation);
+}
+
+TEST(StreamingSeriesSummary, ExactMomentsApproximatePercentiles) {
+  Rng rng(90210);
+  StreamingSeriesSummary streaming;
+  std::vector<double> all;
+  for (int k = 0; k < 50000; ++k) {
+    const double x = rng.normal(2e-5) + 1e-5;
+    streaming.add(x);
+    all.push_back(x);
+  }
+  const auto exact = summarize(all);
+  const auto approx = streaming.summary();
+  // Same Welford recurrence in the same order → bit-identical moments.
+  EXPECT_EQ(approx.count, exact.count);
+  EXPECT_EQ(approx.mean, exact.mean);
+  EXPECT_EQ(approx.stddev, exact.stddev);
+  EXPECT_EQ(approx.min, exact.min);
+  EXPECT_EQ(approx.max, exact.max);
+  // P² percentiles within a small fraction of the standard deviation.
+  EXPECT_NEAR(approx.percentiles.p50, exact.percentiles.p50,
+              0.05 * exact.stddev);
+  EXPECT_NEAR(approx.percentiles.p25, exact.percentiles.p25,
+              0.05 * exact.stddev);
+  EXPECT_NEAR(approx.percentiles.p75, exact.percentiles.p75,
+              0.05 * exact.stddev);
+  EXPECT_NEAR(approx.percentiles.p01, exact.percentiles.p01,
+              0.15 * exact.stddev);
+  EXPECT_NEAR(approx.percentiles.p99, exact.percentiles.p99,
+              0.15 * exact.stddev);
+}
+
+TEST(StreamingSeriesSummary, EmptySummaryIsZeroInitialized) {
+  const StreamingSeriesSummary streaming;
+  const auto s = streaming.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.percentiles.p50, 0.0);
+}
+
 }  // namespace
 }  // namespace tscclock

@@ -312,5 +312,141 @@ TEST(ScenarioSweep, ReportPrintsEveryScenarioAndAggregates) {
   EXPECT_NE(report.find("Aggregate by environment"), std::string::npos);
 }
 
+// -- Estimator axis --------------------------------------------------------
+
+GridSpec estimator_grid() {
+  GridSpec grid = small_grid();
+  grid.poll_periods = {16.0};  // 2 scenarios × 3 estimators
+  grid.estimators = {harness::EstimatorKind::kRobust,
+                     harness::EstimatorKind::kSwNtp,
+                     harness::EstimatorKind::kNaive};
+  return grid;
+}
+
+TEST(ScenarioSweep, EstimatorAxisSharesEachScenariosSeed) {
+  ScenarioSweep engine(estimator_grid());
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto results = engine.run(options);
+  const std::size_t lanes = engine.grid().estimators.size();
+  ASSERT_EQ(results.size(), engine.scenarios().size() * lanes);
+
+  for (std::size_t i = 0; i < engine.scenarios().size(); ++i) {
+    for (std::size_t e = 0; e < lanes; ++e) {
+      const auto& r = results[i * lanes + e];
+      // Scenario-major ordering, estimator minor; every estimator of a
+      // scenario scores the scenario's one seed — the axis never reseeds.
+      EXPECT_EQ(r.scenario_index, i);
+      EXPECT_EQ(r.name, engine.scenarios()[i].name);
+      EXPECT_EQ(r.seed, engine.scenarios()[i].config.seed);
+      EXPECT_EQ(r.estimator, engine.grid().estimators[e]);
+      // All estimators saw the identical exchange stream.
+      EXPECT_EQ(r.exchanges, results[i * lanes].exchanges);
+      EXPECT_EQ(r.lost, results[i * lanes].lost);
+      EXPECT_EQ(r.evaluated, results[i * lanes].evaluated);
+    }
+  }
+}
+
+TEST(ScenarioSweep, EstimatorAxisBitIdenticalAcrossThreadCounts) {
+  ScenarioSweep engine(estimator_grid());
+  SweepOptions options;
+  options.discard_warmup = 20 * duration::kMinute;
+
+  options.threads = 1;
+  const auto reference = engine.run(options);
+  options.threads = 4;
+  const auto other = engine.run(options);
+  ASSERT_EQ(other.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].estimator, other[i].estimator);
+    EXPECT_EQ(reference[i].steps, other[i].steps);
+    expect_bit_identical(reference[i], other[i]);
+  }
+}
+
+TEST(ScenarioSweep, RobustRowsUnchangedByAddingBaselineEstimators) {
+  // Fanning more estimators into the session must not perturb the robust
+  // lane: the estimators share the exchange stream, not any scoring state.
+  GridSpec robust_only = estimator_grid();
+  robust_only.estimators = {harness::EstimatorKind::kRobust};
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto solo = ScenarioSweep(robust_only).run(options);
+  const auto multi = ScenarioSweep(estimator_grid()).run(options);
+  const std::size_t lanes = estimator_grid().estimators.size();
+  ASSERT_EQ(multi.size(), solo.size() * lanes);
+  for (std::size_t i = 0; i < solo.size(); ++i) {
+    expect_bit_identical(solo[i], multi[i * lanes]);
+  }
+}
+
+TEST(ScenarioSweep, MultiEstimatorReportHasComparisonTable) {
+  ScenarioSweep engine(estimator_grid());
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto results = engine.run(options);
+  std::ostringstream os;
+  print_sweep_report(os, results);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("Estimator comparison"), std::string::npos);
+  EXPECT_NE(report.find("robust"), std::string::npos);
+  EXPECT_NE(report.find("swntp"), std::string::npos);
+  EXPECT_NE(report.find("naive"), std::string::npos);
+}
+
+TEST(ScenarioGrid, RejectsEmptyOrDuplicateEstimatorAxis) {
+  GridSpec no_estimators = small_grid();
+  no_estimators.estimators.clear();
+  EXPECT_THROW(expand_grid(no_estimators), ContractViolation);
+  GridSpec duplicates = small_grid();
+  duplicates.estimators = {harness::EstimatorKind::kRobust,
+                           harness::EstimatorKind::kRobust};
+  EXPECT_THROW(expand_grid(duplicates), ContractViolation);
+}
+
+// -- Streaming reduction ---------------------------------------------------
+
+TEST(ScenarioSweep, StreamingReductionMatchesExactWhereExactIsPinned) {
+  GridSpec grid = small_grid();
+  grid.poll_periods = {16.0};
+  ScenarioSweep engine(grid);
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto exact = engine.run(options);
+  options.streaming_reduction = true;
+  const auto streaming = engine.run(options);
+  ASSERT_EQ(exact.size(), streaming.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    const auto& a = exact[i];
+    const auto& b = streaming[i];
+    ASSERT_GT(a.evaluated, 0u);
+    // Counts, moments and ADEV are computed by the same arithmetic in the
+    // same order — bit-identical.
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.clock_error.count, b.clock_error.count);
+    EXPECT_EQ(a.clock_error.mean, b.clock_error.mean);
+    EXPECT_EQ(a.clock_error.stddev, b.clock_error.stddev);
+    EXPECT_EQ(a.clock_error.min, b.clock_error.min);
+    EXPECT_EQ(a.clock_error.max, b.clock_error.max);
+    EXPECT_EQ(a.adev_short, b.adev_short);
+    EXPECT_EQ(a.adev_long, b.adev_long);
+    // Percentiles are P² approximations: close, not exact. Tolerance is a
+    // fraction of the distribution's scale.
+    const double scale =
+        std::max(1e-7, a.clock_error.max - a.clock_error.min);
+    EXPECT_NEAR(a.clock_error.percentiles.p50, b.clock_error.percentiles.p50,
+                0.15 * scale)
+        << a.name;
+    EXPECT_NEAR(a.offset_error.percentiles.p50,
+                b.offset_error.percentiles.p50, 0.15 * scale)
+        << a.name;
+  }
+}
+
 }  // namespace
 }  // namespace tscclock::sweep

@@ -3,7 +3,8 @@
 //
 //   sweep [--servers loc,int,ext] [--envs lab,machine] [--polls 16,64]
 //         [--schedules steady,outage,switch,stress] [--duration-hours 24]
-//         [--seed 42] [--threads 0] [--warmup-s 3600] [--no-wire]
+//         [--estimators robust,swntp,naive] [--seed 42] [--threads 0]
+//         [--warmup-s 3600] [--no-wire] [--streaming-reduction]
 //
 // The default grid is the ISSUE's 3 servers × 2 environments × 2 poll
 // periods = 12 scenarios over one simulated day. Named schedule variants
@@ -12,6 +13,13 @@
 //   outage  — a 30-minute connectivity gap at 40% of the trace;
 //   switch  — the §6.1 campaign: Server → Loc at 1/3, → Ext at 2/3;
 //   stress  — outage + mid-trace switch + a 150 ms server fault window.
+//
+// --estimators fans every scenario's one exchange stream into the named
+// algorithms (see --list-estimators), grading them head-to-head on
+// identical seeds and packets.
+//
+// Exit status: 0 on success, 1 when any grid cell FAILED (or the --csv dump
+// aborted mid-run), 2 on usage errors.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "harness/estimator.hpp"
 #include "sweep/sweep.hpp"
 
 using namespace tscclock;
@@ -83,6 +92,27 @@ sim::Environment parse_environment(const std::string& name) {
   std::exit(2);
 }
 
+harness::EstimatorKind parse_estimator_or_die(const std::string& name) {
+  const auto kind = harness::parse_estimator(name);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "unknown estimator '%s' (see --list-estimators)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return *kind;
+}
+
+[[noreturn]] void list_estimators() {
+  TablePrinter table({"estimator", "description"});
+  for (const auto kind : harness::all_estimator_kinds()) {
+    table.add_row({harness::to_string(kind),
+                   harness::estimator_description(kind)});
+  }
+  table.print(std::cout);
+  std::exit(0);
+}
+
 /// Build one of the named schedule variants, with event times placed
 /// relative to the trace duration.
 sweep::ScheduleVariant make_schedule(const std::string& name,
@@ -125,14 +155,21 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --envs LIST        comma list of lab,machine      (default both)\n"
       "  --polls LIST       poll periods in seconds        (default 16,64)\n"
       "  --schedules LIST   steady,outage,switch,stress    (default steady)\n"
+      "  --estimators LIST  clock algorithms to grade head-to-head on each\n"
+      "                     scenario's one exchange stream (default robust;\n"
+      "                     see --list-estimators)\n"
       "  --duration-hours H simulated hours per scenario   (default 24)\n"
       "  --seed N           master seed                    (default 42)\n"
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
       "  --warmup-s S       discard first S seconds        (default 3600)\n"
       "  --no-wire          skip the NTP wire-format round trip\n"
-      "  --csv PATH         dump every scenario's per-exchange trace to a\n"
-      "                     CSV file (grid order; lost/warm-up rows flagged)\n"
-      "  --help             this text\n");
+      "  --streaming-reduction  reduce cells in O(1) memory (P2 percentile\n"
+      "                     sketch; counts/means/ADEV unchanged)\n"
+      "  --csv PATH         dump every cell's per-exchange trace to a CSV\n"
+      "                     file (grid order; lost/warm-up rows flagged)\n"
+      "  --list-estimators  list the available estimators and exit\n"
+      "  --help             this text\n"
+      "exit status: 0 ok; 1 any FAILED cell or aborted --csv dump; 2 usage\n");
   std::exit(code);
 }
 
@@ -142,6 +179,7 @@ int main(int argc, char** argv) {
   sweep::GridSpec grid;
   sweep::SweepOptions options;
   std::vector<std::string> schedule_names = {"steady"};
+  std::vector<std::string> estimator_names = {"robust"};
   double duration_hours = 24.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -154,6 +192,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--list-estimators") list_estimators();
     else if (arg == "--servers") {
       grid.servers.clear();
       for (const auto& s : split_csv(value())) grid.servers.push_back(parse_server(s));
@@ -167,6 +206,10 @@ int main(int argc, char** argv) {
         grid.poll_periods.push_back(parse_double("--polls", p));
     } else if (arg == "--schedules") {
       schedule_names = split_csv(value());
+    } else if (arg == "--estimators") {
+      estimator_names = split_csv(value());
+    } else if (arg == "--streaming-reduction") {
+      options.streaming_reduction = true;
     } else if (arg == "--duration-hours") {
       duration_hours = parse_double("--duration-hours", value());
     } else if (arg == "--seed") {
@@ -195,9 +238,11 @@ int main(int argc, char** argv) {
   }
 
   if (grid.servers.empty() || grid.environments.empty() ||
-      grid.poll_periods.empty() || schedule_names.empty()) {
+      grid.poll_periods.empty() || schedule_names.empty() ||
+      estimator_names.empty()) {
     std::fprintf(stderr,
-                 "--servers/--envs/--polls/--schedules must not be empty\n");
+                 "--servers/--envs/--polls/--schedules/--estimators must not "
+                 "be empty\n");
     return 2;
   }
   // Duplicate axis values would collapse two grid cells onto one scenario
@@ -212,10 +257,11 @@ int main(int argc, char** argv) {
   for (const auto poll : grid.poll_periods)
     poll_names.push_back(strfmt("%g", poll));
   if (has_duplicates(grid.servers) || has_duplicates(grid.environments) ||
-      has_duplicates(poll_names) || has_duplicates(schedule_names)) {
-    std::fprintf(
-        stderr,
-        "--servers/--envs/--polls/--schedules entries must be unique\n");
+      has_duplicates(poll_names) || has_duplicates(schedule_names) ||
+      has_duplicates(estimator_names)) {
+    std::fprintf(stderr,
+                 "--servers/--envs/--polls/--schedules/--estimators entries "
+                 "must be unique\n");
     return 2;
   }
   if (duration_hours <= 0.0) {
@@ -245,12 +291,16 @@ int main(int argc, char** argv) {
   grid.schedules.clear();
   for (const auto& name : schedule_names)
     grid.schedules.push_back(make_schedule(name, grid.duration));
+  grid.estimators.clear();
+  for (const auto& name : estimator_names)
+    grid.estimators.push_back(parse_estimator_or_die(name));
 
   sweep::ScenarioSweep engine(grid);
   print_banner(std::cout,
-               strfmt("Scenario sweep: %zu scenarios, %.1f simulated hours "
-                      "each, master seed %llu",
-                      engine.scenarios().size(), duration_hours,
+               strfmt("Scenario sweep: %zu scenarios x %zu estimator(s), "
+                      "%.1f simulated hours each, master seed %llu",
+                      engine.scenarios().size(), grid.estimators.size(),
+                      duration_hours,
                       static_cast<unsigned long long>(grid.master_seed)));
 
   std::vector<sweep::ScenarioResult> results;
@@ -274,6 +324,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // A FAILED cell must fail the invocation (CI and scripts key off the exit
+  // status, not the table text).
   for (const auto& r : results) {
     if (r.failed) return 1;
   }
