@@ -3,13 +3,20 @@
 // "immediately following long periods of congestion or sequential packet
 // loss much easier to achieve". Same trace, three regimes compared:
 // steady state, during a heavy congestion episode, and right after a gap.
+//
+// Both passes run through the drive layer: the online session records the
+// estimator-independent trace (SessionConfig::record_trace) while it scores
+// the robust clock, and the offline smoother is replayed over that recording
+// via harness::ReplaySession — the same scoring pipeline the sweep's
+// `--estimators offline` lane uses (tests/test_replay.cpp pins this
+// migration bit-identical to the legacy hand-rolled collection loop).
 #include <cmath>
 #include <iostream>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
-#include "core/offline.hpp"
+#include "harness/replay.hpp"
 #include "support.hpp"
 
 using namespace tscclock;
@@ -38,9 +45,6 @@ int main() {
   // Perturbed exchange list: drain the testbed, then layer the storm spikes
   // on top so both the host stamp and the DAG reference stamp move.
   std::vector<sim::Exchange> exchanges;
-  std::vector<core::RawExchange> raws;
-  std::vector<double> tg;
-  std::vector<double> tb;
   Rng storm(99);
   for (auto& ex : testbed.generate_all()) {
     if (ex.lost || !ex.ref_available) continue;
@@ -53,9 +57,6 @@ int main() {
       ex.tg += spike;
     }
     exchanges.push_back(ex);
-    raws.push_back({ex.ta_counts, ex.tb_stamp, ex.te_stamp, ex.tf_counts});
-    tg.push_back(ex.tg);
-    tb.push_back(ex.tb_stamp);
   }
 
   core::Params params;
@@ -63,10 +64,13 @@ int main() {
 
   // Online pass: replay the perturbed exchanges through the canonical
   // harness sequence (the session scores each packet exactly as the figure
-  // benches do). Every replayed exchange has a reference and no warm-up cut
-  // applies, so the collected records align 1:1 with `raws`.
-  harness::ClockSession online(bench::session_config(params),
-                               testbed.nominal_period());
+  // benches do), recording the estimator-independent trace for the replay
+  // lane. Every replayed exchange has a reference and no warm-up cut
+  // applies, so online records, replay records and the recorded trace all
+  // align 1:1.
+  auto config = bench::session_config(params);
+  config.record_trace = true;
+  harness::ClockSession online(config, testbed.nominal_period());
   harness::CollectorSink online_records;
   online.add_sink(online_records);
   for (const auto& ex : exchanges) online.process(ex);
@@ -75,19 +79,26 @@ int main() {
   for (const auto& rec : online_records.records())
     online_err.push_back(rec.offset_error);
 
-  // Offline pass.
-  const auto offline =
-      core::smooth_offsets(raws, params, testbed.nominal_period());
-  std::vector<double> offline_err(raws.size());
-  for (std::size_t k = 0; k < raws.size(); ++k)
-    offline_err[k] = offline.offsets[k] -
-                     (offline.timescale.read(raws[k].tf) - tg[k]);
+  // Offline pass: the §5.3 smoother as a first-class replay estimator,
+  // scored over the identical recorded trace and ground truth.
+  auto smoother = std::make_unique<harness::OfflineSmootherEstimator>(
+      params, testbed.nominal_period());
+  const harness::OfflineSmootherEstimator& offline = *smoother;
+  harness::ReplaySession replay(config, std::move(smoother));
+  harness::CollectorSink replay_records;
+  replay.add_sink(replay_records);
+  replay.run(online.trace());
+  std::vector<double> offline_err;
+  offline_err.reserve(replay_records.records().size());
+  for (const auto& rec : replay_records.records())
+    offline_err.push_back(rec.offset_error);
 
+  const std::size_t n = exchanges.size();
   const auto regime = [&](double lo_h, double hi_h,
                           const std::vector<double>& err) {
     std::vector<double> slice;
-    for (std::size_t k = 0; k < raws.size(); ++k) {
-      const double h = tb[k] / 3600.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double h = exchanges[k].tb_stamp / 3600.0;
       if (h >= lo_h && h < hi_h) slice.push_back(std::fabs(err[k]));
     }
     return percentile_summary(slice);
@@ -117,6 +128,6 @@ int main() {
                    "after congestion/gaps (uses future packets)",
                    "see storm/post-gap rows");
   std::cout << strfmt("offline poor-window fallbacks: %zu of %zu packets\n",
-                      offline.poor_windows, raws.size());
+                      offline.result().poor_windows, online.trace().arrived());
   return 0;
 }

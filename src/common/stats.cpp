@@ -67,9 +67,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double value) {
-  auto bin = static_cast<long>(std::floor((value - lo_) / width_));
-  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // NaN has no bin (floor(NaN) is NaN, and casting it to an integer is
+  // undefined behaviour) — count it separately so callers can surface
+  // corrupt inputs instead of crediting them to an arbitrary bin.
+  if (std::isnan(value)) {
+    ++nan_;
+    return;
+  }
+  // Clamp in floating point BEFORE the integer cast: casting a double
+  // outside the target's range (±inf, or a huge finite value) is undefined
+  // behaviour too. ±inf and out-of-range values land in the terminal bins,
+  // conserving mass as documented.
+  const double pos = std::floor((value - lo_) / width_);
+  const double last = static_cast<double>(counts_.size() - 1);
+  const auto bin = static_cast<std::size_t>(std::clamp(pos, 0.0, last));
+  ++counts_[bin];
   ++total_;
 }
 

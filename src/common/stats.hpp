@@ -108,9 +108,11 @@ struct SeriesSummary {
 
 SeriesSummary summarize(std::span<const double> values);
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
-/// the terminal bins so mass is conserved (matches the paper's Fig. 12 which
-/// shows "exactly 99% of all values").
+/// Fixed-bin histogram over [lo, hi); out-of-range samples (±inf included)
+/// are clamped into the terminal bins so mass is conserved (matches the
+/// paper's Fig. 12 which shows "exactly 99% of all values"). NaN samples
+/// have no bin: they are counted separately (nan_count) and excluded from
+/// total() and the densities.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -119,8 +121,11 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
   [[nodiscard]] double bin_center(std::size_t bin) const;
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  /// Binned samples only (excludes NaN rejects).
   [[nodiscard]] std::size_t total() const { return total_; }
-  /// Fraction of all samples in `bin`.
+  /// NaN samples rejected by add() — corrupt-input telemetry.
+  [[nodiscard]] std::size_t nan_count() const { return nan_; }
+  /// Fraction of all binned samples in `bin`.
   [[nodiscard]] double density(std::size_t bin) const;
 
  private:
@@ -128,6 +133,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ = 0;
 };
 
 /// Welford online mean/variance, used for long traces where storing every

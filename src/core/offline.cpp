@@ -29,6 +29,16 @@ double whole_trace_period(std::span<const RawExchange> trace,
   if (i == j || counter_delta(trace[i].ta, trace[j].ta) <= 0)
     return nominal_period;
 
+  // Degenerate pair: with the two best packets sharing the same Tf the
+  // baseline is empty (and the naive backward rate divides by zero), so
+  // there is no rate information — keep the configured nominal. Guarding
+  // span > 0 also rejects the quality ratio below ever becoming inf/NaN,
+  // which would *pass* the > comparison by failing it and silently accept
+  // a garbage candidate rate.
+  const Seconds span = delta_to_seconds(
+      counter_delta(trace[i].tf, trace[j].tf), nominal_period);
+  if (!(span > 0.0)) return nominal_period;
+
   // Accept the pair only if its quality is meaningful; otherwise keep the
   // configured nominal (the caller's trace is then too short/noisy).
   const double candidate = naive_rate(trace[j], trace[i]).combined;
@@ -36,9 +46,11 @@ double whole_trace_period(std::span<const RawExchange> trace,
       trace[i].rtt_counts() - rhat_counts, nominal_period);
   const Seconds ej = delta_to_seconds(
       trace[j].rtt_counts() - rhat_counts, nominal_period);
-  const Seconds span = delta_to_seconds(
-      counter_delta(trace[i].tf, trace[j].tf), nominal_period);
-  if ((ei + ej) / span > params.rate_error_bound) return nominal_period;
+  const Seconds total = ei + ej;
+  if (!std::isfinite(total) || !std::isfinite(candidate) ||
+      total / span > params.rate_error_bound) {
+    return nominal_period;
+  }
   return candidate;
 }
 

@@ -124,6 +124,10 @@ core::ClockStatus NaiveEstimator::status() const {
 
 // -- Registry --------------------------------------------------------------
 
+bool is_replay_estimator(EstimatorKind kind) {
+  return kind == EstimatorKind::kOffline;
+}
+
 std::string to_string(EstimatorKind kind) {
   switch (kind) {
     case EstimatorKind::kRobust:
@@ -132,6 +136,8 @@ std::string to_string(EstimatorKind kind) {
       return "swntp";
     case EstimatorKind::kNaive:
       return "naive";
+    case EstimatorKind::kOffline:
+      return "offline";
   }
   return "unknown";
 }
@@ -147,6 +153,9 @@ std::string estimator_description(EstimatorKind kind) {
     case EstimatorKind::kNaive:
       return "naive per-packet estimates (§4: unfiltered offset over the "
              "widening-baseline naive rate)";
+    case EstimatorKind::kOffline:
+      return "offline two-sided smoother (§5.3, NON-CAUSAL replay: scored "
+             "post-hoc over the recorded trace using future packets)";
   }
   return "unknown";
 }
@@ -155,18 +164,21 @@ std::optional<EstimatorKind> parse_estimator(std::string_view name) {
   if (name == "robust") return EstimatorKind::kRobust;
   if (name == "swntp") return EstimatorKind::kSwNtp;
   if (name == "naive") return EstimatorKind::kNaive;
+  if (name == "offline") return EstimatorKind::kOffline;
   return std::nullopt;
 }
 
 const std::vector<EstimatorKind>& all_estimator_kinds() {
   static const std::vector<EstimatorKind> kinds = {
-      EstimatorKind::kRobust, EstimatorKind::kSwNtp, EstimatorKind::kNaive};
+      EstimatorKind::kRobust, EstimatorKind::kSwNtp, EstimatorKind::kNaive,
+      EstimatorKind::kOffline};
   return kinds;
 }
 
 std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
                                                const core::Params& params,
                                                double nominal_period) {
+  TSC_EXPECTS(!is_replay_estimator(kind));
   switch (kind) {
     case EstimatorKind::kRobust:
       return std::make_unique<TscNtpEstimator>(params, nominal_period);
@@ -175,6 +187,8 @@ std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
                                               nominal_period);
     case EstimatorKind::kNaive:
       return std::make_unique<NaiveEstimator>(nominal_period);
+    case EstimatorKind::kOffline:
+      break;  // unreachable: rejected by the replay-kind contract above
   }
   TSC_EXPECTS(false);
   return nullptr;

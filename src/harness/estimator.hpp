@@ -182,9 +182,16 @@ class NaiveEstimator final : public ClockEstimator {
 // -- Registry --------------------------------------------------------------
 
 /// The built-in estimator set, i.e. the sweep's estimator axis values.
-enum class EstimatorKind { kRobust, kSwNtp, kNaive };
+/// kOffline is a *replay* kind: it consumes the whole recorded trace
+/// non-causally (harness/replay.hpp) instead of implementing ClockEstimator,
+/// and is built via make_replay_estimator rather than make_estimator.
+enum class EstimatorKind { kRobust, kSwNtp, kNaive, kOffline };
 
-/// Canonical spelling: "robust" / "swntp" / "naive".
+/// True for kinds scored post-hoc over a recorded trace (non-causal replay
+/// lane) rather than online through ClockSession.
+bool is_replay_estimator(EstimatorKind kind);
+
+/// Canonical spelling: "robust" / "swntp" / "naive" / "offline".
 std::string to_string(EstimatorKind kind);
 
 /// One-line description for `tools/sweep --list-estimators`.
@@ -196,9 +203,11 @@ std::optional<EstimatorKind> parse_estimator(std::string_view name);
 /// Every built-in kind, in canonical (reporting) order.
 const std::vector<EstimatorKind>& all_estimator_kinds();
 
-/// Construct a fresh estimator. `params` configures the robust algorithm
-/// (the baselines derive what they need from the poll period and nominal
-/// tick); `nominal_period` is the spec-sheet counter period.
+/// Construct a fresh online estimator. `params` configures the robust
+/// algorithm (the baselines derive what they need from the poll period and
+/// nominal tick); `nominal_period` is the spec-sheet counter period.
+/// Precondition: !is_replay_estimator(kind) — replay kinds are built with
+/// make_replay_estimator (harness/replay.hpp).
 std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
                                                const core::Params& params,
                                                double nominal_period);

@@ -1,0 +1,180 @@
+#include "harness/replay.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "core/naive.hpp"
+
+namespace tscclock::harness {
+
+// -- TraceRecorder ---------------------------------------------------------
+
+TraceRecorder::TraceRecorder(const SessionConfig& config) : config_(config) {}
+
+void TraceRecorder::observe(const sim::Exchange& ex) {
+  ++trace_.exchanges;
+  ReplaySample sample;
+  sample.index = ex.index;
+  sample.truth_ta = ex.truth.ta;
+  sample.truth_tb = ex.truth.tb;
+  sample.in_warmup = exchange_in_warmup(config_, ex);
+  if (ex.lost) {
+    ++trace_.lost;
+    sample.lost = true;
+    trace_.samples.push_back(sample);
+    return;
+  }
+  sample.raw = core::RawExchange{ex.ta_counts, ex.tb_stamp, ex.te_stamp,
+                                 ex.tf_counts};
+  sample.tf_counts_corrected = ex.tf_counts_corrected;
+  sample.t_day = ex.tb_stamp / duration::kDay;
+  sample.ref_available = ex.ref_available;
+  sample.tg = ex.tg;
+  if (config_.track_server_changes &&
+      server_changes_.observe(
+          core::ServerIdentity{ex.server_id, ex.server_stratum}, ex.index)) {
+    sample.server_changed = true;
+  }
+  trace_.samples.push_back(sample);
+}
+
+// -- OfflineSmootherEstimator ----------------------------------------------
+
+OfflineSmootherEstimator::OfflineSmootherEstimator(const core::Params& params,
+                                                   double nominal_period)
+    : params_(params), nominal_period_(nominal_period) {
+  TSC_EXPECTS(nominal_period > 0.0);
+}
+
+ReplayOutput OfflineSmootherEstimator::process_trace(
+    std::span<const ReplaySample> samples) {
+  std::vector<core::RawExchange> raws;
+  raws.reserve(samples.size());
+  for (const auto& sample : samples) {
+    if (!sample.lost) raws.push_back(sample.raw);
+  }
+  TSC_EXPECTS(raws.size() >= 2);
+  result_ = core::smooth_offsets(raws, params_, nominal_period_);
+
+  ReplayOutput output;
+  output.offsets = result_.offsets;
+  output.timescale = result_.timescale;
+  output.period = result_.period;
+  output.point_errors.reserve(raws.size());
+  for (const auto& raw : raws) {
+    output.point_errors.push_back(delta_to_seconds(
+        raw.rtt_counts() - result_.rhat_counts, result_.period));
+  }
+  output.status.packets_processed = raws.size();
+  output.status.warmed_up = true;  // no warm-up: the rate is whole-trace
+  output.status.period = result_.period;
+  output.status.offset = result_.offsets.back();
+  output.status.min_rtt =
+      delta_to_seconds(result_.rhat_counts, result_.period);
+  // The §5.3 poor-window fallback is the offline analogue of the online
+  // estimator's best-packet fallback — report it on the same counter.
+  output.status.offset_fallbacks = result_.poor_windows;
+  return output;
+}
+
+// -- ReplaySession ---------------------------------------------------------
+
+ReplaySession::ReplaySession(const SessionConfig& config,
+                             std::unique_ptr<ReplayEstimator> estimator)
+    : config_(config), estimator_(std::move(estimator)) {
+  TSC_EXPECTS(estimator_ != nullptr);
+}
+
+void ReplaySession::add_sink(SampleSink& sink) { sinks_.push_back(&sink); }
+
+void ReplaySession::emit(const SampleRecord& record) {
+  for (auto* sink : sinks_) sink->on_sample(record);
+}
+
+const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
+  summary_ = SessionSummary{};
+  summary_.exchanges = trace.exchanges;
+  summary_.lost = trace.lost;
+  summary_.polls_enumerated = trace.polls_enumerated;
+
+  // Too few packets for any whole-trace estimate: emit at most the lost/
+  // unevaluated skeleton so the cell reads "n/a", never FAILED.
+  const bool scorable = trace.arrived() >= 2;
+  ReplayOutput output;
+  if (scorable) {
+    output = estimator_->process_trace(trace.samples);
+    TSC_EXPECTS(output.offsets.size() == trace.arrived());
+    TSC_EXPECTS(output.point_errors.empty() ||
+                output.point_errors.size() == trace.arrived());
+    summary_.final_status = output.status;
+  }
+
+  std::size_t k = 0;  // running index over non-lost samples
+  for (const auto& sample : trace.samples) {
+    SampleRecord record;
+    record.index = sample.index;
+    record.truth_ta = sample.truth_ta;
+    record.truth_tb = sample.truth_tb;
+    record.in_warmup = sample.in_warmup;
+    if (sample.lost) {
+      record.lost = true;
+      if (config_.emit_unevaluated) emit(record);
+      continue;
+    }
+    record.raw = sample.raw;
+    record.tf_counts_corrected = sample.tf_counts_corrected;
+    record.t_day = sample.t_day;
+    record.ref_available = sample.ref_available;
+    record.tg = sample.tg;
+    record.server_changed = sample.server_changed;
+    if (scorable) {
+      record.report.offset_estimate = output.offsets[k];
+      record.report.naive_offset =
+          core::naive_offset(sample.raw, output.timescale);
+      if (!output.point_errors.empty())
+        record.report.point_error = output.point_errors[k];
+      record.warmed_up = true;
+      record.period = output.period;
+      if (sample.ref_available) {
+        // Identical alignment arithmetic to ClockSession::process: θg from
+        // the estimator's own C, errors as estimate − θg. The replay's
+        // absolute clock is Ca(T) = C(T) − θ̂(t_k) (the smoothed correction
+        // at packet k), so its clock error is the negated tracking error by
+        // construction.
+        record.reference_offset =
+            output.timescale.read(sample.raw.tf) - sample.tg;
+        record.offset_error =
+            record.report.offset_estimate - record.reference_offset;
+        record.naive_error =
+            record.report.naive_offset - record.reference_offset;
+        // Ca(Tf) − Tg = (C(Tf) − θ̂(t_k)) − Tg: with the correction applied
+        // at the very packet being scored, the clock error IS the negated
+        // tracking error — computed as such so the identity is bit-exact.
+        record.abs_clock_error = -record.offset_error;
+      }
+      record.evaluated = sample.ref_available && !sample.in_warmup;
+    }
+    ++k;
+    if (record.evaluated) ++summary_.evaluated;
+    if (record.evaluated || config_.emit_unevaluated) emit(record);
+  }
+  return summary_;
+}
+
+// -- Registry --------------------------------------------------------------
+
+std::unique_ptr<ReplayEstimator> make_replay_estimator(
+    EstimatorKind kind, const core::Params& params, double nominal_period) {
+  TSC_EXPECTS(is_replay_estimator(kind));
+  switch (kind) {
+    case EstimatorKind::kOffline:
+      return std::make_unique<OfflineSmootherEstimator>(params,
+                                                        nominal_period);
+    default:
+      break;
+  }
+  TSC_EXPECTS(false);
+  return nullptr;
+}
+
+}  // namespace tscclock::harness

@@ -1,0 +1,196 @@
+// Replay lane: non-causal estimators in the same head-to-head tables as the
+// online ones.
+//
+// §5.3 observes that post-processing with future packets "makes good
+// performance immediately following long periods of congestion or sequential
+// packet loss much easier to achieve". To grade that claim alongside the
+// online algorithms, the drive layer records the estimator-independent
+// exchange stream once (TraceRecorder, wired into ClockSession /
+// MultiEstimatorSession) and replays it through ReplayEstimators after the
+// drain:
+//
+//   * TraceRecorder retains, per poll, everything a post-hoc estimator and
+//     its scoring need — the RawExchange quadruple, the DAG ground truth,
+//     the warm-up flag under the recording config's policy, and loss/server
+//     -change markers — and nothing any online lane computed;
+//   * ReplayEstimator consumes the complete trace at once (non-causal by
+//     construction) and returns per-packet offsets over a fixed whole-trace
+//     timescale; OfflineSmootherEstimator adapts core::smooth_offsets;
+//   * ReplaySession walks the recorded trace emitting one SampleRecord per
+//     sample to ordinary SampleSinks, with the reference alignment
+//     (θg = C(Tf) − Tg), warm-up flags and `evaluated` semantics matching
+//     ClockSession exactly — so percentiles/ADEV of replay lanes come from
+//     the identical ReducerSink code path as every online lane.
+//
+// A replayed estimate at packet k uses packets after k: replay rows measure
+// what post-processing can achieve on the identical packets, not what a
+// deployable online clock achieves. The sweep's --estimators axis carries
+// them anyway (EstimatorKind::kOffline) precisely so that comparison is
+// made on one drive layer, one seed and one reduction.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/offline.hpp"
+#include "core/params.hpp"
+#include "core/server_change.hpp"
+#include "harness/session.hpp"
+
+namespace tscclock::harness {
+
+/// Estimator-independent view of one Testbed poll, as retained by trace
+/// recording. Lost polls are kept (flagged) so replay lanes can emit
+/// gap-visible traces exactly like online lanes with emit_unevaluated.
+struct ReplaySample {
+  std::uint64_t index = 0;  ///< poll sequence number
+  bool lost = false;        ///< no reply reached the host
+
+  // -- Observables (valid when !lost) --------------------------------------
+  core::RawExchange raw;             ///< the {Ta, Tb, Te, Tf} quadruple
+  TscCount tf_counts_corrected = 0;  ///< side-mode-corrected Tf (§2.4)
+  double t_day = 0;                  ///< raw.tb in days
+
+  // -- Ground truth ---------------------------------------------------------
+  bool ref_available = false;
+  Seconds tg = 0;        ///< DAG stamp (valid when ref_available)
+  Seconds truth_ta = 0;  ///< also filled for lost polls
+  Seconds truth_tb = 0;
+
+  // -- Drive-level flags (per the recording config) -------------------------
+  bool in_warmup = false;
+  bool server_changed = false;  ///< this reply's transport identity changed
+};
+
+/// A recorded exchange stream plus the drive-level counters a summary needs.
+struct ReplayTrace {
+  std::vector<ReplaySample> samples;  ///< every poll, lost ones flagged
+  std::size_t exchanges = 0;          ///< samples.size(), incl. lost
+  std::size_t lost = 0;
+  std::uint64_t polls_enumerated = 0;  ///< incl. outage-skipped slots
+
+  /// Non-lost samples (what a replay estimator actually processes).
+  [[nodiscard]] std::size_t arrived() const { return exchanges - lost; }
+};
+
+/// Records the estimator-independent stream. One recording per drive is
+/// canonical and shared by every replay lane: the trace does not depend on
+/// which (or how many) online estimators scored it.
+class TraceRecorder {
+ public:
+  /// `config` supplies the warm-up cut (discard_warmup + warmup_policy) and
+  /// the server-change tracking switch; the estimator and sink fields are
+  /// ignored.
+  explicit TraceRecorder(const SessionConfig& config);
+
+  /// Record one exchange (lost ones included).
+  void observe(const sim::Exchange& exchange);
+
+  void set_polls_enumerated(std::uint64_t polls) {
+    trace_.polls_enumerated = polls;
+  }
+
+  [[nodiscard]] const ReplayTrace& trace() const { return trace_; }
+
+ private:
+  SessionConfig config_;
+  core::ServerChangeDetector server_changes_;
+  ReplayTrace trace_;
+};
+
+/// What a replay estimator computes from a complete trace.
+struct ReplayOutput {
+  /// θ̂(t_k) for every non-lost sample, in trace order.
+  std::vector<Seconds> offsets;
+  /// Per-packet point error E_k aligned with `offsets`; may be left empty
+  /// when the algorithm has no such notion (records then carry 0).
+  std::vector<Seconds> point_errors;
+  /// The fixed uncorrected clock C(T) the offsets refer to — the timebase
+  /// the θg alignment divides out, whole-trace by construction.
+  CounterTimescale timescale;
+  double period = 0;  ///< p̂ [s/count]
+  /// Status counters for the session summary (fields with no analogue stay
+  /// zero; replay estimators never step, so steps stay 0 implicitly).
+  core::ClockStatus status;
+};
+
+/// The algorithm-facing seam of the replay lane: ClockEstimator's non-causal
+/// sibling. Implementations see the whole trace at once.
+class ReplayEstimator {
+ public:
+  virtual ~ReplayEstimator() = default;
+
+  /// Stable identifier (doubles as the report/CSV label), e.g. "offline".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Process a complete recorded trace. Must return exactly one offset per
+  /// non-lost sample. Precondition: at least two non-lost samples
+  /// (ReplaySession guards this and emits nothing for smaller traces).
+  virtual ReplayOutput process_trace(
+      std::span<const ReplaySample> samples) = 0;
+};
+
+/// The §5.3 two-sided smoother (core::smooth_offsets) behind the replay
+/// seam: whole-trace robust rate, symmetric RTT-weighted offset window.
+class OfflineSmootherEstimator final : public ReplayEstimator {
+ public:
+  OfflineSmootherEstimator(const core::Params& params, double nominal_period);
+
+  [[nodiscard]] std::string_view name() const override { return "offline"; }
+  ReplayOutput process_trace(std::span<const ReplaySample> samples) override;
+
+  /// The last replay's full §5.3 result (poor-window accounting, r̂, p̄).
+  [[nodiscard]] const core::OfflineResult& result() const { return result_; }
+
+ private:
+  core::Params params_;
+  double nominal_period_;
+  core::OfflineResult result_;
+};
+
+/// Scores one ReplayEstimator over a recorded trace through the identical
+/// reduction code path as the online lanes: one SampleRecord per sample to
+/// the attached SampleSinks, in trace order. The record fields mirror
+/// ClockSession::process — same reference alignment, same warm-up flags,
+/// same `evaluated` definition — so a ReducerSink (or CsvTraceSink) attached
+/// here produces statistics directly comparable with every online lane.
+class ReplaySession {
+ public:
+  ReplaySession(const SessionConfig& config,
+                std::unique_ptr<ReplayEstimator> estimator);
+
+  /// Attach a sink (non-owning; must outlive run()).
+  void add_sink(SampleSink& sink);
+
+  /// Replay the whole trace and return the final summary. A trace with
+  /// fewer than two non-lost samples yields zero evaluated records (an
+  /// "n/a" row downstream) instead of throwing: a total-loss scenario must
+  /// not fail its whole grid cell.
+  const SessionSummary& run(const ReplayTrace& trace);
+
+  [[nodiscard]] const SessionSummary& summary() const { return summary_; }
+  [[nodiscard]] ReplayEstimator& estimator() { return *estimator_; }
+  [[nodiscard]] const ReplayEstimator& estimator() const {
+    return *estimator_;
+  }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+ private:
+  void emit(const SampleRecord& record);
+
+  SessionConfig config_;
+  std::unique_ptr<ReplayEstimator> estimator_;
+  std::vector<SampleSink*> sinks_;
+  SessionSummary summary_;
+};
+
+/// Construct a fresh replay estimator for a replay EstimatorKind (see
+/// is_replay_estimator in harness/estimator.hpp). Same parameter meaning as
+/// make_estimator. Throws ContractViolation for online kinds.
+std::unique_ptr<ReplayEstimator> make_replay_estimator(EstimatorKind kind,
+                                                       const core::Params& params,
+                                                       double nominal_period);
+
+}  // namespace tscclock::harness

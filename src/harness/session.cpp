@@ -1,8 +1,17 @@
 #include "harness/session.hpp"
 
 #include "common/contracts.hpp"
+#include "harness/replay.hpp"
 
 namespace tscclock::harness {
+
+bool exchange_in_warmup(const SessionConfig& config, const sim::Exchange& ex) {
+  const Seconds cut_time =
+      !ex.lost && config.warmup_policy == WarmupPolicy::kObservable
+          ? ex.tb_stamp
+          : ex.truth.tb;
+  return cut_time < config.discard_warmup;
+}
 
 ClockSession::ClockSession(const SessionConfig& config, double nominal_period)
     : ClockSession(config, std::make_unique<TscNtpEstimator>(config.params,
@@ -13,9 +22,17 @@ ClockSession::ClockSession(const SessionConfig& config,
     : config_(config), estimator_(std::move(estimator)) {
   TSC_EXPECTS(estimator_ != nullptr);
   robust_ = dynamic_cast<TscNtpEstimator*>(estimator_.get());
+  if (config_.record_trace) recorder_ = std::make_unique<TraceRecorder>(config_);
 }
 
+ClockSession::~ClockSession() = default;
+
 void ClockSession::add_sink(SampleSink& sink) { sinks_.push_back(&sink); }
+
+const ReplayTrace& ClockSession::trace() const {
+  TSC_EXPECTS(recorder_ != nullptr);
+  return recorder_->trace();
+}
 
 core::TscNtpClock& ClockSession::clock() {
   TSC_EXPECTS(robust_ != nullptr);
@@ -32,6 +49,7 @@ void ClockSession::emit(const SampleRecord& record) {
 }
 
 void ClockSession::process(const sim::Exchange& ex) {
+  if (recorder_) recorder_->observe(ex);
   ++summary_.exchanges;
   if (ex.lost) {
     ++summary_.lost;
@@ -41,9 +59,7 @@ void ClockSession::process(const sim::Exchange& ex) {
       record.lost = true;
       record.truth_ta = ex.truth.ta;
       record.truth_tb = ex.truth.tb;
-      // A lost poll has no server stamp, so the warm-up flag is cut on
-      // ground truth under either policy.
-      record.in_warmup = ex.truth.tb < config_.discard_warmup;
+      record.in_warmup = exchange_in_warmup(config_, ex);
       emit(record);
     }
     return;
@@ -71,10 +87,7 @@ void ClockSession::process(const sim::Exchange& ex) {
   record.warmed_up = estimator_->warmed_up();
   record.period = estimator_->period();
 
-  const Seconds cut_time = config_.warmup_policy == WarmupPolicy::kObservable
-                               ? ex.tb_stamp
-                               : ex.truth.tb;
-  record.in_warmup = cut_time < config_.discard_warmup;
+  record.in_warmup = exchange_in_warmup(config_, ex);
 
   if (ex.ref_available) {
     record.reference_offset =
@@ -100,8 +113,13 @@ bool ClockSession::step(sim::Testbed& testbed) {
 const SessionSummary& ClockSession::run(sim::Testbed& testbed) {
   while (step(testbed)) {
   }
-  summary_.polls_enumerated = testbed.polls_enumerated();
+  set_polls_enumerated(testbed.polls_enumerated());
   return summary();
+}
+
+void ClockSession::set_polls_enumerated(std::uint64_t polls) {
+  summary_.polls_enumerated = polls;
+  if (recorder_) recorder_->set_polls_enumerated(polls);
 }
 
 const SessionSummary& ClockSession::summary() {
@@ -110,6 +128,20 @@ const SessionSummary& ClockSession::summary() {
 }
 
 // -- MultiEstimatorSession -------------------------------------------------
+
+MultiEstimatorSession::MultiEstimatorSession() = default;
+MultiEstimatorSession::~MultiEstimatorSession() = default;
+
+void MultiEstimatorSession::enable_trace_recording(
+    const SessionConfig& config) {
+  TSC_EXPECTS(recorder_ == nullptr);
+  recorder_ = std::make_unique<TraceRecorder>(config);
+}
+
+const ReplayTrace& MultiEstimatorSession::trace() const {
+  TSC_EXPECTS(recorder_ != nullptr);
+  return recorder_->trace();
+}
 
 std::size_t MultiEstimatorSession::add_lane(
     const SessionConfig& config, std::unique_ptr<ClockEstimator> estimator) {
@@ -134,6 +166,7 @@ const ClockSession& MultiEstimatorSession::lane(std::size_t index) const {
 }
 
 void MultiEstimatorSession::process(const sim::Exchange& exchange) {
+  if (recorder_) recorder_->observe(exchange);
   for (auto& lane : lanes_) lane->process(exchange);
 }
 
@@ -149,6 +182,7 @@ void MultiEstimatorSession::run(sim::Testbed& testbed) {
   }
   for (auto& lane : lanes_)
     lane->set_polls_enumerated(testbed.polls_enumerated());
+  if (recorder_) recorder_->set_polls_enumerated(testbed.polls_enumerated());
 }
 
 }  // namespace tscclock::harness

@@ -51,6 +51,9 @@
 
 namespace tscclock::harness {
 
+class TraceRecorder;  // harness/replay.hpp
+struct ReplayTrace;   // harness/replay.hpp
+
 /// Which timebase the warm-up discard cut uses.
 enum class WarmupPolicy {
   /// Cut on the observable server receive stamp Tb (what a real client can
@@ -60,6 +63,14 @@ enum class WarmupPolicy {
   /// benches' historical convention; keeps their fixed-seed outputs stable.
   kGroundTruth,
 };
+
+/// Warm-up flag of one exchange under `config`'s policy — THE definition of
+/// the warm-up cut, shared by ClockSession and TraceRecorder so the replay
+/// lane's `evaluated` set can never drift from the online lanes'. A lost
+/// poll has no server stamp, so it is cut on ground truth under either
+/// policy.
+struct SessionConfig;
+bool exchange_in_warmup(const SessionConfig& config, const sim::Exchange& ex);
 
 struct SessionConfig {
   core::Params params;
@@ -77,6 +88,11 @@ struct SessionConfig {
   /// (flagged via SampleRecord::lost / ref_available / in_warmup). Off by
   /// default: most consumers only score evaluated packets.
   bool emit_unevaluated = false;
+  /// Retain the estimator-independent exchange stream (RawExchange quadruple
+  /// + DAG ground truth + loss/warm-up/server-change flags) for post-hoc
+  /// replay estimators — see harness/replay.hpp. Off by default: recording
+  /// buffers the whole trace.
+  bool record_trace = false;
 };
 
 /// One exchange as scored by the session — a superset of the fields the
@@ -142,6 +158,8 @@ class ClockSession {
   ClockSession(const SessionConfig& config,
                std::unique_ptr<ClockEstimator> estimator);
 
+  ~ClockSession();  // out-of-line: TraceRecorder is incomplete here
+
   /// Attach a sink (non-owning; must outlive the session's processing).
   /// Sinks are invoked in attachment order, synchronously per record.
   void add_sink(SampleSink& sink);
@@ -163,10 +181,9 @@ class ClockSession {
 
   /// Record the testbed's poll-slot count after an external drain (run()
   /// does this itself; MultiEstimatorSession drives process() directly and
-  /// back-fills each lane through this).
-  void set_polls_enumerated(std::uint64_t polls) {
-    summary_.polls_enumerated = polls;
-  }
+  /// back-fills each lane through this). Forwarded to the trace recorder
+  /// when one is attached.
+  void set_polls_enumerated(std::uint64_t polls);
 
   /// The robust clock behind the default estimator. Precondition: the
   /// session drives a TscNtpEstimator (the default); sessions constructed
@@ -178,6 +195,10 @@ class ClockSession {
   [[nodiscard]] const ClockEstimator& estimator() const { return *estimator_; }
   [[nodiscard]] const SessionConfig& config() const { return config_; }
 
+  /// The recorded estimator-independent stream. Precondition: the session
+  /// was configured with record_trace = true.
+  [[nodiscard]] const ReplayTrace& trace() const;
+
  private:
   void emit(const SampleRecord& record);
 
@@ -186,6 +207,7 @@ class ClockSession {
   TscNtpEstimator* robust_ = nullptr;  ///< set when estimator_ is the default
   core::ServerChangeDetector server_changes_;
   std::vector<SampleSink*> sinks_;
+  std::unique_ptr<TraceRecorder> recorder_;  ///< set when record_trace
   SessionSummary summary_;
 };
 
@@ -197,11 +219,23 @@ class ClockSession {
 /// one lane per algorithm, all scored by the same pipeline.
 class MultiEstimatorSession {
  public:
+  MultiEstimatorSession();
+  ~MultiEstimatorSession();  // out-of-line: TraceRecorder is incomplete here
+
   /// Add a lane; returns its index. Lanes process each exchange in the
   /// order they were added (they are independent, so order only affects
   /// sink callback interleaving within one exchange).
   std::size_t add_lane(const SessionConfig& config,
                        std::unique_ptr<ClockEstimator> estimator);
+
+  /// Record the estimator-independent stream alongside the lanes (one
+  /// canonical recording shared by every replay lane — see
+  /// harness/replay.hpp). `config` supplies the warm-up cut and the
+  /// server-change tracking switch; call before processing starts.
+  void enable_trace_recording(const SessionConfig& config);
+
+  /// The recorded stream. Precondition: enable_trace_recording was called.
+  [[nodiscard]] const ReplayTrace& trace() const;
 
   /// Attach a sink to one lane (non-owning).
   void add_sink(std::size_t lane, SampleSink& sink);
@@ -223,6 +257,7 @@ class MultiEstimatorSession {
 
  private:
   std::vector<std::unique_ptr<ClockSession>> lanes_;
+  std::unique_ptr<TraceRecorder> recorder_;
 };
 
 }  // namespace tscclock::harness

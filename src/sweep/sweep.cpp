@@ -11,6 +11,7 @@
 
 #include "common/contracts.hpp"
 #include "common/table.hpp"
+#include "harness/replay.hpp"
 #include "harness/sinks.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -65,31 +66,43 @@ std::vector<ScenarioResult> run_scenario_multi(
 
   // The drive loop is the shared harness layer — the same canonical
   // exchange-processing sequence the figure benches use — with one
-  // ClockSession lane per estimator fed the identical Testbed stream. The
-  // sweep's one convention difference is declared in the config: warm-up is
-  // cut on the observable tb_stamp rather than on ground truth.
+  // ClockSession lane per online estimator fed the identical Testbed
+  // stream. The sweep's one convention difference is declared in the
+  // config: warm-up is cut on the observable tb_stamp rather than on
+  // ground truth. Replay estimators (is_replay_estimator) cannot run
+  // online; the session records the estimator-independent stream once and
+  // each replay lane is scored post-hoc over it — same packets, same
+  // ground truth, same seeds, same reduction.
   sim::Testbed testbed(scenario.config);
   harness::SessionConfig config;
   config.params = core::Params::for_poll_period(scenario.config.poll_period);
   config.discard_warmup = discard_warmup;
   config.warmup_policy = harness::WarmupPolicy::kObservable;
 
+  const bool any_replay =
+      std::any_of(estimators.begin(), estimators.end(),
+                  [](auto kind) { return harness::is_replay_estimator(kind); });
+
   harness::MultiEstimatorSession session;
+  if (any_replay) session.enable_trace_recording(config);
+  constexpr std::size_t kReplayLane = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> lane_of(estimators.size(), kReplayLane);
   std::vector<LaneReducer> reducers;
   reducers.reserve(estimators.size());
   for (std::size_t e = 0; e < estimators.size(); ++e) {
     harness::SampleSink* trace =
         trace_sinks.empty() ? nullptr : trace_sinks[e];
+    reducers.emplace_back(scenario.config.poll_period, streaming_reduction);
+    if (harness::is_replay_estimator(estimators[e])) continue;
     // Trace dumps want gap-visible streams (lost and warm-up rows, flagged);
     // the reducer filters on `evaluated` either way.
     harness::SessionConfig lane_config = config;
     lane_config.emit_unevaluated = trace != nullptr;
-    const std::size_t lane = session.add_lane(
+    lane_of[e] = session.add_lane(
         lane_config, harness::make_estimator(estimators[e], config.params,
                                              testbed.nominal_period()));
-    reducers.emplace_back(scenario.config.poll_period, streaming_reduction);
-    session.add_sink(lane, reducers.back().sink());
-    if (trace != nullptr) session.add_sink(lane, *trace);
+    session.add_sink(lane_of[e], reducers.back().sink());
+    if (trace != nullptr) session.add_sink(lane_of[e], *trace);
   }
 
   session.run(testbed);
@@ -98,7 +111,24 @@ std::vector<ScenarioResult> run_scenario_multi(
   results.reserve(estimators.size());
   for (std::size_t e = 0; e < estimators.size(); ++e) {
     ScenarioResult result = result_for(scenario, estimators[e]);
-    const auto& summary = session.lane(e).summary();
+    harness::SessionSummary summary;
+    if (lane_of[e] != kReplayLane) {
+      summary = session.lane(lane_of[e]).summary();
+      result.steps = session.lane(lane_of[e]).estimator().steps();
+    } else {
+      harness::SampleSink* trace =
+          trace_sinks.empty() ? nullptr : trace_sinks[e];
+      harness::SessionConfig lane_config = config;
+      lane_config.emit_unevaluated = trace != nullptr;
+      harness::ReplaySession replay(
+          lane_config, harness::make_replay_estimator(
+                           estimators[e], config.params,
+                           testbed.nominal_period()));
+      replay.add_sink(reducers[e].sink());
+      if (trace != nullptr) replay.add_sink(*trace);
+      summary = replay.run(session.trace());
+      // Replay estimators never step (they have nothing to step).
+    }
     result.exchanges = summary.exchanges;
     result.lost = summary.lost;
     result.evaluated = summary.evaluated;
@@ -107,7 +137,6 @@ std::vector<ScenarioResult> run_scenario_multi(
     result.polls = static_cast<std::size_t>(summary.polls_enumerated);
     result.skipped = result.polls - result.exchanges;
     result.final_status = summary.final_status;
-    result.steps = session.lane(e).estimator().steps();
 
     const auto reduction = reducers[e].reduce();
     result.clock_error = reduction.clock_error;

@@ -103,9 +103,12 @@ ScenarioResult run_scenario(const SweepScenario& scenario,
 /// Run one scenario's exchange stream through every estimator at once (the
 /// unit the pool executes): one Testbed drain fanned into N
 /// harness::ClockSession lanes via MultiEstimatorSession, so all algorithms
-/// score identical packets from the scenario's one seed. Returns one result
-/// per estimator, in `estimators` order. `trace_sinks`, when non-empty,
-/// must hold one sink per estimator (entries may be null).
+/// score identical packets from the scenario's one seed. Replay estimators
+/// (harness::is_replay_estimator, e.g. the §5.3 offline smoother) are
+/// scored post-hoc over the drain's recorded trace through the identical
+/// reduction — same packets, ground truth and seed as the online lanes.
+/// Returns one result per estimator, in `estimators` order. `trace_sinks`,
+/// when non-empty, must hold one sink per estimator (entries may be null).
 std::vector<ScenarioResult> run_scenario_multi(
     const SweepScenario& scenario,
     std::span<const harness::EstimatorKind> estimators,

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CLI contract tests for tools/sweep, run by ctest (see tests/CMakeLists.txt).
+#
+# Covers what the GoogleTest binaries cannot: the exit-status contract of the
+# argument parser (exit 2 on usage errors — in particular the empty-list-item
+# class: "robust,,naive", trailing commas, empty values, which used to be
+# silently dropped) and a small end-to-end run of the replay lane
+# (--estimators robust,offline) straight through main().
+set -u
+
+SWEEP="$1"
+failures=0
+
+# expect_status <expected-exit> <description> -- <args...>
+expect_status() {
+  local expected="$1" description="$2"
+  shift 3  # expected, description, "--"
+  "$SWEEP" "$@" >/tmp/sweep_cli_out.$$ 2>&1
+  local got=$?
+  if [ "$got" -ne "$expected" ]; then
+    echo "FAIL: $description: expected exit $expected, got $got" >&2
+    sed 's/^/    /' /tmp/sweep_cli_out.$$ >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $description"
+  fi
+}
+
+# -- Empty list items are usage errors, not silent drops --------------------
+expect_status 2 "double comma in --estimators" -- \
+  --estimators robust,,naive
+expect_status 2 "trailing comma in --estimators" -- \
+  --estimators robust,
+expect_status 2 "leading comma in --servers" -- \
+  --servers ,int
+expect_status 2 "empty --polls value" -- \
+  --polls ""
+expect_status 2 "bare comma in --schedules" -- \
+  --schedules ,
+
+# -- Other usage errors keep exiting 2 --------------------------------------
+expect_status 2 "unknown estimator name" -- \
+  --estimators robust,bogus
+expect_status 2 "unknown option" -- \
+  --frobnicate
+
+# -- Replay lane end-to-end --------------------------------------------------
+expect_status 0 "tiny replay-lane sweep (robust,offline)" -- \
+  --servers loc --envs machine --polls 16 --duration-hours 0.5 \
+  --warmup-s 600 --threads 2 --estimators robust,offline
+if ! grep -q "offline" /tmp/sweep_cli_out.$$; then
+  echo "FAIL: replay-lane sweep report has no offline rows" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: replay-lane sweep report includes offline rows"
+fi
+if ! "$SWEEP" --list-estimators | grep -q "offline"; then
+  echo "FAIL: --list-estimators does not list offline" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: --list-estimators lists offline"
+fi
+
+rm -f /tmp/sweep_cli_out.$$
+exit $((failures > 0 ? 1 : 0))

@@ -179,6 +179,7 @@ TEST(Estimators, AllKindsTrackACleanTraceToPlausibleAccuracy) {
   MultiEstimatorSession session;
   std::vector<std::unique_ptr<CollectorSink>> sinks;
   for (const auto kind : all_estimator_kinds()) {
+    if (is_replay_estimator(kind)) continue;  // scored post-hoc, not online
     const std::size_t lane = session.add_lane(
         config,
         make_estimator(kind, config.params, testbed.nominal_period()));
@@ -262,6 +263,12 @@ TEST(EstimatorRegistry, FactoryBuildsMatchingAdapters) {
   const core::Params params = core::Params::for_poll_period(16.0);
   const double nominal = 1.8e-9;
   for (const auto kind : all_estimator_kinds()) {
+    if (is_replay_estimator(kind)) {
+      // Replay kinds are built by the replay factory; the online factory
+      // must reject them loudly (see test_replay.cpp for the replay side).
+      EXPECT_THROW(make_estimator(kind, params, nominal), ContractViolation);
+      continue;
+    }
     const auto estimator = make_estimator(kind, params, nominal);
     ASSERT_NE(estimator, nullptr);
     EXPECT_EQ(estimator->name(), to_string(kind));

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/clock.hpp"
+#include "core/naive.hpp"
 #include "synthetic_link.hpp"
 
 namespace tscclock::core {
@@ -104,6 +106,64 @@ TEST(Offline, FallsBackWhenWholeWindowCongested) {
                 -link.asymmetry() / 2, 50e-6);
 }
 
+TEST(Offline, PoorWindowFallbackIsExactlyTheBestPacketsNaiveOffset) {
+  // Direct contract test for the §5.3 fallback path: when every packet in a
+  // two-sided window exceeds E**, the estimate must be the *naive offset of
+  // the best (lowest total error) packet in that window* — bit-exactly, no
+  // residual weighting — and exactly those windows must be counted in
+  // poor_windows.
+  //
+  // Deterministic construction: symmetric congestion growing by 100 µs per
+  // direction per packet, so point errors ramp ~200 µs per packet. Packets
+  // 0 and 1 stay below E** = 360 µs; from packet 2 on everything is poor.
+  // Early windows still contain a good packet (not poor); windows that have
+  // slid past packet 1 contain only poor packets and must all fall back.
+  SyntheticLink link;
+  const Params params = test_params();
+  std::vector<RawExchange> trace;
+  const std::size_t n = 60;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Seconds spike = static_cast<double>(i) * 100e-6;
+    trace.push_back(link.next(spike, spike));
+  }
+  const auto result = smooth_offsets(trace, params, link.config().period);
+  ASSERT_EQ(result.offsets.size(), n);
+
+  // Replicate the documented window/total-error rule to predict, per
+  // packet, the best window member and whether the window is poor.
+  const Seconds half_window = params.offset_window / 2;
+  std::size_t expected_poor = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Seconds best_total = std::numeric_limits<double>::infinity();
+    std::size_t best = k;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Seconds signed_distance =
+          result.timescale.between(trace[i].tf, trace[k].tf);
+      if (i < k && signed_distance > half_window) continue;  // left of window
+      const Seconds distance = std::fabs(signed_distance);
+      if (i > k && distance > half_window) break;  // right of window
+      const Seconds point_error = delta_to_seconds(
+          trace[i].rtt_counts() - result.rhat_counts, result.period);
+      const Seconds total = point_error + params.aging_rate * distance;
+      if (total < best_total) {
+        best_total = total;
+        best = i;
+      }
+    }
+    if (best_total > params.extreme_quality()) {
+      ++expected_poor;
+      // The fallback is the best packet's naive value, bit for bit.
+      EXPECT_EQ(result.offsets[k],
+                naive_offset(trace[best], result.timescale))
+          << "poor-window packet " << k << " (best " << best << ")";
+    }
+  }
+  EXPECT_EQ(result.poor_windows, expected_poor);
+  // The construction must exercise both paths.
+  EXPECT_GT(expected_poor, 10u);
+  EXPECT_LT(expected_poor, n);
+}
+
 TEST(Offline, HandlesGapsWithoutStateDecay) {
   SyntheticLink link;
   std::vector<RawExchange> trace;
@@ -132,6 +192,42 @@ TEST(Offline, AgreesWithOnlineOnCleanData) {
   for (std::size_t k = 50; k < trace.size(); ++k)
     EXPECT_NEAR(offline.offsets[k], online_offsets[k], 10e-6)
         << "packet " << k;
+}
+
+TEST(Offline, DegenerateBestPairTfSpanKeepsNominalPeriod) {
+  // Regression for the whole-trace rate's quality gate. When the best
+  // packets of the first and last quarter do not span a positive Tf
+  // baseline, the ratio (ei + ej) / span is not a meaningful quality:
+  // span == 0 makes it inf/NaN and span < 0 makes it *negative*, and a
+  // non-positive or NaN ratio fails the `> rate_error_bound` comparison —
+  // so a garbage candidate rate (orders of magnitude off) used to be
+  // silently accepted and poisoned every downstream conversion. The guard
+  // must fall back to the nominal period instead.
+  const double nominal = 2.0e-9;
+  const Params params = test_params();
+
+  // span < 0: sends causally ordered (Ta_1 > Ta_0) but the earlier packet's
+  // reply arrives later (huge RTT), so the best-pair Tf baseline is
+  // negative. The ratio is negative → not > bound → the old code accepted
+  // naive_rate's garbage (~7e-5 s/count against a 2e-9 nominal).
+  std::vector<RawExchange> inverted(2);
+  inverted[0] = RawExchange{0, 0.0005, 0.0006, 2'000'000};
+  inverted[1] = RawExchange{100'000, 16.0005, 16.0006, 1'000'000};
+  const auto inverted_result = smooth_offsets(inverted, params, nominal);
+  EXPECT_EQ(inverted_result.period, nominal);
+  ASSERT_EQ(inverted_result.offsets.size(), 2u);
+  for (const auto offset : inverted_result.offsets)
+    EXPECT_TRUE(std::isfinite(offset));
+
+  // span == 0: the two best packets share the same Tf; the ratio is inf
+  // (or NaN once the totals degenerate too). Must also keep the nominal.
+  std::vector<RawExchange> same_tf(2);
+  same_tf[0] = RawExchange{0, 0.0005, 0.0006, 1'000'000};
+  same_tf[1] = RawExchange{100'000, 16.0005, 16.0006, 1'000'000};
+  const auto same_tf_result = smooth_offsets(same_tf, params, nominal);
+  EXPECT_EQ(same_tf_result.period, nominal);
+  for (const auto offset : same_tf_result.offsets)
+    EXPECT_TRUE(std::isfinite(offset));
 }
 
 TEST(Offline, AgingCanBeDisabled) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -152,6 +153,36 @@ TEST(Histogram, BinCenters) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 10), ContractViolation);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, NanHasNoBinAndIsCountedSeparately) {
+  // Regression (UBSAN-exercised in the asan-ubsan CI leg): std::floor(NaN)
+  // is NaN and casting NaN to an integer is undefined behaviour — a NaN
+  // sample used to be credited to an arbitrary bin. It must instead be
+  // rejected from the bins and surfaced via nan_count().
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(-std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u) << "NaN must not inflate the binned mass";
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.density(5), 1.0) << "densities are over binned samples";
+}
+
+TEST(Histogram, InfinitiesAndHugeValuesClampIntoTerminalBins) {
+  // Casting a double beyond the integer target's range is UB just like the
+  // NaN case; ±inf and huge finite values must clamp into the terminal
+  // bins (mass conservation, as documented) without tripping UBSAN.
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.nan_count(), 0u);
 }
 
 TEST(RunningMoments, MatchesClosedForm) {

@@ -316,10 +316,16 @@ TEST(ScenarioSweep, ReportPrintsEveryScenarioAndAggregates) {
 
 GridSpec estimator_grid() {
   GridSpec grid = small_grid();
-  grid.poll_periods = {16.0};  // 2 scenarios × 3 estimators
+  grid.poll_periods = {16.0};  // 2 scenarios × 4 estimators
+  // Deliberately includes the non-causal replay kind: the whole point of
+  // the replay lane is that offline rows ride the same drain, seed and
+  // reduction as the online ones, so every axis property proven below
+  // (shared seeds, thread-count determinism, robust-row invariance) must
+  // hold with it present.
   grid.estimators = {harness::EstimatorKind::kRobust,
                      harness::EstimatorKind::kSwNtp,
-                     harness::EstimatorKind::kNaive};
+                     harness::EstimatorKind::kNaive,
+                     harness::EstimatorKind::kOffline};
   return grid;
 }
 
@@ -396,6 +402,39 @@ TEST(ScenarioSweep, MultiEstimatorReportHasComparisonTable) {
   EXPECT_NE(report.find("robust"), std::string::npos);
   EXPECT_NE(report.find("swntp"), std::string::npos);
   EXPECT_NE(report.find("naive"), std::string::npos);
+  EXPECT_NE(report.find("offline"), std::string::npos)
+      << "replay lanes must appear in the head-to-head tables";
+}
+
+TEST(ScenarioSweep, OfflineReplayLaneScoresTheSameEvaluatedSet) {
+  ScenarioSweep engine(estimator_grid());
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = 20 * duration::kMinute;
+  const auto results = engine.run(options);
+  const std::size_t lanes = engine.grid().estimators.size();
+  ASSERT_EQ(lanes, 4u);
+  for (std::size_t i = 0; i < engine.scenarios().size(); ++i) {
+    const auto& robust = results[i * lanes + 0];
+    const auto& offline = results[i * lanes + 3];
+    ASSERT_EQ(offline.estimator, harness::EstimatorKind::kOffline);
+    ASSERT_FALSE(offline.failed);
+    // Scored from the same Testbed drain: identical counters, zero steps.
+    EXPECT_EQ(offline.exchanges, robust.exchanges);
+    EXPECT_EQ(offline.lost, robust.lost);
+    EXPECT_EQ(offline.evaluated, robust.evaluated);
+    EXPECT_EQ(offline.polls, robust.polls);
+    EXPECT_EQ(offline.steps, 0u);
+    // The smoother actually produced statistics over that set.
+    ASSERT_GT(offline.evaluated, 0u);
+    EXPECT_EQ(offline.clock_error.count, offline.evaluated);
+    // Two-sided smoothing of a steady trace tracks at least to the same
+    // order as the online robust clock (sub-ms on these scenarios).
+    EXPECT_LT(std::fabs(offline.clock_error.percentiles.p50), 1e-3);
+    // Replay clock error is the negated tracking error by construction.
+    EXPECT_EQ(offline.clock_error.percentiles.p50,
+              -offline.offset_error.percentiles.p50);
+  }
 }
 
 TEST(ScenarioGrid, RejectsEmptyOrDuplicateEstimatorAxis) {

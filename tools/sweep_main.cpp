@@ -16,7 +16,13 @@
 //
 // --estimators fans every scenario's one exchange stream into the named
 // algorithms (see --list-estimators), grading them head-to-head on
-// identical seeds and packets.
+// identical seeds and packets. The `offline` estimator is the §5.3
+// two-sided smoother on the REPLAY lane: it is scored post-hoc over the
+// recorded trace, so each of its estimates uses packets from the future.
+// Its rows measure what post-processing can achieve on the identical
+// packets — not what a deployable online clock achieves — and it reports
+// steps = 0 and sw = 0 by construction (nothing to step, no online
+// server-change reaction).
 //
 // Exit status: 0 on success, 1 when any grid cell FAILED (or the --csv dump
 // aborted mid-run), 2 on usage errors.
@@ -65,12 +71,25 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
   return v;
 }
 
-std::vector<std::string> split_csv(const std::string& text) {
+std::vector<std::string> split_csv(const std::string& flag,
+                                   const std::string& text) {
   std::vector<std::string> out;
   std::stringstream stream(text);
   std::string item;
-  while (std::getline(stream, item, ',')) {
-    if (!item.empty()) out.push_back(item);
+  while (std::getline(stream, item, ',')) out.push_back(item);
+  // getline never yields the final empty field of "a," (the stream ends at
+  // the delimiter), so a trailing comma — like an empty input — must be
+  // materialized by hand to be caught below.
+  if (text.empty() || text.back() == ',') out.push_back("");
+  for (const auto& entry : out) {
+    // An empty item is always a typo ("robust,,naive", a trailing comma):
+    // silently dropping it would run a different grid than the user asked
+    // for. Usage error, like every other malformed value.
+    if (entry.empty()) {
+      std::fprintf(stderr, "empty item in %s list '%s'\n", flag.c_str(),
+                   text.c_str());
+      std::exit(2);
+    }
   }
   return out;
 }
@@ -157,7 +176,10 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --schedules LIST   steady,outage,switch,stress    (default steady)\n"
       "  --estimators LIST  clock algorithms to grade head-to-head on each\n"
       "                     scenario's one exchange stream (default robust;\n"
-      "                     see --list-estimators)\n"
+      "                     see --list-estimators). 'offline' is the s5.3\n"
+      "                     smoother replayed NON-CAUSALLY over the recorded\n"
+      "                     trace: it sees future packets, so its rows bound\n"
+      "                     post-processing, not online performance\n"
       "  --duration-hours H simulated hours per scenario   (default 24)\n"
       "  --seed N           master seed                    (default 42)\n"
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
@@ -195,19 +217,20 @@ int main(int argc, char** argv) {
     else if (arg == "--list-estimators") list_estimators();
     else if (arg == "--servers") {
       grid.servers.clear();
-      for (const auto& s : split_csv(value())) grid.servers.push_back(parse_server(s));
+      for (const auto& s : split_csv(arg, value()))
+        grid.servers.push_back(parse_server(s));
     } else if (arg == "--envs") {
       grid.environments.clear();
-      for (const auto& e : split_csv(value()))
+      for (const auto& e : split_csv(arg, value()))
         grid.environments.push_back(parse_environment(e));
     } else if (arg == "--polls") {
       grid.poll_periods.clear();
-      for (const auto& p : split_csv(value()))
+      for (const auto& p : split_csv(arg, value()))
         grid.poll_periods.push_back(parse_double("--polls", p));
     } else if (arg == "--schedules") {
-      schedule_names = split_csv(value());
+      schedule_names = split_csv(arg, value());
     } else if (arg == "--estimators") {
-      estimator_names = split_csv(value());
+      estimator_names = split_csv(arg, value());
     } else if (arg == "--streaming-reduction") {
       options.streaming_reduction = true;
     } else if (arg == "--duration-hours") {
