@@ -6,6 +6,55 @@
 
 namespace tscclock {
 
+std::string csv_escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> csv_split_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (quoted) {
+    throw std::runtime_error("csv_split_row: unterminated quote in '" +
+                             std::string(line) + "'");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& columns)
     : out_(path), columns_(columns.size()) {
@@ -16,7 +65,7 @@ CsvWriter::CsvWriter(const std::string& path,
   out_.exceptions(std::ios::badbit | std::ios::failbit);
   for (std::size_t i = 0; i < columns.size(); ++i) {
     if (i) out_ << ',';
-    out_ << columns[i];
+    out_ << csv_escape(columns[i]);
   }
   out_ << '\n';
 }
@@ -40,7 +89,7 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   TSC_EXPECTS(cells.size() == columns_);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << cells[i];
+    out_ << csv_escape(cells[i]);
   }
   out_ << '\n';
   ++rows_;

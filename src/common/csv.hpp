@@ -1,13 +1,28 @@
 // Minimal CSV export for trace inspection (every bench can dump its series
 // for external plotting). Writes are unconditional overwrites.
+//
+// String cells are RFC-4180-quoted when they need it (comma, quote or
+// newline — e.g. multi-override estimator labels like
+// "robust(use_local_rate=0,enable_aging=0)"), so labels round-trip through
+// the dumps unambiguously; csv_split_row is the matching reader.
 #pragma once
 
 #include <fstream>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace tscclock {
+
+/// RFC-4180 field quoting: returns the field verbatim unless it contains a
+/// comma, double quote, CR or LF, in which case it is wrapped in quotes with
+/// embedded quotes doubled.
+std::string csv_escape(std::string_view field);
+
+/// Split one CSV row into its fields, undoing csv_escape (quoted fields,
+/// doubled quotes). Throws std::runtime_error on an unterminated quote.
+std::vector<std::string> csv_split_row(std::string_view line);
 
 class CsvWriter {
  public:

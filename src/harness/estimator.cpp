@@ -2,6 +2,7 @@
 
 #include "common/contracts.hpp"
 #include "core/naive.hpp"
+#include "harness/estimator_spec.hpp"
 
 namespace tscclock::harness {
 
@@ -122,76 +123,103 @@ core::ClockStatus NaiveEstimator::status() const {
   return s;
 }
 
-// -- Registry --------------------------------------------------------------
+// -- Registry entries (online families) ------------------------------------
 
-bool is_replay_estimator(EstimatorKind kind) {
-  return kind == EstimatorKind::kOffline;
-}
-
-std::string to_string(EstimatorKind kind) {
-  switch (kind) {
-    case EstimatorKind::kRobust:
-      return "robust";
-    case EstimatorKind::kSwNtp:
-      return "swntp";
-    case EstimatorKind::kNaive:
-      return "naive";
-    case EstimatorKind::kOffline:
-      return "offline";
-  }
-  return "unknown";
-}
-
-std::string estimator_description(EstimatorKind kind) {
-  switch (kind) {
-    case EstimatorKind::kRobust:
-      return "robust TSC-NTP clock (paper §6: RTT filter, decoupled "
-             "rate/offset, level shifts, sanity checks)";
-    case EstimatorKind::kSwNtp:
-      return "ntpd-style SW clock (clock filter + PLL discipline, steps and "
-             "slews — the §1 baseline)";
-    case EstimatorKind::kNaive:
-      return "naive per-packet estimates (§4: unfiltered offset over the "
-             "widening-baseline naive rate)";
-    case EstimatorKind::kOffline:
-      return "offline two-sided smoother (§5.3, NON-CAUSAL replay: scored "
-             "post-hoc over the recorded trace using future packets)";
-  }
-  return "unknown";
-}
-
-std::optional<EstimatorKind> parse_estimator(std::string_view name) {
-  if (name == "robust") return EstimatorKind::kRobust;
-  if (name == "swntp") return EstimatorKind::kSwNtp;
-  if (name == "naive") return EstimatorKind::kNaive;
-  if (name == "offline") return EstimatorKind::kOffline;
-  return std::nullopt;
-}
-
-const std::vector<EstimatorKind>& all_estimator_kinds() {
-  static const std::vector<EstimatorKind> kinds = {
-      EstimatorKind::kRobust, EstimatorKind::kSwNtp, EstimatorKind::kNaive,
-      EstimatorKind::kOffline};
-  return kinds;
-}
-
-std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
-                                               const core::Params& params,
-                                               double nominal_period) {
-  TSC_EXPECTS(!is_replay_estimator(kind));
-  switch (kind) {
-    case EstimatorKind::kRobust:
+void detail::register_builtin_online_estimators(EstimatorRegistry& registry) {
+  {
+    EstimatorRegistry::Family robust;
+    robust.name = "robust";
+    robust.order = 10;
+    robust.description =
+        "robust TSC-NTP clock (paper §6: RTT filter, decoupled rate/offset, "
+        "level shifts, sanity checks)";
+    robust.tunables = {
+        TunableSpec::boolean(
+            "use_local_rate", "1",
+            "eq. (21)/(23) linear prediction from the quasi-local rate"),
+        TunableSpec::boolean(
+            "enable_weighting", "1",
+            "stage (ii)-(iii) weighted offset window (0: last-good-packet)"),
+        TunableSpec::boolean("enable_aging", "1",
+                             "point-error aging (the epsilon term of E^T)"),
+        TunableSpec::boolean("enable_offset_sanity", "1",
+                             "stage (iv) offset sanity check of §5.3"),
+        TunableSpec::boolean("enable_rate_sanity", "1",
+                             "local-rate sanity check"),
+        TunableSpec::boolean("enable_level_shift", "1",
+                             "§6.2 upward level-shift detection"),
+        TunableSpec::number(
+            "poll_period", "0",
+            "poll period [s] the windows are sized for (0: the scenario's "
+            "own poll period) - the Fig. 9(c) mis-sizing ablation",
+            0.0),
+    };
+    // Only overridden keys are applied on top of the session's base Params:
+    // a bare `robust` spec is bit-identical to constructing TscNtpEstimator
+    // directly, and elided defaults mean "inherit".
+    robust.make_online = [](const ResolvedSpec& spec,
+                            const core::Params& base, double nominal_period) {
+      core::Params params = base;
+      if (spec.is_overridden("poll_period"))
+        params.poll_period = spec.get_double("poll_period");
+      if (spec.is_overridden("use_local_rate"))
+        params.use_local_rate = spec.get_bool("use_local_rate");
+      if (spec.is_overridden("enable_weighting"))
+        params.enable_weighting = spec.get_bool("enable_weighting");
+      if (spec.is_overridden("enable_aging"))
+        params.enable_aging = spec.get_bool("enable_aging");
+      if (spec.is_overridden("enable_offset_sanity"))
+        params.enable_offset_sanity = spec.get_bool("enable_offset_sanity");
+      if (spec.is_overridden("enable_rate_sanity"))
+        params.enable_rate_sanity = spec.get_bool("enable_rate_sanity");
+      if (spec.is_overridden("enable_level_shift"))
+        params.enable_level_shift = spec.get_bool("enable_level_shift");
+      params.validate();
       return std::make_unique<TscNtpEstimator>(params, nominal_period);
-    case EstimatorKind::kSwNtp:
-      return std::make_unique<SwNtpEstimator>(baseline::PllConfig{},
-                                              nominal_period);
-    case EstimatorKind::kNaive:
-      return std::make_unique<NaiveEstimator>(nominal_period);
-    case EstimatorKind::kOffline:
-      break;  // unreachable: rejected by the replay-kind contract above
+    };
+    registry.register_family(std::move(robust));
   }
-  TSC_EXPECTS(false);
-  return nullptr;
+  {
+    EstimatorRegistry::Family swntp;
+    swntp.name = "swntp";
+    swntp.order = 20;
+    swntp.description =
+        "ntpd-style SW clock (clock filter + PLL discipline, steps and slews "
+        "— the §1 baseline)";
+    swntp.tunables = {
+        TunableSpec::number(
+            "step_threshold", "0.128",
+            "STEPT [s]: step instead of slewing beyond this offset", 0.0,
+            /*min_exclusive=*/true),
+        TunableSpec::number(
+            "stepout", "900",
+            "WATCH [s]: spike tolerance before a step is allowed", 0.0,
+            /*min_exclusive=*/true),
+    };
+    swntp.make_online = [](const ResolvedSpec& spec, const core::Params&,
+                           double nominal_period) {
+      baseline::PllConfig config;
+      if (spec.is_overridden("step_threshold"))
+        config.step_threshold = spec.get_double("step_threshold");
+      if (spec.is_overridden("stepout"))
+        config.stepout = spec.get_double("stepout");
+      return std::make_unique<SwNtpEstimator>(config, nominal_period);
+    };
+    registry.register_family(std::move(swntp));
+  }
+  {
+    EstimatorRegistry::Family naive;
+    naive.name = "naive";
+    naive.order = 30;
+    naive.description =
+        "naive per-packet estimates (§4: unfiltered offset over the "
+        "widening-baseline naive rate)";
+    naive.make_online = [](const ResolvedSpec&, const core::Params&,
+                           double nominal_period) {
+      return std::make_unique<NaiveEstimator>(nominal_period);
+    };
+    registry.register_family(std::move(naive));
+  }
 }
 
 }  // namespace tscclock::harness

@@ -24,8 +24,10 @@
 //   NaiveEstimator  — core::naive_rate / core::naive_offset per §4: the
 //                     per-packet estimates with no filtering at all.
 //
-// EstimatorKind names the built-in set for the sweep's estimator axis and
-// the `tools/sweep --estimators` flag.
+// The sweep's estimator axis names these adapters (and their parameterized
+// ablation variants) through the EstimatorSpec/EstimatorRegistry layer in
+// harness/estimator_spec.hpp; the built-in families self-register at the
+// bottom of estimator.cpp (online) and replay.cpp (replay).
 #pragma once
 
 #include <cstdint>
@@ -179,37 +181,10 @@ class NaiveEstimator final : public ClockEstimator {
   std::uint64_t packets_ = 0;
 };
 
-// -- Registry --------------------------------------------------------------
-
-/// The built-in estimator set, i.e. the sweep's estimator axis values.
-/// kOffline is a *replay* kind: it consumes the whole recorded trace
-/// non-causally (harness/replay.hpp) instead of implementing ClockEstimator,
-/// and is built via make_replay_estimator rather than make_estimator.
-enum class EstimatorKind { kRobust, kSwNtp, kNaive, kOffline };
-
-/// True for kinds scored post-hoc over a recorded trace (non-causal replay
-/// lane) rather than online through ClockSession.
-bool is_replay_estimator(EstimatorKind kind);
-
-/// Canonical spelling: "robust" / "swntp" / "naive" / "offline".
-std::string to_string(EstimatorKind kind);
-
-/// One-line description for `tools/sweep --list-estimators`.
-std::string estimator_description(EstimatorKind kind);
-
-/// Parse a canonical spelling; std::nullopt for unknown names.
-std::optional<EstimatorKind> parse_estimator(std::string_view name);
-
-/// Every built-in kind, in canonical (reporting) order.
-const std::vector<EstimatorKind>& all_estimator_kinds();
-
-/// Construct a fresh online estimator. `params` configures the robust
-/// algorithm (the baselines derive what they need from the poll period and
-/// nominal tick); `nominal_period` is the spec-sheet counter period.
-/// Precondition: !is_replay_estimator(kind) — replay kinds are built with
-/// make_replay_estimator (harness/replay.hpp).
-std::unique_ptr<ClockEstimator> make_estimator(EstimatorKind kind,
-                                               const core::Params& params,
-                                               double nominal_period);
+// The closed `EstimatorKind` enum and its to_string/parse_estimator/
+// make_estimator trio were replaced by the parameterized EstimatorSpec
+// registry — see harness/estimator_spec.hpp. Construct estimators either
+// directly (the adapter classes above) or via
+// estimator_registry().make_online(spec, params, nominal_period).
 
 }  // namespace tscclock::harness

@@ -1,9 +1,12 @@
 #include "harness/replay.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/contracts.hpp"
 #include "core/naive.hpp"
+#include "harness/estimator_spec.hpp"
 
 namespace tscclock::harness {
 
@@ -41,10 +44,73 @@ void TraceRecorder::observe(const sim::Exchange& ex) {
 // -- OfflineSmootherEstimator ----------------------------------------------
 
 OfflineSmootherEstimator::OfflineSmootherEstimator(const core::Params& params,
-                                                   double nominal_period)
-    : params_(params), nominal_period_(nominal_period) {
+                                                   double nominal_period,
+                                                   Split split)
+    : params_(params), nominal_period_(nominal_period), split_(split) {
   TSC_EXPECTS(nominal_period > 0.0);
 }
+
+namespace {
+
+/// Offline level-shift cut points for `split=shifts`: indices where the
+/// windowed minimum RTT changes by more than the §6.2 detection threshold
+/// (shift_detect_factor × E, converted to counts via the nominal period —
+/// the sub-PPM period error is negligible against a 4E ≈ 240 µs threshold).
+/// Two-sided by construction: a cut at k compares min RTT over the window
+/// before k against the window after it, so detection has no warm-up and no
+/// congestion/shift ambiguity horizon. Cuts closer than one window to each
+/// other or to either trace edge are suppressed (smooth_offsets needs real
+/// segments, and a short segment would carry a meaningless whole-segment
+/// rate).
+std::vector<std::size_t> shift_cut_points(
+    const std::vector<core::RawExchange>& raws, const core::Params& params,
+    double nominal_period) {
+  const std::size_t window =
+      std::max<std::size_t>(params.packets(params.shift_window), 2);
+  if (raws.size() < 2 * window) return {};
+  const double threshold_counts =
+      params.shift_detect_factor * params.offset_quality / nominal_period;
+
+  std::vector<TscDelta> rtts(raws.size());
+  for (std::size_t i = 0; i < raws.size(); ++i) rtts[i] = raws[i].rtt_counts();
+  const auto window_min = [&](std::size_t begin, std::size_t end) {
+    return *std::min_element(rtts.begin() + static_cast<std::ptrdiff_t>(begin),
+                             rtts.begin() + static_cast<std::ptrdiff_t>(end));
+  };
+
+  std::vector<std::size_t> cuts;
+  std::size_t i = window;
+  while (i + window <= raws.size()) {
+    const TscDelta left = window_min(i - window, i);
+    const TscDelta right = window_min(i, i + window);
+    const double separation = static_cast<double>(right - left);
+    if (std::abs(separation) <= threshold_counts) {
+      ++i;
+      continue;
+    }
+    // Place the cut on the first clear post-shift packet. Upward shifts
+    // (delays rise) trigger only once the right window holds no pre-shift
+    // packet, i.e. right at the boundary; downward shifts trigger as soon as
+    // one post-shift packet enters the right window, so scan forward for it.
+    std::size_t cut = i;
+    if (separation < 0) {
+      for (std::size_t j = i; j < i + window; ++j) {
+        if (static_cast<double>(rtts[j] - left) < -threshold_counts) {
+          cut = j;
+          break;
+        }
+      }
+    }
+    if (cut >= window && cut + window <= raws.size() &&
+        (cuts.empty() || cut - cuts.back() >= window)) {
+      cuts.push_back(cut);
+    }
+    i = cut + window;
+  }
+  return cuts;
+}
+
+}  // namespace
 
 ReplayOutput OfflineSmootherEstimator::process_trace(
     std::span<const ReplaySample> samples) {
@@ -54,17 +120,60 @@ ReplayOutput OfflineSmootherEstimator::process_trace(
     if (!sample.lost) raws.push_back(sample.raw);
   }
   TSC_EXPECTS(raws.size() >= 2);
-  result_ = core::smooth_offsets(raws, params_, nominal_period_);
+
+  const std::vector<std::size_t> cuts =
+      split_ == Split::kShifts
+          ? shift_cut_points(raws, params_, nominal_period_)
+          : std::vector<std::size_t>{};
+  segments_ = cuts.size() + 1;
+
+  std::vector<Seconds> point_errors;
+  point_errors.reserve(raws.size());
+  if (cuts.empty()) {
+    result_ = core::smooth_offsets(raws, params_, nominal_period_);
+    for (const auto& raw : raws) {
+      point_errors.push_back(delta_to_seconds(
+          raw.rtt_counts() - result_.rhat_counts, result_.period));
+    }
+  } else {
+    // Smooth each segment independently (own whole-segment rate and minimum
+    // RTT), then translate every segment's offsets onto the first segment's
+    // timescale: θ̂ is C(t) − Ca(t), so the translation is the pointwise
+    // difference of the two uncorrected clocks at the packet's Tf —
+    // tracking-error semantics are preserved exactly. Point errors use the
+    // segment's own r̂/p̄ (re-basing the minimum is the point of the split).
+    core::OfflineResult merged;
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s <= cuts.size(); ++s) {
+      const std::size_t end = s < cuts.size() ? cuts[s] : raws.size();
+      const auto segment = core::smooth_offsets(
+          std::span<const core::RawExchange>(raws).subspan(begin, end - begin),
+          params_, nominal_period_);
+      if (s == 0) {
+        merged.timescale = segment.timescale;
+        merged.period = segment.period;
+        merged.rhat_counts = segment.rhat_counts;
+      }
+      for (std::size_t k = 0; k < segment.offsets.size(); ++k) {
+        const TscCount tf = raws[begin + k].tf;
+        merged.offsets.push_back(segment.offsets[k] +
+                                 (merged.timescale.read(tf) -
+                                  segment.timescale.read(tf)));
+        point_errors.push_back(delta_to_seconds(
+            raws[begin + k].rtt_counts() - segment.rhat_counts,
+            segment.period));
+      }
+      merged.poor_windows += segment.poor_windows;
+      begin = end;
+    }
+    result_ = std::move(merged);
+  }
 
   ReplayOutput output;
   output.offsets = result_.offsets;
   output.timescale = result_.timescale;
   output.period = result_.period;
-  output.point_errors.reserve(raws.size());
-  for (const auto& raw : raws) {
-    output.point_errors.push_back(delta_to_seconds(
-        raw.rtt_counts() - result_.rhat_counts, result_.period));
-  }
+  output.point_errors = std::move(point_errors);
   output.status.packets_processed = raws.size();
   output.status.warmed_up = true;  // no warm-up: the rate is whole-trace
   output.status.period = result_.period;
@@ -72,8 +181,11 @@ ReplayOutput OfflineSmootherEstimator::process_trace(
   output.status.min_rtt =
       delta_to_seconds(result_.rhat_counts, result_.period);
   // The §5.3 poor-window fallback is the offline analogue of the online
-  // estimator's best-packet fallback — report it on the same counter.
+  // estimator's best-packet fallback — report it on the same counter; the
+  // split cuts ride the shift counter so the status surfaces show how often
+  // the variant actually split.
   output.status.offset_fallbacks = result_.poor_windows;
+  output.status.upshifts = cuts.size();
   return output;
 }
 
@@ -161,20 +273,33 @@ const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
   return summary_;
 }
 
-// -- Registry --------------------------------------------------------------
+// -- Registry entries (replay families) ------------------------------------
 
-std::unique_ptr<ReplayEstimator> make_replay_estimator(
-    EstimatorKind kind, const core::Params& params, double nominal_period) {
-  TSC_EXPECTS(is_replay_estimator(kind));
-  switch (kind) {
-    case EstimatorKind::kOffline:
-      return std::make_unique<OfflineSmootherEstimator>(params,
-                                                        nominal_period);
-    default:
-      break;
-  }
-  TSC_EXPECTS(false);
-  return nullptr;
+void detail::register_builtin_replay_estimators(EstimatorRegistry& registry) {
+  EstimatorRegistry::Family offline;
+  offline.name = "offline";
+  offline.order = 40;
+  offline.replay = true;
+  offline.description =
+      "offline two-sided smoother (§5.3, NON-CAUSAL replay: scored post-hoc "
+      "over the recorded trace using future packets)";
+  offline.tunables = {
+      TunableSpec::choice(
+          "split", "none",
+          "cut the trace at detected level shifts and smooth each segment "
+          "with its own whole-segment rate/minimum",
+          {"none", "shifts"}),
+  };
+  offline.make_replay = [](const ResolvedSpec& spec,
+                           const core::Params& params,
+                           double nominal_period) {
+    const auto split = spec.get_choice("split") == "shifts"
+                           ? OfflineSmootherEstimator::Split::kShifts
+                           : OfflineSmootherEstimator::Split::kNone;
+    return std::make_unique<OfflineSmootherEstimator>(params, nominal_period,
+                                                      split);
+  };
+  registry.register_family(std::move(offline));
 }
 
 }  // namespace tscclock::harness

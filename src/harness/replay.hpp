@@ -25,8 +25,9 @@
 // A replayed estimate at packet k uses packets after k: replay rows measure
 // what post-processing can achieve on the identical packets, not what a
 // deployable online clock achieves. The sweep's --estimators axis carries
-// them anyway (EstimatorKind::kOffline) precisely so that comparison is
-// made on one drive layer, one seed and one reduction.
+// them anyway (the `offline` registry family, harness/estimator_spec.hpp)
+// precisely so that comparison is made on one drive layer, one seed and one
+// reduction.
 #pragma once
 
 #include <memory>
@@ -134,20 +135,40 @@ class ReplayEstimator {
 
 /// The §5.3 two-sided smoother (core::smooth_offsets) behind the replay
 /// seam: whole-trace robust rate, symmetric RTT-weighted offset window.
+///
+/// Split::kShifts is the `offline(split=shifts)` registry variant: before
+/// smoothing, the trace is cut at detected level shifts (sustained changes
+/// of the windowed minimum RTT — an offline two-sided analogue of the §6.2
+/// detector) and each segment is smoothed with its own whole-segment rate
+/// and minimum, so a route change cannot poison r̂ and p̄ across its
+/// boundary. Per-segment offsets are translated onto the first segment's
+/// timescale, keeping one fixed C(T) for the θg alignment; on a trace with
+/// no detected shift the output is identical to Split::kNone by
+/// construction.
 class OfflineSmootherEstimator final : public ReplayEstimator {
  public:
-  OfflineSmootherEstimator(const core::Params& params, double nominal_period);
+  enum class Split { kNone, kShifts };
+
+  OfflineSmootherEstimator(const core::Params& params, double nominal_period,
+                           Split split = Split::kNone);
 
   [[nodiscard]] std::string_view name() const override { return "offline"; }
   ReplayOutput process_trace(std::span<const ReplaySample> samples) override;
 
-  /// The last replay's full §5.3 result (poor-window accounting, r̂, p̄).
+  /// The last replay's full §5.3 result (poor-window accounting, r̂, p̄);
+  /// under Split::kShifts the concatenated per-segment result on the first
+  /// segment's timescale.
   [[nodiscard]] const core::OfflineResult& result() const { return result_; }
+
+  /// Segments the last replay was smoothed in (1 + detected shift cuts).
+  [[nodiscard]] std::size_t segments() const { return segments_; }
 
  private:
   core::Params params_;
   double nominal_period_;
+  Split split_;
   core::OfflineResult result_;
+  std::size_t segments_ = 0;
 };
 
 /// Scores one ReplayEstimator over a recorded trace through the identical
@@ -186,11 +207,8 @@ class ReplaySession {
   SessionSummary summary_;
 };
 
-/// Construct a fresh replay estimator for a replay EstimatorKind (see
-/// is_replay_estimator in harness/estimator.hpp). Same parameter meaning as
-/// make_estimator. Throws ContractViolation for online kinds.
-std::unique_ptr<ReplayEstimator> make_replay_estimator(EstimatorKind kind,
-                                                       const core::Params& params,
-                                                       double nominal_period);
+// Replay estimators are built through the EstimatorSpec registry
+// (harness/estimator_spec.hpp): estimator_registry().make_replay(spec, …).
+// The `offline` family self-registers at the bottom of replay.cpp.
 
 }  // namespace tscclock::harness

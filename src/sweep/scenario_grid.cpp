@@ -52,10 +52,12 @@ std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
   // The estimator axis is not part of the expansion (it never touches the
   // seeds), but a sweep with no or duplicate estimators is still a grid
   // misconfiguration — reject it where every other axis is validated.
+  // Identity is the canonical label, so `robust` and `robust()` collide.
   TSC_EXPECTS(!grid.estimators.empty());
   {
-    std::set<harness::EstimatorKind> unique_estimators(grid.estimators.begin(),
-                                                       grid.estimators.end());
+    std::set<std::string> unique_estimators;
+    for (const auto& spec : grid.estimators)
+      unique_estimators.insert(spec.label());
     TSC_EXPECTS(unique_estimators.size() == grid.estimators.size());
   }
 

@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "common/time_types.hpp"
-#include "harness/estimator.hpp"
+#include "harness/estimator_spec.hpp"
 #include "sim/events.hpp"
 #include "sim/scenario.hpp"
 
@@ -45,12 +45,13 @@ struct GridSpec {
   std::vector<ScheduleVariant> schedules = {ScheduleVariant{}};
 
   /// The estimator axis: every scenario's one exchange stream is fanned into
-  /// all of these (harness::MultiEstimatorSession), so the algorithms are
-  /// graded head-to-head on identical packets. Deliberately NOT part of the
-  /// scenario identity: the per-scenario RNG seed must stay the same no
-  /// matter which estimators score the trace.
-  std::vector<harness::EstimatorKind> estimators = {
-      harness::EstimatorKind::kRobust};
+  /// all of these (harness::MultiEstimatorSession), so the algorithms — and
+  /// their parameterized ablation variants, e.g. robust(use_local_rate=0) —
+  /// are graded head-to-head on identical packets. Deliberately NOT part of
+  /// the scenario identity: the per-scenario RNG seed must stay the same no
+  /// matter which estimator specs score the trace.
+  std::vector<harness::EstimatorSpec> estimators = {
+      harness::EstimatorSpec{"robust", {}}};
 
   Seconds duration = duration::kDay;
   Seconds poll_jitter = 0.25;

@@ -22,7 +22,7 @@ namespace {
 /// Seed a result with the scenario's identity/grid coordinates (shared by
 /// the success and failure paths so FAILED rows group correctly).
 ScenarioResult result_for(const SweepScenario& scenario,
-                          harness::EstimatorKind estimator) {
+                          const harness::EstimatorSpec& estimator) {
   ScenarioResult result;
   result.scenario_index = scenario.index;
   result.name = scenario.name;
@@ -58,7 +58,7 @@ struct LaneReducer {
 
 std::vector<ScenarioResult> run_scenario_multi(
     const SweepScenario& scenario,
-    std::span<const harness::EstimatorKind> estimators,
+    std::span<const harness::EstimatorSpec> estimators,
     Seconds discard_warmup, std::span<harness::SampleSink* const> trace_sinks,
     bool streaming_reduction) {
   TSC_EXPECTS(!estimators.empty());
@@ -66,13 +66,15 @@ std::vector<ScenarioResult> run_scenario_multi(
 
   // The drive loop is the shared harness layer — the same canonical
   // exchange-processing sequence the figure benches use — with one
-  // ClockSession lane per online estimator fed the identical Testbed
-  // stream. The sweep's one convention difference is declared in the
-  // config: warm-up is cut on the observable tb_stamp rather than on
-  // ground truth. Replay estimators (is_replay_estimator) cannot run
-  // online; the session records the estimator-independent stream once and
-  // each replay lane is scored post-hoc over it — same packets, same
-  // ground truth, same seeds, same reduction.
+  // ClockSession lane per online estimator spec fed the identical Testbed
+  // stream; the registry builds each lane's estimator from its family and
+  // resolved tunables. The sweep's one convention difference is declared in
+  // the config: warm-up is cut on the observable tb_stamp rather than on
+  // ground truth. Replay families cannot run online; the session records
+  // the estimator-independent stream once and each replay lane is scored
+  // post-hoc over it — same packets, same ground truth, same seeds, same
+  // reduction.
+  const harness::EstimatorRegistry& registry = harness::estimator_registry();
   sim::Testbed testbed(scenario.config);
   harness::SessionConfig config;
   config.params = core::Params::for_poll_period(scenario.config.poll_period);
@@ -81,7 +83,7 @@ std::vector<ScenarioResult> run_scenario_multi(
 
   const bool any_replay =
       std::any_of(estimators.begin(), estimators.end(),
-                  [](auto kind) { return harness::is_replay_estimator(kind); });
+                  [&](const auto& spec) { return registry.is_replay(spec); });
 
   harness::MultiEstimatorSession session;
   if (any_replay) session.enable_trace_recording(config);
@@ -93,14 +95,14 @@ std::vector<ScenarioResult> run_scenario_multi(
     harness::SampleSink* trace =
         trace_sinks.empty() ? nullptr : trace_sinks[e];
     reducers.emplace_back(scenario.config.poll_period, streaming_reduction);
-    if (harness::is_replay_estimator(estimators[e])) continue;
+    if (registry.is_replay(estimators[e])) continue;
     // Trace dumps want gap-visible streams (lost and warm-up rows, flagged);
     // the reducer filters on `evaluated` either way.
     harness::SessionConfig lane_config = config;
     lane_config.emit_unevaluated = trace != nullptr;
     lane_of[e] = session.add_lane(
-        lane_config, harness::make_estimator(estimators[e], config.params,
-                                             testbed.nominal_period()));
+        lane_config, registry.make_online(estimators[e], config.params,
+                                          testbed.nominal_period()));
     session.add_sink(lane_of[e], reducers.back().sink());
     if (trace != nullptr) session.add_sink(lane_of[e], *trace);
   }
@@ -121,9 +123,8 @@ std::vector<ScenarioResult> run_scenario_multi(
       harness::SessionConfig lane_config = config;
       lane_config.emit_unevaluated = trace != nullptr;
       harness::ReplaySession replay(
-          lane_config, harness::make_replay_estimator(
-                           estimators[e], config.params,
-                           testbed.nominal_period()));
+          lane_config, registry.make_replay(estimators[e], config.params,
+                                            testbed.nominal_period()));
       replay.add_sink(reducers[e].sink());
       if (trace != nullptr) replay.add_sink(*trace);
       summary = replay.run(session.trace());
@@ -153,10 +154,11 @@ std::vector<ScenarioResult> run_scenario_multi(
 ScenarioResult run_scenario(const SweepScenario& scenario,
                             Seconds discard_warmup,
                             harness::SampleSink* trace_sink) {
-  const harness::EstimatorKind kinds[] = {harness::EstimatorKind::kRobust};
+  const harness::EstimatorSpec specs[] = {
+      harness::EstimatorSpec{"robust", {}}};
   harness::SampleSink* const sinks[] = {trace_sink};
   auto results = run_scenario_multi(
-      scenario, kinds, discard_warmup,
+      scenario, specs, discard_warmup,
       trace_sink != nullptr ? std::span<harness::SampleSink* const>(sinks)
                             : std::span<harness::SampleSink* const>());
   return std::move(results.front());
@@ -165,7 +167,7 @@ ScenarioResult run_scenario(const SweepScenario& scenario,
 namespace {
 
 ScenarioResult failed_result(const SweepScenario& scenario,
-                             harness::EstimatorKind estimator,
+                             const harness::EstimatorSpec& estimator,
                              std::string error) {
   ScenarioResult result = result_for(scenario, estimator);
   result.failed = true;
@@ -180,8 +182,8 @@ ScenarioSweep::ScenarioSweep(GridSpec grid)
 
 std::vector<ScenarioResult> ScenarioSweep::run(
     const SweepOptions& options) const {
-  // One result row per (scenario, estimator), scenario-major.
-  const std::vector<harness::EstimatorKind>& estimators = grid_.estimators;
+  // One result row per (scenario, estimator spec), scenario-major.
+  const std::vector<harness::EstimatorSpec>& estimators = grid_.estimators;
   const std::size_t lanes = estimators.size();
   std::vector<ScenarioResult> results(scenarios_.size() * lanes);
   // Trace dumping buffers each (scenario, estimator) cell's records in its
@@ -259,7 +261,7 @@ std::vector<ScenarioResult> ScenarioSweep::run(
       if (csv && !results[index].failed) {
         try {
           csv->set_scenario(scenarios_[index / lanes].name);
-          csv->set_estimator(harness::to_string(estimators[index % lanes]));
+          csv->set_estimator(estimators[index % lanes].label());
           for (const auto& record : buffer->records()) csv->on_sample(record);
         } catch (const std::exception& e) {
           csv_error_ = e.what();
@@ -330,12 +332,15 @@ void print_group_table(std::ostream& os, const std::string& axis,
 
 void print_sweep_report(std::ostream& os,
                         const std::vector<ScenarioResult>& results) {
-  // Distinct estimators, in order of first appearance (= grid axis order).
-  std::vector<harness::EstimatorKind> estimators;
+  // Distinct estimator labels, in order of first appearance (= grid axis
+  // order). The canonical label is the spec's identity, so parameterized
+  // variants of one family group as separate lanes.
+  std::vector<std::string> estimators;
   for (const auto& r : results) {
-    if (std::find(estimators.begin(), estimators.end(), r.estimator) ==
+    const std::string label = r.estimator.label();
+    if (std::find(estimators.begin(), estimators.end(), label) ==
         estimators.end()) {
-      estimators.push_back(r.estimator);
+      estimators.push_back(label);
     }
   }
   const bool multi = estimators.size() > 1;
@@ -345,7 +350,7 @@ void print_sweep_report(std::ostream& os,
                       "eval", "sw", "steps", "median [us]", "p99 [us]",
                       "ADEV(short)", "ADEV(long)"});
   for (const auto& r : results) {
-    const std::string estimator = harness::to_string(r.estimator);
+    const std::string estimator = r.estimator.label();
     if (r.failed) {
       table.add_row({r.name, estimator, "FAILED", "-", "-", "-", "-", "-",
                      "-", "-", "-", "-"});
@@ -371,7 +376,7 @@ void print_sweep_report(std::ostream& os,
   table.print(os);
   for (const auto& r : results) {
     if (r.failed) {
-      os << "FAILED " << r.name << " [" << harness::to_string(r.estimator)
+      os << "FAILED " << r.name << " [" << r.estimator.label()
          << "]: " << r.error << "\n";
     }
   }
@@ -385,8 +390,7 @@ void print_sweep_report(std::ostream& os,
     headers.push_back("steps");
     TablePrinter comparison(headers);
     for (const auto& r : results) {
-      const std::string label =
-          r.name + " / " + harness::to_string(r.estimator);
+      const std::string label = r.name + " / " + r.estimator.label();
       if (r.failed || r.evaluated == 0) {
         comparison.add_row({label, "-", "-", "-", "-", "-", "-",
                             r.failed ? "FAILED" : "n/a"});
@@ -406,7 +410,7 @@ void print_sweep_report(std::ostream& os,
   for (const auto& r : results) {
     if (r.failed) continue;
     const std::string suffix =
-        multi ? " / " + harness::to_string(r.estimator) : std::string();
+        multi ? " / " + r.estimator.label() : std::string();
     add_to_group(by_server[sim::to_string(r.server) + suffix], r);
     add_to_group(by_environment[sim::to_string(r.environment) + suffix], r);
   }

@@ -16,7 +16,7 @@
 
 #include "common/stats.hpp"
 #include "core/clock.hpp"
-#include "harness/estimator.hpp"
+#include "harness/estimator_spec.hpp"
 #include "harness/session.hpp"
 #include "sweep/scenario_grid.hpp"
 
@@ -32,9 +32,10 @@ struct ScenarioResult {
   // Grid coordinates, carried so reporting never has to re-parse `name`.
   sim::ServerKind server = sim::ServerKind::kInt;
   sim::Environment environment = sim::Environment::kMachineRoom;
-  /// Which algorithm scored this row. Every estimator of a scenario shares
-  /// the scenario's seed — the axis never reseeds the trace.
-  harness::EstimatorKind estimator = harness::EstimatorKind::kRobust;
+  /// Which estimator spec scored this row (family + non-default tunables;
+  /// estimator.label() is the reporting/CSV identity). Every spec of a
+  /// scenario shares the scenario's seed — the axis never reseeds the trace.
+  harness::EstimatorSpec estimator{"robust", {}};
 
   /// Set when the scenario's run threw instead of completing; the rest of
   /// the sweep still finishes, and `error` holds the exception text.
@@ -100,18 +101,19 @@ ScenarioResult run_scenario(const SweepScenario& scenario,
                             Seconds discard_warmup,
                             harness::SampleSink* trace_sink = nullptr);
 
-/// Run one scenario's exchange stream through every estimator at once (the
-/// unit the pool executes): one Testbed drain fanned into N
-/// harness::ClockSession lanes via MultiEstimatorSession, so all algorithms
-/// score identical packets from the scenario's one seed. Replay estimators
-/// (harness::is_replay_estimator, e.g. the §5.3 offline smoother) are
-/// scored post-hoc over the drain's recorded trace through the identical
-/// reduction — same packets, ground truth and seed as the online lanes.
-/// Returns one result per estimator, in `estimators` order. `trace_sinks`,
-/// when non-empty, must hold one sink per estimator (entries may be null).
+/// Run one scenario's exchange stream through every estimator spec at once
+/// (the unit the pool executes): one Testbed drain fanned into N
+/// harness::ClockSession lanes via MultiEstimatorSession, so all specs —
+/// families and their parameterized variants alike — score identical
+/// packets from the scenario's one seed. Replay families (e.g. the §5.3
+/// offline smoother) are scored post-hoc over the drain's recorded trace
+/// through the identical reduction — same packets, ground truth and seed as
+/// the online lanes. Returns one result per spec, in `estimators` order.
+/// `trace_sinks`, when non-empty, must hold one sink per spec (entries may
+/// be null).
 std::vector<ScenarioResult> run_scenario_multi(
     const SweepScenario& scenario,
-    std::span<const harness::EstimatorKind> estimators,
+    std::span<const harness::EstimatorSpec> estimators,
     Seconds discard_warmup,
     std::span<harness::SampleSink* const> trace_sinks = {},
     bool streaming_reduction = false);

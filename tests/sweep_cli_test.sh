@@ -4,8 +4,10 @@
 # Covers what the GoogleTest binaries cannot: the exit-status contract of the
 # argument parser (exit 2 on usage errors — in particular the empty-list-item
 # class: "robust,,naive", trailing commas, empty values, which used to be
-# silently dropped) and a small end-to-end run of the replay lane
-# (--estimators robust,offline) straight through main().
+# silently dropped — and every malformed estimator-spec shape: unbalanced
+# parens, unknown families, unknown/duplicated keys, empty values), plus
+# small end-to-end runs of the replay lane (--estimators robust,offline) and
+# of a parameterized variant axis straight through main().
 set -u
 
 SWEEP="$1"
@@ -38,6 +40,28 @@ expect_status 2 "empty --polls value" -- \
 expect_status 2 "bare comma in --schedules" -- \
   --schedules ,
 
+# -- Malformed estimator specs are usage errors ------------------------------
+expect_status 2 "unbalanced open paren in spec" -- \
+  --estimators "robust("
+expect_status 2 "unbalanced close paren in spec" -- \
+  --estimators "robust)"
+expect_status 2 "unknown family" -- \
+  --estimators "frobust"
+expect_status 2 "unknown tunable key" -- \
+  --estimators "robust(bogus_key=1)"
+expect_status 2 "duplicated tunable key" -- \
+  --estimators "robust(use_local_rate=0,use_local_rate=1)"
+expect_status 2 "empty tunable value" -- \
+  --estimators "robust(use_local_rate=)"
+expect_status 2 "ill-typed tunable value" -- \
+  --estimators "robust(use_local_rate=maybe)"
+expect_status 2 "unknown choice value" -- \
+  --estimators "offline(split=sideways)"
+expect_status 2 "boundary value the PLL would reject at runtime" -- \
+  --estimators "swntp(step_threshold=0)"
+expect_status 2 "duplicate lanes by canonical label" -- \
+  --estimators "robust,robust()"
+
 # -- Other usage errors keep exiting 2 --------------------------------------
 expect_status 2 "unknown estimator name" -- \
   --estimators robust,bogus
@@ -60,6 +84,34 @@ if ! "$SWEEP" --list-estimators | grep -q "offline"; then
 else
   echo "ok: --list-estimators lists offline"
 fi
+
+# -- Variant axis end-to-end --------------------------------------------------
+# The spec list carries parens and an in-paren comma; the run must succeed
+# and every canonical label must reach the report.
+expect_status 0 "variant-axis sweep (robust ablation + split smoother)" -- \
+  --servers loc --envs machine --polls 16 --duration-hours 0.5 \
+  --warmup-s 600 --threads 2 \
+  --estimators "robust,robust(use_local_rate=0,enable_aging=0),offline(split=shifts)"
+for label in "robust(use_local_rate=0,enable_aging=0)" "offline(split=shifts)"; do
+  if ! grep -qF "$label" /tmp/sweep_cli_out.$$; then
+    echo "FAIL: variant-axis report has no '$label' rows" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: variant-axis report includes $label"
+  fi
+done
+
+# -- --list-estimators surfaces tunable keys and defaults --------------------
+"$SWEEP" --list-estimators >/tmp/sweep_cli_out.$$ 2>&1
+for needle in "use_local_rate" "enable_level_shift" "split" "default" \
+              "none|shifts" "0.128"; do
+  if ! grep -qF "$needle" /tmp/sweep_cli_out.$$; then
+    echo "FAIL: --list-estimators does not surface '$needle'" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: --list-estimators surfaces $needle"
+  fi
+done
 
 rm -f /tmp/sweep_cli_out.$$
 exit $((failures > 0 ? 1 : 0))

@@ -11,7 +11,8 @@
 //     are the same thing, bit for bit;
 //   * every lane of a MultiEstimatorSession sees the identical exchange
 //     stream with its own independent scoring state;
-//   * the registry round-trips names and builds working estimators.
+//   * the registry round-trips names and builds working estimators (the
+//     spec/parsing layer itself is covered in test_estimator_spec.cpp).
 #include "harness/estimator.hpp"
 
 #include <gtest/gtest.h>
@@ -22,6 +23,7 @@
 
 #include "baseline/swntp.hpp"
 #include "common/contracts.hpp"
+#include "harness/estimator_spec.hpp"
 #include "harness/session.hpp"
 #include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
@@ -178,11 +180,13 @@ TEST(Estimators, AllKindsTrackACleanTraceToPlausibleAccuracy) {
 
   MultiEstimatorSession session;
   std::vector<std::unique_ptr<CollectorSink>> sinks;
-  for (const auto kind : all_estimator_kinds()) {
-    if (is_replay_estimator(kind)) continue;  // scored post-hoc, not online
+  const auto& registry = estimator_registry();
+  for (const auto* family : registry.families()) {
+    if (family->replay) continue;  // scored post-hoc, not online
     const std::size_t lane = session.add_lane(
-        config,
-        make_estimator(kind, config.params, testbed.nominal_period()));
+        config, registry.make_online(EstimatorSpec{family->name, {}},
+                                     config.params,
+                                     testbed.nominal_period()));
     sinks.push_back(std::make_unique<CollectorSink>());
     session.add_sink(lane, *sinks.back());
   }
@@ -248,30 +252,34 @@ TEST(Estimators, ClockAccessorRequiresRobustEstimator) {
 
 // -- Registry --------------------------------------------------------------
 
-TEST(EstimatorRegistry, NamesRoundTrip) {
-  for (const auto kind : all_estimator_kinds()) {
-    const auto parsed = parse_estimator(to_string(kind));
-    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
-    EXPECT_EQ(*parsed, kind);
-    EXPECT_FALSE(estimator_description(kind).empty());
+TEST(EstimatorRegistry, FamilyNamesRoundTripThroughSpecParsing) {
+  const auto& registry = estimator_registry();
+  for (const auto* family : registry.families()) {
+    const auto spec = registry.parse(family->name);
+    EXPECT_EQ(spec.family, family->name);
+    EXPECT_EQ(spec.label(), family->name);
+    EXPECT_FALSE(family->description.empty());
   }
-  EXPECT_FALSE(parse_estimator("ntpd").has_value());
-  EXPECT_FALSE(parse_estimator("").has_value());
+  EXPECT_THROW(registry.parse("ntpd"), EstimatorSpecError);
+  EXPECT_THROW(registry.parse(""), EstimatorSpecError);
 }
 
 TEST(EstimatorRegistry, FactoryBuildsMatchingAdapters) {
   const core::Params params = core::Params::for_poll_period(16.0);
   const double nominal = 1.8e-9;
-  for (const auto kind : all_estimator_kinds()) {
-    if (is_replay_estimator(kind)) {
-      // Replay kinds are built by the replay factory; the online factory
+  const auto& registry = estimator_registry();
+  for (const auto* family : registry.families()) {
+    const EstimatorSpec spec{family->name, {}};
+    if (family->replay) {
+      // Replay families are built by the replay factory; the online factory
       // must reject them loudly (see test_replay.cpp for the replay side).
-      EXPECT_THROW(make_estimator(kind, params, nominal), ContractViolation);
+      EXPECT_THROW(registry.make_online(spec, params, nominal),
+                   ContractViolation);
       continue;
     }
-    const auto estimator = make_estimator(kind, params, nominal);
+    const auto estimator = registry.make_online(spec, params, nominal);
     ASSERT_NE(estimator, nullptr);
-    EXPECT_EQ(estimator->name(), to_string(kind));
+    EXPECT_EQ(estimator->name(), family->name);
     EXPECT_EQ(estimator->steps(), 0u);
   }
 }

@@ -25,6 +25,7 @@
 
 #include "common/contracts.hpp"
 #include "core/offline.hpp"
+#include "harness/estimator_spec.hpp"
 #include "harness/sinks.hpp"
 #include "sim/scenario.hpp"
 
@@ -196,12 +197,15 @@ TEST(TraceRecorder, MultiSessionRecordsOnceForAllLanes) {
   sim::Testbed testbed(scenario);
   MultiEstimatorSession session;
   session.enable_trace_recording(config);
-  session.add_lane(config, make_estimator(EstimatorKind::kRobust,
-                                          config.params,
-                                          testbed.nominal_period()));
-  session.add_lane(config, make_estimator(EstimatorKind::kNaive,
-                                          config.params,
-                                          testbed.nominal_period()));
+  const auto& registry = estimator_registry();
+  session.add_lane(config,
+                   registry.make_online(EstimatorSpec{"robust", {}},
+                                        config.params,
+                                        testbed.nominal_period()));
+  session.add_lane(config,
+                   registry.make_online(EstimatorSpec{"naive", {}},
+                                        config.params,
+                                        testbed.nominal_period()));
   session.run(testbed);
 
   const ReplayTrace& a = solo.trace();
@@ -286,27 +290,128 @@ TEST(ReplaySession, TinyTracesYieldNoEvaluatedRecordsInsteadOfThrowing) {
   }
 }
 
+// -- Split-at-shifts variant (offline(split=shifts)) -----------------------
+
+TEST(OfflineSplit, NoDetectedShiftDelegatesToWholeTraceSmoothing) {
+  // A steady trace has no level shift; the split variant must produce the
+  // whole-trace result bit-for-bit (cuts empty → identical code path).
+  sim::ScenarioConfig scenario;
+  scenario.poll_period = 16.0;
+  scenario.duration = 3 * duration::kHour;
+  scenario.seed = 606;
+  const auto config = replay_config(scenario);
+
+  sim::Testbed testbed(scenario);
+  ClockSession online(config, testbed.nominal_period());
+  online.run(testbed);
+
+  const auto score = [&](OfflineSmootherEstimator::Split split) {
+    auto estimator = std::make_unique<OfflineSmootherEstimator>(
+        config.params, testbed.nominal_period(), split);
+    OfflineSmootherEstimator& smoother = *estimator;
+    ReplaySession replay(config, std::move(estimator));
+    CollectorSink records;
+    replay.add_sink(records);
+    replay.run(online.trace());
+    std::vector<double> errors;
+    for (const auto& r : records.records()) errors.push_back(r.offset_error);
+    return std::pair<std::vector<double>, std::size_t>(errors,
+                                                       smoother.segments());
+  };
+  const auto [plain, plain_segments] =
+      score(OfflineSmootherEstimator::Split::kNone);
+  const auto [split, split_segments] =
+      score(OfflineSmootherEstimator::Split::kShifts);
+  EXPECT_EQ(plain_segments, 1u);
+  EXPECT_EQ(split_segments, 1u);
+  ASSERT_EQ(plain.size(), split.size());
+  ASSERT_FALSE(plain.empty());
+  for (std::size_t i = 0; i < plain.size(); ++i)
+    EXPECT_EQ(plain[i], split[i]) << i;
+}
+
+TEST(OfflineSplit, LevelShiftTraceIsCutAndRebasesTheMinimum) {
+  // A permanent upward delay shift mid-trace: the split variant must detect
+  // it and smooth the two halves with their own minima. The whole-trace
+  // smoother keeps the pre-shift r-hat, so every post-shift window reads as
+  // congested (poor-window fallback); re-basing the minimum per segment
+  // eliminates that wholesale. (The Δ/2 path-asymmetry bias of the shift
+  // itself is unknowable for either variant, so the comparison is on the
+  // poor-window accounting, not on the DAG-aligned error.)
+  sim::ScenarioConfig scenario;
+  scenario.server = sim::ServerKind::kInt;
+  scenario.poll_period = 16.0;
+  scenario.duration = 8 * duration::kHour;
+  scenario.seed = 707;
+  scenario.events.add_level_shift(
+      {4 * duration::kHour, sim::kForever, 0.8e-3, 0.0});
+  const auto config = replay_config(scenario);
+
+  sim::Testbed testbed(scenario);
+  ClockSession online(config, testbed.nominal_period());
+  online.run(testbed);
+
+  struct Scored {
+    double worst = 0;
+    std::size_t segments = 0;
+    std::size_t poor_windows = 0;
+    std::vector<double> offsets;
+  };
+  const auto score = [&](OfflineSmootherEstimator::Split split) {
+    auto estimator = std::make_unique<OfflineSmootherEstimator>(
+        config.params, testbed.nominal_period(), split);
+    OfflineSmootherEstimator& smoother = *estimator;
+    ReplaySession replay(config, std::move(estimator));
+    CollectorSink records;
+    replay.add_sink(records);
+    replay.run(online.trace());
+    Scored out;
+    for (const auto& r : records.records()) {
+      out.worst = std::max(out.worst, std::fabs(r.offset_error));
+      out.offsets.push_back(r.report.offset_estimate);
+      EXPECT_TRUE(std::isfinite(r.offset_error));
+    }
+    out.segments = smoother.segments();
+    out.poor_windows = smoother.result().poor_windows;
+    return out;
+  };
+  const Scored plain = score(OfflineSmootherEstimator::Split::kNone);
+  const Scored split = score(OfflineSmootherEstimator::Split::kShifts);
+  EXPECT_EQ(plain.segments, 1u);
+  EXPECT_GE(split.segments, 2u) << "the 0.8 ms shift must be detected";
+  // Whole-trace smoothing misreads the entire post-shift half as congestion;
+  // per-segment minima remove (nearly) all of those poor windows.
+  EXPECT_GT(plain.poor_windows, 100u);
+  EXPECT_LT(split.poor_windows, plain.poor_windows / 10);
+  // The variants genuinely differ on this trace.
+  ASSERT_EQ(plain.offsets.size(), split.offsets.size());
+  EXPECT_NE(plain.offsets, split.offsets);
+  EXPECT_TRUE(std::isfinite(split.worst));
+}
+
 // -- Registry (replay side) ------------------------------------------------
 
-TEST(ReplayRegistry, OfflineKindRoundTripsAndBuilds) {
-  ASSERT_TRUE(parse_estimator("offline").has_value());
-  EXPECT_EQ(*parse_estimator("offline"), EstimatorKind::kOffline);
-  EXPECT_EQ(to_string(EstimatorKind::kOffline), "offline");
-  EXPECT_TRUE(is_replay_estimator(EstimatorKind::kOffline));
-  for (const auto kind :
-       {EstimatorKind::kRobust, EstimatorKind::kSwNtp, EstimatorKind::kNaive})
-    EXPECT_FALSE(is_replay_estimator(kind));
+TEST(ReplayRegistry, OfflineFamilyRoundTripsAndBuilds) {
+  const auto& registry = estimator_registry();
+  const auto spec = registry.parse("offline");
+  EXPECT_EQ(spec.label(), "offline");
+  EXPECT_TRUE(registry.is_replay(spec));
+  for (const char* family : {"robust", "swntp", "naive"})
+    EXPECT_FALSE(registry.is_replay(registry.parse(family)));
 
   const auto params = core::Params::for_poll_period(16.0);
-  const auto estimator =
-      make_replay_estimator(EstimatorKind::kOffline, params, 2e-9);
+  const auto estimator = registry.make_replay(spec, params, 2e-9);
   ASSERT_NE(estimator, nullptr);
   EXPECT_EQ(estimator->name(), "offline");
-  // The online factory must reject replay kinds, and vice versa.
-  EXPECT_THROW(make_estimator(EstimatorKind::kOffline, params, 2e-9),
-               ContractViolation);
-  EXPECT_THROW(make_replay_estimator(EstimatorKind::kRobust, params, 2e-9),
-               ContractViolation);
+  // The split=shifts variant builds through the same factory.
+  const auto variant = registry.parse("offline(split=shifts)");
+  EXPECT_EQ(variant.label(), "offline(split=shifts)");
+  EXPECT_NE(registry.make_replay(variant, params, 2e-9), nullptr);
+  // The online factory must reject replay families, and vice versa.
+  EXPECT_THROW(registry.make_online(spec, params, 2e-9), ContractViolation);
+  EXPECT_THROW(
+      registry.make_replay(EstimatorSpec{"robust", {}}, params, 2e-9),
+      ContractViolation);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "harness/sinks.hpp"
 #include "sweep/scenario_grid.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -317,15 +319,27 @@ TEST(ScenarioSweep, ReportPrintsEveryScenarioAndAggregates) {
 GridSpec estimator_grid() {
   GridSpec grid = small_grid();
   grid.poll_periods = {16.0};  // 2 scenarios × 4 estimators
-  // Deliberately includes the non-causal replay kind: the whole point of
+  // Deliberately includes the non-causal replay family: the whole point of
   // the replay lane is that offline rows ride the same drain, seed and
   // reduction as the online ones, so every axis property proven below
   // (shared seeds, thread-count determinism, robust-row invariance) must
   // hold with it present.
-  grid.estimators = {harness::EstimatorKind::kRobust,
-                     harness::EstimatorKind::kSwNtp,
-                     harness::EstimatorKind::kNaive,
-                     harness::EstimatorKind::kOffline};
+  const auto& registry = harness::estimator_registry();
+  grid.estimators = {registry.parse("robust"), registry.parse("swntp"),
+                     registry.parse("naive"), registry.parse("offline")};
+  return grid;
+}
+
+/// A variant axis: the full robust algorithm, a parameter-ablated variant
+/// of it, and a parameterized replay variant — the spec shapes the registry
+/// redesign exists for.
+GridSpec variant_grid() {
+  GridSpec grid = small_grid();
+  grid.poll_periods = {16.0};
+  const auto& registry = harness::estimator_registry();
+  grid.estimators = {registry.parse("robust"),
+                     registry.parse("robust(use_local_rate=0)"),
+                     registry.parse("offline(split=shifts)")};
   return grid;
 }
 
@@ -376,7 +390,7 @@ TEST(ScenarioSweep, RobustRowsUnchangedByAddingBaselineEstimators) {
   // Fanning more estimators into the session must not perturb the robust
   // lane: the estimators share the exchange stream, not any scoring state.
   GridSpec robust_only = estimator_grid();
-  robust_only.estimators = {harness::EstimatorKind::kRobust};
+  robust_only.estimators = {harness::EstimatorSpec{"robust", {}}};
   SweepOptions options;
   options.threads = 2;
   options.discard_warmup = 20 * duration::kMinute;
@@ -417,7 +431,7 @@ TEST(ScenarioSweep, OfflineReplayLaneScoresTheSameEvaluatedSet) {
   for (std::size_t i = 0; i < engine.scenarios().size(); ++i) {
     const auto& robust = results[i * lanes + 0];
     const auto& offline = results[i * lanes + 3];
-    ASSERT_EQ(offline.estimator, harness::EstimatorKind::kOffline);
+    ASSERT_EQ(offline.estimator.label(), "offline");
     ASSERT_FALSE(offline.failed);
     // Scored from the same Testbed drain: identical counters, zero steps.
     EXPECT_EQ(offline.exchanges, robust.exchanges);
@@ -442,9 +456,142 @@ TEST(ScenarioGrid, RejectsEmptyOrDuplicateEstimatorAxis) {
   no_estimators.estimators.clear();
   EXPECT_THROW(expand_grid(no_estimators), ContractViolation);
   GridSpec duplicates = small_grid();
-  duplicates.estimators = {harness::EstimatorKind::kRobust,
-                           harness::EstimatorKind::kRobust};
+  duplicates.estimators = {harness::EstimatorSpec{"robust", {}},
+                           harness::EstimatorSpec{"robust", {}}};
   EXPECT_THROW(expand_grid(duplicates), ContractViolation);
+  // Identity is the canonical label: `robust()` and a default-valued
+  // override are the same lane as `robust`.
+  GridSpec canonical_duplicates = small_grid();
+  canonical_duplicates.estimators = {
+      harness::estimator_registry().parse("robust"),
+      harness::estimator_registry().parse("robust(use_local_rate=1)")};
+  EXPECT_THROW(expand_grid(canonical_duplicates), ContractViolation);
+}
+
+// -- Spec golden: the registry lane vs the pre-redesign robust lane --------
+
+TEST(SpecGolden, BareRobustSpecBitIdenticalToDirectRobustLane) {
+  // The bare `robust` spec must reproduce the pre-redesign kRobust lane
+  // exactly: same drive (ClockSession, observable warm-up cut), same
+  // estimator (a TscNtpEstimator built directly from the scenario's
+  // Params), same reduction (ReducerSink) — bit for bit.
+  const auto scenarios = expand_grid(variant_grid());
+  ASSERT_FALSE(scenarios.empty());
+  const Seconds warmup = 20 * duration::kMinute;
+  for (const auto& scenario : scenarios) {
+    // Registry lane, exactly as the sweep runs it.
+    const auto via_spec = run_scenario(scenario, warmup);
+    ASSERT_FALSE(via_spec.failed);
+    EXPECT_EQ(via_spec.estimator.label(), "robust");
+
+    // The pre-redesign lane, hand-rolled: no registry anywhere.
+    sim::Testbed testbed(scenario.config);
+    harness::SessionConfig config;
+    config.params =
+        core::Params::for_poll_period(scenario.config.poll_period);
+    config.discard_warmup = warmup;
+    config.warmup_policy = harness::WarmupPolicy::kObservable;
+    harness::ClockSession session(
+        config, std::make_unique<harness::TscNtpEstimator>(
+                    config.params, testbed.nominal_period()));
+    harness::ReducerSink reducer(scenario.config.poll_period);
+    session.add_sink(reducer);
+    const auto& summary = session.run(testbed);
+    const auto reduction = reducer.reduce();
+
+    EXPECT_EQ(via_spec.exchanges, summary.exchanges);
+    EXPECT_EQ(via_spec.lost, summary.lost);
+    EXPECT_EQ(via_spec.evaluated, summary.evaluated);
+    ASSERT_GT(via_spec.evaluated, 0u);
+    // Bit-level double equality: the registry indirection must not perturb
+    // a single ULP of any reduced value.
+    EXPECT_EQ(via_spec.clock_error.mean, reduction.clock_error.mean);
+    EXPECT_EQ(via_spec.clock_error.stddev, reduction.clock_error.stddev);
+    EXPECT_EQ(via_spec.clock_error.percentiles.p01,
+              reduction.clock_error.percentiles.p01);
+    EXPECT_EQ(via_spec.clock_error.percentiles.p50,
+              reduction.clock_error.percentiles.p50);
+    EXPECT_EQ(via_spec.clock_error.percentiles.p99,
+              reduction.clock_error.percentiles.p99);
+    EXPECT_EQ(via_spec.offset_error.percentiles.p50,
+              reduction.offset_error.percentiles.p50);
+    EXPECT_EQ(via_spec.adev_short, reduction.adev_short);
+    EXPECT_EQ(via_spec.adev_long, reduction.adev_long);
+    EXPECT_EQ(via_spec.final_status.period, summary.final_status.period);
+    EXPECT_EQ(via_spec.final_status.offset, summary.final_status.offset);
+  }
+}
+
+// -- Variant axis ----------------------------------------------------------
+
+TEST(ScenarioSweep, VariantAxisSharesSeedsAndIsThreadCountDeterministic) {
+  // The satellite contract of the redesign: an axis of parameterized
+  // variants behaves exactly like the family axis — per-scenario seeds are
+  // estimator-independent (the ablation shares its scenario's seed with the
+  // full algorithm by construction) and results are bit-identical across
+  // thread counts.
+  ScenarioSweep engine(variant_grid());
+  SweepOptions options;
+  options.discard_warmup = 20 * duration::kMinute;
+
+  options.threads = 1;
+  const auto reference = engine.run(options);
+  options.threads = 4;
+  const auto other = engine.run(options);
+  const std::size_t lanes = engine.grid().estimators.size();
+  ASSERT_EQ(reference.size(), engine.scenarios().size() * lanes);
+  ASSERT_EQ(other.size(), reference.size());
+  for (std::size_t i = 0; i < engine.scenarios().size(); ++i) {
+    for (std::size_t e = 0; e < lanes; ++e) {
+      const auto& r = reference[i * lanes + e];
+      EXPECT_EQ(r.seed, engine.scenarios()[i].config.seed)
+          << "variant lanes must never reseed the scenario";
+      EXPECT_EQ(r.estimator, engine.grid().estimators[e]);
+      EXPECT_EQ(r.exchanges, reference[i * lanes].exchanges);
+      EXPECT_EQ(r.lost, reference[i * lanes].lost);
+      expect_bit_identical(r, other[i * lanes + e]);
+    }
+  }
+}
+
+TEST(ScenarioSweep, UseLocalRateAblationDiffersMeasurablyFromRobust) {
+  // On a trace long enough for the quasi-local rate to engage (its window
+  // is 5000 s), switching eq. (21)/(23) prediction off must change the
+  // error summaries — while still sharing the scenario's seed and packets.
+  GridSpec grid = small_grid();
+  grid.servers = {sim::ServerKind::kInt};
+  grid.poll_periods = {16.0};
+  grid.duration = 6 * duration::kHour;
+  const auto& registry = harness::estimator_registry();
+  grid.estimators = {registry.parse("robust"),
+                     registry.parse("robust(use_local_rate=0)")};
+  ScenarioSweep engine(grid);
+  SweepOptions options;
+  options.threads = 2;
+  options.discard_warmup = duration::kHour;
+  const auto results = engine.run(options);
+  ASSERT_EQ(results.size(), 2u);
+  const auto& robust = results[0];
+  const auto& ablated = results[1];
+  ASSERT_FALSE(robust.failed);
+  ASSERT_FALSE(ablated.failed);
+  EXPECT_EQ(ablated.estimator.label(), "robust(use_local_rate=0)");
+  // Same scenario, same seed, same packets…
+  EXPECT_EQ(ablated.seed, robust.seed);
+  EXPECT_EQ(ablated.exchanges, robust.exchanges);
+  EXPECT_EQ(ablated.evaluated, robust.evaluated);
+  ASSERT_GT(robust.evaluated, 0u);
+  // …measurably different summaries.
+  EXPECT_NE(ablated.offset_error.percentiles.p50,
+            robust.offset_error.percentiles.p50);
+  EXPECT_NE(ablated.clock_error.mean, robust.clock_error.mean);
+
+  // Both lanes land in the per-cell comparison table, labelled by spec.
+  std::ostringstream os;
+  print_sweep_report(os, results);
+  const std::string report = os.str();
+  EXPECT_NE(report.find("Estimator comparison"), std::string::npos);
+  EXPECT_NE(report.find("/ robust(use_local_rate=0)"), std::string::npos);
 }
 
 // -- Streaming reduction ---------------------------------------------------

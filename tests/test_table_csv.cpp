@@ -83,5 +83,78 @@ TEST(CsvWriter, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
 }
 
+// -- RFC-4180 quoting (parameterized estimator labels) ----------------------
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  // Single-override labels carry ( ) = which need no quoting; multi-override
+  // labels carry commas and must be quoted to stay one field.
+  EXPECT_EQ(csv_escape("robust"), "robust");
+  EXPECT_EQ(csv_escape("robust(use_local_rate=0)"),
+            "robust(use_local_rate=0)");
+  EXPECT_EQ(csv_escape("robust(use_local_rate=0,enable_aging=0)"),
+            "\"robust(use_local_rate=0,enable_aging=0)\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, SplitRowRoundTripsEscapedFields) {
+  const std::vector<std::string> fields = {
+      "robust(use_local_rate=0,enable_aging=0)", "plain",
+      "with \"quotes\", and commas", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(csv_split_row(line), fields);
+  EXPECT_THROW(csv_split_row("\"unterminated"), std::runtime_error);
+}
+
+TEST(CsvWriter, QuotesCellsWithCommasSoLabelsRoundTrip) {
+  const std::string path = "/tmp/tscclock_test_csv3.csv";
+  const std::string label = "robust(use_local_rate=0,enable_aging=0)";
+  {
+    CsvWriter csv(path, {"estimator", "value"});
+    csv.write_row({label, "1"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "estimator,value");
+  std::getline(in, line);
+  // One quoted field, not split across two columns.
+  const auto fields = csv_split_row(line);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], label);
+  EXPECT_EQ(fields[1], "1");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinter, SizesColumnsToParameterizedLabels) {
+  // Comparison-table columns must grow to the widest (possibly
+  // parameterized) label, keeping every later cell aligned.
+  const std::string label = "scenario / robust(use_local_rate=0)";
+  TablePrinter t({"scenario / estimator", "median"});
+  t.add_row({label, "1.0"});
+  t.add_row({"scenario / robust", "2.0"});
+  std::ostringstream os;
+  t.print(os);
+  // Every row pads the first column to the same width: the second column's
+  // cells all start at one offset, past the widest label.
+  std::string line;
+  std::istringstream lines(os.str());
+  std::vector<std::size_t> second_column_offsets;
+  while (std::getline(lines, line)) {
+    if (line.find("1.0") != std::string::npos)
+      second_column_offsets.push_back(line.find("1.0"));
+    if (line.find("2.0") != std::string::npos)
+      second_column_offsets.push_back(line.find("2.0"));
+  }
+  ASSERT_EQ(second_column_offsets.size(), 2u);
+  EXPECT_EQ(second_column_offsets[0], second_column_offsets[1]);
+  EXPECT_GT(second_column_offsets[0], label.size());
+}
+
 }  // namespace
 }  // namespace tscclock

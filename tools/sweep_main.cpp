@@ -15,14 +15,17 @@
 //   stress  — outage + mid-trace switch + a 150 ms server fault window.
 //
 // --estimators fans every scenario's one exchange stream into the named
-// algorithms (see --list-estimators), grading them head-to-head on
-// identical seeds and packets. The `offline` estimator is the §5.3
-// two-sided smoother on the REPLAY lane: it is scored post-hoc over the
-// recorded trace, so each of its estimates uses packets from the future.
-// Its rows measure what post-processing can achieve on the identical
-// packets — not what a deployable online clock achieves — and it reports
-// steps = 0 and sw = 0 by construction (nothing to step, no online
-// server-change reaction).
+// estimator specs (see --list-estimators), grading them head-to-head on
+// identical seeds and packets. A spec is a registered family name with
+// optional key=value tunables — "robust", "robust(use_local_rate=0)",
+// "offline(split=shifts)" — so parameter-ablated variants of one algorithm
+// are first-class lanes of the axis; commas inside parentheses do not split
+// the list. The `offline` family is the §5.3 two-sided smoother on the
+// REPLAY lane: it is scored post-hoc over the recorded trace, so each of
+// its estimates uses packets from the future. Its rows measure what
+// post-processing can achieve on the identical packets — not what a
+// deployable online clock achieves — and it reports steps = 0 and sw = 0
+// by construction (nothing to step, no online server-change reaction).
 //
 // Exit status: 0 on success, 1 when any grid cell FAILED (or the --csv dump
 // aborted mid-run), 2 on usage errors.
@@ -38,7 +41,7 @@
 #include <vector>
 
 #include "common/table.hpp"
-#include "harness/estimator.hpp"
+#include "harness/estimator_spec.hpp"
 #include "sweep/sweep.hpp"
 
 using namespace tscclock;
@@ -111,24 +114,58 @@ sim::Environment parse_environment(const std::string& name) {
   std::exit(2);
 }
 
-harness::EstimatorKind parse_estimator_or_die(const std::string& name) {
-  const auto kind = harness::parse_estimator(name);
-  if (!kind) {
-    std::fprintf(stderr,
-                 "unknown estimator '%s' (see --list-estimators)\n",
-                 name.c_str());
+/// Parse the --estimators value into validated specs. Any malformed spec —
+/// unbalanced parens, unknown family, unknown/duplicated keys, empty values
+/// or list items — is a usage error (exit 2) with the registry's precise
+/// message, never a silent drop.
+std::vector<harness::EstimatorSpec> parse_estimator_specs_or_die(
+    const std::string& text) {
+  try {
+    return harness::estimator_registry().parse_list(text);
+  } catch (const harness::EstimatorSpecError& e) {
+    std::fprintf(stderr, "%s (see --list-estimators)\n", e.what());
     std::exit(2);
   }
-  return *kind;
 }
 
 [[noreturn]] void list_estimators() {
-  TablePrinter table({"estimator", "description"});
-  for (const auto kind : harness::all_estimator_kinds()) {
-    table.add_row({harness::to_string(kind),
-                   harness::estimator_description(kind)});
+  const auto& registry = harness::estimator_registry();
+  TablePrinter table({"estimator", "lane", "description"});
+  for (const auto* family : registry.families()) {
+    table.add_row({family->name, family->replay ? "replay" : "online",
+                   family->description});
   }
   table.print(std::cout);
+
+  print_banner(std::cout,
+               "Tunable keys (spec syntax: family(key=value,...))");
+  TablePrinter tunables({"estimator", "key", "type", "default",
+                         "description"});
+  for (const auto* family : registry.families()) {
+    for (const auto& t : family->tunables) {
+      std::string type;
+      switch (t.type) {
+        case harness::TunableType::kBool:
+          type = "bool";
+          break;
+        case harness::TunableType::kDouble:
+          type = "double";
+          break;
+        case harness::TunableType::kChoice: {
+          for (const auto& choice : t.choices) {
+            if (!type.empty()) type += "|";
+            type += choice;
+          }
+          break;
+        }
+      }
+      tunables.add_row(
+          {family->name, t.key, type, t.default_value, t.description});
+    }
+  }
+  tunables.print(std::cout);
+  std::cout << "\nexample: --estimators "
+               "\"robust,robust(use_local_rate=0),offline(split=shifts)\"\n";
   std::exit(0);
 }
 
@@ -174,12 +211,19 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --envs LIST        comma list of lab,machine      (default both)\n"
       "  --polls LIST       poll periods in seconds        (default 16,64)\n"
       "  --schedules LIST   steady,outage,switch,stress    (default steady)\n"
-      "  --estimators LIST  clock algorithms to grade head-to-head on each\n"
-      "                     scenario's one exchange stream (default robust;\n"
-      "                     see --list-estimators). 'offline' is the s5.3\n"
-      "                     smoother replayed NON-CAUSALLY over the recorded\n"
-      "                     trace: it sees future packets, so its rows bound\n"
-      "                     post-processing, not online performance\n"
+      "  --estimators LIST  estimator specs to grade head-to-head on each\n"
+      "                     scenario's one exchange stream (default robust).\n"
+      "                     A spec is family[(key=value,...)] - tunables\n"
+      "                     with defaults per family, see --list-estimators.\n"
+      "                     e.g. robust,robust(use_local_rate=0),offline\n"
+      "                     Ablated variants share each scenario's seed and\n"
+      "                     packets with every other lane by construction.\n"
+      "                     'offline' is the s5.3 smoother replayed\n"
+      "                     NON-CAUSALLY over the recorded trace: it sees\n"
+      "                     future packets, so its rows bound\n"
+      "                     post-processing, not online performance;\n"
+      "                     offline(split=shifts) cuts the trace at detected\n"
+      "                     level shifts before smoothing each segment\n"
       "  --duration-hours H simulated hours per scenario   (default 24)\n"
       "  --seed N           master seed                    (default 42)\n"
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
@@ -201,7 +245,8 @@ int main(int argc, char** argv) {
   sweep::GridSpec grid;
   sweep::SweepOptions options;
   std::vector<std::string> schedule_names = {"steady"};
-  std::vector<std::string> estimator_names = {"robust"};
+  std::vector<harness::EstimatorSpec> estimator_specs = {
+      harness::EstimatorSpec{"robust", {}}};
   double duration_hours = 24.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -230,7 +275,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--schedules") {
       schedule_names = split_csv(arg, value());
     } else if (arg == "--estimators") {
-      estimator_names = split_csv(arg, value());
+      estimator_specs = parse_estimator_specs_or_die(value());
     } else if (arg == "--streaming-reduction") {
       options.streaming_reduction = true;
     } else if (arg == "--duration-hours") {
@@ -262,7 +307,7 @@ int main(int argc, char** argv) {
 
   if (grid.servers.empty() || grid.environments.empty() ||
       grid.poll_periods.empty() || schedule_names.empty() ||
-      estimator_names.empty()) {
+      estimator_specs.empty()) {
     std::fprintf(stderr,
                  "--servers/--envs/--polls/--schedules/--estimators must not "
                  "be empty\n");
@@ -275,13 +320,18 @@ int main(int argc, char** argv) {
     return std::adjacent_find(values.begin(), values.end()) != values.end();
   };
   // Poll periods collide on their *formatted* form (the scenario-name
-  // identity uses %g), so near-equal values must be rejected too.
+  // identity uses %g), so near-equal values must be rejected too; estimator
+  // specs collide on their *canonical* label, so "robust" and "robust()"
+  // (or any default-valued override) are the same lane.
   std::vector<std::string> poll_names;
   for (const auto poll : grid.poll_periods)
     poll_names.push_back(strfmt("%g", poll));
+  std::vector<std::string> estimator_labels;
+  for (const auto& spec : estimator_specs)
+    estimator_labels.push_back(spec.label());
   if (has_duplicates(grid.servers) || has_duplicates(grid.environments) ||
       has_duplicates(poll_names) || has_duplicates(schedule_names) ||
-      has_duplicates(estimator_names)) {
+      has_duplicates(estimator_labels)) {
     std::fprintf(stderr,
                  "--servers/--envs/--polls/--schedules/--estimators entries "
                  "must be unique\n");
@@ -314,9 +364,7 @@ int main(int argc, char** argv) {
   grid.schedules.clear();
   for (const auto& name : schedule_names)
     grid.schedules.push_back(make_schedule(name, grid.duration));
-  grid.estimators.clear();
-  for (const auto& name : estimator_names)
-    grid.estimators.push_back(parse_estimator_or_die(name));
+  grid.estimators = estimator_specs;
 
   sweep::ScenarioSweep engine(grid);
   print_banner(std::cout,
