@@ -70,8 +70,27 @@ CsvWriter::CsvWriter(const std::string& path,
   out_ << '\n';
 }
 
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns, Append)
+    // in|out|ate (not app): fails when the file is missing — an append
+    // resume against a vanished dump is an error, not a silent restart —
+    // and tellp reports real absolute offsets.
+    : out_(path, std::ios::in | std::ios::out | std::ios::ate),
+      columns_(columns.size()) {
+  TSC_EXPECTS(!columns.empty());
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path +
+                             " for append");
+  }
+  out_.exceptions(std::ios::badbit | std::ios::failbit);
+}
+
 void CsvWriter::close() {
   if (out_.is_open()) out_.close();  // throws via the enabled exceptions
+}
+
+std::uint64_t CsvWriter::byte_offset() {
+  return static_cast<std::uint64_t>(out_.tellp());
 }
 
 void CsvWriter::write_row(std::span<const double> values) {

@@ -7,6 +7,7 @@
 // the dumps unambiguously; csv_split_row is the matching reader.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <span>
 #include <string>
@@ -26,9 +27,19 @@ std::vector<std::string> csv_split_row(std::string_view line);
 
 class CsvWriter {
  public:
+  /// Tag selecting the resume mode of the appending constructor.
+  struct Append {};
+
   /// Opens `path` for writing and emits the header row.
   /// Throws std::runtime_error if the file cannot be opened.
   CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Opens an *existing* `path` positioned at its end and appends rows
+  /// without re-emitting the header (the sweep's checkpoint-resume path:
+  /// the committed prefix of a trace dump is kept byte-for-byte and only
+  /// the tail is regenerated). Throws if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns,
+            Append);
 
   void write_row(std::span<const double> values);
   void write_row(const std::vector<std::string>& cells);
@@ -39,6 +50,12 @@ class CsvWriter {
   void close();
 
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Byte offset after everything written so far (absolute file position —
+  /// in append mode the pre-existing prefix counts). The sweep records this
+  /// watermark in its checkpoint so a resumed run knows where the committed
+  /// trace prefix ends.
+  [[nodiscard]] std::uint64_t byte_offset();
 
  private:
   std::ofstream out_;

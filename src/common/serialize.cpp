@@ -1,0 +1,132 @@
+#include "common/serialize.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace tscclock {
+
+std::string format_double_exact(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // %a hexfloat: the shortest exact representation strtod round-trips to
+  // the identical bits on every IEEE-754 platform. (%.17g would round-trip
+  // too, but hexfloat cannot even be mis-rounded by a sloppy libc.)
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%a", value);
+  return buffer;
+}
+
+double parse_double_exact(std::string_view text) {
+  if (text.empty()) throw std::runtime_error("empty number field");
+  const std::string copy(text);  // strtod needs NUL termination
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) {
+    throw std::runtime_error("malformed number '" + copy + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64_exact(std::string_view text) {
+  if (text.empty()) throw std::runtime_error("empty integer field");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("malformed integer '" + std::string(text) +
+                               "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      throw std::runtime_error("integer overflow in '" + std::string(text) +
+                               "'");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::string escape_field(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      throw std::runtime_error("dangling backslash in field '" +
+                               std::string(text) + "'");
+    }
+    switch (text[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      default:
+        throw std::runtime_error("unknown escape '\\" +
+                                 std::string(1, text[i]) + "' in field '" +
+                                 std::string(text) + "'");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      return fields;
+    }
+    fields.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace tscclock

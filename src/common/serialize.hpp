@@ -1,0 +1,53 @@
+// Exact, line-oriented serialization primitives shared by the sweep's
+// machine-readable artifacts (per-shard result dumps, resumable
+// checkpoints) and any future trace format.
+//
+// The merge contract of the fleet-scale sweep is *byte identity*: a table
+// rendered from deserialized results must equal the table rendered from the
+// in-memory originals. That forces two properties on these helpers:
+//
+//   * doubles round-trip bit-exactly — format_double_exact emits C99
+//     hexfloat (%a), which strtod parses back to the identical bits,
+//     including ±0, denormals, ±inf and NaN;
+//   * free-form strings (scenario names, exception texts) survive embedding
+//     in a tab-separated record — escape_field turns the record separators
+//     into backslash escapes and unescape_field inverts it exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tscclock {
+
+/// Render a double so that parse_double_exact returns the identical bits
+/// (hexfloat for finite values; "inf"/"-inf"/"nan" otherwise).
+std::string format_double_exact(double value);
+
+/// Inverse of format_double_exact; also accepts plain decimal. Throws
+/// std::runtime_error on empty input, trailing garbage or no conversion.
+double parse_double_exact(std::string_view text);
+
+/// Strict non-negative integer parse: digits only, no sign, no whitespace,
+/// no overflow. Throws std::runtime_error otherwise.
+std::uint64_t parse_u64_exact(std::string_view text);
+
+/// Escape a free-form string into a token safe inside a tab-separated,
+/// newline-terminated record: \t, \n, \r and backslash become two-character
+/// backslash escapes; everything else passes through verbatim.
+std::string escape_field(std::string_view text);
+
+/// Inverse of escape_field. Throws std::runtime_error on an unknown escape
+/// or a dangling trailing backslash (a torn record, not a valid field).
+std::string unescape_field(std::string_view text);
+
+/// Split `line` at every occurrence of `sep` (no quoting — fields are
+/// expected to be escape_field output). "a\tb\t" yields {"a","b",""}.
+std::vector<std::string> split_fields(std::string_view line, char sep = '\t');
+
+/// FNV-1a 64-bit hash (the repo's canonical cheap content hash: scenario
+/// seed identities and sweep grid fingerprints both use it).
+std::uint64_t fnv1a64(std::string_view text);
+
+}  // namespace tscclock

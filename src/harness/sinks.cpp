@@ -103,16 +103,28 @@ StreamingReducerSink::Reduction StreamingReducerSink::reduce() const {
   return out;
 }
 
+namespace {
+
+const std::vector<std::string>& trace_columns() {
+  static const std::vector<std::string> columns = {
+      "scenario",      "estimator",      "index",          "lost",
+      "ref_available", "in_warmup",      "evaluated",
+      "server_changed", "warmed_up",
+      "t_day",         "tb_stamp",       "truth_tb",
+      "offset_estimate",
+      "reference_offset", "offset_error", "naive_error",
+      "point_error",   "abs_clock_error", "period",
+      "sanity_triggered", "upshift",      "downshift"};
+  return columns;
+}
+
+}  // namespace
+
 CsvTraceSink::CsvTraceSink(const std::string& path)
-    : writer_(path,
-              {"scenario",      "estimator",      "index",          "lost",
-               "ref_available", "in_warmup",      "evaluated",
-               "server_changed", "warmed_up",
-               "t_day",         "tb_stamp",       "truth_tb",
-               "offset_estimate",
-               "reference_offset", "offset_error", "naive_error",
-               "point_error",   "abs_clock_error", "period",
-               "sanity_triggered", "upshift",      "downshift"}) {}
+    : writer_(path, trace_columns()) {}
+
+CsvTraceSink::CsvTraceSink(const std::string& path, Append)
+    : writer_(path, trace_columns(), CsvWriter::Append{}) {}
 
 void CsvTraceSink::on_sample(const SampleRecord& r) {
   const bool upshift = r.report.shift && r.report.shift->upward;

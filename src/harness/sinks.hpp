@@ -132,9 +132,17 @@ class StreamingReducerSink final : public SampleSink {
 /// SessionConfig::emit_unevaluated = true for gap-visible traces.
 class CsvTraceSink final : public SampleSink {
  public:
+  /// Tag selecting the resume mode of the appending constructor.
+  struct Append {};
+
   /// Opens `path` (overwriting) and emits the header row.
   /// Throws std::runtime_error if the file cannot be opened.
   explicit CsvTraceSink(const std::string& path);
+
+  /// Opens an existing `path` at its end and appends rows without a new
+  /// header (the sweep's checkpoint resume keeps the committed trace
+  /// prefix byte-for-byte and regenerates only the tail).
+  CsvTraceSink(const std::string& path, Append);
 
   /// Label written into the `scenario` column of subsequent rows, so one
   /// file can hold the traces of a whole sweep grid.
@@ -152,6 +160,10 @@ class CsvTraceSink final : public SampleSink {
   [[nodiscard]] std::size_t rows_written() const {
     return writer_.rows_written();
   }
+
+  /// Absolute byte offset after everything written so far (the sweep's
+  /// per-scenario checkpoint watermark; see CsvWriter::byte_offset).
+  [[nodiscard]] std::uint64_t byte_offset() { return writer_.byte_offset(); }
 
  private:
   CsvWriter writer_;

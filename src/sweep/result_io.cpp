@@ -1,0 +1,844 @@
+#include "sweep/result_io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/serialize.hpp"
+#include "common/table.hpp"
+
+namespace tscclock::sweep {
+
+namespace {
+
+constexpr const char* kDumpMagic = "tscclock-sweep-results";
+constexpr const char* kCheckpointMagic = "tscclock-sweep-checkpoint";
+
+// -- Token helpers ----------------------------------------------------------
+
+std::string server_token(sim::ServerKind kind) { return sim::to_string(kind); }
+
+sim::ServerKind parse_server_token(const std::string& token) {
+  if (token == "ServerLoc") return sim::ServerKind::kLoc;
+  if (token == "ServerInt") return sim::ServerKind::kInt;
+  if (token == "ServerExt") return sim::ServerKind::kExt;
+  throw ResultIoError("unknown server token '" + token + "'");
+}
+
+sim::Environment parse_environment_token(const std::string& token) {
+  if (token == "laboratory") return sim::Environment::kLaboratory;
+  if (token == "machine-room") return sim::Environment::kMachineRoom;
+  throw ResultIoError("unknown environment token '" + token + "'");
+}
+
+/// Reconstruct an EstimatorSpec from its canonical label without consulting
+/// the registry: the merge tool must render results for any family a shard
+/// binary knew, including out-of-tree ones this binary never linked. The
+/// canonical form — family, then "(k=v,...)" with no spaces and no nested
+/// punctuation in values — splits unambiguously.
+harness::EstimatorSpec spec_from_label(const std::string& label) {
+  harness::EstimatorSpec spec;
+  const std::size_t open = label.find('(');
+  if (open == std::string::npos) {
+    spec.family = label;
+    return spec;
+  }
+  if (label.back() != ')') {
+    throw ResultIoError("malformed estimator label '" + label + "'");
+  }
+  spec.family = label.substr(0, open);
+  const std::string inner = label.substr(open + 1, label.size() - open - 2);
+  for (const auto& item : split_fields(inner, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ResultIoError("malformed estimator label '" + label + "'");
+    }
+    spec.overrides.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+  }
+  if (spec.family.empty() || spec.overrides.empty()) {
+    throw ResultIoError("malformed estimator label '" + label + "'");
+  }
+  return spec;
+}
+
+void append_summary(std::ostringstream& out, const SeriesSummary& s) {
+  out << '\t' << s.count << '\t' << format_double_exact(s.min) << '\t'
+      << format_double_exact(s.max) << '\t' << format_double_exact(s.mean)
+      << '\t' << format_double_exact(s.stddev) << '\t'
+      << format_double_exact(s.percentiles.p01) << '\t'
+      << format_double_exact(s.percentiles.p25) << '\t'
+      << format_double_exact(s.percentiles.p50) << '\t'
+      << format_double_exact(s.percentiles.p75) << '\t'
+      << format_double_exact(s.percentiles.p99);
+}
+
+/// Sequential field cursor over a split record line; every read is
+/// validated so a torn/reordered record surfaces as ResultIoError, never as
+/// silently wrong numbers.
+class FieldReader {
+ public:
+  explicit FieldReader(std::vector<std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  const std::string& next() {
+    if (index_ >= fields_.size()) {
+      throw ResultIoError("record truncated: expected more fields");
+    }
+    return fields_[index_++];
+  }
+  std::uint64_t next_u64() { return parse_u64_exact(next()); }
+  std::size_t next_size() { return static_cast<std::size_t>(next_u64()); }
+  double next_double() { return parse_double_exact(next()); }
+  bool next_bool() {
+    const std::string& token = next();
+    if (token == "0") return false;
+    if (token == "1") return true;
+    throw ResultIoError("malformed bool field '" + token + "'");
+  }
+  std::string next_text() { return unescape_field(next()); }
+  [[nodiscard]] bool exhausted() const { return index_ == fields_.size(); }
+  [[nodiscard]] std::size_t size() const { return fields_.size(); }
+
+ private:
+  std::vector<std::string> fields_;
+  std::size_t index_ = 0;
+};
+
+SeriesSummary read_summary(FieldReader& reader) {
+  SeriesSummary s;
+  s.count = reader.next_size();
+  s.min = reader.next_double();
+  s.max = reader.next_double();
+  s.mean = reader.next_double();
+  s.stddev = reader.next_double();
+  s.percentiles.p01 = reader.next_double();
+  s.percentiles.p25 = reader.next_double();
+  s.percentiles.p50 = reader.next_double();
+  s.percentiles.p75 = reader.next_double();
+  s.percentiles.p99 = reader.next_double();
+  return s;
+}
+
+/// serialize_result field count; parse_result enforces it exactly so a
+/// record from a different (future) layout can never half-parse.
+constexpr std::size_t kCellFields = 58;
+
+/// Line-oriented reader tracking byte offsets (the checkpoint loader needs
+/// the exact end-of-prefix offset to truncate a torn tail). A final line
+/// without a terminating newline is reported as torn, never returned as
+/// content — that is precisely the kill-mid-write signature.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& content) : content_(content) {}
+
+  /// Next complete ('\n'-terminated) line, without the newline.
+  /// Returns false at end of complete content; a trailing unterminated
+  /// fragment sets torn().
+  bool next_line(std::string& line) {
+    if (offset_ >= content_.size()) return false;
+    const std::size_t newline = content_.find('\n', offset_);
+    if (newline == std::string::npos) {
+      torn_ = true;
+      return false;
+    }
+    line.assign(content_, offset_, newline - offset_);
+    offset_ = newline + 1;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  [[nodiscard]] bool torn() const { return torn_; }
+
+ private:
+  const std::string& content_;
+  std::size_t offset_ = 0;
+  bool torn_ = false;
+};
+
+std::string read_file(const std::string& path, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ResultIoError(std::string(what) + ": cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw ResultIoError(std::string(what) + ": read error on " + path);
+  }
+  return buffer.str();
+}
+
+/// "key value" header line helper: enforces the key and returns the value.
+std::string header_value(const std::string& line, const std::string& key,
+                         const std::string& context) {
+  if (line.size() <= key.size() || line.compare(0, key.size(), key) != 0 ||
+      line[key.size()] != ' ') {
+    throw ResultIoError(context + ": expected '" + key + " ...', got '" +
+                        line + "'");
+  }
+  return line.substr(key.size() + 1);
+}
+
+/// Parse "<magic> <version>" and enforce both; a version mismatch names the
+/// two versions (the CLI "version-skewed dump" message).
+void check_magic(const std::string& line, const char* magic,
+                 const std::string& context) {
+  const std::string expected_prefix = std::string(magic) + " ";
+  if (line.compare(0, expected_prefix.size(), expected_prefix) != 0) {
+    throw ResultIoError(context + ": not a " + magic + " file (first line '" +
+                        line + "')");
+  }
+  const std::string version = line.substr(expected_prefix.size());
+  if (version != std::to_string(kResultFormatVersion)) {
+    throw ResultIoError(
+        context + ": format version " + version +
+        " is not supported by this build (expected version " +
+        std::to_string(kResultFormatVersion) + ")");
+  }
+}
+
+std::string format_hash(std::uint64_t hash) {
+  return strfmt("0x%016llx", static_cast<unsigned long long>(hash));
+}
+
+std::uint64_t parse_hash(const std::string& text, const std::string& context) {
+  if (text.size() != 18 || text.compare(0, 2, "0x") != 0) {
+    throw ResultIoError(context + ": malformed hash '" + text + "'");
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 2; i < text.size(); ++i) {
+    const char c = text[i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw ResultIoError(context + ": malformed hash '" + text + "'");
+    }
+  }
+  return value;
+}
+
+ShardSpec parse_shard_token(const std::string& text,
+                            const std::string& context) {
+  try {
+    return parse_shard(text);
+  } catch (const SweepUsageError&) {
+    throw ResultIoError(context + ": malformed shard '" + text + "'");
+  }
+}
+
+}  // namespace
+
+std::uint64_t sweep_run_hash(const GridSpec& grid, Seconds discard_warmup,
+                             bool streaming_reduction) {
+  std::string descriptor = grid_descriptor(grid);
+  descriptor += "discard_warmup " + format_double_exact(discard_warmup) + "\n";
+  descriptor += streaming_reduction ? "reduction streaming\n"
+                                    : "reduction exact\n";
+  return fnv1a64(descriptor);
+}
+
+// -- Cell serialization ------------------------------------------------------
+
+std::string serialize_result(const ScenarioResult& r) {
+  std::ostringstream out;
+  out << r.scenario_index << '\t' << escape_field(r.name) << '\t' << r.seed
+      << '\t' << server_token(r.server) << '\t' << sim::to_string(r.environment)
+      << '\t' << escape_field(r.estimator.label()) << '\t'
+      << (r.failed ? 1 : 0) << '\t' << escape_field(r.error) << '\t' << r.polls
+      << '\t' << r.skipped << '\t' << r.exchanges << '\t' << r.lost << '\t'
+      << r.evaluated;
+  append_summary(out, r.clock_error);
+  append_summary(out, r.offset_error);
+  out << '\t' << format_double_exact(r.adev_short_tau) << '\t'
+      << format_double_exact(r.adev_short) << '\t'
+      << format_double_exact(r.adev_long_tau) << '\t'
+      << format_double_exact(r.adev_long) << '\t' << r.steps;
+  const core::ClockStatus& s = r.final_status;
+  out << '\t' << s.packets_processed << '\t' << s.rate_accepted << '\t'
+      << s.offset_sanity_triggers << '\t' << s.offset_fallbacks << '\t'
+      << s.gap_blends << '\t' << s.local_rate_sanity_blocks << '\t'
+      << s.rate_sanity_blocks << '\t' << s.rate_sanity_releases << '\t'
+      << s.offset_sanity_releases << '\t' << s.upshifts << '\t'
+      << s.downshifts << '\t' << s.top_window_updates << '\t'
+      << s.server_changes << '\t' << (s.warmed_up ? 1 : 0) << '\t'
+      << format_double_exact(s.period) << '\t'
+      << format_double_exact(s.period_quality) << '\t'
+      << (s.local_rate_usable ? 1 : 0) << '\t'
+      << format_double_exact(s.local_rate_residual) << '\t'
+      << format_double_exact(s.offset) << '\t'
+      << format_double_exact(s.min_rtt);
+  return out.str();
+}
+
+ScenarioResult parse_result(std::string_view line) {
+  FieldReader reader(split_fields(line));
+  if (reader.size() != kCellFields) {
+    throw ResultIoError(strfmt("cell record has %zu fields, expected %zu",
+                               reader.size(), kCellFields));
+  }
+  try {
+    ScenarioResult r;
+    r.scenario_index = reader.next_size();
+    r.name = reader.next_text();
+    r.seed = reader.next_u64();
+    r.server = parse_server_token(reader.next());
+    r.environment = parse_environment_token(reader.next());
+    r.estimator = spec_from_label(reader.next_text());
+    r.failed = reader.next_bool();
+    r.error = reader.next_text();
+    r.polls = reader.next_size();
+    r.skipped = reader.next_size();
+    r.exchanges = reader.next_size();
+    r.lost = reader.next_size();
+    r.evaluated = reader.next_size();
+    r.clock_error = read_summary(reader);
+    r.offset_error = read_summary(reader);
+    r.adev_short_tau = reader.next_double();
+    r.adev_short = reader.next_double();
+    r.adev_long_tau = reader.next_double();
+    r.adev_long = reader.next_double();
+    r.steps = reader.next_u64();
+    core::ClockStatus& s = r.final_status;
+    s.packets_processed = reader.next_u64();
+    s.rate_accepted = reader.next_u64();
+    s.offset_sanity_triggers = reader.next_u64();
+    s.offset_fallbacks = reader.next_u64();
+    s.gap_blends = reader.next_u64();
+    s.local_rate_sanity_blocks = reader.next_u64();
+    s.rate_sanity_blocks = reader.next_u64();
+    s.rate_sanity_releases = reader.next_u64();
+    s.offset_sanity_releases = reader.next_u64();
+    s.upshifts = reader.next_u64();
+    s.downshifts = reader.next_u64();
+    s.top_window_updates = reader.next_u64();
+    s.server_changes = reader.next_u64();
+    s.warmed_up = reader.next_bool();
+    s.period = reader.next_double();
+    s.period_quality = reader.next_double();
+    s.local_rate_usable = reader.next_bool();
+    s.local_rate_residual = reader.next_double();
+    s.offset = reader.next_double();
+    s.min_rtt = reader.next_double();
+    TSC_ENSURES(reader.exhausted());
+    return r;
+  } catch (const ResultIoError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ResultIoError(std::string("malformed cell record: ") + e.what());
+  }
+}
+
+// -- Shard result dumps ------------------------------------------------------
+
+namespace {
+
+void write_dump_header(std::ostream& out, const ShardDumpHeader& header,
+                       std::size_t cell_count) {
+  out << kDumpMagic << ' ' << header.version << '\n';
+  out << "hash " << format_hash(header.run_hash) << '\n';
+  out << "shard " << header.shard.label() << '\n';
+  out << "scenarios_total " << header.scenario_total << '\n';
+  out << "duration " << format_double_exact(header.duration) << '\n';
+  out << "master_seed " << header.master_seed << '\n';
+  out << "estimators " << header.estimator_labels.size() << '\n';
+  for (const auto& label : header.estimator_labels) {
+    out << "estimator " << escape_field(label) << '\n';
+  }
+  out << "cells " << cell_count << '\n';
+}
+
+}  // namespace
+
+ShardDumpWriter::ShardDumpWriter(const std::string& path,
+                                 const ShardDumpHeader& header,
+                                 std::size_t cell_count)
+    : path_(path), cell_count_(cell_count) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open result dump " + path +
+                             " for writing");
+  }
+  out.exceptions(std::ios::badbit | std::ios::failbit);
+  write_dump_header(out, header, cell_count);
+  out.close();
+}
+
+void ShardDumpWriter::write_cells(std::span<const ScenarioResult> results) {
+  TSC_EXPECTS(results.size() == cell_count_);
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) {
+    throw std::runtime_error("cannot reopen result dump " + path_);
+  }
+  out.exceptions(std::ios::badbit | std::ios::failbit);
+  for (const auto& result : results) {
+    out << "cell\t" << serialize_result(result) << '\n';
+  }
+  // The end marker is the completeness witness: a dump that died mid-write
+  // (or a partially copied file) is refused by read_shard_dump.
+  out << "end\n";
+  out.close();
+}
+
+ShardDump read_shard_dump(const std::string& path) {
+  const std::string content = read_file(path, "result dump");
+  const std::string context = "result dump " + path;
+  LineReader lines(content);
+  std::string line;
+  const auto next_line = [&]() -> const std::string& {
+    if (!lines.next_line(line)) {
+      throw ResultIoError(context + ": truncated (unexpected end of file)");
+    }
+    return line;
+  };
+
+  ShardDump dump;
+  check_magic(next_line(), kDumpMagic, context);
+  dump.header.run_hash =
+      parse_hash(header_value(next_line(), "hash", context), context);
+  dump.header.shard =
+      parse_shard_token(header_value(next_line(), "shard", context), context);
+  try {
+    dump.header.scenario_total =
+        parse_u64_exact(header_value(next_line(), "scenarios_total", context));
+    dump.header.duration =
+        parse_double_exact(header_value(next_line(), "duration", context));
+    dump.header.master_seed =
+        parse_u64_exact(header_value(next_line(), "master_seed", context));
+    const std::size_t estimator_count =
+        parse_u64_exact(header_value(next_line(), "estimators", context));
+    for (std::size_t i = 0; i < estimator_count; ++i) {
+      dump.header.estimator_labels.push_back(
+          unescape_field(header_value(next_line(), "estimator", context)));
+    }
+    const std::size_t cell_count =
+        parse_u64_exact(header_value(next_line(), "cells", context));
+    dump.results.reserve(cell_count);
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      const std::string& cell_line = next_line();
+      if (cell_line.compare(0, 5, "cell\t") != 0) {
+        throw ResultIoError(context + ": expected cell record " +
+                            std::to_string(i) + ", got '" + cell_line + "'");
+      }
+      dump.results.push_back(
+          parse_result(std::string_view(cell_line).substr(5)));
+    }
+  } catch (const ResultIoError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ResultIoError(context + ": " + e.what());
+  }
+  if (next_line() != "end") {
+    throw ResultIoError(context + ": missing end marker (dump incomplete)");
+  }
+  return dump;
+}
+
+// -- Merge -------------------------------------------------------------------
+
+MergedSweep merge_shard_dumps(const std::vector<ShardDump>& dumps) {
+  if (dumps.empty()) {
+    throw ResultIoError("nothing to merge: no shard dumps given");
+  }
+  const ShardDumpHeader& first = dumps.front().header;
+  const std::size_t shard_count = first.shard.count;
+
+  // Header consistency: every dump must describe the same run.
+  std::vector<const ShardDump*> by_index(shard_count, nullptr);
+  for (const auto& dump : dumps) {
+    const ShardDumpHeader& h = dump.header;
+    if (h.run_hash != first.run_hash) {
+      throw ResultIoError(strfmt(
+          "shard %s does not belong to the same sweep: run fingerprint %s "
+          "vs %s (different grid, seed, warm-up or reduction options)",
+          h.shard.label().c_str(), format_hash(h.run_hash).c_str(),
+          format_hash(first.run_hash).c_str()));
+    }
+    if (h.shard.count != shard_count) {
+      throw ResultIoError(strfmt(
+          "inconsistent shard counts: got shard %s alongside shard %s",
+          h.shard.label().c_str(), first.shard.label().c_str()));
+    }
+    if (h.scenario_total != first.scenario_total ||
+        h.estimator_labels != first.estimator_labels ||
+        h.master_seed != first.master_seed ||
+        h.duration != first.duration) {
+      throw ResultIoError(
+          strfmt("shard %s header disagrees with shard %s despite matching "
+                 "fingerprints (corrupt dump?)",
+                 h.shard.label().c_str(), first.shard.label().c_str()));
+    }
+    const std::size_t slot = h.shard.index - 1;
+    if (by_index[slot] != nullptr) {
+      throw ResultIoError("duplicate dump for shard " + h.shard.label());
+    }
+    by_index[slot] = &dump;
+  }
+  if (dumps.size() != shard_count) {
+    // Fewer dumps than N (with no duplicates) means a gap; name the first.
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      if (by_index[i] == nullptr) {
+        throw ResultIoError(strfmt(
+            "missing dump for shard %zu/%zu (got %zu of %zu shards)", i + 1,
+            shard_count, dumps.size(), shard_count));
+      }
+    }
+  }
+
+  // Coverage: each shard must hold exactly its round-robin slice, in order.
+  const std::size_t lanes = first.estimator_labels.size();
+  const std::size_t total = first.scenario_total;
+  MergedSweep merged;
+  merged.header = first;
+  merged.header.shard = ShardSpec{1, 1};
+  merged.results.resize(total * lanes);
+  std::vector<char> covered(total, 0);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const ShardSpec shard{s + 1, shard_count};
+    const std::vector<std::size_t> owned = shard_scenarios(total, shard);
+    const ShardDump& dump = *by_index[s];
+    if (dump.results.size() != owned.size() * lanes) {
+      throw ResultIoError(
+          strfmt("shard %s holds %zu cells, expected %zu (%zu scenarios x "
+                 "%zu estimators)",
+                 shard.label().c_str(), dump.results.size(),
+                 owned.size() * lanes, owned.size(), lanes));
+    }
+    for (std::size_t k = 0; k < owned.size(); ++k) {
+      const std::size_t scenario = owned[k];
+      if (covered[scenario]) {
+        throw ResultIoError(strfmt("scenario %zu covered twice", scenario));
+      }
+      covered[scenario] = 1;
+      for (std::size_t e = 0; e < lanes; ++e) {
+        const ScenarioResult& cell = dump.results[k * lanes + e];
+        if (cell.scenario_index != scenario) {
+          throw ResultIoError(
+              strfmt("shard %s cell %zu carries scenario index %zu, "
+                     "expected %zu (dump out of order?)",
+                     shard.label().c_str(), k * lanes + e,
+                     cell.scenario_index, scenario));
+        }
+        if (cell.estimator.label() != first.estimator_labels[e]) {
+          throw ResultIoError(
+              strfmt("shard %s scenario %zu lane %zu is '%s', expected '%s'",
+                     shard.label().c_str(), scenario, e,
+                     cell.estimator.label().c_str(),
+                     first.estimator_labels[e].c_str()));
+        }
+        merged.results[scenario * lanes + e] = cell;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    // Unreachable when the arithmetic above is right (every scenario has
+    // exactly one round-robin owner), kept as a cheap invariant.
+    if (!covered[i]) {
+      throw ResultIoError(strfmt("scenario %zu covered by no shard", i));
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+/// Sequential reader over one shard's trace CSV: hands out the contiguous
+/// row block of each scenario in file order (exactly how the sweep's
+/// grid-order drainer wrote them).
+class TraceCsvReader {
+ public:
+  explicit TraceCsvReader(const std::string& path)
+      : path_(path), content_(read_file(path, "trace csv")), lines_(content_) {
+    if (lines_.torn()) {
+      // Defensive; torn() only set after a failed next_line().
+    }
+    if (!lines_.next_line(header_)) {
+      throw ResultIoError("trace csv " + path + ": empty file");
+    }
+    advance();
+  }
+
+  [[nodiscard]] const std::string& header() const { return header_; }
+
+  /// Append (with newlines) every consecutive row whose scenario column
+  /// equals `scenario`; zero rows is valid (FAILED or empty cells).
+  void take_scenario(const std::string& scenario, std::string& out) {
+    while (have_row_ && row_scenario_ == scenario) {
+      out += row_;
+      out += '\n';
+      advance();
+    }
+  }
+
+  void expect_exhausted() const {
+    if (have_row_) {
+      throw ResultIoError("trace csv " + path_ +
+                          ": unclaimed rows for scenario '" + row_scenario_ +
+                          "' (does the trace belong to this dump?)");
+    }
+  }
+
+ private:
+  void advance() {
+    have_row_ = lines_.next_line(row_);
+    if (lines_.torn()) {
+      throw ResultIoError("trace csv " + path_ +
+                          ": torn trailing line (incomplete dump)");
+    }
+    if (!have_row_) return;
+    // Scenario names never need RFC-4180 quoting (no commas), but estimator
+    // labels later in the row may — only the first column matters here.
+    const std::size_t comma = row_.find(',');
+    row_scenario_ =
+        comma == std::string::npos ? row_ : row_.substr(0, comma);
+  }
+
+  std::string path_;
+  std::string content_;
+  LineReader lines_;
+  std::string header_;
+  std::string row_;
+  std::string row_scenario_;
+  bool have_row_ = false;
+};
+
+}  // namespace
+
+void merge_trace_csv(const MergedSweep& merged,
+                     const std::vector<ShardDump>& dumps,
+                     const std::vector<std::string>& trace_paths,
+                     const std::string& out_path) {
+  TSC_EXPECTS(dumps.size() == trace_paths.size());
+  const std::size_t shard_count =
+      dumps.empty() ? 0 : dumps.front().header.shard.count;
+  if (dumps.size() != shard_count) {
+    throw ResultIoError("merge_trace_csv needs every shard's trace");
+  }
+  std::vector<std::unique_ptr<TraceCsvReader>> readers(shard_count);
+  for (std::size_t j = 0; j < dumps.size(); ++j) {
+    const std::size_t slot = dumps[j].header.shard.index - 1;
+    TSC_EXPECTS(slot < shard_count && readers[slot] == nullptr);
+    readers[slot] = std::make_unique<TraceCsvReader>(trace_paths[j]);
+  }
+  const std::string& header = readers[0]->header();
+  for (const auto& reader : readers) {
+    if (reader->header() != header) {
+      throw ResultIoError("trace csv headers disagree across shards");
+    }
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw ResultIoError("cannot open merged trace csv " + out_path);
+  }
+  out.exceptions(std::ios::badbit | std::ios::failbit);
+  out << header << '\n';
+
+  const std::size_t lanes = merged.header.estimator_labels.size();
+  std::string block;
+  for (std::size_t scenario = 0; scenario * lanes < merged.results.size();
+       ++scenario) {
+    const ScenarioResult& cell = merged.results[scenario * lanes];
+    const std::size_t owner = scenario % shard_count;
+    block.clear();
+    readers[owner]->take_scenario(cell.name, block);
+    out << block;
+  }
+  for (const auto& reader : readers) reader->expect_exhausted();
+  out.close();
+}
+
+// -- Checkpoints -------------------------------------------------------------
+
+namespace {
+
+void write_checkpoint_header(std::ostream& out,
+                             const CheckpointHeader& header) {
+  out << kCheckpointMagic << ' ' << header.version << '\n';
+  out << "hash " << format_hash(header.run_hash) << '\n';
+  out << "shard " << header.shard.label() << '\n';
+  out << "csv " << (header.with_csv ? 1 : 0) << '\n';
+}
+
+}  // namespace
+
+CheckpointLoad load_checkpoint(const std::string& path,
+                               const CheckpointHeader& expected,
+                               const std::vector<SweepScenario>& scenarios,
+                               std::span<const std::string> estimator_labels) {
+  const std::string context = "checkpoint " + path;
+  std::string content;
+  try {
+    content = read_file(path, "checkpoint");
+  } catch (const ResultIoError& e) {
+    throw SweepUsageError(e.what());
+  }
+  LineReader lines(content);
+  std::string line;
+  const auto next_header_line = [&]() -> const std::string& {
+    if (!lines.next_line(line)) {
+      throw SweepUsageError(context +
+                            ": truncated before the header completed — "
+                            "delete the file to start over");
+    }
+    return line;
+  };
+
+  // Header mismatches are usage errors (exit 2): the user pointed a resume
+  // at the wrong file or changed the invocation under it.
+  CheckpointLoad load;
+  try {
+    check_magic(next_header_line(), kCheckpointMagic, context);
+    const std::uint64_t hash = parse_hash(
+        header_value(next_header_line(), "hash", context), context);
+    if (hash != expected.run_hash) {
+      throw SweepUsageError(strfmt(
+          "%s was written by a different sweep invocation: run fingerprint "
+          "%s vs this invocation's %s — the grid, master seed, warm-up or "
+          "reduction options differ; delete the checkpoint or rerun the "
+          "original command line",
+          context.c_str(), format_hash(hash).c_str(),
+          format_hash(expected.run_hash).c_str()));
+    }
+    const ShardSpec shard = parse_shard_token(
+        header_value(next_header_line(), "shard", context), context);
+    if (!(shard == expected.shard)) {
+      throw SweepUsageError(strfmt(
+          "%s belongs to shard %s, this invocation is shard %s",
+          context.c_str(), shard.label().c_str(),
+          expected.shard.label().c_str()));
+    }
+    const std::string csv_flag =
+        header_value(next_header_line(), "csv", context);
+    const bool with_csv = csv_flag == "1";
+    if (!with_csv && csv_flag != "0") {
+      throw ResultIoError(context + ": malformed csv flag '" + csv_flag +
+                          "'");
+    }
+    if (with_csv != expected.with_csv) {
+      throw SweepUsageError(
+          context + (with_csv
+                         ? ": was written with --csv; resume with the same "
+                           "--csv path or delete the checkpoint"
+                         : ": was written without --csv; a resume cannot "
+                           "add --csv (the committed scenarios' trace rows "
+                           "were never recorded) — delete the checkpoint "
+                           "to start over"));
+    }
+  } catch (const ResultIoError& e) {
+    throw SweepUsageError(e.what());
+  }
+  load.valid_bytes = lines.offset();
+
+  // Body: cells of the owned scenarios in shard grid order, each group
+  // sealed by its `done` watermark. The longest valid prefix wins; the
+  // first anomaly — torn line, parse failure, identity mismatch, wrong
+  // order — ends it (corruption is recomputed, never trusted).
+  const std::vector<std::size_t> owned =
+      shard_scenarios(scenarios.size(), expected.shard);
+  const std::size_t lanes = estimator_labels.size();
+  std::vector<ScenarioResult> group;
+  while (load.committed_scenarios < owned.size()) {
+    const std::size_t scenario_index = owned[load.committed_scenarios];
+    const SweepScenario& scenario = scenarios[scenario_index];
+    group.clear();
+    bool group_ok = true;
+    try {
+      for (std::size_t e = 0; e < lanes && group_ok; ++e) {
+        if (!lines.next_line(line)) {
+          group_ok = false;
+          break;
+        }
+        if (line.compare(0, 5, "cell\t") != 0) {
+          throw ResultIoError("expected cell record, got '" + line + "'");
+        }
+        ScenarioResult cell =
+            parse_result(std::string_view(line).substr(5));
+        if (cell.scenario_index != scenario_index ||
+            cell.name != scenario.name ||
+            cell.estimator.label() != estimator_labels[e]) {
+          throw ResultIoError("cell identity mismatch");
+        }
+        group.push_back(std::move(cell));
+      }
+      if (group_ok) {
+        if (!lines.next_line(line)) {
+          group_ok = false;
+        } else {
+          FieldReader done(split_fields(line));
+          if (done.size() != 3 || done.next() != "done") {
+            throw ResultIoError("expected done record, got '" + line + "'");
+          }
+          if (done.next_size() != scenario_index) {
+            throw ResultIoError("done record names the wrong scenario");
+          }
+          load.csv_bytes = done.next_u64();
+        }
+      }
+    } catch (const std::exception&) {
+      group_ok = false;
+    }
+    if (!group_ok) break;
+    for (auto& cell : group) load.results.push_back(std::move(cell));
+    ++load.committed_scenarios;
+    load.valid_bytes = lines.offset();
+  }
+  load.discarded_tail =
+      lines.torn() || load.valid_bytes < content.size();
+  return load;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CheckpointHeader& header)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("cannot open checkpoint " + path +
+                             " for writing");
+  }
+  out_.exceptions(std::ios::badbit | std::ios::failbit);
+  write_checkpoint_header(out_, header);
+  out_.flush();
+}
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   std::uint64_t valid_bytes) {
+  // Truncate away any torn tail first, then append after the committed
+  // prefix — the file never holds bytes we would not trust on the next
+  // resume.
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("cannot truncate checkpoint " + path + ": " +
+                             ec.message());
+  }
+  out_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                      std::ios::ate);
+  if (!out_) {
+    throw std::runtime_error("cannot reopen checkpoint " + path);
+  }
+  out_.exceptions(std::ios::badbit | std::ios::failbit);
+}
+
+void CheckpointWriter::record_scenario(std::span<const ScenarioResult> cells,
+                                       std::size_t scenario_index,
+                                       std::uint64_t csv_bytes) {
+  TSC_EXPECTS(!cells.empty());
+  for (const auto& cell : cells) {
+    out_ << "cell\t" << serialize_result(cell) << '\n';
+  }
+  out_ << "done\t" << scenario_index << '\t' << csv_bytes << '\n';
+  // One flush per scenario bounds the loss window of a kill to the
+  // in-flight record — which the loader detects as a torn tail.
+  out_.flush();
+}
+
+void CheckpointWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace tscclock::sweep

@@ -2,23 +2,15 @@
 
 #include <algorithm>
 #include <set>
+#include <sstream>
 
 #include "common/contracts.hpp"
+#include "common/serialize.hpp"
 #include "common/table.hpp"
 
 namespace tscclock::sweep {
 
 namespace {
-
-/// FNV-1a 64-bit over the identity string.
-std::uint64_t fnv1a(const std::string& text) {
-  std::uint64_t hash = 0xcbf29ce484222325ull;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ull;
-  }
-  return hash;
-}
 
 /// splitmix64 finalizer: spreads related inputs (master ^ hash) across the
 /// full 64-bit space so mt19937_64 seeds are well decorrelated.
@@ -39,7 +31,7 @@ std::string scenario_name(sim::ServerKind server, sim::Environment environment,
 
 std::uint64_t scenario_seed(std::uint64_t master_seed,
                             const std::string& identity) {
-  return splitmix64(master_seed ^ fnv1a(identity));
+  return splitmix64(master_seed ^ fnv1a64(identity));
 }
 
 std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
@@ -96,6 +88,60 @@ std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
     }
   }
   return scenarios;
+}
+
+std::string grid_descriptor(const GridSpec& grid) {
+  // Every field below can change a result cell; nothing else in GridSpec
+  // can. Doubles are rendered in exact hexfloat so two descriptors are
+  // equal iff the grids are value-identical (no %g collision window).
+  std::ostringstream out;
+  out << "tscclock-grid v1\n";
+  out << "servers";
+  for (const auto server : grid.servers) out << ' ' << sim::to_string(server);
+  out << "\nenvironments";
+  for (const auto environment : grid.environments) {
+    out << ' ' << sim::to_string(environment);
+  }
+  out << "\npolls";
+  for (const auto poll : grid.poll_periods) {
+    out << ' ' << format_double_exact(poll);
+  }
+  out << '\n';
+  for (const auto& schedule : grid.schedules) {
+    // Schedules carry structure, not just a name: two invocations may both
+    // say "outage" yet place the gap differently (the CLI derives event
+    // times from the duration). Serialize the contents.
+    out << "schedule " << escape_field(schedule.name);
+    for (const auto& o : schedule.events.outages()) {
+      out << " outage " << format_double_exact(o.start) << ' '
+          << format_double_exact(o.end);
+    }
+    for (const auto& f : schedule.events.server_faults()) {
+      out << " fault " << format_double_exact(f.start) << ' '
+          << format_double_exact(f.end) << ' '
+          << format_double_exact(f.offset);
+    }
+    for (const auto& s : schedule.events.level_shifts()) {
+      out << " shift " << format_double_exact(s.start) << ' '
+          << format_double_exact(s.end) << ' '
+          << format_double_exact(s.forward_delta) << ' '
+          << format_double_exact(s.backward_delta);
+    }
+    for (const auto& s : schedule.server_switches) {
+      out << " switch " << format_double_exact(s.time) << ' '
+          << sim::to_string(s.kind);
+    }
+    out << '\n';
+  }
+  out << "estimators";
+  for (const auto& spec : grid.estimators) {
+    out << ' ' << escape_field(spec.label());
+  }
+  out << "\nduration " << format_double_exact(grid.duration);
+  out << "\npoll_jitter " << format_double_exact(grid.poll_jitter);
+  out << "\nwire " << (grid.use_wire_format ? 1 : 0);
+  out << "\nmaster_seed " << grid.master_seed << '\n';
+  return out.str();
 }
 
 }  // namespace tscclock::sweep

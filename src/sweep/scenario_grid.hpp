@@ -88,4 +88,14 @@ std::uint64_t scenario_seed(std::uint64_t master_seed,
 /// (servers → environments → poll periods → schedules).
 std::vector<SweepScenario> expand_grid(const GridSpec& grid);
 
+/// Canonical, exhaustive text rendering of everything in the GridSpec that
+/// can influence a result cell: every axis value (schedules including their
+/// event/switch contents, estimators by canonical label), the shared scalar
+/// knobs and the master seed, with doubles in exact hexfloat. Two GridSpecs
+/// produce the same descriptor iff a sweep over them is guaranteed to
+/// produce identical results — this string (hashed, together with the
+/// run-affecting SweepOptions) is the fingerprint that shard dumps and
+/// checkpoints use to refuse mixing incompatible invocations.
+std::string grid_descriptor(const GridSpec& grid);
+
 }  // namespace tscclock::sweep

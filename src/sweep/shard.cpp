@@ -1,0 +1,51 @@
+#include "sweep/shard.hpp"
+
+#include "common/serialize.hpp"
+#include "common/table.hpp"
+
+namespace tscclock::sweep {
+
+std::string ShardSpec::label() const {
+  return strfmt("%zu/%zu", index, count);
+}
+
+ShardSpec parse_shard(std::string_view text) {
+  const auto die = [&](const std::string& why) -> void {
+    throw SweepUsageError("invalid --shard '" + std::string(text) + "': " +
+                          why + " (expected I/N with 1 <= I <= N, e.g. 2/8)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) die("missing '/'");
+  if (text.find('/', slash + 1) != std::string_view::npos) {
+    die("more than one '/'");
+  }
+  ShardSpec shard;
+  try {
+    shard.index = parse_u64_exact(text.substr(0, slash));
+    shard.count = parse_u64_exact(text.substr(slash + 1));
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  if (shard.count == 0) die("shard count must be >= 1");
+  if (shard.index == 0) die("shard indices are 1-based");
+  if (shard.index > shard.count) {
+    die(strfmt("shard index %zu exceeds shard count %zu", shard.index,
+               shard.count));
+  }
+  return shard;
+}
+
+std::vector<std::size_t> shard_scenarios(std::size_t total,
+                                         const ShardSpec& shard) {
+  std::vector<std::size_t> owned;
+  if (shard.count == 0 || shard.index == 0 || shard.index > shard.count) {
+    throw SweepUsageError("invalid shard " + shard.label());
+  }
+  owned.reserve(total / shard.count + 1);
+  for (std::size_t i = shard.index - 1; i < total; i += shard.count) {
+    owned.push_back(i);
+  }
+  return owned;
+}
+
+}  // namespace tscclock::sweep

@@ -1,0 +1,72 @@
+// Deterministic grid sharding for fleet-scale sweeps.
+//
+// `sweep --shard i/N` runs the i-th of N disjoint slices of the expanded
+// scenario grid. The partition is by *scenario* (round-robin on the
+// scenario's grid index), never by (scenario, estimator) cell: a scenario is
+// the sweep's unit of work — all estimator lanes, including replay lanes
+// scored over the scenario's recorded trace, share one Testbed drain — so
+// cutting through a scenario would force two shards to regenerate the same
+// exchange stream and would strand a replay lane away from its recording.
+//
+// Determinism contract: shard membership depends only on the scenario's
+// position in the expanded grid and on N. Together with the identity-derived
+// per-scenario seeds and the grid-order reduction, this makes the union of
+// the N shard runs carry exactly the information of the single-process
+// sweep — tools/sweep-merge reassembles the identical tables byte-for-byte
+// (pinned by golden tests).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tscclock::sweep {
+
+/// A sweep invocation that cannot be what the user meant (malformed --shard
+/// shape, checkpoint/invocation mismatch). tools/sweep prints the message
+/// verbatim and exits 2, like every other usage error.
+class SweepUsageError : public std::runtime_error {
+ public:
+  explicit SweepUsageError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One slice of an N-way grid partition. Indices are 1-based — "--shard
+/// 1/3" is the first of three shards, like "part 1 of 3" — and the default
+/// 1/1 is the whole grid (the unsharded sweep is the one-shard special
+/// case, not a separate code path).
+struct ShardSpec {
+  std::size_t index = 1;  ///< 1-based shard index, in [1, count]
+  std::size_t count = 1;  ///< total number of shards, >= 1
+
+  [[nodiscard]] bool whole() const { return count == 1; }
+
+  /// Round-robin ownership: scenario `scenario_index` (0-based grid
+  /// position) belongs to this shard iff index-1 == scenario_index mod
+  /// count. Round-robin (rather than contiguous blocks) spreads any
+  /// cost-vs-position correlation of the grid axes evenly across the fleet.
+  [[nodiscard]] bool owns(std::size_t scenario_index) const {
+    return scenario_index % count == index - 1;
+  }
+
+  /// "i/N", the canonical CLI / header spelling.
+  [[nodiscard]] std::string label() const;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+/// Parse "i/N" (digits, one slash, 1 <= i <= N). Throws SweepUsageError
+/// with a usage-pointing message on every malformed shape: "0/3" (indices
+/// are 1-based), "4/3" (index beyond count), "1/0" (no shards), "x/y"
+/// (not numbers), "13" (missing slash), "1/3/5", whitespace, empty.
+ShardSpec parse_shard(std::string_view text);
+
+/// The 0-based grid indices owned by `shard` out of `total` scenarios, in
+/// increasing order. Empty when the grid is smaller than the fleet and this
+/// shard drew no work (still a valid shard: its dump merges as zero cells).
+std::vector<std::size_t> shard_scenarios(std::size_t total,
+                                         const ShardSpec& shard);
+
+}  // namespace tscclock::sweep

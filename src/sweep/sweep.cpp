@@ -3,16 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
+#include <span>
 
 #include "common/contracts.hpp"
 #include "common/table.hpp"
 #include "harness/replay.hpp"
 #include "harness/sinks.hpp"
+#include "sweep/result_io.hpp"
 #include "sweep/thread_pool.hpp"
 
 namespace tscclock::sweep {
@@ -182,101 +185,231 @@ ScenarioSweep::ScenarioSweep(GridSpec grid)
 
 std::vector<ScenarioResult> ScenarioSweep::run(
     const SweepOptions& options) const {
-  // One result row per (scenario, estimator spec), scenario-major.
+  // One result row per (owned scenario, estimator spec), scenario-major.
+  // The shard slice partitions by *scenario* — the estimator fan-out of a
+  // scenario shares one Testbed drain (and a replay lane its recording), so
+  // a scenario is the indivisible work unit.
   const std::vector<harness::EstimatorSpec>& estimators = grid_.estimators;
   const std::size_t lanes = estimators.size();
-  std::vector<ScenarioResult> results(scenarios_.size() * lanes);
-  // Trace dumping buffers each (scenario, estimator) cell's records in its
-  // own collector (the workers must not share a file writer) and serializes
-  // them to the CSV in grid order, so the dump is deterministic like the
-  // rest of the reduction. The sink is opened before any work runs — an
-  // unwritable path must fail fast, not after a long sweep has completed.
-  // Completed cells are flushed (and their buffers freed) as soon as every
-  // earlier grid cell has been written, bounding memory to the pool's
-  // completion skew rather than the whole grid.
-  const bool dump_csv = !options.csv_path.empty();
+  const ShardSpec shard = options.shard;
+  const std::vector<std::size_t> owned =
+      shard_scenarios(scenarios_.size(), shard);
+  std::vector<ScenarioResult> results(owned.size() * lanes);
+
   csv_error_.clear();
-  std::optional<harness::CsvTraceSink> csv;
-  std::vector<std::unique_ptr<harness::CollectorSink>> collectors;
-  std::vector<char> collected;
-  std::mutex csv_mutex;
-  std::size_t next_to_write = 0;
-  bool draining = false;
-  if (dump_csv) {
-    csv.emplace(options.csv_path);
-    collectors.resize(results.size());
-    for (auto& c : collectors) c = std::make_unique<harness::CollectorSink>();
-    collected.assign(results.size(), 0);
+  checkpoint_error_.clear();
+  dump_error_.clear();
+  const bool dump_csv = !options.csv_path.empty();
+
+  std::vector<std::string> labels;
+  labels.reserve(lanes);
+  for (const auto& spec : estimators) labels.push_back(spec.label());
+  const std::uint64_t run_hash = sweep_run_hash(
+      grid_, options.discard_warmup, options.streaming_reduction);
+
+  // Shard result dump: the header is written (fail fast on an unwritable
+  // path) before any scenario runs; the cells complete the file at the end.
+  std::optional<ShardDumpWriter> dump;
+  if (!options.dump_path.empty()) {
+    ShardDumpHeader header;
+    header.run_hash = run_hash;
+    header.shard = shard;
+    header.scenario_total = scenarios_.size();
+    header.duration = grid_.duration;
+    header.master_seed = grid_.master_seed;
+    header.estimator_labels = labels;
+    dump.emplace(options.dump_path, header, results.size());
   }
 
-  // No point spawning more workers than there are scenarios (the estimator
-  // fan-out shares one Testbed drain, so a scenario is the work unit).
-  ThreadPool pool(std::min(ThreadPool::resolve_thread_count(options.threads),
-                           scenarios_.size()));
-  const Seconds warmup = options.discard_warmup;
-  parallel_for(pool, scenarios_.size(), [&](std::size_t i) {
-    // Contain failures to their grid cells: one throwing scenario must not
-    // discard the rest of a long sweep.
-    try {
-      std::vector<harness::SampleSink*> trace_sinks;
-      if (dump_csv) {
-        trace_sinks.reserve(lanes);
-        for (std::size_t e = 0; e < lanes; ++e)
-          trace_sinks.push_back(collectors[i * lanes + e].get());
-      }
-      auto cell_results = run_scenario_multi(scenarios_[i], estimators,
-                                             warmup, trace_sinks,
-                                             options.streaming_reduction);
-      for (std::size_t e = 0; e < lanes; ++e)
-        results[i * lanes + e] = std::move(cell_results[e]);
-    } catch (const std::exception& e) {
-      for (std::size_t k = 0; k < lanes; ++k)
-        results[i * lanes + k] =
-            failed_result(scenarios_[i], estimators[k], e.what());
-    } catch (...) {
-      for (std::size_t k = 0; k < lanes; ++k)
-        results[i * lanes + k] =
-            failed_result(scenarios_[i], estimators[k], "unknown exception");
+  // Checkpoint: an existing file resumes (its committed scenario prefix is
+  // loaded into the result slots and skipped below; a torn tail is
+  // truncated away), a missing one starts fresh. Incompatible checkpoints
+  // throw SweepUsageError here, before any scenario runs.
+  std::size_t committed = 0;
+  std::uint64_t csv_resume_bytes = 0;
+  std::optional<CheckpointWriter> checkpoint;
+  if (!options.checkpoint_path.empty()) {
+    CheckpointHeader header;
+    header.run_hash = run_hash;
+    header.shard = shard;
+    header.with_csv = dump_csv;
+    if (std::filesystem::exists(options.checkpoint_path)) {
+      CheckpointLoad load =
+          load_checkpoint(options.checkpoint_path, header, scenarios_, labels);
+      committed = load.committed_scenarios;
+      csv_resume_bytes = load.csv_bytes;
+      TSC_ENSURES(load.results.size() == committed * lanes);
+      for (std::size_t k = 0; k < load.results.size(); ++k)
+        results[k] = std::move(load.results[k]);
+      checkpoint.emplace(options.checkpoint_path, load.valid_bytes);
+    } else {
+      checkpoint.emplace(options.checkpoint_path, header);
     }
-    if (!dump_csv) return;
-    std::unique_lock<std::mutex> lock(csv_mutex);
-    for (std::size_t e = 0; e < lanes; ++e) collected[i * lanes + e] = 1;
-    // One drainer at a time serializes ready cells to the file in grid
-    // order; the file I/O happens outside the lock, so other finishing
-    // workers only ever take the mutex to mark completion (never stalling
-    // behind a write). Cells completed while the drainer was writing are
-    // picked up when it re-checks under the lock.
-    if (draining) return;
-    draining = true;
-    while (next_to_write < results.size() && collected[next_to_write]) {
-      const std::size_t index = next_to_write;
-      const auto buffer = std::move(collectors[index]);
-      ++next_to_write;
-      lock.unlock();
-      // A FAILED cell's buffer holds a silently truncated trace — drop it
-      // (its absence from the dump mirrors the FAILED row in the report).
-      // A mid-run write failure (disk full) aborts the dump but not the
-      // sweep: buffers still drain (bounded memory) and the error is
-      // reported via csv_error() alongside the intact results.
-      if (csv && !results[index].failed) {
-        try {
-          csv->set_scenario(scenarios_[index / lanes].name);
-          csv->set_estimator(estimators[index % lanes].label());
-          for (const auto& record : buffer->records()) csv->on_sample(record);
-        } catch (const std::exception& e) {
-          csv_error_ = e.what();
-          csv.reset();
+  }
+
+  // Trace dumping buffers each remaining (scenario, estimator) cell's
+  // records in its own collector (the workers must not share a file writer)
+  // and serializes them to the CSV in grid order, so the dump is
+  // deterministic like the rest of the reduction. The sink is opened before
+  // any work runs — an unwritable path must fail fast, not after a long
+  // sweep has completed. On a resume with committed scenarios, the file is
+  // truncated to the last committed watermark (dropping rows of the
+  // scenario that was in flight when the run died) and appended to — the
+  // committed prefix is kept byte-for-byte.
+  std::optional<harness::CsvTraceSink> csv;
+  if (dump_csv) {
+    if (committed > 0) {
+      std::error_code ec;
+      const auto size =
+          std::filesystem::file_size(options.csv_path, ec);
+      if (ec || size < csv_resume_bytes) {
+        throw SweepUsageError(
+            "checkpoint " + options.checkpoint_path + " commits " +
+            std::to_string(csv_resume_bytes) + " trace-CSV bytes but " +
+            options.csv_path +
+            (ec ? " is missing" : " is shorter than that") +
+            " — restore the matching trace file or delete the checkpoint");
+      }
+      std::filesystem::resize_file(options.csv_path, csv_resume_bytes);
+      csv.emplace(options.csv_path, harness::CsvTraceSink::Append{});
+    } else {
+      csv.emplace(options.csv_path);
+    }
+  }
+
+  const std::size_t remaining = owned.size() - committed;
+  std::vector<std::unique_ptr<harness::CollectorSink>> collectors;
+  if (dump_csv) {
+    collectors.resize(remaining * lanes);
+    for (auto& c : collectors) c = std::make_unique<harness::CollectorSink>();
+  }
+
+  // The commit pipeline: workers finish scenarios in pool order, one
+  // drainer at a time commits them in grid order — first the scenario's
+  // trace rows, then its checkpoint record carrying the post-row CSV byte
+  // watermark. The file I/O happens outside the lock, so other finishing
+  // workers only ever take the mutex to mark completion (never stalling
+  // behind a write); scenarios completed while the drainer was writing are
+  // picked up when it re-checks under the lock.
+  std::mutex commit_mutex;
+  std::vector<char> scenario_ready(remaining, 0);
+  std::size_t next_to_commit = 0;
+  bool draining = false;
+  const bool need_drainer = dump_csv || checkpoint.has_value();
+
+  if (remaining > 0) {
+    // No point spawning more workers than there are scenarios left.
+    ThreadPool pool(std::min(
+        ThreadPool::resolve_thread_count(options.threads), remaining));
+    const Seconds warmup = options.discard_warmup;
+    parallel_for(pool, remaining, [&](std::size_t j) {
+      const std::size_t slot = committed + j;
+      const SweepScenario& scenario = scenarios_[owned[slot]];
+      // Contain failures to their grid cells: one throwing scenario must
+      // not discard the rest of a long sweep.
+      try {
+        std::vector<harness::SampleSink*> trace_sinks;
+        if (dump_csv) {
+          trace_sinks.reserve(lanes);
+          for (std::size_t e = 0; e < lanes; ++e)
+            trace_sinks.push_back(collectors[j * lanes + e].get());
         }
+        auto cell_results = run_scenario_multi(scenario, estimators, warmup,
+                                               trace_sinks,
+                                               options.streaming_reduction);
+        for (std::size_t e = 0; e < lanes; ++e)
+          results[slot * lanes + e] = std::move(cell_results[e]);
+      } catch (const std::exception& e) {
+        for (std::size_t k = 0; k < lanes; ++k)
+          results[slot * lanes + k] =
+              failed_result(scenario, estimators[k], e.what());
+      } catch (...) {
+        for (std::size_t k = 0; k < lanes; ++k)
+          results[slot * lanes + k] =
+              failed_result(scenario, estimators[k], "unknown exception");
       }
-      lock.lock();
-    }
-    draining = false;
-  });
+      if (!need_drainer) return;
+      std::unique_lock<std::mutex> lock(commit_mutex);
+      scenario_ready[j] = 1;
+      if (draining) return;
+      draining = true;
+      while (next_to_commit < remaining && scenario_ready[next_to_commit]) {
+        const std::size_t ready = next_to_commit;
+        const std::size_t ready_slot = committed + ready;
+        std::vector<std::unique_ptr<harness::CollectorSink>> buffers;
+        if (dump_csv) {
+          buffers.reserve(lanes);
+          for (std::size_t e = 0; e < lanes; ++e)
+            buffers.push_back(std::move(collectors[ready * lanes + e]));
+        }
+        ++next_to_commit;
+        lock.unlock();
+        // A FAILED cell's buffer holds a silently truncated trace — drop
+        // it (its absence from the dump mirrors the FAILED row in the
+        // report). A mid-run write failure (disk full) aborts the dump but
+        // not the sweep: buffers still drain (bounded memory) and the
+        // error is reported via csv_error() alongside the intact results.
+        if (csv) {
+          try {
+            for (std::size_t e = 0; e < lanes; ++e) {
+              const ScenarioResult& cell = results[ready_slot * lanes + e];
+              if (cell.failed) continue;
+              csv->set_scenario(cell.name);
+              csv->set_estimator(labels[e]);
+              for (const auto& record : buffers[e]->records())
+                csv->on_sample(record);
+            }
+          } catch (const std::exception& e) {
+            csv_error_ = e.what();
+            csv.reset();
+            // Later checkpoint records would carry watermarks into a file
+            // that stopped growing; a resume would then silently lose the
+            // missing rows. Suspend checkpointing too — the committed
+            // prefix stays valid and a resume recomputes the rest.
+            if (checkpoint) {
+              checkpoint_error_ =
+                  "suspended after the trace CSV dump failed: " + csv_error_;
+              checkpoint.reset();
+            }
+          }
+        }
+        if (checkpoint) {
+          try {
+            checkpoint->record_scenario(
+                std::span<const ScenarioResult>(&results[ready_slot * lanes],
+                                                lanes),
+                owned[ready_slot], csv ? csv->byte_offset() : 0);
+          } catch (const std::exception& e) {
+            // Same containment as the CSV: keep the sweep's results, stop
+            // extending the checkpoint, report via checkpoint_error().
+            checkpoint_error_ = e.what();
+            checkpoint.reset();
+          }
+        }
+        lock.lock();
+      }
+      draining = false;
+    });
+  }
   if (csv) {
     try {
       csv->close();  // surface a failed final flush, not just failed writes
     } catch (const std::exception& e) {
       csv_error_ = e.what();
+    }
+  }
+  if (checkpoint) {
+    try {
+      checkpoint->close();
+    } catch (const std::exception& e) {
+      checkpoint_error_ = e.what();
+    }
+  }
+  if (dump) {
+    try {
+      dump->write_cells(results);
+    } catch (const std::exception& e) {
+      dump_error_ = e.what();
     }
   }
   return results;

@@ -19,6 +19,7 @@
 #include "harness/estimator_spec.hpp"
 #include "harness/session.hpp"
 #include "sweep/scenario_grid.hpp"
+#include "sweep/shard.hpp"
 
 namespace tscclock::sweep {
 
@@ -90,6 +91,26 @@ struct SweepOptions {
   /// cells contribute no rows (their buffer is a silently truncated trace);
   /// see ScenarioSweep::csv_error() for mid-run dump failures.
   std::string csv_path;
+  /// Which slice of the expanded grid this invocation runs (default: the
+  /// whole grid). Partition is by scenario, round-robin on grid index; see
+  /// sweep/shard.hpp for the determinism contract that makes an N-way
+  /// split merge back into the exact single-process tables.
+  ShardSpec shard;
+  /// When non-empty, an append-only per-scenario checkpoint: each committed
+  /// scenario's full results (every estimator lane, FAILED cells included)
+  /// are appended in grid order as it completes, so an interrupted shard
+  /// resumes by skipping the committed prefix — final tables, result dump
+  /// and --csv trace are bit-identical to an uninterrupted run. A torn
+  /// trailing record (kill mid-write) is detected and recomputed; a
+  /// checkpoint from an incompatible invocation (different grid, options or
+  /// shard) is refused with a precise error. See sweep/result_io.hpp.
+  std::string checkpoint_path;
+  /// When non-empty, the run's results are written to this file as a
+  /// versioned machine-readable shard dump (full ScenarioResult fidelity,
+  /// n/a and FAILED cells included) for tools/sweep-merge. The file is
+  /// created before any scenario runs (unwritable paths fail fast); see
+  /// ScenarioSweep::dump_error() for end-of-run write failures.
+  std::string dump_path;
 };
 
 /// Run one scenario synchronously through the shared drive layer with the
@@ -129,10 +150,14 @@ class ScenarioSweep {
 
   /// Expand, fan out over a work-stealing pool, and return per-cell results
   /// in grid order: scenario-major, the grid's estimators minor, i.e.
-  /// results[i * estimators.size() + e]. An unwritable `csv_path` throws
-  /// before any scenario runs (fail fast); a *mid-run* dump write failure
-  /// (disk full) must not discard hours of computed results, so it aborts
-  /// only the dump and is reported via csv_error() instead.
+  /// results[i * estimators.size() + e]. With a non-default options.shard,
+  /// only the shard's scenarios run and the results cover exactly those, in
+  /// the same scenario-major order. An unwritable `csv_path`, `dump_path`
+  /// or `checkpoint_path` — and a checkpoint incompatible with this
+  /// invocation — throws before any scenario runs (fail fast); a *mid-run*
+  /// artifact write failure (disk full) must not discard hours of computed
+  /// results, so it aborts only that artifact and is reported via
+  /// csv_error() / checkpoint_error() / dump_error() instead.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const SweepOptions& options = {}) const;
 
@@ -140,10 +165,23 @@ class ScenarioSweep {
   /// dumped file is incomplete and should be discarded).
   [[nodiscard]] const std::string& csv_error() const { return csv_error_; }
 
+  /// Empty, or the reason checkpointing was suspended mid-run (the
+  /// checkpoint keeps its valid committed prefix — a resume recomputes the
+  /// rest — but this run stopped extending it).
+  [[nodiscard]] const std::string& checkpoint_error() const {
+    return checkpoint_error_;
+  }
+
+  /// Empty, or the reason the shard result dump could not be completed (the
+  /// dump file is unusable for sweep-merge and should be discarded).
+  [[nodiscard]] const std::string& dump_error() const { return dump_error_; }
+
  private:
   GridSpec grid_;
   std::vector<SweepScenario> scenarios_;
-  mutable std::string csv_error_;  ///< set by run(), see csv_error()
+  mutable std::string csv_error_;         ///< set by run(), see csv_error()
+  mutable std::string checkpoint_error_;  ///< set by run()
+  mutable std::string dump_error_;        ///< set by run()
 };
 
 /// Print the per-scenario summary table plus aggregates grouped by server

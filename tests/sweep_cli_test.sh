@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CLI contract tests for tools/sweep, run by ctest (see tests/CMakeLists.txt).
+# CLI contract tests for tools/sweep and tools/sweep-merge, run by ctest
+# (see tests/CMakeLists.txt).
 #
 # Covers what the GoogleTest binaries cannot: the exit-status contract of the
 # argument parser (exit 2 on usage errors — in particular the empty-list-item
@@ -7,10 +8,15 @@
 # silently dropped — and every malformed estimator-spec shape: unbalanced
 # parens, unknown families, unknown/duplicated keys, empty values), plus
 # small end-to-end runs of the replay lane (--estimators robust,offline) and
-# of a parameterized variant axis straight through main().
+# of a parameterized variant axis straight through main(). The fleet-scale
+# section pins the --shard / --checkpoint / sweep-merge exit contracts:
+# malformed shard shapes and incompatible checkpoints exit 2, and
+# sweep-merge exits 2 on missing shards, duplicate shard indices and
+# version-skewed dumps.
 set -u
 
 SWEEP="$1"
+SWEEP_MERGE="${2:-}"
 failures=0
 
 # expect_status <expected-exit> <description> -- <args...>
@@ -112,6 +118,106 @@ for needle in "use_local_rate" "enable_level_shift" "split" "default" \
     echo "ok: --list-estimators surfaces $needle"
   fi
 done
+
+# -- Fleet-scale flags: malformed --shard shapes are usage errors ------------
+# The convention is 1-based: I/N with 1 <= I <= N, so index 0, index > N,
+# zero fleets, non-numeric parts and missing separators all exit 2, while
+# the last shard N/N is valid.
+for shape in 0/3 4/3 1/0 x/y 13 1/ /3 1//3 -1/3; do
+  expect_status 2 "malformed --shard '$shape'" -- \
+    --shard "$shape" --servers loc --envs machine --polls 16 \
+    --duration-hours 0.2 --warmup-s 60
+done
+expect_status 2 "empty --checkpoint path" -- --checkpoint ""
+expect_status 2 "empty --dump-results path" -- --dump-results ""
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# The last 1-based shard is valid — and a shard of a grid smaller than the
+# fleet is a valid empty run, not an error.
+expect_status 0 "valid last shard 3/3" -- \
+  --shard 3/3 --servers loc,int,ext --envs machine --polls 16 \
+  --duration-hours 0.2 --warmup-s 60 --threads 2
+expect_status 0 "empty shard of a grid smaller than the fleet" -- \
+  --shard 5/8 --servers loc --envs machine --polls 16 \
+  --duration-hours 0.2 --warmup-s 60
+
+# A checkpoint from a different invocation (different seed => different run
+# fingerprint) is refused with exit 2 and a message naming the mismatch.
+CK="$WORK/mismatch.ck"
+expect_status 0 "checkpointed run (seed 1)" -- \
+  --servers loc --envs machine --polls 16 --duration-hours 0.2 \
+  --warmup-s 60 --seed 1 --checkpoint "$CK"
+"$SWEEP" --servers loc --envs machine --polls 16 --duration-hours 0.2 \
+  --warmup-s 60 --seed 2 --checkpoint "$CK" >/tmp/sweep_cli_out.$$ 2>&1
+got=$?
+if [ "$got" -ne 2 ] || ! grep -q "different sweep invocation" /tmp/sweep_cli_out.$$; then
+  echo "FAIL: checkpoint fingerprint mismatch: expected exit 2 + precise message, got $got" >&2
+  sed 's/^/    /' /tmp/sweep_cli_out.$$ >&2
+  failures=$((failures + 1))
+else
+  echo "ok: checkpoint fingerprint mismatch exits 2 with a precise message"
+fi
+
+# -- sweep-merge exit contract -----------------------------------------------
+if [ -n "$SWEEP_MERGE" ]; then
+  merge_expect_status() {
+    local expected="$1" description="$2"
+    shift 3  # expected, description, "--"
+    "$SWEEP_MERGE" "$@" >/tmp/sweep_cli_out.$$ 2>&1
+    local got=$?
+    if [ "$got" -ne "$expected" ]; then
+      echo "FAIL: $description: expected exit $expected, got $got" >&2
+      sed 's/^/    /' /tmp/sweep_cli_out.$$ >&2
+      failures=$((failures + 1))
+    else
+      echo "ok: $description"
+    fi
+  }
+
+  SHARD_ARGS=(--servers loc,int,ext --envs machine --polls 16
+              --duration-hours 0.2 --warmup-s 60 --threads 2)
+  for i in 1 2 3; do
+    expect_status 0 "shard $i/3 with result dump" -- \
+      "${SHARD_ARGS[@]}" --shard "$i/3" --dump-results "$WORK/s$i.dump"
+  done
+
+  merge_expect_status 0 "merging all three shards" -- \
+    "$WORK/s1.dump" "$WORK/s2.dump" "$WORK/s3.dump"
+  merge_expect_status 2 "no dumps at all" --
+  merge_expect_status 2 "missing shard 3/3" -- \
+    "$WORK/s1.dump" "$WORK/s2.dump"
+  merge_expect_status 2 "duplicate shard index" -- \
+    "$WORK/s1.dump" "$WORK/s1.dump" "$WORK/s2.dump"
+  merge_expect_status 2 "nonexistent dump file" -- \
+    "$WORK/s1.dump" "$WORK/s2.dump" "$WORK/does_not_exist.dump"
+
+  # Version skew: bump the format version in one dump's first line.
+  sed '1s/tscclock-sweep-results 1/tscclock-sweep-results 99/' \
+    "$WORK/s1.dump" > "$WORK/skewed.dump"
+  "$SWEEP_MERGE" "$WORK/skewed.dump" "$WORK/s2.dump" "$WORK/s3.dump" \
+    >/tmp/sweep_cli_out.$$ 2>&1
+  got=$?
+  if [ "$got" -ne 2 ] || ! grep -q "version 99" /tmp/sweep_cli_out.$$; then
+    echo "FAIL: version-skewed dump: expected exit 2 naming version 99, got $got" >&2
+    sed 's/^/    /' /tmp/sweep_cli_out.$$ >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: version-skewed dump exits 2 naming both versions"
+  fi
+
+  # Fingerprint skew: a shard from a different seed cannot be merged in.
+  expect_status 0 "shard 1/3 with a different seed" -- \
+    "${SHARD_ARGS[@]}" --shard 1/3 --seed 7 --dump-results "$WORK/alien.dump"
+  merge_expect_status 2 "fingerprint-skewed dump set" -- \
+    "$WORK/alien.dump" "$WORK/s2.dump" "$WORK/s3.dump"
+
+  merge_expect_status 2 "--csv without matching --trace count" -- \
+    --csv "$WORK/merged.csv" "$WORK/s1.dump" "$WORK/s2.dump" "$WORK/s3.dump"
+else
+  echo "ok: sweep-merge binary not given; skipping merge contract tests"
+fi
 
 rm -f /tmp/sweep_cli_out.$$
 exit $((failures > 0 ? 1 : 0))

@@ -1,0 +1,137 @@
+// ShardSpec parsing and the round-robin partition property behind the
+// fleet-scale sweep: for any fleet size N, the union of the N shards'
+// scenario slices covers the expanded grid exactly once — no gaps, no
+// overlaps — including grids smaller than the fleet and grids whose
+// estimator axis carries replay families (which must not change the
+// partition: replay lanes ride inside their owning scenario).
+#include "sweep/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "harness/estimator_spec.hpp"
+#include "sweep/scenario_grid.hpp"
+#include "sweep/sweep.hpp"
+
+namespace tscclock::sweep {
+namespace {
+
+TEST(ShardParse, AcceptsOneBasedShapes) {
+  EXPECT_EQ(parse_shard("1/1"), (ShardSpec{1, 1}));
+  EXPECT_EQ(parse_shard("2/8"), (ShardSpec{2, 8}));
+  // The last shard of N is a valid index (1-based convention).
+  EXPECT_EQ(parse_shard("3/3"), (ShardSpec{3, 3}));
+  EXPECT_EQ(parse_shard("16/16"), (ShardSpec{16, 16}));
+}
+
+TEST(ShardParse, RejectsMalformedShapes) {
+  // Zero-based indices, out-of-range indices, zero fleets, non-numeric
+  // parts and missing separators are all usage errors.
+  for (const char* text :
+       {"0/3", "4/3", "1/0", "0/0", "x/y", "13", "", "/", "1/", "/3", "1//3",
+        "1/3/5", "-1/3", "1/-3", " 1/3", "1/3 ", "3x/3", "3/3x",
+        "99999999999999999999/3"}) {
+    EXPECT_THROW(parse_shard(text), SweepUsageError) << "'" << text << "'";
+  }
+}
+
+TEST(ShardParse, ErrorsNameTheOffendingValue) {
+  try {
+    parse_shard("0/3");
+    FAIL() << "expected SweepUsageError";
+  } catch (const SweepUsageError& e) {
+    EXPECT_NE(std::string(e.what()).find("0/3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1-based"), std::string::npos);
+  }
+}
+
+TEST(ShardSpecTest, LabelRoundTrips) {
+  for (const auto& spec :
+       {ShardSpec{1, 1}, ShardSpec{2, 8}, ShardSpec{16, 16}}) {
+    EXPECT_EQ(parse_shard(spec.label()), spec);
+  }
+}
+
+TEST(ShardSpecTest, WholeIsTheSingleShardFleet) {
+  EXPECT_TRUE((ShardSpec{1, 1}).whole());
+  EXPECT_FALSE((ShardSpec{1, 2}).whole());
+}
+
+/// The covering property the merge relies on, checked exhaustively for one
+/// grid size and fleet size.
+void expect_exact_cover(std::size_t total, std::size_t fleet) {
+  std::set<std::size_t> seen;
+  for (std::size_t i = 1; i <= fleet; ++i) {
+    const auto owned = shard_scenarios(total, ShardSpec{i, fleet});
+    // Slices are sorted grid indices (the dump/merge order contract).
+    EXPECT_TRUE(std::is_sorted(owned.begin(), owned.end()));
+    for (const std::size_t scenario : owned) {
+      EXPECT_LT(scenario, total) << "shard " << i << "/" << fleet;
+      EXPECT_TRUE(seen.insert(scenario).second)
+          << "scenario " << scenario << " covered twice (fleet " << fleet
+          << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), total) << "gaps in the cover (fleet " << fleet << ")";
+}
+
+TEST(ShardPartition, UnionCoversEveryGridExactlyOnce) {
+  for (const std::size_t fleet : {1u, 2u, 3u, 7u, 16u}) {
+    // Grid sizes from empty through smaller-than-fleet to several multiples,
+    // plus an off-multiple size — the edges where round-robin arithmetic
+    // goes wrong first.
+    for (const std::size_t total : {0u, 1u, 2u, 3u, 5u, 7u, 12u, 16u, 48u,
+                                    49u}) {
+      expect_exact_cover(total, fleet);
+    }
+  }
+}
+
+TEST(ShardPartition, SmallerGridThanFleetLeavesTrailingShardsEmpty) {
+  // 2 scenarios across 7 shards: shards 1 and 2 get one each, 3..7 none —
+  // an empty slice is a valid (zero-cell) shard, not an error.
+  EXPECT_EQ(shard_scenarios(2, ShardSpec{1, 7}),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(shard_scenarios(2, ShardSpec{2, 7}),
+            (std::vector<std::size_t>{1}));
+  for (std::size_t i = 3; i <= 7; ++i) {
+    EXPECT_TRUE(shard_scenarios(2, ShardSpec{i, 7}).empty()) << i;
+  }
+}
+
+TEST(ShardPartition, OwnsAgreesWithShardScenarios) {
+  const std::size_t total = 23;
+  for (const std::size_t fleet : {1u, 3u, 7u}) {
+    for (std::size_t i = 1; i <= fleet; ++i) {
+      const ShardSpec shard{i, fleet};
+      const auto owned = shard_scenarios(total, shard);
+      const std::set<std::size_t> owned_set(owned.begin(), owned.end());
+      for (std::size_t s = 0; s < total; ++s) {
+        EXPECT_EQ(shard.owns(s), owned_set.count(s) == 1)
+            << "scenario " << s << ", shard " << shard.label();
+      }
+    }
+  }
+}
+
+/// The property on a *real* expanded grid whose estimator axis includes a
+/// replay family: the partition is over scenarios, so the replay lanes of a
+/// scenario always land in the same shard as the online lanes that share
+/// its Testbed drain and recording.
+TEST(ShardPartition, RealGridWithReplayEstimatorsPartitionsByScenario) {
+  GridSpec grid;
+  grid.duration = 0.1 * duration::kHour;
+  grid.estimators = {harness::EstimatorSpec{"robust", {}},
+                     harness::EstimatorSpec{"offline", {}}};
+  const ScenarioSweep engine(grid);
+  const std::size_t total = engine.scenarios().size();
+  ASSERT_GT(total, 0u);
+  for (const std::size_t fleet : {1u, 2u, 3u, 7u, 16u}) {
+    expect_exact_cover(total, fleet);
+  }
+}
+
+}  // namespace
+}  // namespace tscclock::sweep

@@ -5,6 +5,7 @@
 //         [--schedules steady,outage,switch,stress] [--duration-hours 24]
 //         [--estimators robust,swntp,naive] [--seed 42] [--threads 0]
 //         [--warmup-s 3600] [--no-wire] [--streaming-reduction]
+//         [--shard I/N] [--checkpoint FILE] [--dump-results FILE]
 //
 // The default grid is the ISSUE's 3 servers × 2 environments × 2 poll
 // periods = 12 scenarios over one simulated day. Named schedule variants
@@ -27,8 +28,19 @@
 // deployable online clock achieves — and it reports steps = 0 and sw = 0
 // by construction (nothing to step, no online server-change reaction).
 //
-// Exit status: 0 on success, 1 when any grid cell FAILED (or the --csv dump
-// aborted mid-run), 2 on usage errors.
+// Fleet-scale runs split the grid across processes: --shard I/N runs the
+// 1-based I-th round-robin slice of the scenarios (replay lanes stay with
+// their owning scenario's recording), --dump-results writes a versioned
+// machine-readable result dump, and tools/sweep-merge reassembles N dumps
+// into the exact single-process report. --checkpoint makes an interrupted
+// shard resumable: committed scenarios are skipped on rerun and the final
+// output is bit-identical to an uninterrupted run. See README
+// "Fleet-scale sweeps".
+//
+// Exit status: 0 on success, 1 when any grid cell FAILED (or the --csv
+// dump, --dump-results dump or --checkpoint stream aborted mid-run), 2 on
+// usage errors — including a malformed --shard and a checkpoint that does
+// not belong to this invocation.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -233,9 +245,20 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "                     sketch; counts/means/ADEV unchanged)\n"
       "  --csv PATH         dump every cell's per-exchange trace to a CSV\n"
       "                     file (grid order; lost/warm-up rows flagged)\n"
+      "  --shard I/N        run only the I-th of N round-robin scenario\n"
+      "                     slices (1-based, 1 <= I <= N); pair with\n"
+      "                     --dump-results and merge the N dumps with\n"
+      "                     sweep-merge to recover the exact single-process\n"
+      "                     report\n"
+      "  --dump-results F   write this run's results to F as a versioned\n"
+      "                     machine-readable shard dump for sweep-merge\n"
+      "  --checkpoint F     append each completed scenario to F; rerunning\n"
+      "                     the identical command resumes, skipping the\n"
+      "                     committed prefix, with bit-identical output\n"
       "  --list-estimators  list the available estimators and exit\n"
       "  --help             this text\n"
-      "exit status: 0 ok; 1 any FAILED cell or aborted --csv dump; 2 usage\n");
+      "exit status: 0 ok; 1 any FAILED cell or aborted --csv/--dump-results/\n"
+      "--checkpoint artifact; 2 usage\n");
   std::exit(code);
 }
 
@@ -297,6 +320,25 @@ int main(int argc, char** argv) {
       options.csv_path = value();
       if (options.csv_path.empty()) {
         std::fprintf(stderr, "--csv requires a non-empty path\n");
+        return 2;
+      }
+    } else if (arg == "--shard") {
+      try {
+        options.shard = sweep::parse_shard(value());
+      } catch (const sweep::SweepUsageError& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = value();
+      if (options.checkpoint_path.empty()) {
+        std::fprintf(stderr, "--checkpoint requires a non-empty path\n");
+        return 2;
+      }
+    } else if (arg == "--dump-results") {
+      options.dump_path = value();
+      if (options.dump_path.empty()) {
+        std::fprintf(stderr, "--dump-results requires a non-empty path\n");
         return 2;
       }
     } else {
@@ -367,36 +409,77 @@ int main(int argc, char** argv) {
   grid.estimators = estimator_specs;
 
   sweep::ScenarioSweep engine(grid);
-  print_banner(std::cout,
-               strfmt("Scenario sweep: %zu scenarios x %zu estimator(s), "
-                      "%.1f simulated hours each, master seed %llu",
-                      engine.scenarios().size(), grid.estimators.size(),
-                      duration_hours,
-                      static_cast<unsigned long long>(grid.master_seed)));
+  // The hours figure is recomputed from the stored duration (not the parsed
+  // flag) so sweep-merge — which only sees the dump header's duration —
+  // reprints a byte-identical banner for the unsharded shape.
+  if (options.shard.whole()) {
+    print_banner(std::cout,
+                 strfmt("Scenario sweep: %zu scenarios x %zu estimator(s), "
+                        "%.1f simulated hours each, master seed %llu",
+                        engine.scenarios().size(), grid.estimators.size(),
+                        grid.duration / duration::kHour,
+                        static_cast<unsigned long long>(grid.master_seed)));
+  } else {
+    const std::size_t owned =
+        sweep::shard_scenarios(engine.scenarios().size(), options.shard)
+            .size();
+    print_banner(
+        std::cout,
+        strfmt("Scenario sweep shard %s: %zu of %zu scenarios x %zu "
+               "estimator(s), %.1f simulated hours each, master seed %llu",
+               options.shard.label().c_str(), owned,
+               engine.scenarios().size(), grid.estimators.size(),
+               grid.duration / duration::kHour,
+               static_cast<unsigned long long>(grid.master_seed)));
+  }
 
   std::vector<sweep::ScenarioResult> results;
   try {
     results = engine.run(options);
+  } catch (const sweep::SweepUsageError& e) {
+    // Incompatible checkpoint (wrong grid/options/shard, or a trace CSV
+    // that no longer matches the committed watermark): refused before any
+    // scenario ran.
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     // Per-scenario failures are contained in their grid cell and mid-run
-    // trace-dump failures are reported via csv_error(); only setup errors
-    // (e.g. an unwritable --csv path, caught before any work runs) reach
-    // here.
+    // artifact failures are reported via the engine's error accessors; only
+    // setup errors (e.g. an unwritable --csv path, caught before any work
+    // runs) reach here.
     std::fprintf(stderr, "sweep failed: %s\n", e.what());
     return 2;
   }
   print_sweep_report(std::cout, results);
+  bool artifact_failed = false;
   if (!options.csv_path.empty()) {
     if (engine.csv_error().empty()) {
       std::cout << "\nper-exchange trace dump: " << options.csv_path << "\n";
     } else {
       std::fprintf(stderr, "trace dump to %s failed (file incomplete): %s\n",
                    options.csv_path.c_str(), engine.csv_error().c_str());
-      return 1;
+      artifact_failed = true;
     }
   }
+  if (!options.checkpoint_path.empty() && !engine.checkpoint_error().empty()) {
+    std::fprintf(stderr,
+                 "checkpoint %s stopped mid-run (committed prefix intact): "
+                 "%s\n",
+                 options.checkpoint_path.c_str(),
+                 engine.checkpoint_error().c_str());
+    artifact_failed = true;
+  }
+  if (!options.dump_path.empty() && !engine.dump_error().empty()) {
+    std::fprintf(stderr,
+                 "result dump to %s failed (file unusable for sweep-merge): "
+                 "%s\n",
+                 options.dump_path.c_str(), engine.dump_error().c_str());
+    artifact_failed = true;
+  }
+  if (artifact_failed) return 1;
   // A FAILED cell must fail the invocation (CI and scripts key off the exit
-  // status, not the table text).
+  // status, not the table text) — including one loaded from a checkpoint's
+  // committed prefix on a resume.
   for (const auto& r : results) {
     if (r.failed) return 1;
   }

@@ -1,0 +1,143 @@
+// sweep-merge: reassemble per-shard sweep result dumps into the exact
+// single-process report.
+//
+//   sweep-merge [--csv OUT --trace FILE ...] DUMP...
+//
+// Each DUMP is a file written by `sweep --shard I/N --dump-results DUMP`.
+// The set is validated as one N-way split of one sweep invocation — same
+// format version, same run fingerprint (grid, seed, warm-up, reduction),
+// shard indices 1..N each exactly once, every scenario covered exactly once
+// — and the reassembled results are printed through the identical reporting
+// path, so stdout is byte-identical to the unsharded `sweep` run (pinned by
+// golden tests and the CI shard-merge smoke step).
+//
+// With --csv, the shards' per-exchange trace dumps (--trace, one per dump,
+// positionally paired in the same order) are re-interleaved into OUT in
+// global grid order — byte-identical to the unsharded run's --csv file —
+// and the trailing "per-exchange trace dump" stdout line is reproduced.
+//
+// Exit status: 0 on success, 1 when any merged cell FAILED (mirroring the
+// sweep's own exit contract), 2 on usage errors and on invalid dump sets —
+// missing or duplicate shards, version skew, fingerprint mismatches,
+// truncated or malformed files.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/time_types.hpp"
+#include "sweep/result_io.hpp"
+#include "sweep/sweep.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: sweep-merge [options] DUMP...\n"
+      "  DUMP               per-shard result dumps written by\n"
+      "                     `sweep --shard I/N --dump-results DUMP`;\n"
+      "                     all N shards of one sweep, in any order\n"
+      "  --csv OUT          re-interleave the shards' --csv trace dumps\n"
+      "                     into OUT (byte-identical to the unsharded\n"
+      "                     run's trace); requires one --trace per DUMP\n"
+      "  --trace FILE       a shard's --csv trace file, paired with the\n"
+      "                     DUMP at the same position (repeat per shard)\n"
+      "  --help             this text\n"
+      "exit status: 0 ok; 1 any FAILED cell; 2 usage or invalid dumps\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_out;
+  std::vector<std::string> trace_paths;
+  std::vector<std::string> dump_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else if (arg == "--csv") {
+      csv_out = value();
+      if (csv_out.empty()) {
+        std::fprintf(stderr, "--csv requires a non-empty path\n");
+        return 2;
+      }
+    } else if (arg == "--trace") {
+      trace_paths.push_back(value());
+      if (trace_paths.back().empty()) {
+        std::fprintf(stderr, "--trace requires a non-empty path\n");
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(2);
+    } else {
+      dump_paths.push_back(arg);
+    }
+  }
+  if (dump_paths.empty()) {
+    std::fprintf(stderr, "no shard dumps given\n");
+    usage(2);
+  }
+  if (!csv_out.empty() && trace_paths.size() != dump_paths.size()) {
+    std::fprintf(stderr,
+                 "--csv needs one --trace per dump (got %zu traces for %zu "
+                 "dumps)\n",
+                 trace_paths.size(), dump_paths.size());
+    return 2;
+  }
+  if (csv_out.empty() && !trace_paths.empty()) {
+    std::fprintf(stderr, "--trace is only meaningful together with --csv\n");
+    return 2;
+  }
+
+  sweep::MergedSweep merged;
+  try {
+    std::vector<sweep::ShardDump> dumps;
+    dumps.reserve(dump_paths.size());
+    for (const auto& path : dump_paths) {
+      dumps.push_back(sweep::read_shard_dump(path));
+    }
+    merged = sweep::merge_shard_dumps(dumps);
+    if (!csv_out.empty()) {
+      sweep::merge_trace_csv(merged, dumps, trace_paths, csv_out);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  // Reprint the unsharded sweep's stdout from the merged results: the same
+  // banner arithmetic (hours from the stored duration), the same reporting
+  // path, the same trailing trace-dump line.
+  print_banner(std::cout,
+               strfmt("Scenario sweep: %zu scenarios x %zu estimator(s), "
+                      "%.1f simulated hours each, master seed %llu",
+                      merged.header.scenario_total,
+                      merged.header.estimator_labels.size(),
+                      merged.header.duration / duration::kHour,
+                      static_cast<unsigned long long>(
+                          merged.header.master_seed)));
+  print_sweep_report(std::cout, merged.results);
+  if (!csv_out.empty()) {
+    std::cout << "\nper-exchange trace dump: " << csv_out << "\n";
+  }
+  for (const auto& r : merged.results) {
+    if (r.failed) return 1;
+  }
+  return 0;
+}
