@@ -1,0 +1,292 @@
+// End-to-end hot-path throughput: exchanges/sec/core through the full
+// Testbed → ClockSession/MultiEstimatorSession → estimator → sink pipeline,
+// timed with a plain std::chrono loop (no Google Benchmark dependency — this
+// target must always build). Representative configurations:
+//
+//   generate_only             — Testbed stream generation alone (the floor
+//                               every pipeline number sits on);
+//   single_robust_exact       — one robust lane into the exact ReducerSink,
+//                               scalar and batched drives (the batched/scalar
+//                               ratio is the headline of the batch lane);
+//   single_robust_streaming   — one robust lane into the O(1)-memory
+//                               StreamingReducerSink, batched (the sweep's
+//                               default cell configuration);
+//   multi3_streaming          — robust + swntp + naive lanes head-to-head on
+//                               one stream, batched (the comparison sweep).
+//
+// The emitted JSON (schema: src/common/bench_report.hpp) is committed at the
+// repo root as BENCH_throughput.json so the throughput trajectory is visible
+// across PRs; its `baseline` block pins the pre-campaign scalar-pipeline
+// numbers so the before/after comparison travels with the file. Regenerate
+// with `bench_throughput --out BENCH_throughput.json` from the build
+// directory whenever the schema version bumps.
+//
+//   bench_throughput [--quick] [--out PATH] [--check PATH]
+//
+//   --quick      2 simulated days instead of 30 (CI smoke; numbers are
+//                noisier but the schema and counts are identical in kind)
+//   --out PATH   write the JSON report to PATH (default: stdout)
+//   --check PATH validate an existing report instead of measuring: parse,
+//                require the current schema version (stale committed reports
+//                fail here), require non-empty results with positive counts.
+//                Exit 0 valid / 1 invalid.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_report.hpp"
+#include "harness/estimator.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
+#include "sim/scenario.hpp"
+#include "support.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+/// The measured scenario: the sweep's default cell (ServerInt, machine
+/// room, 16 s polls, observable warm-up cut) over a month-scale trace.
+sim::ScenarioConfig scenario_for(double days) {
+  sim::ScenarioConfig scenario;
+  scenario.server = sim::ServerKind::kInt;
+  scenario.environment = sim::Environment::kMachineRoom;
+  scenario.poll_period = 16.0;
+  scenario.seed = 42;
+  scenario.duration = days * duration::kDay;
+  return scenario;
+}
+
+harness::SessionConfig session_config_for(const sim::ScenarioConfig& s) {
+  harness::SessionConfig config;
+  config.params = core::Params::for_poll_period(s.poll_period);
+  config.discard_warmup = duration::kHour;
+  config.warmup_policy = harness::WarmupPolicy::kObservable;
+  return config;
+}
+
+/// Time one drain; the Testbed construction (attachment/RNG setup) stays
+/// outside the timed region, the exchange loop is what's measured.
+template <typename Drain>
+BenchSection timed(const std::string& name, const std::string& drive,
+                   const std::string& reduction, double days, Drain&& drain) {
+  sim::Testbed testbed(scenario_for(days));
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t exchanges = drain(testbed);
+  const auto stop = std::chrono::steady_clock::now();
+  BenchSection s;
+  s.name = name;
+  s.drive = drive;
+  s.reduction = reduction;
+  s.exchanges = exchanges;
+  s.seconds = std::chrono::duration<double>(stop - start).count();
+  s.exchanges_per_sec =
+      s.seconds > 0 ? static_cast<double>(exchanges) / s.seconds : 0;
+  std::fprintf(stderr, "%-32s %9llu exchanges  %8.3f s  %10.0f /s\n",
+               name.c_str(), static_cast<unsigned long long>(exchanges),
+               s.seconds, s.exchanges_per_sec);
+  return s;
+}
+
+std::uint64_t drain_generate(sim::Testbed& testbed) {
+  std::vector<sim::Exchange> buffer(1024);
+  std::uint64_t produced = 0;
+  while (true) {
+    const std::size_t n = testbed.next_batch(buffer);
+    produced += n;
+    if (n < buffer.size()) return produced;
+  }
+}
+
+/// Pre-campaign scalar-pipeline numbers, measured on the seed of this
+/// campaign (same scenario, 30 simulated days, same machine class as the CI
+/// runners). Pinned so the committed report carries the before/after
+/// comparison; these are historical records, not remeasured.
+std::vector<BenchSection> baseline_sections() {
+  const auto pin = [](const char* name, const char* drive,
+                      const char* reduction, double per_sec) {
+    BenchSection s;
+    s.name = name;
+    s.drive = drive;
+    s.reduction = reduction;
+    s.exchanges = 162000;  // 30 days / 16 s polls, steady schedule
+    s.exchanges_per_sec = per_sec;
+    s.seconds = static_cast<double>(s.exchanges) / per_sec;
+    return s;
+  };
+  return {
+      pin("generate_only", "generate", "none", 458155),
+      pin("single_robust_exact", "scalar", "exact", 159600),
+      pin("single_robust_streaming", "scalar", "streaming", 174129),
+      pin("multi3_exact", "scalar", "exact", 168095),
+  };
+}
+
+BenchReport measure(double days, const std::string& mode) {
+  BenchReport report;
+  report.tool = "bench_throughput";
+  report.mode = mode;
+  report.simulated_days = days;
+  report.baseline_commit = "cdbde7e";
+  report.baseline = baseline_sections();
+
+  report.results.push_back(
+      timed("generate_only", "generate", "none", days, drain_generate));
+
+  report.results.push_back(timed(
+      "single_robust_exact_scalar", "scalar", "exact", days,
+      [](sim::Testbed& testbed) {
+        harness::ClockSession session(
+            session_config_for(testbed.config()), testbed.nominal_period());
+        harness::ReducerSink reducer(testbed.config().poll_period);
+        session.add_sink(reducer);
+        return session.run(testbed).exchanges;
+      }));
+
+  report.results.push_back(timed(
+      "single_robust_exact_batched", "batched", "exact", days,
+      [](sim::Testbed& testbed) {
+        harness::ClockSession session(
+            session_config_for(testbed.config()), testbed.nominal_period());
+        harness::ReducerSink reducer(testbed.config().poll_period);
+        session.add_sink(reducer);
+        return session.run_batched(testbed).exchanges;
+      }));
+
+  report.results.push_back(timed(
+      "single_robust_streaming_batched", "batched", "streaming", days,
+      [](sim::Testbed& testbed) {
+        harness::ClockSession session(
+            session_config_for(testbed.config()), testbed.nominal_period());
+        harness::StreamingReducerSink reducer(testbed.config().poll_period);
+        session.add_sink(reducer);
+        return session.run_batched(testbed).exchanges;
+      }));
+
+  report.results.push_back(timed(
+      "multi3_streaming_batched", "batched", "streaming", days,
+      [](sim::Testbed& testbed) {
+        const harness::SessionConfig config =
+            session_config_for(testbed.config());
+        harness::MultiEstimatorSession session;
+        const std::size_t robust = session.add_lane(
+            config, std::make_unique<harness::TscNtpEstimator>(
+                        config.params, testbed.nominal_period()));
+        const std::size_t swntp = session.add_lane(
+            config, std::make_unique<harness::SwNtpEstimator>(
+                        baseline::PllConfig{}, testbed.nominal_period()));
+        const std::size_t naive = session.add_lane(
+            config, std::make_unique<harness::NaiveEstimator>(
+                        testbed.nominal_period()));
+        std::vector<harness::StreamingReducerSink> reducers;
+        reducers.reserve(3);
+        for (std::size_t k = 0; k < 3; ++k)
+          reducers.emplace_back(testbed.config().poll_period);
+        session.add_sink(robust, reducers[0]);
+        session.add_sink(swntp, reducers[1]);
+        session.add_sink(naive, reducers[2]);
+        session.run_batched(testbed);
+        return session.lane(robust).summary().exchanges;
+      }));
+
+  return report;
+}
+
+int check_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  BenchReport report;
+  try {
+    report = parse_bench_report(text.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  if (report.schema_version != kBenchReportSchemaVersion) {
+    std::fprintf(stderr,
+                 "%s: schema_version %d is stale (current %d) — regenerate "
+                 "with bench_throughput --out\n",
+                 path.c_str(), report.schema_version,
+                 kBenchReportSchemaVersion);
+    return 1;
+  }
+  if (report.results.empty()) {
+    std::fprintf(stderr, "%s: empty results\n", path.c_str());
+    return 1;
+  }
+  for (const auto& s : report.results) {
+    // Counts must be positive; absolute rates are machine-dependent and are
+    // deliberately NOT asserted on.
+    if (s.name.empty() || s.exchanges == 0 || s.seconds <= 0 ||
+        s.exchanges_per_sec <= 0) {
+      std::fprintf(stderr, "%s: section '%s' has empty/non-positive fields\n",
+                   path.c_str(), s.name.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "%s: valid (schema %d, %zu sections)\n", path.c_str(),
+               report.schema_version, report.results.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--check") {
+      check_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: bench_throughput [--quick] [--out PATH] [--check PATH]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!check_path.empty()) return check_report(check_path);
+
+  const double days = quick ? 2.0 : 30.0;
+  const BenchReport report = measure(days, quick ? "quick" : "full");
+  const std::string json = to_json(report);
+  if (out_path.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << json;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "writing %s failed\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

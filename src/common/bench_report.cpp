@@ -1,0 +1,353 @@
+#include "common/bench_report.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace tscclock {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  // Shortest form that round-trips a throughput figure legibly; the report
+  // is a measurement record, not a bit-exact artifact.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void append_section(std::string& out, const BenchSection& s,
+                    const char* indent, bool last) {
+  out += indent;
+  out += "{\"name\": \"" + json_escape(s.name) + "\", ";
+  out += "\"drive\": \"" + json_escape(s.drive) + "\", ";
+  out += "\"reduction\": \"" + json_escape(s.reduction) + "\", ";
+  out += "\"exchanges\": " + std::to_string(s.exchanges) + ", ";
+  out += "\"seconds\": " + fmt_double(s.seconds) + ", ";
+  out += "\"exchanges_per_sec\": " + fmt_double(s.exchanges_per_sec) + "}";
+  if (!last) out += ",";
+  out += "\n";
+}
+
+// ---- minimal JSON reader (objects/arrays/strings/numbers/bool/null) ------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  // Indirect: JsonValue is incomplete at member declaration time.
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("bench report JSON: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return {};
+    return number();
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v))
+      fail("malformed number '" + token + "'");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            const auto code = static_cast<unsigned>(
+                std::strtoul(hex.c_str(), nullptr, 16));
+            // The writer only emits \u for C0 controls; decode those and
+            // reject anything needing real UTF-16 handling.
+            if (code > 0x7f) fail("unsupported \\u escape \\u" + hex);
+            out += static_cast<char>(code);
+            break;
+          }
+          default:
+            fail(std::string("unsupported escape '\\") + e + "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      (*v.object)[std::move(key)] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- schema mapping ------------------------------------------------------
+
+[[noreturn]] void schema_fail(const std::string& what) {
+  throw std::runtime_error("bench report schema: " + what);
+}
+
+const JsonValue& require(const JsonObject& obj, const std::string& key,
+                         JsonValue::Kind kind, const char* type_name) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) schema_fail("missing field '" + key + "'");
+  if (it->second.kind != kind)
+    schema_fail("field '" + key + "' must be " + type_name);
+  return it->second;
+}
+
+double require_number(const JsonObject& obj, const std::string& key) {
+  return require(obj, key, JsonValue::Kind::kNumber, "a number").number;
+}
+
+std::string require_string(const JsonObject& obj, const std::string& key) {
+  return require(obj, key, JsonValue::Kind::kString, "a string").string;
+}
+
+BenchSection section_from(const JsonValue& v, const std::string& where) {
+  if (v.kind != JsonValue::Kind::kObject)
+    schema_fail("entries of '" + where + "' must be objects");
+  const JsonObject& obj = *v.object;
+  BenchSection s;
+  s.name = require_string(obj, "name");
+  s.drive = require_string(obj, "drive");
+  s.reduction = require_string(obj, "reduction");
+  const double exchanges = require_number(obj, "exchanges");
+  if (exchanges < 0 || exchanges != std::floor(exchanges))
+    schema_fail("'exchanges' must be a non-negative integer in '" + where +
+                "' entry '" + s.name + "'");
+  s.exchanges = static_cast<std::uint64_t>(exchanges);
+  s.seconds = require_number(obj, "seconds");
+  s.exchanges_per_sec = require_number(obj, "exchanges_per_sec");
+  return s;
+}
+
+std::vector<BenchSection> sections_from(const JsonObject& obj,
+                                        const std::string& key) {
+  const JsonValue& v = require(obj, key, JsonValue::Kind::kArray, "an array");
+  std::vector<BenchSection> out;
+  out.reserve(v.array->size());
+  for (const auto& entry : *v.array) out.push_back(section_from(entry, key));
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const BenchReport& report) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema_version\": " + std::to_string(report.schema_version) +
+         ",\n";
+  out += "  \"tool\": \"" + json_escape(report.tool) + "\",\n";
+  out += "  \"mode\": \"" + json_escape(report.mode) + "\",\n";
+  out += "  \"simulated_days\": " + fmt_double(report.simulated_days) + ",\n";
+  out += "  \"baseline_commit\": \"" + json_escape(report.baseline_commit) +
+         "\",\n";
+  out += "  \"baseline\": [\n";
+  for (std::size_t i = 0; i < report.baseline.size(); ++i)
+    append_section(out, report.baseline[i], "    ",
+                   i + 1 == report.baseline.size());
+  out += "  ],\n";
+  out += "  \"results\": [\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i)
+    append_section(out, report.results[i], "    ",
+                   i + 1 == report.results.size());
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+BenchReport parse_bench_report(std::string_view json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (root.kind != JsonValue::Kind::kObject)
+    schema_fail("top level must be an object");
+  const JsonObject& obj = *root.object;
+  BenchReport report;
+  const double version = require_number(obj, "schema_version");
+  if (version != std::floor(version))
+    schema_fail("'schema_version' must be an integer");
+  report.schema_version = static_cast<int>(version);
+  report.tool = require_string(obj, "tool");
+  report.mode = require_string(obj, "mode");
+  report.simulated_days = require_number(obj, "simulated_days");
+  report.baseline_commit = require_string(obj, "baseline_commit");
+  report.baseline = sections_from(obj, "baseline");
+  report.results = sections_from(obj, "results");
+  return report;
+}
+
+}  // namespace tscclock

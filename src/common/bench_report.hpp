@@ -1,0 +1,60 @@
+// Versioned machine-readable throughput report (BENCH_throughput.json).
+//
+// bench/throughput measures exchanges/sec through the full
+// Testbed → ClockSession/MultiEstimatorSession → estimator → sink pipeline
+// and emits one BenchReport as JSON; the copy committed at the repo root
+// tracks the hot-path trajectory across PRs. The schema is versioned so CI
+// can detect a stale committed report: whenever a section's meaning changes
+// (not merely its measured numbers), kBenchReportSchemaVersion is bumped and
+// the committed file must be regenerated in the same change.
+//
+// The parser below reads exactly this schema back (CI's validation step and
+// the unit tests round-trip through it) — it is not a general JSON library,
+// but it accepts any field order and ignores unknown keys so the format can
+// grow compatibly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tscclock {
+
+/// Bump when the meaning/shape of the report changes (see file comment).
+inline constexpr int kBenchReportSchemaVersion = 1;
+
+/// One measured pipeline configuration.
+struct BenchSection {
+  std::string name;       ///< stable identifier, e.g. "single_robust_exact"
+  std::string drive;      ///< "scalar" | "batched" | "generate"
+  std::string reduction;  ///< "exact" | "streaming" | "none"
+  std::uint64_t exchanges = 0;  ///< exchanges driven through the pipeline
+  double seconds = 0;           ///< wall-clock time of the timed region
+  double exchanges_per_sec = 0;
+};
+
+struct BenchReport {
+  int schema_version = kBenchReportSchemaVersion;
+  std::string tool;  ///< emitting binary, e.g. "bench_throughput"
+  std::string mode;  ///< "full" | "quick"
+  double simulated_days = 0;  ///< trace length behind each section
+  /// Reference numbers pinned from the commit named in baseline_commit —
+  /// the pre-campaign scalar pipeline — so the committed report carries the
+  /// before/after comparison, not just the latest measurement.
+  std::string baseline_commit;
+  std::vector<BenchSection> baseline;
+  std::vector<BenchSection> results;  ///< measured by this run
+};
+
+/// Serialize (stable field order, 2-space indent, trailing newline).
+std::string to_json(const BenchReport& report);
+
+/// Parse a report previously produced by to_json (field order free, unknown
+/// keys ignored). Throws std::runtime_error with a precise message on
+/// malformed JSON or a missing/mistyped required field. Does NOT reject a
+/// schema_version mismatch — staleness is the caller's policy (see
+/// bench/throughput --check).
+BenchReport parse_bench_report(std::string_view json);
+
+}  // namespace tscclock

@@ -1,7 +1,5 @@
 #include "common/rng.hpp"
 
-#include <cmath>
-
 #include "common/contracts.hpp"
 
 namespace tscclock {
@@ -12,47 +10,6 @@ Rng Rng::fork(std::uint64_t label) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return Rng(z ^ (z >> 31));
-}
-
-double Rng::uniform() {
-  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
-}
-
-double Rng::uniform(double lo, double hi) {
-  TSC_EXPECTS(lo <= hi);
-  return std::uniform_real_distribution<double>(lo, hi)(engine_);
-}
-
-double Rng::exponential(double mean) {
-  TSC_EXPECTS(mean > 0.0);
-  return std::exponential_distribution<double>(1.0 / mean)(engine_);
-}
-
-double Rng::pareto(double shape, double scale) {
-  TSC_EXPECTS(shape > 0.0);
-  TSC_EXPECTS(scale > 0.0);
-  const double u = std::uniform_real_distribution<double>(
-      std::numeric_limits<double>::min(), 1.0)(engine_);
-  return scale * (std::pow(u, -1.0 / shape) - 1.0);
-}
-
-double Rng::lognormal_median(double median, double sigma) {
-  TSC_EXPECTS(median > 0.0);
-  TSC_EXPECTS(sigma >= 0.0);
-  return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
-}
-
-double Rng::normal(double stddev) {
-  TSC_EXPECTS(stddev >= 0.0);
-  if (stddev == 0.0) return 0.0;
-  return std::normal_distribution<double>(0.0, stddev)(engine_);
-}
-
-bool Rng::bernoulli(double p) {
-  TSC_EXPECTS(p >= 0.0 && p <= 1.0);
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return std::bernoulli_distribution(p)(engine_);
 }
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {

@@ -6,13 +6,22 @@
 // perturb the server model's stream).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <vector>
+
+#include "common/contracts.hpp"
 
 namespace tscclock {
 
 /// Seeded pseudo-random source with the distribution draws the testbed needs.
+/// The per-draw methods are inline: the simulation substrate makes ~15 draws
+/// per generated exchange and the distributions themselves are header-only
+/// std machinery, so an out-of-line wrapper would only add call overhead.
+/// Each draw constructs its distribution fresh so no inter-draw state (e.g.
+/// normal_distribution's cached second variate) can leak between components.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
@@ -22,26 +31,54 @@ class Rng {
   [[nodiscard]] Rng fork(std::uint64_t label);
 
   /// Uniform in [0, 1).
-  double uniform();
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
 
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    TSC_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
 
   /// Exponential with the given mean (> 0).
-  double exponential(double mean);
+  double exponential(double mean) {
+    TSC_EXPECTS(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
 
   /// Pareto (Lomax form): density ~ (1 + x/scale)^-(shape+1), x >= 0.
   /// Heavy-tailed queueing excursions; mean = scale/(shape-1) for shape > 1.
-  double pareto(double shape, double scale);
+  double pareto(double shape, double scale) {
+    TSC_EXPECTS(shape > 0.0);
+    TSC_EXPECTS(scale > 0.0);
+    const double u = std::uniform_real_distribution<double>(
+        std::numeric_limits<double>::min(), 1.0)(engine_);
+    return scale * (std::pow(u, -1.0 / shape) - 1.0);
+  }
 
   /// Log-normal parameterized by the *median* and the shape sigma of log(x).
-  double lognormal_median(double median, double sigma);
+  double lognormal_median(double median, double sigma) {
+    TSC_EXPECTS(median > 0.0);
+    TSC_EXPECTS(sigma >= 0.0);
+    return std::lognormal_distribution<double>(std::log(median),
+                                               sigma)(engine_);
+  }
 
   /// Zero-mean Gaussian with standard deviation `stddev`.
-  double normal(double stddev);
+  double normal(double stddev) {
+    TSC_EXPECTS(stddev >= 0.0);
+    if (stddev == 0.0) return 0.0;
+    return std::normal_distribution<double>(0.0, stddev)(engine_);
+  }
 
   /// True with probability p.
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    TSC_EXPECTS(p >= 0.0 && p <= 1.0);
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
 
   /// Index in [0, weights.size()) chosen proportionally to `weights`.
   std::size_t categorical(const std::vector<double>& weights);

@@ -14,15 +14,6 @@ CounterTimescale::CounterTimescale(TscCount anchor_count, Seconds anchor_time,
   TSC_EXPECTS(std::isfinite(anchor_time));
 }
 
-Seconds CounterTimescale::read(TscCount count) const {
-  return delta_to_seconds(counter_delta(count, anchor_count_), period_) +
-         anchor_time_;
-}
-
-Seconds CounterTimescale::between(TscCount earlier, TscCount later) const {
-  return delta_to_seconds(counter_delta(later, earlier), period_);
-}
-
 void CounterTimescale::rebase(TscCount count) {
   anchor_time_ = read(count);
   anchor_count_ = count;

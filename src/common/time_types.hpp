@@ -72,12 +72,19 @@ class CounterTimescale {
   CounterTimescale() = default;
   CounterTimescale(TscCount anchor_count, Seconds anchor_time, double period);
 
-  /// Clock reading at raw counter value `count`.
-  [[nodiscard]] Seconds read(TscCount count) const;
+  /// Clock reading at raw counter value `count`. Defined inline: this is the
+  /// single hottest function in the library (the offset algorithm reads the
+  /// clock twice per window entry per packet) and must not pay a call.
+  [[nodiscard]] Seconds read(TscCount count) const {
+    return delta_to_seconds(counter_delta(count, anchor_count_), period_) +
+           anchor_time_;
+  }
 
   /// Duration between two raw counter values under the current period.
   /// This is the *difference clock* (paper eq. (6)): Cd(T2) - Cd(T1).
-  [[nodiscard]] Seconds between(TscCount earlier, TscCount later) const;
+  [[nodiscard]] Seconds between(TscCount earlier, TscCount later) const {
+    return delta_to_seconds(counter_delta(later, earlier), period_);
+  }
 
   [[nodiscard]] double period() const { return period_; }
   [[nodiscard]] TscCount anchor_count() const { return anchor_count_; }

@@ -100,6 +100,10 @@ class TscNtpClock {
   // -- State ---------------------------------------------------------------
   [[nodiscard]] const CounterTimescale& timescale() const { return timescale_; }
   [[nodiscard]] double period() const { return rate_.period(); }
+  /// The warm-up flag alone (identical to status().warmed_up, without
+  /// assembling the full counter snapshot — the drive loop reads this once
+  /// per exchange).
+  [[nodiscard]] bool warmed_up() const { return rate_.warmed_up(); }
   [[nodiscard]] bool has_estimate() const { return offset_.has_estimate(); }
   [[nodiscard]] Seconds offset_estimate() const { return offset_.estimate(); }
   [[nodiscard]] ClockStatus status() const;

@@ -18,12 +18,4 @@ NaiveRate naive_rate(const RawExchange& earlier, const RawExchange& later) {
   return r;
 }
 
-Seconds naive_offset(const RawExchange& exchange,
-                     const CounterTimescale& clock) {
-  const Seconds host_mid =
-      0.5 * (clock.read(exchange.ta) + clock.read(exchange.tf));
-  const Seconds server_mid = 0.5 * (exchange.tb + exchange.te);
-  return host_mid - server_mid;
-}
-
 }  // namespace tscclock::core

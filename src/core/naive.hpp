@@ -21,8 +21,14 @@ NaiveRate naive_rate(const RawExchange& earlier, const RawExchange& later);
 
 /// Naive per-packet offset (eq. 19):
 ///   θ̂_i = ½(C(Ta_i) + C(Tf_i)) − ½(Tb_i + Te_i)
-/// which implicitly assumes a symmetric path (Δ = 0).
-Seconds naive_offset(const RawExchange& exchange,
-                     const CounterTimescale& clock);
+/// which implicitly assumes a symmetric path (Δ = 0). Inline: evaluated once
+/// per offset-window entry per packet, the hottest loop in the estimator.
+inline Seconds naive_offset(const RawExchange& exchange,
+                            const CounterTimescale& clock) {
+  const Seconds host_mid =
+      0.5 * (clock.read(exchange.ta) + clock.read(exchange.tf));
+  const Seconds server_mid = 0.5 * (exchange.tb + exchange.te);
+  return host_mid - server_mid;
+}
 
 }  // namespace tscclock::core

@@ -21,11 +21,19 @@ TopWindow::Update TopWindow::add(const PacketRecord& packet,
   update.oldest_seq = history_.front().seq;
 
   // New r̂: minimum over retained packets beyond the last shift point; if
-  // none qualify (shift point very recent), fall back to all retained.
+  // none qualify (shift point very recent), fall back to all retained. One
+  // fused pass tracks both minima — each uses the same strict-less /
+  // earliest-wins comparison as the former two sequential scans, so the
+  // selected value is bit-identical.
   bool have_min = false;
+  bool have_any = false;
   TscDelta min_rtt = 0;
-  for (std::size_t k = 0; k < history_.size(); ++k) {
-    const auto& rec = history_[k];
+  TscDelta min_rtt_any = 0;
+  for (const auto& rec : history_) {
+    if (!have_any || rec.rtt < min_rtt_any) {
+      min_rtt_any = rec.rtt;
+      have_any = true;
+    }
     if (rec.seq < min_valid_seq) continue;
     if (!have_min || rec.rtt < min_rtt) {
       min_rtt = rec.rtt;
@@ -33,13 +41,8 @@ TopWindow::Update TopWindow::add(const PacketRecord& packet,
     }
   }
   if (!have_min) {
-    for (std::size_t k = 0; k < history_.size(); ++k) {
-      const auto& rec = history_[k];
-      if (!have_min || rec.rtt < min_rtt) {
-        min_rtt = rec.rtt;
-        have_min = true;
-      }
-    }
+    min_rtt = min_rtt_any;
+    have_min = have_any;
   }
   TSC_ENSURES(have_min);
   update.new_rhat = min_rtt;

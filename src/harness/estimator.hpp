@@ -108,7 +108,7 @@ class TscNtpEstimator final : public ClockEstimator {
   }
   [[nodiscard]] double period() const override { return clock_.period(); }
   [[nodiscard]] bool warmed_up() const override {
-    return clock_.status().warmed_up;
+    return clock_.warmed_up();
   }
   [[nodiscard]] core::ClockStatus status() const override {
     return clock_.status();

@@ -5,6 +5,15 @@
 
 namespace tscclock::harness {
 
+namespace {
+
+/// Exchanges pulled from the testbed per process_batch round in the batched
+/// drives: large enough to amortize the per-batch sink flush, small enough
+/// to keep the working set (~200 bytes/exchange) inside L2.
+constexpr std::size_t kBatchChunk = 1024;
+
+}  // namespace
+
 bool exchange_in_warmup(const SessionConfig& config, const sim::Exchange& ex) {
   const Seconds cut_time =
       !ex.lost && config.warmup_policy == WarmupPolicy::kObservable
@@ -103,6 +112,51 @@ void ClockSession::process(const sim::Exchange& ex) {
   if (record.evaluated || config_.emit_unevaluated) emit(record);
 }
 
+void ClockSession::process_batch(std::span<const sim::Exchange> exchanges) {
+  for (auto* sink : sinks_) {
+    if (!sink->wants_batch()) {
+      // A record-shaped sink is attached: run the scalar sequence so every
+      // sink (including batch-aware ones, via their on_sample) observes the
+      // stream exactly as process() emits it.
+      for (const auto& ex : exchanges) process(ex);
+      return;
+    }
+  }
+
+  // Fast lane: every sink is batch-aware (or none is attached). Same
+  // estimator/detector/recorder sequence as process(), but no SampleRecord
+  // is built and no per-record virtual dispatch happens; the evaluated
+  // series accumulate into batch_ and flush once. Every accumulated value
+  // is computed by the very expressions process() uses, so the lane is
+  // bit-identical to the scalar one.
+  batch_.clear();
+  batch_.reserve(exchanges.size());
+  for (const auto& ex : exchanges) {
+    if (recorder_) recorder_->observe(ex);
+    ++summary_.exchanges;
+    if (ex.lost) {
+      ++summary_.lost;
+      continue;  // batch sinks never consume unevaluated records
+    }
+    if (config_.track_server_changes &&
+        server_changes_.observe(
+            core::ServerIdentity{ex.server_id, ex.server_stratum}, ex.index))
+      estimator_->notify_server_change();
+    const core::RawExchange raw{ex.ta_counts, ex.tb_stamp, ex.te_stamp,
+                                ex.tf_counts};
+    const auto report = estimator_->process_exchange(raw);
+    if (!ex.ref_available || exchange_in_warmup(config_, ex)) continue;
+    const Seconds reference_offset =
+        estimator_->uncorrected_time(ex.tf_counts) - ex.tg;
+    const Seconds offset_error = report.offset_estimate - reference_offset;
+    const Seconds abs_clock_error =
+        estimator_->absolute_time(ex.tf_counts) - ex.tg;
+    ++summary_.evaluated;
+    batch_.push(ex.tb_stamp, abs_clock_error, offset_error);
+  }
+  for (auto* sink : sinks_) sink->on_batch(batch_);
+}
+
 bool ClockSession::step(sim::Testbed& testbed) {
   auto exchange = testbed.next();
   if (!exchange) return false;
@@ -112,6 +166,17 @@ bool ClockSession::step(sim::Testbed& testbed) {
 
 const SessionSummary& ClockSession::run(sim::Testbed& testbed) {
   while (step(testbed)) {
+  }
+  set_polls_enumerated(testbed.polls_enumerated());
+  return summary();
+}
+
+const SessionSummary& ClockSession::run_batched(sim::Testbed& testbed) {
+  std::vector<sim::Exchange> buffer(kBatchChunk);
+  while (true) {
+    const std::size_t n = testbed.next_batch(buffer);
+    if (n > 0) process_batch(std::span<const sim::Exchange>(buffer.data(), n));
+    if (n < buffer.size()) break;  // duration exhausted
   }
   set_polls_enumerated(testbed.polls_enumerated());
   return summary();
@@ -170,6 +235,13 @@ void MultiEstimatorSession::process(const sim::Exchange& exchange) {
   for (auto& lane : lanes_) lane->process(exchange);
 }
 
+void MultiEstimatorSession::process_batch(
+    std::span<const sim::Exchange> exchanges) {
+  if (recorder_)
+    for (const auto& ex : exchanges) recorder_->observe(ex);
+  for (auto& lane : lanes_) lane->process_batch(exchanges);
+}
+
 bool MultiEstimatorSession::step(sim::Testbed& testbed) {
   auto exchange = testbed.next();
   if (!exchange) return false;
@@ -179,6 +251,18 @@ bool MultiEstimatorSession::step(sim::Testbed& testbed) {
 
 void MultiEstimatorSession::run(sim::Testbed& testbed) {
   while (step(testbed)) {
+  }
+  for (auto& lane : lanes_)
+    lane->set_polls_enumerated(testbed.polls_enumerated());
+  if (recorder_) recorder_->set_polls_enumerated(testbed.polls_enumerated());
+}
+
+void MultiEstimatorSession::run_batched(sim::Testbed& testbed) {
+  std::vector<sim::Exchange> buffer(kBatchChunk);
+  while (true) {
+    const std::size_t n = testbed.next_batch(buffer);
+    if (n > 0) process_batch(std::span<const sim::Exchange>(buffer.data(), n));
+    if (n < buffer.size()) break;  // duration exhausted
   }
   for (auto& lane : lanes_)
     lane->set_polls_enumerated(testbed.polls_enumerated());

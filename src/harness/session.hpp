@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/time_types.hpp"
@@ -139,12 +140,57 @@ struct SessionSummary {
   core::ClockStatus final_status;
 };
 
+/// Struct-of-arrays view of the *evaluated* records of one processed batch:
+/// exactly the three series the sweep reductions consume (server receive
+/// stamp raw.tb, absolute clock error Ca(Tf)−Tg, offset tracking error
+/// θ̂−θg), in emission order. Batch-aware sinks receive these through one
+/// on_batch() call per batch instead of one on_sample() virtual call per
+/// record, and ClockSession::process_batch skips building the ~200-byte
+/// SampleRecord entirely when only batch-aware sinks are attached.
+struct SampleBatch {
+  std::vector<double> tb;               ///< server receive stamps [s]
+  std::vector<double> abs_clock_error;  ///< Ca(Tf) − Tg
+  std::vector<double> offset_error;     ///< θ̂ − θg
+
+  [[nodiscard]] std::size_t size() const { return tb.size(); }
+  [[nodiscard]] bool empty() const { return tb.empty(); }
+  void clear() {
+    tb.clear();
+    abs_clock_error.clear();
+    offset_error.clear();
+  }
+  void reserve(std::size_t n) {
+    tb.reserve(n);
+    abs_clock_error.reserve(n);
+    offset_error.reserve(n);
+  }
+  void push(double tb_stamp, double clock_error, double tracking_error) {
+    tb.push_back(tb_stamp);
+    abs_clock_error.push_back(clock_error);
+    offset_error.push_back(tracking_error);
+  }
+};
+
 /// Receives every record the session emits. Implementations must not assume
 /// they are the only sink attached.
 class SampleSink {
  public:
   virtual ~SampleSink() = default;
   virtual void on_sample(const SampleRecord& record) = 0;
+
+  /// Opt in to batched delivery: when every sink attached to a session
+  /// reports true, ClockSession::process_batch delivers the evaluated stream
+  /// as SampleBatch struct-of-arrays via on_batch() and never materializes
+  /// SampleRecords. Only sinks that consume nothing beyond
+  /// {raw.tb, abs_clock_error, offset_error} of *evaluated* records (the
+  /// reducers) should opt in; record-shaped consumers keep the default.
+  /// Batch-aware sinks must still implement on_sample identically — the
+  /// scalar lane and mixed-sink sessions feed them per record.
+  [[nodiscard]] virtual bool wants_batch() const { return false; }
+
+  /// Batched delivery; invoked only from process_batch, and only when every
+  /// attached sink wants_batch(). Default: ignore.
+  virtual void on_batch(const SampleBatch& batch) { (void)batch; }
 };
 
 class ClockSession {
@@ -169,12 +215,27 @@ class ClockSession {
   /// delay example) or replay perturbed exchange vectors still share it.
   void process(const sim::Exchange& exchange);
 
+  /// Process a batch of exchanges through the identical canonical sequence.
+  /// When every attached sink wants_batch() (the sweep/bench reducer case),
+  /// the loop skips SampleRecord construction and per-record virtual sink
+  /// dispatch, accumulating the evaluated {tb, abs_clock_error, offset_error}
+  /// series into one SampleBatch flushed to the sinks via on_batch() — the
+  /// emitted values are bit-identical to the scalar lane's. With any
+  /// record-shaped sink attached it degrades to per-record process() calls,
+  /// so CallbackSink's read-the-clock-after-each-exchange semantics hold.
+  void process_batch(std::span<const sim::Exchange> exchanges);
+
   /// Pull one exchange from the testbed and process it. Returns false when
   /// the testbed's configured duration is exhausted.
   bool step(sim::Testbed& testbed);
 
   /// Drain the whole testbed and return the final summary.
   const SessionSummary& run(sim::Testbed& testbed);
+
+  /// Drain the whole testbed through the batched lane (Testbed::next_batch →
+  /// process_batch in fixed-size chunks). Same summary, same sink-visible
+  /// values as run(); this is the hot-path drive the sweep uses.
+  const SessionSummary& run_batched(sim::Testbed& testbed);
 
   /// The summary so far (final_status is refreshed on access).
   const SessionSummary& summary();
@@ -209,6 +270,7 @@ class ClockSession {
   std::vector<SampleSink*> sinks_;
   std::unique_ptr<TraceRecorder> recorder_;  ///< set when record_trace
   SessionSummary summary_;
+  SampleBatch batch_;  ///< process_batch scratch (reused across batches)
 };
 
 /// Fan one exchange stream into N estimators: every lane is a full
@@ -247,6 +309,14 @@ class MultiEstimatorSession {
   /// Process one exchange through every lane.
   void process(const sim::Exchange& exchange);
 
+  /// Process a batch of exchanges: the shared recorder observes each
+  /// exchange once, then every lane consumes the whole batch through
+  /// ClockSession::process_batch. Lane state and every sink-visible value
+  /// are identical to per-exchange process(); only the interleaving of sink
+  /// callbacks *across lanes* within a batch differs (lanes are
+  /// independent, so this is unobservable through any one lane).
+  void process_batch(std::span<const sim::Exchange> exchanges);
+
   /// Pull one exchange from the testbed into every lane. Returns false when
   /// the testbed's configured duration is exhausted.
   bool step(sim::Testbed& testbed);
@@ -254,6 +324,10 @@ class MultiEstimatorSession {
   /// Drain the whole testbed through every lane and back-fill each lane's
   /// poll-slot count.
   void run(sim::Testbed& testbed);
+
+  /// Batched run(): Testbed::next_batch → process_batch in fixed-size
+  /// chunks. Same final state as run(); the sweep's default drive.
+  void run_batched(sim::Testbed& testbed);
 
  private:
   std::vector<std::unique_ptr<ClockSession>> lanes_;

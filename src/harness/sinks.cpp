@@ -20,6 +20,14 @@ void ReducerSink::on_sample(const SampleRecord& record) {
   offset_errors_.push_back(record.offset_error);
 }
 
+void ReducerSink::on_batch(const SampleBatch& batch) {
+  times_.insert(times_.end(), batch.tb.begin(), batch.tb.end());
+  clock_errors_.insert(clock_errors_.end(), batch.abs_clock_error.begin(),
+                       batch.abs_clock_error.end());
+  offset_errors_.insert(offset_errors_.end(), batch.offset_error.begin(),
+                        batch.offset_error.end());
+}
+
 namespace {
 
 /// Fill both ADEV scales from one resampled series; allan_deviation skips
@@ -89,6 +97,14 @@ void StreamingReducerSink::on_sample(const SampleRecord& record) {
   adev_.add(record.raw.tb, record.abs_clock_error);
 }
 
+void StreamingReducerSink::on_batch(const SampleBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    clock_error_.add(batch.abs_clock_error[i]);
+    offset_error_.add(batch.offset_error[i]);
+    adev_.add(batch.tb[i], batch.abs_clock_error[i]);
+  }
+}
+
 StreamingReducerSink::Reduction StreamingReducerSink::reduce() const {
   Reduction out;
   out.evaluated = clock_error_.count();
@@ -134,29 +150,34 @@ void CsvTraceSink::on_sample(const SampleRecord& r) {
   // ref_available flag marks rows whose reference-aligned error columns are
   // not meaningful (printed as zeros) — without it they would read as
   // spurious perfect-tracking samples.
-  writer_.write_row(std::vector<std::string>{
-      scenario_,
-      estimator_,
-      format_count(r.index),
-      r.lost ? "1" : "0",
-      r.ref_available ? "1" : "0",
-      r.in_warmup ? "1" : "0",
-      r.evaluated ? "1" : "0",
-      r.server_changed ? "1" : "0",
-      r.warmed_up ? "1" : "0",
-      strfmt("%.6f", r.t_day),
-      strfmt("%.6f", r.raw.tb),
-      strfmt("%.6f", r.truth_tb),
-      strfmt("%.9e", r.report.offset_estimate),
-      strfmt("%.9e", r.reference_offset),
-      strfmt("%.9e", r.offset_error),
-      strfmt("%.9e", r.naive_error),
-      strfmt("%.9e", r.report.point_error),
-      strfmt("%.9e", r.abs_clock_error),
-      strfmt("%.12e", r.period),
-      r.report.sanity_triggered ? "1" : "0",
-      upshift ? "1" : "0",
-      downshift ? "1" : "0"});
+  //
+  // The row vector is a member reused across calls: a long trace dump emits
+  // millions of rows and must not pay a fresh vector per record.
+  row_.resize(trace_columns().size());
+  std::size_t c = 0;
+  row_[c++] = scenario_;
+  row_[c++] = estimator_;
+  row_[c++] = format_count(r.index);
+  row_[c++] = r.lost ? "1" : "0";
+  row_[c++] = r.ref_available ? "1" : "0";
+  row_[c++] = r.in_warmup ? "1" : "0";
+  row_[c++] = r.evaluated ? "1" : "0";
+  row_[c++] = r.server_changed ? "1" : "0";
+  row_[c++] = r.warmed_up ? "1" : "0";
+  row_[c++] = strfmt("%.6f", r.t_day);
+  row_[c++] = strfmt("%.6f", r.raw.tb);
+  row_[c++] = strfmt("%.6f", r.truth_tb);
+  row_[c++] = strfmt("%.9e", r.report.offset_estimate);
+  row_[c++] = strfmt("%.9e", r.reference_offset);
+  row_[c++] = strfmt("%.9e", r.offset_error);
+  row_[c++] = strfmt("%.9e", r.naive_error);
+  row_[c++] = strfmt("%.9e", r.report.point_error);
+  row_[c++] = strfmt("%.9e", r.abs_clock_error);
+  row_[c++] = strfmt("%.12e", r.period);
+  row_[c++] = r.report.sanity_triggered ? "1" : "0";
+  row_[c++] = upshift ? "1" : "0";
+  row_[c++] = downshift ? "1" : "0";
+  writer_.write_row(row_);
 }
 
 }  // namespace tscclock::harness

@@ -86,6 +86,13 @@ class ReducerSink final : public SampleSink {
 
   void on_sample(const SampleRecord& record) override;
 
+  /// Batch-aware: consumes exactly the three SampleBatch series, so the
+  /// session's fast lane can skip record materialization entirely. The
+  /// appended values are the ones on_sample would have pushed, in the same
+  /// order — reduce() is bit-identical either way.
+  [[nodiscard]] bool wants_batch() const override { return true; }
+  void on_batch(const SampleBatch& batch) override;
+
   /// Reduce what has been consumed so far.
   [[nodiscard]] Reduction reduce() const;
 
@@ -114,6 +121,12 @@ class StreamingReducerSink final : public SampleSink {
                                 std::size_t adev_long_factor = 256);
 
   void on_sample(const SampleRecord& record) override;
+
+  /// Batch-aware like ReducerSink; the accumulators are fed element by
+  /// element in emission order, so the streaming state is bit-identical to
+  /// the per-record path's.
+  [[nodiscard]] bool wants_batch() const override { return true; }
+  void on_batch(const SampleBatch& batch) override;
 
   /// Reduce what has been consumed so far.
   [[nodiscard]] Reduction reduce() const;
@@ -169,6 +182,7 @@ class CsvTraceSink final : public SampleSink {
   CsvWriter writer_;
   std::string scenario_;
   std::string estimator_ = "robust";
+  std::vector<std::string> row_;  ///< reused across rows (no per-row vector)
 };
 
 }  // namespace tscclock::harness

@@ -180,16 +180,23 @@ Testbed::Attachment& Testbed::active_attachment(Seconds t) {
 }
 
 std::optional<Exchange> Testbed::next() {
+  Exchange ex;
+  if (!next_into(ex)) return std::nullopt;
+  return ex;
+}
+
+bool Testbed::next_into(Exchange& out) {
   while (true) {
     const Seconds base = static_cast<double>(poll_index_) * config_.poll_period;
-    if (base >= config_.duration) return std::nullopt;
+    if (base >= config_.duration) return false;
     const Seconds poll_time =
         base + rng_.uniform(-config_.poll_jitter, config_.poll_jitter) +
         config_.poll_jitter;  // keep strictly increasing reads
     const std::uint64_t index = poll_index_++;
     if (config_.events.in_outage(poll_time)) continue;  // gap: no exchange
 
-    Exchange ex;
+    out = Exchange{};
+    Exchange& ex = out;
     ex.index = index;
     auto& attachment = active_attachment(poll_time);
     ex.server_id = attachment.id;
@@ -206,7 +213,7 @@ std::optional<Exchange> Testbed::next() {
     ex.truth.tb = ex.truth.ta + fwd.delay;
     if (fwd.lost) {
       ex.lost = true;
-      return ex;
+      return true;
     }
 
     // Server: stamps Tb, processes, stamps Te, replies.
@@ -248,7 +255,7 @@ std::optional<Exchange> Testbed::next() {
     ex.truth.tf = ex.truth.te + bwd.delay;
     if (bwd.lost) {
       ex.lost = true;
-      return ex;
+      return true;
     }
 
     // Host receive stamp (after interrupt latency) and DAG reference.
@@ -258,13 +265,42 @@ std::optional<Exchange> Testbed::next() {
     ex.tf_counts = oscillator_.read(ex.truth.tf + recv_lag.total);
     ex.ref_available = dag_stamp.available;
     ex.tg = dag_stamp.corrected;
-    return ex;
+    return true;
   }
+}
+
+std::size_t Testbed::next_batch(std::span<Exchange> out) {
+  std::size_t produced = 0;
+  while (produced < out.size() && next_into(out[produced])) ++produced;
+  return produced;
+}
+
+std::uint64_t Testbed::polls_remaining() const {
+  // First index whose poll base falls at or beyond the duration, under the
+  // same arithmetic the enumeration loop uses (so the bound is exact).
+  auto stop = static_cast<std::uint64_t>(config_.duration / config_.poll_period);
+  while (static_cast<double>(stop) * config_.poll_period < config_.duration)
+    ++stop;
+  while (stop > 0 && static_cast<double>(stop - 1) * config_.poll_period >=
+                         config_.duration)
+    --stop;
+  return stop > poll_index_ ? stop - poll_index_ : 0;
 }
 
 std::vector<Exchange> Testbed::generate_all() {
   std::vector<Exchange> out;
-  while (auto ex = next()) out.push_back(*ex);
+  out.reserve(polls_remaining());  // poll-slot count: growth-free drain
+  // next_into produces at most one exchange per slot, so while slots remain
+  // the emplaced element stays within the reservation; the one speculative
+  // element that can go unfilled (a trailing outage swallowing every
+  // remaining slot) is popped, never grown past.
+  while (polls_remaining() > 0) {
+    out.emplace_back();
+    if (!next_into(out.back())) {
+      out.pop_back();
+      break;
+    }
+  }
   return out;
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,20 @@ class Testbed {
   /// Polls falling inside scheduled outages are skipped entirely (no element
   /// is produced for them, matching a data-collection gap).
   std::optional<Exchange> next();
+
+  /// Generate the next exchange directly into `out` (no optional round-trip,
+  /// no return-value copy). Returns false — leaving `out` untouched — when
+  /// `duration` is exhausted. The produced stream is identical to next()'s.
+  bool next_into(Exchange& out);
+
+  /// Fill `out` from the front with up to out.size() exchanges; returns how
+  /// many were produced (< out.size() only when the duration ran out). The
+  /// batched hot-path equivalent of calling next() in a loop.
+  std::size_t next_batch(std::span<Exchange> out);
+
+  /// Poll slots remaining until `duration` (an upper bound on how many more
+  /// exchanges next() can produce; outage-skipped slots still count here).
+  [[nodiscard]] std::uint64_t polls_remaining() const;
 
   /// Drain the whole configured duration.
   std::vector<Exchange> generate_all();

@@ -110,7 +110,10 @@ std::vector<ScenarioResult> run_scenario_multi(
     if (trace != nullptr) session.add_sink(lane_of[e], *trace);
   }
 
-  session.run(testbed);
+  // Batched drive: reducer-only lanes take the record-free fast path; lanes
+  // with a trace sink attached degrade to the scalar per-record sequence
+  // inside process_batch, so dumps stay row-for-row identical.
+  session.run_batched(testbed);
 
   std::vector<ScenarioResult> results;
   results.reserve(estimators.size());

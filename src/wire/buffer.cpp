@@ -1,56 +1,4 @@
+// ByteWriter/SpanWriter/ByteReader are fully inline (see buffer.hpp); this
+// translation unit remains so the build layout (one .cpp per header in the
+// wire layer) stays uniform.
 #include "wire/buffer.hpp"
-
-namespace tscclock::wire {
-
-void ByteWriter::u8(std::uint8_t v) { data_.push_back(v); }
-
-void ByteWriter::u16(std::uint16_t v) {
-  data_.push_back(static_cast<std::uint8_t>(v >> 8));
-  data_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void ByteWriter::u32(std::uint32_t v) {
-  u16(static_cast<std::uint16_t>(v >> 16));
-  u16(static_cast<std::uint16_t>(v));
-}
-
-void ByteWriter::u64(std::uint64_t v) {
-  u32(static_cast<std::uint32_t>(v >> 32));
-  u32(static_cast<std::uint32_t>(v));
-}
-
-void ByteWriter::bytes(std::span<const std::uint8_t> data) {
-  data_.insert(data_.end(), data.begin(), data.end());
-}
-
-void ByteReader::require(std::size_t n) const {
-  if (remaining() < n)
-    throw BufferError("ByteReader: read past end of buffer");
-}
-
-std::uint8_t ByteReader::u8() {
-  require(1);
-  return data_[pos_++];
-}
-
-std::uint16_t ByteReader::u16() {
-  require(2);
-  const auto hi = static_cast<std::uint16_t>(data_[pos_]);
-  const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
-  pos_ += 2;
-  return static_cast<std::uint16_t>(hi << 8 | lo);
-}
-
-std::uint32_t ByteReader::u32() {
-  const auto hi = static_cast<std::uint32_t>(u16());
-  const auto lo = static_cast<std::uint32_t>(u16());
-  return hi << 16 | lo;
-}
-
-std::uint64_t ByteReader::u64() {
-  const auto hi = static_cast<std::uint64_t>(u32());
-  const auto lo = static_cast<std::uint64_t>(u32());
-  return hi << 32 | lo;
-}
-
-}  // namespace tscclock::wire

@@ -1,6 +1,10 @@
 // Bounds-checked big-endian (network byte order) byte buffer reader/writer,
 // used to serialize NTP packets. Out-of-range access throws BufferError
 // rather than invoking undefined behaviour (Core Guidelines bounds profile).
+//
+// All accessors are inline: the simulation round-trips every exchange's
+// server stamps through the codec on the hot generation path, so the
+// per-field calls must compile down to byte moves.
 #pragma once
 
 #include <cstddef>
@@ -19,11 +23,26 @@ class BufferError : public std::runtime_error {
 /// Append-only big-endian serializer.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v);
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void u64(std::uint64_t v);
-  void bytes(std::span<const std::uint8_t> data);
+  void u8(std::uint8_t v) { data_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    data_.push_back(static_cast<std::uint8_t>(v >> 8));
+    data_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    data_.insert(data_.end(), data.begin(), data.end());
+  }
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const { return data_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
@@ -32,21 +51,84 @@ class ByteWriter {
   std::vector<std::uint8_t> data_;
 };
 
+/// Fixed-capacity big-endian serializer writing into caller storage; the
+/// allocation-free twin of ByteWriter for hot paths with a known packet
+/// size (overflow throws BufferError, matching the bounds profile).
+class SpanWriter {
+ public:
+  explicit SpanWriter(std::span<std::uint8_t> out) : out_(out) {}
+
+  void u8(std::uint8_t v) {
+    require(1);
+    out_[pos_++] = v;
+  }
+
+  void u16(std::uint16_t v) {
+    require(2);
+    out_[pos_] = static_cast<std::uint8_t>(v >> 8);
+    out_[pos_ + 1] = static_cast<std::uint8_t>(v);
+    pos_ += 2;
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+
+  [[nodiscard]] std::size_t size() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (out_.size() - pos_ < n)
+      throw BufferError("SpanWriter: write past end of buffer");
+  }
+  std::span<std::uint8_t> out_;
+  std::size_t pos_ = 0;
+};
+
 /// Sequential big-endian deserializer over a borrowed byte span.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  std::uint8_t u8();
-  std::uint16_t u16();
-  std::uint32_t u32();
-  std::uint64_t u64();
+  std::uint8_t u8() {
+    require(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    require(2);
+    const auto hi = static_cast<std::uint16_t>(data_[pos_]);
+    const auto lo = static_cast<std::uint16_t>(data_[pos_ + 1]);
+    pos_ += 2;
+    return static_cast<std::uint16_t>(hi << 8 | lo);
+  }
+
+  std::uint32_t u32() {
+    const auto hi = static_cast<std::uint32_t>(u16());
+    const auto lo = static_cast<std::uint32_t>(u16());
+    return hi << 16 | lo;
+  }
+
+  std::uint64_t u64() {
+    const auto hi = static_cast<std::uint64_t>(u32());
+    const auto lo = static_cast<std::uint64_t>(u32());
+    return hi << 32 | lo;
+  }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] std::size_t position() const { return pos_; }
 
  private:
-  void require(std::size_t n) const;
+  void require(std::size_t n) const {
+    if (remaining() < n)
+      throw BufferError("ByteReader: read past end of buffer");
+  }
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };

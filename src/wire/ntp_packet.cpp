@@ -6,7 +6,10 @@
 namespace tscclock::wire {
 
 std::array<std::uint8_t, kNtpPacketSize> encode(const NtpPacket& packet) {
-  ByteWriter w;
+  // Allocation-free: the packet size is fixed, so serialize straight into
+  // the output array (the simulation encodes two packets per exchange).
+  std::array<std::uint8_t, kNtpPacketSize> out{};
+  SpanWriter w(out);
   const auto li_vn_mode = static_cast<std::uint8_t>(
       (static_cast<std::uint8_t>(packet.leap) << 6) |
       ((packet.version & 0x7) << 3) | (static_cast<std::uint8_t>(packet.mode)));
@@ -23,8 +26,6 @@ std::array<std::uint8_t, kNtpPacketSize> encode(const NtpPacket& packet) {
   w.u64(packet.transmit_time.packed());
 
   TSC_ENSURES(w.size() == kNtpPacketSize);
-  std::array<std::uint8_t, kNtpPacketSize> out{};
-  std::copy(w.data().begin(), w.data().end(), out.begin());
   return out;
 }
 

@@ -1,0 +1,332 @@
+// Golden equivalence of the batched hot path against the scalar reference
+// lane:
+//   * Testbed::next_batch / next_into produce the byte-identical exchange
+//     stream next() produces, across chunk boundaries, outages and server
+//     switches;
+//   * ClockSession::process_batch / run_batched emit bit-identical reduced
+//     values and summaries to the scalar step loop — for the exact and the
+//     streaming reducer, single-lane and multi-lane with trace recording,
+//     and under the stress (switch + outage) schedule;
+//   * with a record-shaped sink attached, process_batch degrades to the
+//     scalar per-record sequence (identical SampleRecords).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "harness/replay.hpp"
+#include "harness/session.hpp"
+#include "harness/sinks.hpp"
+#include "sim/scenario.hpp"
+
+namespace tscclock::harness {
+namespace {
+
+/// One-hour MR-Int scenario with the §6 robustness events: a mid-trace
+/// outage and two server switches (mirrors test_harness.cpp).
+sim::ScenarioConfig stress_scenario() {
+  sim::ScenarioConfig scenario;
+  scenario.server = sim::ServerKind::kInt;
+  scenario.poll_period = 16.0;
+  scenario.duration = duration::kHour;
+  scenario.seed = 987654321;
+  scenario.events.add_outage(1200.0, 1500.0);
+  scenario.server_switches = {{1800.0, sim::ServerKind::kLoc},
+                              {2700.0, sim::ServerKind::kExt}};
+  return scenario;
+}
+
+sim::ScenarioConfig plain_scenario(std::uint64_t seed = 24680) {
+  sim::ScenarioConfig scenario;
+  scenario.poll_period = 16.0;
+  scenario.duration = duration::kHour;
+  scenario.seed = seed;
+  return scenario;
+}
+
+SessionConfig session_config_for(const sim::ScenarioConfig& scenario) {
+  SessionConfig config;
+  config.params = core::Params::for_poll_period(scenario.poll_period);
+  config.discard_warmup = 600.0;
+  config.warmup_policy = WarmupPolicy::kObservable;
+  return config;
+}
+
+void expect_exchange_eq(const sim::Exchange& a, const sim::Exchange& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.ta_counts, b.ta_counts);
+  EXPECT_EQ(a.tf_counts, b.tf_counts);
+  EXPECT_EQ(a.tf_counts_corrected, b.tf_counts_corrected);
+  EXPECT_EQ(a.tb_stamp, b.tb_stamp);
+  EXPECT_EQ(a.te_stamp, b.te_stamp);
+  EXPECT_EQ(a.server_id, b.server_id);
+  EXPECT_EQ(a.server_stratum, b.server_stratum);
+  EXPECT_EQ(a.ref_available, b.ref_available);
+  EXPECT_EQ(a.tg, b.tg);
+  EXPECT_EQ(a.truth.ta, b.truth.ta);
+  EXPECT_EQ(a.truth.tb, b.truth.tb);
+  EXPECT_EQ(a.truth.te, b.truth.te);
+  EXPECT_EQ(a.truth.tf, b.truth.tf);
+  EXPECT_EQ(a.truth.d_forward, b.truth.d_forward);
+  EXPECT_EQ(a.truth.d_server, b.truth.d_server);
+  EXPECT_EQ(a.truth.d_backward, b.truth.d_backward);
+}
+
+void expect_summary_eq(const SeriesSummary& a, const SeriesSummary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.percentiles.p01, b.percentiles.p01);
+  EXPECT_EQ(a.percentiles.p25, b.percentiles.p25);
+  EXPECT_EQ(a.percentiles.p50, b.percentiles.p50);
+  EXPECT_EQ(a.percentiles.p75, b.percentiles.p75);
+  EXPECT_EQ(a.percentiles.p99, b.percentiles.p99);
+}
+
+void expect_reduction_eq(const ReducerSink::Reduction& a,
+                         const ReducerSink::Reduction& b) {
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  expect_summary_eq(a.clock_error, b.clock_error);
+  expect_summary_eq(a.offset_error, b.offset_error);
+  EXPECT_EQ(a.adev_short_tau, b.adev_short_tau);
+  EXPECT_EQ(a.adev_short, b.adev_short);
+  EXPECT_EQ(a.adev_long_tau, b.adev_long_tau);
+  EXPECT_EQ(a.adev_long, b.adev_long);
+}
+
+// -- Testbed batch API -----------------------------------------------------
+
+TEST(TestbedBatch, NextBatchStreamIdenticalToNext) {
+  // A chunk size that never divides the stream evenly exercises the
+  // boundaries; the stress schedule exercises outage skips and switches.
+  sim::Testbed scalar(stress_scenario());
+  sim::Testbed batched(stress_scenario());
+
+  std::vector<sim::Exchange> reference;
+  while (auto ex = scalar.next()) reference.push_back(*ex);
+
+  std::vector<sim::Exchange> buffer(37);
+  std::size_t seen = 0;
+  while (true) {
+    const std::size_t n = batched.next_batch(buffer);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_LT(seen, reference.size());
+      expect_exchange_eq(reference[seen], buffer[k]);
+      ++seen;
+    }
+    if (n < buffer.size()) break;
+  }
+  EXPECT_EQ(seen, reference.size());
+  EXPECT_EQ(scalar.polls_enumerated(), batched.polls_enumerated());
+}
+
+TEST(TestbedBatch, PollsRemainingBoundsTheStream) {
+  sim::Testbed testbed(stress_scenario());
+  const std::uint64_t total = testbed.polls_remaining();
+  const auto all = testbed.generate_all();
+  // polls_remaining counts slots (outage-skipped ones included); after a
+  // full drain the enumerated counter equals the upfront bound.
+  EXPECT_EQ(testbed.polls_enumerated(), total);
+  EXPECT_LE(all.size(), total);
+  EXPECT_EQ(testbed.polls_remaining(), 0u);
+}
+
+TEST(TestbedBatch, GenerateAllReservesUpfront) {
+  sim::Testbed counting(plain_scenario());
+  const std::uint64_t slots = counting.polls_remaining();
+  sim::Testbed testbed(plain_scenario());
+  const auto all = testbed.generate_all();
+  // The drain must not have grown past the poll-slot reservation.
+  EXPECT_GE(slots, all.size());
+  EXPECT_LE(all.capacity(), static_cast<std::size_t>(slots));
+}
+
+// -- ClockSession batch lane ----------------------------------------------
+
+TEST(BatchLane, SingleLaneExactReducerBitIdentical) {
+  const auto scenario = plain_scenario();
+  const auto config = session_config_for(scenario);
+
+  sim::Testbed scalar_bed(scenario);
+  ClockSession scalar(config, scalar_bed.nominal_period());
+  ReducerSink scalar_reducer(scenario.poll_period);
+  scalar.add_sink(scalar_reducer);
+  const auto scalar_summary = scalar.run(scalar_bed);
+
+  sim::Testbed batch_bed(scenario);
+  ClockSession batched(config, batch_bed.nominal_period());
+  ReducerSink batch_reducer(scenario.poll_period);
+  batched.add_sink(batch_reducer);
+  const auto batch_summary = batched.run_batched(batch_bed);
+
+  EXPECT_EQ(scalar_summary.exchanges, batch_summary.exchanges);
+  EXPECT_EQ(scalar_summary.lost, batch_summary.lost);
+  EXPECT_EQ(scalar_summary.evaluated, batch_summary.evaluated);
+  EXPECT_EQ(scalar_summary.polls_enumerated, batch_summary.polls_enumerated);
+  EXPECT_EQ(scalar_summary.final_status.packets_processed,
+            batch_summary.final_status.packets_processed);
+  EXPECT_EQ(scalar_summary.final_status.period,
+            batch_summary.final_status.period);
+  EXPECT_EQ(scalar_summary.final_status.offset,
+            batch_summary.final_status.offset);
+  expect_reduction_eq(scalar_reducer.reduce(), batch_reducer.reduce());
+}
+
+TEST(BatchLane, SingleLaneStreamingReducerBitIdentical) {
+  const auto scenario = plain_scenario(1357);
+  const auto config = session_config_for(scenario);
+
+  sim::Testbed scalar_bed(scenario);
+  ClockSession scalar(config, scalar_bed.nominal_period());
+  StreamingReducerSink scalar_reducer(scenario.poll_period);
+  scalar.add_sink(scalar_reducer);
+  scalar.run(scalar_bed);
+
+  sim::Testbed batch_bed(scenario);
+  ClockSession batched(config, batch_bed.nominal_period());
+  StreamingReducerSink batch_reducer(scenario.poll_period);
+  batched.add_sink(batch_reducer);
+  batched.run_batched(batch_bed);
+
+  expect_reduction_eq(scalar_reducer.reduce(), batch_reducer.reduce());
+}
+
+TEST(BatchLane, StressScheduleBitIdentical) {
+  const auto scenario = stress_scenario();
+  const auto config = session_config_for(scenario);
+
+  sim::Testbed scalar_bed(scenario);
+  ClockSession scalar(config, scalar_bed.nominal_period());
+  ReducerSink scalar_reducer(scenario.poll_period);
+  scalar.add_sink(scalar_reducer);
+  const auto scalar_summary = scalar.run(scalar_bed);
+
+  sim::Testbed batch_bed(scenario);
+  ClockSession batched(config, batch_bed.nominal_period());
+  ReducerSink batch_reducer(scenario.poll_period);
+  batched.add_sink(batch_reducer);
+  const auto batch_summary = batched.run_batched(batch_bed);
+
+  EXPECT_EQ(scalar_summary.exchanges, batch_summary.exchanges);
+  EXPECT_EQ(scalar_summary.lost, batch_summary.lost);
+  EXPECT_EQ(scalar_summary.evaluated, batch_summary.evaluated);
+  EXPECT_EQ(scalar_summary.final_status.server_changes,
+            batch_summary.final_status.server_changes);
+  expect_reduction_eq(scalar_reducer.reduce(), batch_reducer.reduce());
+}
+
+TEST(BatchLane, MultiLaneWithTraceRecordingBitIdentical) {
+  const auto scenario = stress_scenario();
+  const auto config = session_config_for(scenario);
+
+  const auto build = [&](MultiEstimatorSession& session, double nominal,
+                         std::vector<ReducerSink>& reducers) {
+    session.enable_trace_recording(config);
+    reducers.reserve(3);
+    const std::size_t robust = session.add_lane(
+        config, std::make_unique<TscNtpEstimator>(config.params, nominal));
+    const std::size_t swntp = session.add_lane(
+        config,
+        std::make_unique<SwNtpEstimator>(baseline::PllConfig{}, nominal));
+    const std::size_t naive =
+        session.add_lane(config, std::make_unique<NaiveEstimator>(nominal));
+    for (const std::size_t lane : {robust, swntp, naive}) {
+      reducers.emplace_back(scenario.poll_period);
+      session.add_sink(lane, reducers.back());
+    }
+  };
+
+  sim::Testbed scalar_bed(scenario);
+  MultiEstimatorSession scalar;
+  std::vector<ReducerSink> scalar_reducers;
+  build(scalar, scalar_bed.nominal_period(), scalar_reducers);
+  scalar.run(scalar_bed);
+
+  sim::Testbed batch_bed(scenario);
+  MultiEstimatorSession batched;
+  std::vector<ReducerSink> batch_reducers;
+  build(batched, batch_bed.nominal_period(), batch_reducers);
+  batched.run_batched(batch_bed);
+
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    SCOPED_TRACE(lane);
+    expect_reduction_eq(scalar_reducers[lane].reduce(),
+                        batch_reducers[lane].reduce());
+    const auto& a = scalar.lane(lane).summary();
+    const auto& b = batched.lane(lane).summary();
+    EXPECT_EQ(a.exchanges, b.exchanges);
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.polls_enumerated, b.polls_enumerated);
+  }
+
+  // The shared recording must be sample-for-sample identical too.
+  const ReplayTrace& ta = scalar.trace();
+  const ReplayTrace& tb = batched.trace();
+  EXPECT_EQ(ta.exchanges, tb.exchanges);
+  EXPECT_EQ(ta.lost, tb.lost);
+  EXPECT_EQ(ta.polls_enumerated, tb.polls_enumerated);
+  ASSERT_EQ(ta.samples.size(), tb.samples.size());
+  for (std::size_t i = 0; i < ta.samples.size(); ++i) {
+    const auto& sa = ta.samples[i];
+    const auto& sb = tb.samples[i];
+    ASSERT_EQ(sa.index, sb.index);
+    ASSERT_EQ(sa.lost, sb.lost);
+    ASSERT_EQ(sa.raw.ta, sb.raw.ta);
+    ASSERT_EQ(sa.raw.tb, sb.raw.tb);
+    ASSERT_EQ(sa.raw.te, sb.raw.te);
+    ASSERT_EQ(sa.raw.tf, sb.raw.tf);
+    ASSERT_EQ(sa.ref_available, sb.ref_available);
+    ASSERT_EQ(sa.tg, sb.tg);
+    ASSERT_EQ(sa.in_warmup, sb.in_warmup);
+    ASSERT_EQ(sa.server_changed, sb.server_changed);
+  }
+}
+
+TEST(BatchLane, RecordSinkDegradesToScalarSequence) {
+  // With a record-shaped sink attached, process_batch must emit the exact
+  // SampleRecord stream the scalar loop emits (per-record, in order).
+  const auto scenario = plain_scenario(97531);
+  const auto config = session_config_for(scenario);
+
+  sim::Testbed scalar_bed(scenario);
+  ClockSession scalar(config, scalar_bed.nominal_period());
+  CollectorSink scalar_collector;
+  ReducerSink scalar_reducer(scenario.poll_period);
+  scalar.add_sink(scalar_collector);
+  scalar.add_sink(scalar_reducer);
+  scalar.run(scalar_bed);
+
+  sim::Testbed batch_bed(scenario);
+  const auto all = batch_bed.generate_all();
+  ClockSession batched(config, batch_bed.nominal_period());
+  CollectorSink batch_collector;
+  ReducerSink batch_reducer(scenario.poll_period);
+  batched.add_sink(batch_collector);
+  batched.add_sink(batch_reducer);
+  batched.process_batch(all);
+  batched.set_polls_enumerated(batch_bed.polls_enumerated());
+
+  // The mixed-sink path feeds the reducer through on_sample, identically.
+  expect_reduction_eq(scalar_reducer.reduce(), batch_reducer.reduce());
+  const auto& ra = scalar_collector.records();
+  const auto& rb = batch_collector.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    ASSERT_EQ(ra[i].index, rb[i].index);
+    ASSERT_EQ(ra[i].evaluated, rb[i].evaluated);
+    ASSERT_EQ(ra[i].report.offset_estimate, rb[i].report.offset_estimate);
+    ASSERT_EQ(ra[i].offset_error, rb[i].offset_error);
+    ASSERT_EQ(ra[i].abs_clock_error, rb[i].abs_clock_error);
+    ASSERT_EQ(ra[i].naive_error, rb[i].naive_error);
+    ASSERT_EQ(ra[i].period, rb[i].period);
+    ASSERT_EQ(ra[i].warmed_up, rb[i].warmed_up);
+    ASSERT_EQ(ra[i].server_changed, rb[i].server_changed);
+  }
+}
+
+}  // namespace
+}  // namespace tscclock::harness

@@ -1,0 +1,107 @@
+// The BENCH_throughput.json schema: to_json/parse round trip, validation
+// errors for malformed or mistyped reports, and the staleness contract CI
+// keys off (schema_version is parsed verbatim; policy is the caller's).
+#include "common/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace tscclock {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.tool = "bench_throughput";
+  report.mode = "full";
+  report.simulated_days = 30;
+  report.baseline_commit = "cdbde7e";
+  BenchSection base;
+  base.name = "single_robust_exact";
+  base.drive = "scalar";
+  base.reduction = "exact";
+  base.exchanges = 162000;
+  base.seconds = 1.015;
+  base.exchanges_per_sec = 159600;
+  report.baseline.push_back(base);
+  BenchSection result = base;
+  result.name = "single_robust_exact_batched";
+  result.drive = "batched";
+  result.seconds = 0.4;
+  result.exchanges_per_sec = 405000;
+  report.results.push_back(result);
+  return report;
+}
+
+TEST(BenchReport, RoundTripsThroughJson) {
+  const BenchReport original = sample_report();
+  const BenchReport parsed = parse_bench_report(to_json(original));
+
+  EXPECT_EQ(parsed.schema_version, kBenchReportSchemaVersion);
+  EXPECT_EQ(parsed.tool, original.tool);
+  EXPECT_EQ(parsed.mode, original.mode);
+  EXPECT_EQ(parsed.simulated_days, original.simulated_days);
+  EXPECT_EQ(parsed.baseline_commit, original.baseline_commit);
+  ASSERT_EQ(parsed.baseline.size(), 1u);
+  ASSERT_EQ(parsed.results.size(), 1u);
+  EXPECT_EQ(parsed.baseline[0].name, "single_robust_exact");
+  EXPECT_EQ(parsed.baseline[0].drive, "scalar");
+  EXPECT_EQ(parsed.baseline[0].reduction, "exact");
+  EXPECT_EQ(parsed.baseline[0].exchanges, 162000u);
+  EXPECT_EQ(parsed.results[0].name, "single_robust_exact_batched");
+  EXPECT_EQ(parsed.results[0].drive, "batched");
+}
+
+TEST(BenchReport, ParsesFieldOrderFreeAndIgnoresUnknownKeys) {
+  const char* json = R"({
+    "results": [],
+    "baseline": [],
+    "future_field": {"nested": [1, 2, {"deep": true}]},
+    "baseline_commit": "abc1234",
+    "simulated_days": 2,
+    "mode": "quick",
+    "tool": "bench_throughput",
+    "schema_version": 1
+  })";
+  const BenchReport report = parse_bench_report(json);
+  EXPECT_EQ(report.schema_version, 1);
+  EXPECT_EQ(report.mode, "quick");
+  EXPECT_TRUE(report.results.empty());
+}
+
+TEST(BenchReport, SchemaVersionParsedVerbatim) {
+  // Staleness (old version in the committed file) is detected by the caller,
+  // not the parser — a bumped schema must still be able to READ the old file
+  // far enough to report its version.
+  BenchReport report = sample_report();
+  report.schema_version = kBenchReportSchemaVersion + 7;
+  EXPECT_EQ(parse_bench_report(to_json(report)).schema_version,
+            kBenchReportSchemaVersion + 7);
+}
+
+TEST(BenchReport, RejectsMalformedInput) {
+  EXPECT_THROW(parse_bench_report(""), std::runtime_error);
+  EXPECT_THROW(parse_bench_report("not json"), std::runtime_error);
+  EXPECT_THROW(parse_bench_report("[1, 2]"), std::runtime_error);
+  EXPECT_THROW(parse_bench_report("{\"schema_version\": 1}"),
+               std::runtime_error);  // missing required fields
+  EXPECT_THROW(parse_bench_report("{\"schema_version\": \"one\"}"),
+               std::runtime_error);  // mistyped
+  // Truncated document (unterminated array).
+  EXPECT_THROW(parse_bench_report("{\"schema_version\": 1, \"results\": ["),
+               std::runtime_error);
+}
+
+TEST(BenchReport, RejectsMistypedSections) {
+  const char* json = R"({
+    "schema_version": 1, "tool": "t", "mode": "full",
+    "simulated_days": 1, "baseline_commit": "x",
+    "baseline": [],
+    "results": [{"name": "a", "drive": "scalar", "reduction": "exact",
+                 "exchanges": 10.5, "seconds": 1, "exchanges_per_sec": 10}]
+  })";
+  EXPECT_THROW(parse_bench_report(json), std::runtime_error);  // 10.5
+}
+
+}  // namespace
+}  // namespace tscclock

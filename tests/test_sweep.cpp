@@ -221,6 +221,44 @@ TEST(ScenarioSweep, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ScenarioSweep, StreamingDefaultBitIdenticalAcrossThreadCounts) {
+  // The sweep CLI now defaults to the streaming reduction; the determinism
+  // contract must hold for it exactly as for the exact reduction, across
+  // thread counts, over the batched drive.
+  ScenarioSweep engine(small_grid());
+  SweepOptions options;
+  options.discard_warmup = 20 * duration::kMinute;
+  options.streaming_reduction = true;
+
+  options.threads = 1;
+  const auto reference = engine.run(options);
+  ASSERT_EQ(reference.size(), engine.scenarios().size());
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    options.threads = threads;
+    const auto other = engine.run(options);
+    ASSERT_EQ(other.size(), reference.size()) << "thread count " << threads;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      expect_bit_identical(reference[i], other[i]);
+    }
+  }
+
+  // Counts, means, stddevs and ADEV of the streaming reduction match the
+  // exact reduction bit-for-bit (only percentiles are P²-approximated).
+  options.threads = 2;
+  options.streaming_reduction = false;
+  const auto exact = engine.run(options);
+  ASSERT_EQ(exact.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(reference[i].evaluated, exact[i].evaluated);
+    EXPECT_EQ(reference[i].clock_error.mean, exact[i].clock_error.mean);
+    EXPECT_EQ(reference[i].clock_error.stddev, exact[i].clock_error.stddev);
+    EXPECT_EQ(reference[i].offset_error.mean, exact[i].offset_error.mean);
+    EXPECT_EQ(reference[i].adev_short, exact[i].adev_short);
+    EXPECT_EQ(reference[i].adev_long, exact[i].adev_long);
+  }
+}
+
 TEST(ScenarioSweep, ResultsIndexedInGridOrder) {
   ScenarioSweep engine(small_grid());
   SweepOptions options;

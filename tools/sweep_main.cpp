@@ -4,8 +4,13 @@
 //   sweep [--servers loc,int,ext] [--envs lab,machine] [--polls 16,64]
 //         [--schedules steady,outage,switch,stress] [--duration-hours 24]
 //         [--estimators robust,swntp,naive] [--seed 42] [--threads 0]
-//         [--warmup-s 3600] [--no-wire] [--streaming-reduction]
+//         [--warmup-s 3600] [--no-wire] [--exact-reduction]
 //         [--shard I/N] [--checkpoint FILE] [--dump-results FILE]
+//
+// Cells reduce with the O(1)-memory streaming sink by default (P2 percentile
+// sketch; counts, means, stddevs and ADEV are bit-identical to the exact
+// reduction). --exact-reduction restores the buffered sink with exact
+// percentiles for runs short enough to afford it.
 //
 // The default grid is the ISSUE's 3 servers × 2 environments × 2 poll
 // periods = 12 scenarios over one simulated day. Named schedule variants
@@ -241,8 +246,12 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
       "  --warmup-s S       discard first S seconds        (default 3600)\n"
       "  --no-wire          skip the NTP wire-format round trip\n"
-      "  --streaming-reduction  reduce cells in O(1) memory (P2 percentile\n"
-      "                     sketch; counts/means/ADEV unchanged)\n"
+      "  --exact-reduction  buffer each cell's evaluated series for exact\n"
+      "                     percentiles (default: O(1)-memory streaming\n"
+      "                     reduction with a P2 percentile sketch;\n"
+      "                     counts/means/stddevs/ADEV identical either way)\n"
+      "  --streaming-reduction  the (now default) streaming reduction;\n"
+      "                     kept for script compatibility\n"
       "  --csv PATH         dump every cell's per-exchange trace to a CSV\n"
       "                     file (grid order; lost/warm-up rows flagged)\n"
       "  --shard I/N        run only the I-th of N round-robin scenario\n"
@@ -267,6 +276,10 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
 int main(int argc, char** argv) {
   sweep::GridSpec grid;
   sweep::SweepOptions options;
+  // The CLI defaults to the streaming reduction (month-scale sweeps must not
+  // buffer every exchange); the library default stays exact so programmatic
+  // consumers keep exact percentiles unless they opt out.
+  options.streaming_reduction = true;
   std::vector<std::string> schedule_names = {"steady"};
   std::vector<harness::EstimatorSpec> estimator_specs = {
       harness::EstimatorSpec{"robust", {}}};
@@ -300,7 +313,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--estimators") {
       estimator_specs = parse_estimator_specs_or_die(value());
     } else if (arg == "--streaming-reduction") {
-      options.streaming_reduction = true;
+      options.streaming_reduction = true;  // the default; kept for scripts
+    } else if (arg == "--exact-reduction") {
+      options.streaming_reduction = false;
     } else if (arg == "--duration-hours") {
       duration_hours = parse_double("--duration-hours", value());
     } else if (arg == "--seed") {
