@@ -3,16 +3,26 @@
 // timed with a plain std::chrono loop (no Google Benchmark dependency — this
 // target must always build). Representative configurations:
 //
-//   generate_only             — Testbed stream generation alone (the floor
-//                               every pipeline number sits on);
+//   generate_only             — Testbed SoA stream generation alone
+//                               (generate_batch; the floor every pipeline
+//                               number sits on);
 //   single_robust_exact       — one robust lane into the exact ReducerSink,
 //                               scalar and batched drives (the batched/scalar
 //                               ratio is the headline of the batch lane);
+//   single_robust_estimate    — one robust lane, batched, NO sink attached:
+//                               isolates estimator cost for the stage
+//                               breakdown (generate / estimate / reduce);
 //   single_robust_streaming   — one robust lane into the O(1)-memory
 //                               StreamingReducerSink, batched (the sweep's
 //                               default cell configuration);
 //   multi3_streaming          — robust + swntp + naive lanes head-to-head on
 //                               one stream, batched (the comparison sweep).
+//
+// Each result section carries a `pairs_with` key naming the baseline section
+// it compares against (baselines predate the scalar/batched split, so the
+// pairing cannot be positional). The report also carries a `stage_breakdown`
+// object decomposing the single-lane batched exact pipeline's wall time into
+// generate / estimate / reduce.
 //
 // The emitted JSON (schema: src/common/bench_report.hpp) is committed at the
 // repo root as BENCH_throughput.json so the throughput trajectory is visible
@@ -28,16 +38,25 @@
 //   --out PATH   write the JSON report to PATH (default: stdout)
 //   --check PATH validate an existing report instead of measuring: parse,
 //                require the current schema version (stale committed reports
-//                fail here), require non-empty results with positive counts.
-//                Exit 0 valid / 1 invalid.
+//                fail here), require non-empty results with positive counts,
+//                require the stage_breakdown object with finite non-negative
+//                stages, and diff the section plan (names, drives,
+//                reductions, pairs_with keys and the pinned baseline block)
+//                against what this binary would emit — a committed report
+//                that predates a section change fails as stale even when the
+//                schema version did not bump. Exit 0 valid / 1 invalid.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bench_report.hpp"
@@ -95,12 +114,15 @@ BenchSection timed(const std::string& name, const std::string& drive,
 }
 
 std::uint64_t drain_generate(sim::Testbed& testbed) {
-  std::vector<sim::Exchange> buffer(1024);
+  // The SoA stream the batched sessions consume — no per-exchange Exchange
+  // struct is ever materialized, so this is the true generation floor.
+  constexpr std::size_t kChunk = 1024;
+  sim::ExchangeBatch batch;
   std::uint64_t produced = 0;
   while (true) {
-    const std::size_t n = testbed.next_batch(buffer);
+    const std::size_t n = testbed.generate_batch(batch, kChunk);
     produced += n;
-    if (n < buffer.size()) return produced;
+    if (n < kChunk) return produced;
   }
 }
 
@@ -127,6 +149,27 @@ std::vector<BenchSection> baseline_sections() {
       pin("multi3_exact", "scalar", "exact", 168095),
   };
 }
+
+/// The section plan this binary emits: result section identity (name, drive,
+/// reduction) plus the baseline section each one compares against. --check
+/// diffs a committed report against this table, so editing the sections in
+/// measure() without updating it fails CI until the report is regenerated.
+struct PlanEntry {
+  const char* name;
+  const char* drive;
+  const char* reduction;
+  const char* pairs_with;  ///< "" = no pre-campaign baseline exists
+};
+
+constexpr PlanEntry kResultPlan[] = {
+    {"generate_only", "generate", "none", "generate_only"},
+    {"single_robust_exact_scalar", "scalar", "exact", "single_robust_exact"},
+    {"single_robust_exact_batched", "batched", "exact", "single_robust_exact"},
+    {"single_robust_estimate_only", "batched", "none", ""},
+    {"single_robust_streaming_batched", "batched", "streaming",
+     "single_robust_streaming"},
+    {"multi3_streaming_batched", "batched", "streaming", "multi3_exact"},
+};
 
 BenchReport measure(double days, const std::string& mode) {
   BenchReport report;
@@ -156,6 +199,14 @@ BenchReport measure(double days, const std::string& mode) {
             session_config_for(testbed.config()), testbed.nominal_period());
         harness::ReducerSink reducer(testbed.config().poll_period);
         session.add_sink(reducer);
+        return session.run_batched(testbed).exchanges;
+      }));
+
+  report.results.push_back(timed(
+      "single_robust_estimate_only", "batched", "none", days,
+      [](sim::Testbed& testbed) {
+        harness::ClockSession session(
+            session_config_for(testbed.config()), testbed.nominal_period());
         return session.run_batched(testbed).exchanges;
       }));
 
@@ -195,6 +246,25 @@ BenchReport measure(double days, const std::string& mode) {
         return session.lane(robust).summary().exchanges;
       }));
 
+  for (std::size_t i = 0; i < report.results.size(); ++i)
+    report.results[i].pairs_with = kResultPlan[i].pairs_with;
+
+  // Where the time goes in the single-lane batched exact pipeline: the three
+  // sections nest (generate ⊂ generate+estimate ⊂ generate+estimate+reduce),
+  // so stage costs are successive differences, clamped against timing noise.
+  const auto seconds_of = [&](const char* name) {
+    for (const auto& s : report.results)
+      if (s.name == std::string_view(name)) return s.seconds;
+    return 0.0;
+  };
+  const double generate = seconds_of("generate_only");
+  const double estimate_total = seconds_of("single_robust_estimate_only");
+  const double full = seconds_of("single_robust_exact_batched");
+  report.stage_breakdown.present = true;
+  report.stage_breakdown.generate_seconds = generate;
+  report.stage_breakdown.estimate_seconds =
+      std::max(0.0, estimate_total - generate);
+  report.stage_breakdown.reduce_seconds = std::max(0.0, full - estimate_total);
   return report;
 }
 
@@ -235,6 +305,90 @@ int check_report(const std::string& path) {
       return 1;
     }
   }
+
+  // Section-plan staleness: the report must describe exactly the sections
+  // this binary measures, paired to exactly the baselines it pins. A report
+  // committed before a section was added/renamed/repaired fails here even
+  // though schema_version did not change.
+  const std::size_t plan_size = std::size(kResultPlan);
+  if (report.results.size() != plan_size) {
+    std::fprintf(stderr,
+                 "%s: stale section plan (%zu result sections, current "
+                 "binary emits %zu) — regenerate with bench_throughput "
+                 "--out\n",
+                 path.c_str(), report.results.size(), plan_size);
+    return 1;
+  }
+  for (std::size_t i = 0; i < plan_size; ++i) {
+    const BenchSection& s = report.results[i];
+    const PlanEntry& p = kResultPlan[i];
+    if (s.name != p.name || s.drive != p.drive || s.reduction != p.reduction ||
+        s.pairs_with != p.pairs_with) {
+      std::fprintf(stderr,
+                   "%s: stale result section %zu: have "
+                   "(%s, %s, %s, pairs_with=%s), current binary emits "
+                   "(%s, %s, %s, pairs_with=%s) — regenerate\n",
+                   path.c_str(), i, s.name.c_str(), s.drive.c_str(),
+                   s.reduction.c_str(), s.pairs_with.c_str(), p.name, p.drive,
+                   p.reduction, p.pairs_with);
+      return 1;
+    }
+  }
+  const std::vector<BenchSection> pinned = baseline_sections();
+  if (report.baseline.size() != pinned.size()) {
+    std::fprintf(stderr, "%s: stale baseline block (%zu sections, pinned "
+                 "%zu) — regenerate\n",
+                 path.c_str(), report.baseline.size(), pinned.size());
+    return 1;
+  }
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    const BenchSection& have = report.baseline[i];
+    const BenchSection& want = pinned[i];
+    if (have.name != want.name || have.drive != want.drive ||
+        have.reduction != want.reduction ||
+        have.exchanges != want.exchanges ||
+        have.exchanges_per_sec != want.exchanges_per_sec) {
+      std::fprintf(stderr,
+                   "%s: stale baseline section '%s' (pinned values differ) — "
+                   "regenerate\n",
+                   path.c_str(), have.name.c_str());
+      return 1;
+    }
+  }
+  // Every pairs_with key must resolve to a pinned baseline section.
+  for (const auto& s : report.results) {
+    if (s.pairs_with.empty()) continue;
+    const bool found =
+        std::any_of(pinned.begin(), pinned.end(),
+                    [&](const BenchSection& b) { return b.name == s.pairs_with; });
+    if (!found) {
+      std::fprintf(stderr,
+                   "%s: section '%s' pairs_with unknown baseline '%s'\n",
+                   path.c_str(), s.name.c_str(), s.pairs_with.c_str());
+      return 1;
+    }
+  }
+
+  // The stage breakdown is part of the current report shape: required, with
+  // finite non-negative stages summing (by construction) to the full
+  // single-lane batched pipeline.
+  if (!report.stage_breakdown.present) {
+    std::fprintf(stderr, "%s: missing stage_breakdown — regenerate\n",
+                 path.c_str());
+    return 1;
+  }
+  const double stages[] = {report.stage_breakdown.generate_seconds,
+                           report.stage_breakdown.estimate_seconds,
+                           report.stage_breakdown.reduce_seconds};
+  for (const double v : stages) {
+    if (!std::isfinite(v) || v < 0) {
+      std::fprintf(stderr, "%s: stage_breakdown has a non-finite or negative "
+                   "stage\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+
   std::fprintf(stderr, "%s: valid (schema %d, %zu sections)\n", path.c_str(),
                report.schema_version, report.results.size());
   return 0;

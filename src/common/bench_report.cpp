@@ -58,7 +58,10 @@ void append_section(std::string& out, const BenchSection& s,
   out += "\"reduction\": \"" + json_escape(s.reduction) + "\", ";
   out += "\"exchanges\": " + std::to_string(s.exchanges) + ", ";
   out += "\"seconds\": " + fmt_double(s.seconds) + ", ";
-  out += "\"exchanges_per_sec\": " + fmt_double(s.exchanges_per_sec) + "}";
+  out += "\"exchanges_per_sec\": " + fmt_double(s.exchanges_per_sec);
+  if (!s.pairs_with.empty())
+    out += ", \"pairs_with\": \"" + json_escape(s.pairs_with) + "\"";
+  out += "}";
   if (!last) out += ",";
   out += "\n";
 }
@@ -293,6 +296,15 @@ BenchSection section_from(const JsonValue& v, const std::string& where) {
   s.exchanges = static_cast<std::uint64_t>(exchanges);
   s.seconds = require_number(obj, "seconds");
   s.exchanges_per_sec = require_number(obj, "exchanges_per_sec");
+  // Optional (absent in pre-campaign reports); when present it must be a
+  // string so a malformed report cannot silently drop its pairing.
+  const auto pairs = obj.find("pairs_with");
+  if (pairs != obj.end()) {
+    if (pairs->second.kind != JsonValue::Kind::kString)
+      schema_fail("field 'pairs_with' must be a string in '" + where +
+                  "' entry '" + s.name + "'");
+    s.pairs_with = pairs->second.string;
+  }
   return s;
 }
 
@@ -326,8 +338,15 @@ std::string to_json(const BenchReport& report) {
   for (std::size_t i = 0; i < report.results.size(); ++i)
     append_section(out, report.results[i], "    ",
                    i + 1 == report.results.size());
-  out += "  ]\n";
-  out += "}\n";
+  out += "  ]";
+  if (report.stage_breakdown.present) {
+    const StageBreakdown& b = report.stage_breakdown;
+    out += ",\n  \"stage_breakdown\": {";
+    out += "\"generate_seconds\": " + fmt_double(b.generate_seconds) + ", ";
+    out += "\"estimate_seconds\": " + fmt_double(b.estimate_seconds) + ", ";
+    out += "\"reduce_seconds\": " + fmt_double(b.reduce_seconds) + "}";
+  }
+  out += "\n}\n";
   return out;
 }
 
@@ -347,6 +366,20 @@ BenchReport parse_bench_report(std::string_view json) {
   report.baseline_commit = require_string(obj, "baseline_commit");
   report.baseline = sections_from(obj, "baseline");
   report.results = sections_from(obj, "results");
+  // Optional object (absent in pre-campaign reports); when present all three
+  // stage fields are required so a partial breakdown cannot parse as valid.
+  const auto breakdown = obj.find("stage_breakdown");
+  if (breakdown != obj.end()) {
+    if (breakdown->second.kind != JsonValue::Kind::kObject)
+      schema_fail("field 'stage_breakdown' must be an object");
+    const JsonObject& b = *breakdown->second.object;
+    report.stage_breakdown.present = true;
+    report.stage_breakdown.generate_seconds =
+        require_number(b, "generate_seconds");
+    report.stage_breakdown.estimate_seconds =
+        require_number(b, "estimate_seconds");
+    report.stage_breakdown.reduce_seconds = require_number(b, "reduce_seconds");
+  }
   return report;
 }
 

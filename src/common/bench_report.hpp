@@ -32,6 +32,25 @@ struct BenchSection {
   std::uint64_t exchanges = 0;  ///< exchanges driven through the pipeline
   double seconds = 0;           ///< wall-clock time of the timed region
   double exchanges_per_sec = 0;
+  /// Name of the baseline section this result compares against ("" = none).
+  /// Baseline and result rows historically paired positionally, which broke
+  /// the moment the campaign split one configuration into scalar/batched
+  /// variants; this key makes the pairing stable. Additive: serialized only
+  /// when non-empty, absent in old reports (the parser defaults it to "").
+  std::string pairs_with;
+};
+
+/// Per-stage wall-clock decomposition of the single-lane batched pipeline
+/// (where the time goes): `generate` is the bare SoA generator drain,
+/// `estimate` adds the robust estimator with no reduction attached, `reduce`
+/// is the remainder of the full exact-reduction pipeline. Derived from the
+/// measured sections, so the three stages sum to the full pipeline's wall
+/// time. Additive optional object in the JSON ("stage_breakdown").
+struct StageBreakdown {
+  bool present = false;  ///< parsed reports without the object keep false
+  double generate_seconds = 0;
+  double estimate_seconds = 0;
+  double reduce_seconds = 0;
 };
 
 struct BenchReport {
@@ -45,6 +64,7 @@ struct BenchReport {
   std::string baseline_commit;
   std::vector<BenchSection> baseline;
   std::vector<BenchSection> results;  ///< measured by this run
+  StageBreakdown stage_breakdown;     ///< where the time goes (optional)
 };
 
 /// Serialize (stable field order, 2-space indent, trailing newline).

@@ -16,7 +16,8 @@ LocalRateEstimator::LocalRateEstimator(const Params& params)
       window_(params.packets(params.local_rate_window *
                              (1.0 + 1.0 / static_cast<double>(
                                               params.local_rate_subwindows))) +
-              2) {
+              2),
+      errors_(window_.capacity()) {
   params.validate();
 }
 
@@ -43,11 +44,14 @@ LocalRateEstimator::Result LocalRateEstimator::process(
         pbar);
     if (gap > params_.gap_threshold) {
       window_.clear();
+      errors_.clear();
       stale_ = true;
       result.gap_reset = true;
     }
   }
   window_.push_back({packet, point_error});
+  errors_.push_back(point_error);
+  ++total_pushed_;
 
   const double tau_bar = params_.local_rate_window;
   const double sub = tau_bar / static_cast<double>(params_.local_rate_subwindows);
@@ -61,42 +65,68 @@ LocalRateEstimator::Result LocalRateEstimator::process(
   // Select the best-quality packet in the near and far sub-windows. Because
   // t_f is strictly increasing over the window and p̄ > 0 is fixed for this
   // call, age(k) is non-increasing in k, so each sub-window is a contiguous
-  // index range: locate its boundaries by binary search on the very same age
-  // predicate a straight scan would evaluate, then min-scan only the (few)
-  // in-range entries in ascending order so strict-less / earliest-index
-  // tie-breaking — and therefore the selected pair — is bit-identical to the
-  // former full-window scan. With W sub-windows this touches ~3/W of the
-  // window instead of all of it.
+  // index range. Its boundaries move forward roughly one step per exchange,
+  // so instead of re-searching from scratch each call, persistent cursors
+  // (absolute stream positions) walk bidirectionally from last call's
+  // boundary to this call's — the walk evaluates the very same age predicate
+  // a binary search would and lands on the exact partition point, amortized
+  // O(1) per exchange. The min-scans then touch only the (few) in-range
+  // entries in ascending order, so strict-less / earliest-index tie-breaking
+  // — and therefore the selected pair — is bit-identical to a full scan.
   const auto age_of = [&](const Entry& e) {
     return delta_to_seconds(counter_delta(packet.stamps.tf, e.packet.stamps.tf),
                             pbar);
   };
   const auto first = window_.begin();
-  const auto last = window_.end();
+  const std::uint64_t first_abs = total_pushed_ - window_.size();
+  // Partition point of `pred` over absolute range [lo, hi], found by walking
+  // from `hint` (clamped): forward while pred holds, backward while the
+  // element before fails it. Exact because pred is true on a prefix.
+  const auto seek = [&](std::uint64_t lo, std::uint64_t hi, std::uint64_t hint,
+                        auto&& pred) {
+    std::uint64_t b = std::clamp(hint, lo, hi);
+    while (b < hi && pred(first[static_cast<std::ptrdiff_t>(b - first_abs)]))
+      ++b;
+    while (b > lo &&
+           !pred(first[static_cast<std::ptrdiff_t>(b - 1 - first_abs)]))
+      --b;
+    return b;
+  };
   // First index whose age drops below `sub`: start of the near sub-window,
   // which extends to the end of the window (the current packet has age 0).
-  const auto near_begin = std::partition_point(
-      first, last, [&](const Entry& e) { return age_of(e) >= sub; });
+  const std::uint64_t near_begin_abs =
+      seek(first_abs, total_pushed_, near_begin_hint_,
+           [&](const Entry& e) { return age_of(e) >= sub; });
   // The far sub-window [τ̄ − sub, τ̄ + sub) sits at lower indices; restricting
-  // the search to [first, near_begin) also reproduces the straight scan's
+  // the search to [first, near_begin) also reproduces a straight scan's
   // else-if, which never classifies a near packet as far.
-  const auto far_begin = std::partition_point(
-      first, near_begin,
-      [&](const Entry& e) { return age_of(e) >= tau_bar + sub; });
-  const auto far_end = std::partition_point(
-      far_begin, near_begin,
-      [&](const Entry& e) { return age_of(e) >= tau_bar - sub; });
+  const std::uint64_t far_begin_abs =
+      seek(first_abs, near_begin_abs, far_begin_hint_,
+           [&](const Entry& e) { return age_of(e) >= tau_bar + sub; });
+  const std::uint64_t far_end_abs =
+      seek(far_begin_abs, near_begin_abs, far_end_hint_,
+           [&](const Entry& e) { return age_of(e) >= tau_bar - sub; });
+  near_begin_hint_ = near_begin_abs;
+  far_begin_hint_ = far_begin_abs;
+  far_end_hint_ = far_end_abs;
+  if (near_begin_abs == total_pushed_ || far_begin_abs == far_end_abs)
+    return result;
 
-  const auto best_of = [](auto begin, auto end) {
-    auto best = begin;
-    for (auto it = std::next(begin); it != end; ++it)
-      if (it->error < best->error) best = it;
+  // Min-scan the packed error column (same ascending order and strict-less
+  // comparison as scanning the Entry structs, so the selected index — and
+  // earliest-index tie-breaking — is unchanged), then touch only the two
+  // winning wide entries.
+  const auto err = errors_.begin();
+  const auto best_of = [&](std::uint64_t lo_abs, std::uint64_t hi_abs) {
+    std::ptrdiff_t best = static_cast<std::ptrdiff_t>(lo_abs - first_abs);
+    const auto lo = static_cast<std::ptrdiff_t>(lo_abs - first_abs);
+    const auto hi = static_cast<std::ptrdiff_t>(hi_abs - first_abs);
+    for (std::ptrdiff_t k = lo + 1; k < hi; ++k)
+      if (err[k] < err[best]) best = k;
     return best;
   };
-  if (near_begin == last || far_begin == far_end) return result;
-
-  const auto& i = *best_of(near_begin, last);
-  const auto& j = *best_of(far_begin, far_end);
+  const auto& i = first[best_of(near_begin_abs, total_pushed_)];
+  const auto& j = first[best_of(far_begin_abs, far_end_abs)];
   if (counter_delta(i.packet.stamps.ta, j.packet.stamps.ta) <= 0) return result;
   result.evaluated = true;
 

@@ -63,11 +63,27 @@ class LocalRateEstimator {
 
   Params params_;
   RingBuffer<Entry> window_;
+  /// Parallel column of window_[k].error: the per-call sub-window min-scans
+  /// touch only the error field, so scanning this packed column instead of
+  /// the wide Entry structs keeps them in a couple of cache lines. Pushed,
+  /// evicted, and cleared in lockstep with window_.
+  RingBuffer<Seconds> errors_;
   double period_ = 0;
   bool has_estimate_ = false;
   bool stale_ = false;
   std::uint64_t accepted_ = 0;
   std::uint64_t sanity_ = 0;
+  /// Total push_back count; window_[k]'s absolute stream position is
+  /// total_pushed_ − window_.size() + k, stable across ring eviction and
+  /// gap clears — the coordinate system of the boundary cursors below.
+  std::uint64_t total_pushed_ = 0;
+  /// Sub-window boundary cursors (absolute positions): each call's boundary
+  /// sits near the previous call's, so a local bidirectional walk replaces
+  /// the former per-call binary searches. Exact for any partitioned range,
+  /// amortized O(1) as the stream advances.
+  std::uint64_t near_begin_hint_ = 0;
+  std::uint64_t far_begin_hint_ = 0;
+  std::uint64_t far_end_hint_ = 0;
 };
 
 }  // namespace tscclock::core

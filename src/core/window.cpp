@@ -1,5 +1,7 @@
 #include "core/window.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 
 namespace tscclock::core {
@@ -12,6 +14,11 @@ TopWindow::Update TopWindow::add(const PacketRecord& packet,
                                  std::uint64_t min_valid_seq) {
   Update update;
   history_.push_back(packet);
+  // Maintain the suffix-minimum deque: pop dominated entries (later packet,
+  // <= rtt supersedes them for every suffix), append the new packet.
+  while (!suffix_min_.empty() && suffix_min_.back().rtt >= packet.rtt)
+    suffix_min_.pop_back();
+  suffix_min_.push_back({packet.seq, packet.rtt});
   if (history_.size() < params_.packets(params_.top_window)) return update;
 
   // Window full: discard the oldest half, recompute over the retained half.
@@ -19,33 +26,22 @@ TopWindow::Update TopWindow::add(const PacketRecord& packet,
   ++updates_;
   update.triggered = true;
   update.oldest_seq = history_.front().seq;
+  while (suffix_min_.front().seq < update.oldest_seq) suffix_min_.pop_front();
 
   // New r̂: minimum over retained packets beyond the last shift point; if
-  // none qualify (shift point very recent), fall back to all retained. One
-  // fused pass tracks both minima — each uses the same strict-less /
-  // earliest-wins comparison as the former two sequential scans, so the
-  // selected value is bit-identical.
-  bool have_min = false;
-  bool have_any = false;
-  TscDelta min_rtt = 0;
-  TscDelta min_rtt_any = 0;
-  for (const auto& rec : history_) {
-    if (!have_any || rec.rtt < min_rtt_any) {
-      min_rtt_any = rec.rtt;
-      have_any = true;
-    }
-    if (rec.seq < min_valid_seq) continue;
-    if (!have_min || rec.rtt < min_rtt) {
-      min_rtt = rec.rtt;
-      have_min = true;
-    }
-  }
-  if (!have_min) {
-    min_rtt = min_rtt_any;
-    have_min = have_any;
-  }
-  TSC_ENSURES(have_min);
-  update.new_rhat = min_rtt;
+  // none qualify (shift point very recent), fall back to all retained. Both
+  // minima are answered by the suffix-min deque instead of rescanning the
+  // retained half: the restricted minimum is the first entry with
+  // seq >= min_valid_seq, the all-retained fallback is the front entry. A
+  // minimum VALUE is tie-insensitive, so this is bit-identical to the former
+  // strict-less scans.
+  const auto it = std::lower_bound(
+      suffix_min_.begin(), suffix_min_.end(), min_valid_seq,
+      [](const SuffixMin& e, std::uint64_t s) { return e.seq < s; });
+  TSC_ENSURES(!suffix_min_.empty());  // the just-added packet is retained
+  update.new_rhat =
+      it != suffix_min_.end() ? it->rtt : suffix_min_.front().rtt;
+  const TscDelta min_rtt = update.new_rhat;
 
   // Anchor replacement candidate: the best-quality packet among the oldest
   // quarter of the retained window (early packets preserve a long Δ(t)).

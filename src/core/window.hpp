@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 
 #include "common/ring_buffer.hpp"
@@ -42,8 +43,19 @@ class TopWindow {
   [[nodiscard]] std::uint64_t updates() const { return updates_; }
 
  private:
+  /// Suffix-minimum structure maintained incrementally: entries are kept
+  /// with strictly increasing seq AND strictly increasing rtt, so for any
+  /// bound s the minimum rtt over retained packets with seq >= s is the
+  /// first entry with seq >= s. O(1) amortized per add; window updates stop
+  /// rescanning the retained half for its minima.
+  struct SuffixMin {
+    std::uint64_t seq = 0;
+    TscDelta rtt = 0;
+  };
+
   Params params_;
   RingBuffer<PacketRecord> history_;  ///< unbounded; trimmed by updates
+  std::deque<SuffixMin> suffix_min_;
   std::uint64_t updates_ = 0;
 };
 

@@ -14,12 +14,16 @@ constexpr std::size_t kBatchChunk = 1024;
 
 }  // namespace
 
-bool exchange_in_warmup(const SessionConfig& config, const sim::Exchange& ex) {
+bool exchange_in_warmup(const SessionConfig& config, bool lost,
+                        Seconds tb_stamp, Seconds truth_tb) {
   const Seconds cut_time =
-      !ex.lost && config.warmup_policy == WarmupPolicy::kObservable
-          ? ex.tb_stamp
-          : ex.truth.tb;
+      !lost && config.warmup_policy == WarmupPolicy::kObservable ? tb_stamp
+                                                                 : truth_tb;
   return cut_time < config.discard_warmup;
+}
+
+bool exchange_in_warmup(const SessionConfig& config, const sim::Exchange& ex) {
+  return exchange_in_warmup(config, ex.lost, ex.tb_stamp, ex.truth.tb);
 }
 
 ClockSession::ClockSession(const SessionConfig& config, double nominal_period)
@@ -157,6 +161,59 @@ void ClockSession::process_batch(std::span<const sim::Exchange> exchanges) {
   for (auto* sink : sinks_) sink->on_batch(batch_);
 }
 
+void ClockSession::process_batch(const sim::ExchangeBatch& batch) {
+  for (auto* sink : sinks_) {
+    if (!sink->wants_batch()) {
+      // A record-shaped sink is attached: materialize each row and run the
+      // scalar sequence, so every sink observes the stream exactly as
+      // process() emits it.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch.materialize(i, scratch_);
+        process(scratch_);
+      }
+      return;
+    }
+  }
+
+  // Fast lane: columns in, columns out. Same estimator/detector/recorder
+  // sequence as process(), reading the SoA stream directly; every
+  // accumulated value is computed by the very expressions process() uses,
+  // so the lane is bit-identical to the scalar one.
+  batch_.clear();
+  batch_.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (recorder_) {
+      batch.materialize(i, scratch_);
+      recorder_->observe(scratch_);
+    }
+    ++summary_.exchanges;
+    if (batch.lost[i] != 0) {
+      ++summary_.lost;
+      continue;  // batch sinks never consume unevaluated records
+    }
+    if (config_.track_server_changes &&
+        server_changes_.observe(
+            core::ServerIdentity{batch.server_id[i], batch.server_stratum[i]},
+            batch.index[i]))
+      estimator_->notify_server_change();
+    const core::RawExchange raw{batch.ta_counts[i], batch.tb_stamp[i],
+                                batch.te_stamp[i], batch.tf_counts[i]};
+    const auto report = estimator_->process_exchange(raw);
+    if (batch.ref_available[i] == 0 ||
+        exchange_in_warmup(config_, false, batch.tb_stamp[i],
+                           batch.truth_tb[i]))
+      continue;
+    const Seconds reference_offset =
+        estimator_->uncorrected_time(batch.tf_counts[i]) - batch.tg[i];
+    const Seconds offset_error = report.offset_estimate - reference_offset;
+    const Seconds abs_clock_error =
+        estimator_->absolute_time(batch.tf_counts[i]) - batch.tg[i];
+    ++summary_.evaluated;
+    batch_.push(batch.tb_stamp[i], abs_clock_error, offset_error);
+  }
+  for (auto* sink : sinks_) sink->on_batch(batch_);
+}
+
 bool ClockSession::step(sim::Testbed& testbed) {
   auto exchange = testbed.next();
   if (!exchange) return false;
@@ -172,11 +229,11 @@ const SessionSummary& ClockSession::run(sim::Testbed& testbed) {
 }
 
 const SessionSummary& ClockSession::run_batched(sim::Testbed& testbed) {
-  std::vector<sim::Exchange> buffer(kBatchChunk);
+  sim::ExchangeBatch batch;
   while (true) {
-    const std::size_t n = testbed.next_batch(buffer);
-    if (n > 0) process_batch(std::span<const sim::Exchange>(buffer.data(), n));
-    if (n < buffer.size()) break;  // duration exhausted
+    const std::size_t n = testbed.generate_batch(batch, kBatchChunk);
+    if (n > 0) process_batch(batch);
+    if (n < kBatchChunk) break;  // duration exhausted
   }
   set_polls_enumerated(testbed.polls_enumerated());
   return summary();
@@ -242,6 +299,16 @@ void MultiEstimatorSession::process_batch(
   for (auto& lane : lanes_) lane->process_batch(exchanges);
 }
 
+void MultiEstimatorSession::process_batch(const sim::ExchangeBatch& batch) {
+  if (recorder_) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch.materialize(i, scratch_);
+      recorder_->observe(scratch_);
+    }
+  }
+  for (auto& lane : lanes_) lane->process_batch(batch);
+}
+
 bool MultiEstimatorSession::step(sim::Testbed& testbed) {
   auto exchange = testbed.next();
   if (!exchange) return false;
@@ -258,11 +325,11 @@ void MultiEstimatorSession::run(sim::Testbed& testbed) {
 }
 
 void MultiEstimatorSession::run_batched(sim::Testbed& testbed) {
-  std::vector<sim::Exchange> buffer(kBatchChunk);
+  sim::ExchangeBatch batch;
   while (true) {
-    const std::size_t n = testbed.next_batch(buffer);
-    if (n > 0) process_batch(std::span<const sim::Exchange>(buffer.data(), n));
-    if (n < buffer.size()) break;  // duration exhausted
+    const std::size_t n = testbed.generate_batch(batch, kBatchChunk);
+    if (n > 0) process_batch(batch);
+    if (n < kBatchChunk) break;  // duration exhausted
   }
   for (auto& lane : lanes_)
     lane->set_polls_enumerated(testbed.polls_enumerated());

@@ -73,6 +73,11 @@ enum class WarmupPolicy {
 struct SessionConfig;
 bool exchange_in_warmup(const SessionConfig& config, const sim::Exchange& ex);
 
+/// The same warm-up cut from SoA fields (the ExchangeBatch fast lane); the
+/// Exchange overload forwards here so there is still one definition.
+bool exchange_in_warmup(const SessionConfig& config, bool lost,
+                        Seconds tb_stamp, Seconds truth_tb);
+
 struct SessionConfig {
   core::Params params;
   /// Records earlier than this (by the policy's timebase) are flagged as
@@ -225,6 +230,14 @@ class ClockSession {
   /// so CallbackSink's read-the-clock-after-each-exchange semantics hold.
   void process_batch(std::span<const sim::Exchange> exchanges);
 
+  /// Process a generator-written SoA batch (sim::Testbed::generate_batch)
+  /// through the identical canonical sequence, reading columns directly —
+  /// no Exchange row is built on the fast lane. With a record-shaped sink
+  /// attached (or a trace recorder), rows are materialized one scratch
+  /// Exchange at a time, so every record-shaped consumer observes exactly
+  /// the scalar stream. run_batched drives this overload.
+  void process_batch(const sim::ExchangeBatch& batch);
+
   /// Pull one exchange from the testbed and process it. Returns false when
   /// the testbed's configured duration is exhausted.
   bool step(sim::Testbed& testbed);
@@ -232,9 +245,10 @@ class ClockSession {
   /// Drain the whole testbed and return the final summary.
   const SessionSummary& run(sim::Testbed& testbed);
 
-  /// Drain the whole testbed through the batched lane (Testbed::next_batch →
-  /// process_batch in fixed-size chunks). Same summary, same sink-visible
-  /// values as run(); this is the hot-path drive the sweep uses.
+  /// Drain the whole testbed through the batched lane (the SoA stream:
+  /// Testbed::generate_batch → process_batch(ExchangeBatch) in fixed-size
+  /// chunks). Same summary, same sink-visible values as run(); this is the
+  /// hot-path drive the sweep uses.
   const SessionSummary& run_batched(sim::Testbed& testbed);
 
   /// The summary so far (final_status is refreshed on access).
@@ -271,6 +285,7 @@ class ClockSession {
   std::unique_ptr<TraceRecorder> recorder_;  ///< set when record_trace
   SessionSummary summary_;
   SampleBatch batch_;  ///< process_batch scratch (reused across batches)
+  sim::Exchange scratch_;  ///< SoA-row materialization scratch
 };
 
 /// Fan one exchange stream into N estimators: every lane is a full
@@ -317,6 +332,11 @@ class MultiEstimatorSession {
   /// independent, so this is unobservable through any one lane).
   void process_batch(std::span<const sim::Exchange> exchanges);
 
+  /// SoA batch into every lane: the shared recorder observes each row once
+  /// (materialized through one scratch Exchange), then every lane consumes
+  /// the columns through ClockSession::process_batch(ExchangeBatch).
+  void process_batch(const sim::ExchangeBatch& batch);
+
   /// Pull one exchange from the testbed into every lane. Returns false when
   /// the testbed's configured duration is exhausted.
   bool step(sim::Testbed& testbed);
@@ -325,13 +345,15 @@ class MultiEstimatorSession {
   /// poll-slot count.
   void run(sim::Testbed& testbed);
 
-  /// Batched run(): Testbed::next_batch → process_batch in fixed-size
-  /// chunks. Same final state as run(); the sweep's default drive.
+  /// Batched run(): Testbed::generate_batch → process_batch(ExchangeBatch)
+  /// in fixed-size chunks. Same final state as run(); the sweep's default
+  /// drive.
   void run_batched(sim::Testbed& testbed);
 
  private:
   std::vector<std::unique_ptr<ClockSession>> lanes_;
   std::unique_ptr<TraceRecorder> recorder_;
+  sim::Exchange scratch_;  ///< SoA-row materialization scratch
 };
 
 }  // namespace tscclock::harness

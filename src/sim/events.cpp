@@ -1,5 +1,8 @@
 #include "sim/events.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/contracts.hpp"
 
 namespace tscclock::sim {
@@ -7,6 +10,7 @@ namespace tscclock::sim {
 EventSchedule& EventSchedule::add_outage(Seconds start, Seconds end) {
   TSC_EXPECTS(end > start);
   outages_.push_back({start, end});
+  ++revision_;
   return *this;
 }
 
@@ -14,12 +18,14 @@ EventSchedule& EventSchedule::add_server_fault(Seconds start, Seconds end,
                                                Seconds offset) {
   TSC_EXPECTS(end > start);
   server_faults_.push_back({start, end, offset});
+  ++revision_;
   return *this;
 }
 
 EventSchedule& EventSchedule::add_level_shift(const LevelShift& shift) {
   TSC_EXPECTS(shift.end > shift.start);
   level_shifts_.push_back(shift);
+  ++revision_;
   return *this;
 }
 
@@ -45,6 +51,60 @@ EventSchedule::PathShift EventSchedule::path_shift(Seconds t) const {
     }
   }
   return s;
+}
+
+const std::vector<EventSchedule::Segment>& EventSchedule::segments() const {
+  if (compiled_revision_ == revision_) return segments_;
+
+  // Breakpoints: every instant where some interval's active set can change.
+  // Intervals are half-open [start, end), so both edges are breakpoints;
+  // kForever never ends and contributes no end breakpoint.
+  std::vector<Seconds> breaks;
+  breaks.reserve(2 * (outages_.size() + server_faults_.size() +
+                      level_shifts_.size()));
+  const auto edge = [&breaks](Seconds start, Seconds end) {
+    breaks.push_back(start);
+    if (std::isfinite(end)) breaks.push_back(end);
+  };
+  for (const auto& o : outages_) edge(o.start, o.end);
+  for (const auto& f : server_faults_) edge(f.start, f.end);
+  for (const auto& ls : level_shifts_) edge(ls.start, ls.end);
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+
+  segments_.clear();
+  segments_.reserve(breaks.size() + 1);
+  // Leading segment: before the earliest breakpoint nothing is active.
+  segments_.push_back(
+      Segment{-std::numeric_limits<double>::infinity(), false, 0.0, {}});
+  for (const Seconds b : breaks)
+    segments_.push_back(Segment{b, in_outage(b), server_fault_offset(b),
+                                path_shift(b)});
+  compiled_revision_ = revision_;
+  return segments_;
+}
+
+const EventSchedule::Segment& EventCursor::locate(Seconds t) {
+  static const EventSchedule::Segment kNoEvents{};
+  if (schedule_ == nullptr) return kNoEvents;
+  const auto& segments = schedule_->segments();
+  if (revision_ != schedule_->revision() || index_ >= segments.size() ||
+      t < segments[index_].start) {
+    // From-scratch fallback: the schedule changed or the query went
+    // backward. Last segment whose start is <= t (segment 0 starts at
+    // -infinity, so the search never lands before the front).
+    revision_ = schedule_->revision();
+    const auto it = std::upper_bound(
+        segments.begin(), segments.end(), t,
+        [](Seconds value, const EventSchedule::Segment& s) {
+          return value < s.start;
+        });
+    index_ = static_cast<std::size_t>(it - segments.begin()) - 1;
+    return segments[index_];
+  }
+  while (index_ + 1 < segments.size() && t >= segments[index_ + 1].start)
+    ++index_;
+  return segments[index_];
 }
 
 }  // namespace tscclock::sim

@@ -59,6 +59,26 @@ class EventSchedule {
   };
   [[nodiscard]] PathShift path_shift(Seconds t) const;
 
+  /// One piece of the compiled piecewise-constant timeline: all three query
+  /// answers are constant on [start, next segment's start). Values are
+  /// computed by evaluating the naive scans at `start`, so active-interval
+  /// sums happen in the same vector order and the compiled answers are
+  /// bit-identical to the per-call scans.
+  struct Segment {
+    Seconds start = 0;
+    bool outage = false;
+    Seconds fault_offset = 0;
+    PathShift shift;
+  };
+
+  /// The compiled timeline, built lazily on first access and invalidated by
+  /// any add_*. Always non-empty: segment 0 starts at -infinity with no
+  /// event active.
+  [[nodiscard]] const std::vector<Segment>& segments() const;
+
+  /// Bumped by every add_*; cursors use it to detect recompilation.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
   [[nodiscard]] const std::vector<Outage>& outages() const { return outages_; }
   [[nodiscard]] const std::vector<ServerFault>& server_faults() const {
     return server_faults_;
@@ -71,6 +91,33 @@ class EventSchedule {
   std::vector<Outage> outages_;
   std::vector<ServerFault> server_faults_;
   std::vector<LevelShift> level_shifts_;
+  std::uint64_t revision_ = 0;
+  // Lazy compilation cache (logically const: derived from the event lists).
+  mutable std::vector<Segment> segments_;
+  mutable std::uint64_t compiled_revision_ = ~0ULL;
+};
+
+/// Incremental lookup into an EventSchedule for a monotone query stream (the
+/// testbed's case: poll/arrival times only move forward). Advancing to the
+/// next segment is O(1); a query earlier than the current segment — or one
+/// after the schedule gained events — falls back to a from-scratch binary
+/// search, so non-monotonic use is still correct, just not amortized-O(1).
+/// A cursor over a null schedule answers every query with "no event active".
+class EventCursor {
+ public:
+  EventCursor() = default;
+  explicit EventCursor(const EventSchedule* schedule) : schedule_(schedule) {}
+
+  bool in_outage(Seconds t) { return locate(t).outage; }
+  Seconds server_fault_offset(Seconds t) { return locate(t).fault_offset; }
+  EventSchedule::PathShift path_shift(Seconds t) { return locate(t).shift; }
+
+ private:
+  const EventSchedule::Segment& locate(Seconds t);
+
+  const EventSchedule* schedule_ = nullptr;  ///< not owned; may be nullptr
+  std::size_t index_ = 0;
+  std::uint64_t revision_ = ~0ULL;
 };
 
 }  // namespace tscclock::sim

@@ -78,7 +78,13 @@ void Oscillator::advance_to(Seconds t) {
         ppm(config_.ou_sigma_ppm) * std::sqrt(1.0 - decay * decay);
     const double ou_next = ou_state_ * decay + rng_.normal(innovation_std);
 
-    const double gamma_start = wander_at(now_) + ou_state_;
+    // wander_at(now_) is exactly the previous substep's wander_at(now_ + dt):
+    // nothing that feeds wander_at (t, osc_phase_) changes between a substep's
+    // end and the next substep's start, so the cached value is bit-identical
+    // and saves two sin() calls per substep on the generator hot path.
+    const double wander_start =
+        wander_cached_ ? wander_now_ : wander_at(now_);
+    const double gamma_start = wander_start + ou_state_;
 
     // Advance the oscillatory component's slowly wandering period.
     if (config_.oscillatory_amplitude_ppm > 0.0) {
@@ -96,7 +102,10 @@ void Oscillator::advance_to(Seconds t) {
       }
     }
 
-    const double gamma_end = wander_at(now_ + dt) + ou_next;
+    const double wander_end = wander_at(now_ + dt);
+    wander_now_ = wander_end;
+    wander_cached_ = true;
+    const double gamma_end = wander_end + ou_next;
     const double gamma_mean = 0.5 * (gamma_start + gamma_end);
 
     phase_cycles_ +=

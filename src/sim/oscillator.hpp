@@ -86,6 +86,9 @@ class Oscillator {
   double ou_state_ = 0.0;            // dimensionless rate error
   double osc_phase_ = 0.0;           // oscillatory component phase [rad]
   double osc_period_ = 0.0;          // current oscillatory period [s]
+  // Cache of wander_at(now_) from the last substep's end (see advance_to).
+  double wander_now_ = 0.0;
+  bool wander_cached_ = false;
 };
 
 }  // namespace tscclock::sim

@@ -63,34 +63,32 @@ PathModel::PathModel(const PathConfig& config, const EventSchedule* events,
       events_(events),
       forward_model_(config.forward, rng.fork(1)),
       backward_model_(config.backward, rng.fork(2)),
-      loss_rng_(rng.fork(3).engine()()) {
+      loss_rng_(rng.fork(3).engine()()),
+      transit_cursor_(events),
+      query_cursor_(events) {
   TSC_EXPECTS(config.loss_prob >= 0.0 && config.loss_prob <= 1.0);
 }
 
 PathModel::Transit PathModel::forward(Seconds t) {
   Transit tr;
   tr.lost = loss_rng_.bernoulli(config_.loss_prob);
-  const Seconds shift = events_ ? events_->path_shift(t).forward : 0.0;
-  tr.delay = forward_model_.delay(t) + shift;
+  tr.delay = forward_model_.delay(t) + transit_cursor_.path_shift(t).forward;
   return tr;
 }
 
 PathModel::Transit PathModel::backward(Seconds t) {
   Transit tr;
   tr.lost = loss_rng_.bernoulli(config_.loss_prob);
-  const Seconds shift = events_ ? events_->path_shift(t).backward : 0.0;
-  tr.delay = backward_model_.delay(t) + shift;
+  tr.delay = backward_model_.delay(t) + transit_cursor_.path_shift(t).backward;
   return tr;
 }
 
 Seconds PathModel::forward_min(Seconds t) const {
-  const Seconds shift = events_ ? events_->path_shift(t).forward : 0.0;
-  return config_.forward.min_delay + shift;
+  return config_.forward.min_delay + query_cursor_.path_shift(t).forward;
 }
 
 Seconds PathModel::backward_min(Seconds t) const {
-  const Seconds shift = events_ ? events_->path_shift(t).backward : 0.0;
-  return config_.backward.min_delay + shift;
+  return config_.backward.min_delay + query_cursor_.path_shift(t).backward;
 }
 
 Seconds PathModel::asymmetry(Seconds t) const {

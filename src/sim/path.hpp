@@ -100,6 +100,12 @@ class PathModel {
   OneWayDelayModel forward_model_;
   OneWayDelayModel backward_model_;
   Rng loss_rng_;
+  /// Shift lookups for the transit hot path (forward/backward query times
+  /// interleave but never decrease, so the cursor advances O(1) amortized).
+  EventCursor transit_cursor_;
+  /// Separate cursor for the const min/asymmetry queries: analyses call
+  /// those at arbitrary times and must not perturb the hot-path cursor.
+  mutable EventCursor query_cursor_;
 };
 
 }  // namespace tscclock::sim

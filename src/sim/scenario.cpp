@@ -11,6 +11,34 @@ namespace {
 /// measurement campaign; comfortably inside era 0).
 constexpr std::uint32_t kSimEpochEraSeconds = 3'297'000'000u;
 
+/// The hot-path form of the wire truncation: algebraically identical to the
+/// packet round trip (see wire::quantize_timestamp_at_epoch).
+Seconds quantize_stamp(Seconds stamp) {
+  return wire::quantize_timestamp_at_epoch(stamp, kSimEpochEraSeconds);
+}
+
+/// check_wire diagnostic: replay the stamps through the real 48-byte packet
+/// encode→decode round trip exactly as the hot path did before the algebraic
+/// quantization, and assert both paths agree bit for bit.
+void check_wire_equivalence(Seconds poll_time, Seconds tb_raw, Seconds te_raw,
+                            Seconds tb_quantized, Seconds te_quantized,
+                            std::uint8_t stratum, ServerKind kind) {
+  using namespace tscclock::wire;
+  const auto request = make_client_request(
+      to_ntp_timestamp_at_epoch(poll_time, kSimEpochEraSeconds),
+      /*poll_log2=*/4);
+  const auto request_rx = decode(encode(request));
+  const auto reply_pkt = make_server_reply(
+      request_rx, to_ntp_timestamp_at_epoch(tb_raw, kSimEpochEraSeconds),
+      to_ntp_timestamp_at_epoch(te_raw, kSimEpochEraSeconds), stratum,
+      reference_id_from_string(kind == ServerKind::kExt ? "ATOM" : "GPS"));
+  const auto reply_rx = decode(encode(reply_pkt));
+  TSC_ENSURES(from_ntp_timestamp_at_epoch(reply_rx.receive_time,
+                                          kSimEpochEraSeconds) == tb_quantized);
+  TSC_ENSURES(from_ntp_timestamp_at_epoch(reply_rx.transmit_time,
+                                          kSimEpochEraSeconds) == te_quantized);
+}
+
 OscillatorConfig oscillator_for(Environment environment, std::uint64_t seed) {
   switch (environment) {
     case Environment::kLaboratory:
@@ -131,6 +159,91 @@ ServerConfig ScenarioConfig::server_preset(ServerKind kind) {
   return s;
 }
 
+void ExchangeBatch::clear() {
+  index.clear();
+  lost.clear();
+  ta_counts.clear();
+  tf_counts.clear();
+  tb_stamp.clear();
+  te_stamp.clear();
+  tf_counts_corrected.clear();
+  server_id.clear();
+  server_stratum.clear();
+  ref_available.clear();
+  tg.clear();
+  truth_ta.clear();
+  truth_tb.clear();
+  truth_te.clear();
+  truth_tf.clear();
+  d_forward.clear();
+  d_server.clear();
+  d_backward.clear();
+}
+
+void ExchangeBatch::resize(std::size_t rows) {
+  index.resize(rows);
+  lost.resize(rows);
+  ta_counts.resize(rows);
+  tf_counts.resize(rows);
+  tb_stamp.resize(rows);
+  te_stamp.resize(rows);
+  tf_counts_corrected.resize(rows);
+  server_id.resize(rows);
+  server_stratum.resize(rows);
+  ref_available.resize(rows);
+  tg.resize(rows);
+  truth_ta.resize(rows);
+  truth_tb.resize(rows);
+  truth_te.resize(rows);
+  truth_tf.resize(rows);
+  d_forward.resize(rows);
+  d_server.resize(rows);
+  d_backward.resize(rows);
+}
+
+void ExchangeBatch::reserve(std::size_t rows) {
+  index.reserve(rows);
+  lost.reserve(rows);
+  ta_counts.reserve(rows);
+  tf_counts.reserve(rows);
+  tb_stamp.reserve(rows);
+  te_stamp.reserve(rows);
+  tf_counts_corrected.reserve(rows);
+  server_id.reserve(rows);
+  server_stratum.reserve(rows);
+  ref_available.reserve(rows);
+  tg.reserve(rows);
+  truth_ta.reserve(rows);
+  truth_tb.reserve(rows);
+  truth_te.reserve(rows);
+  truth_tf.reserve(rows);
+  d_forward.reserve(rows);
+  d_server.reserve(rows);
+  d_backward.reserve(rows);
+}
+
+void ExchangeBatch::materialize(std::size_t i, Exchange& out) const {
+  TSC_EXPECTS(i < size());
+  out.index = index[i];
+  out.lost = lost[i] != 0;
+  out.ta_counts = ta_counts[i];
+  out.tf_counts = tf_counts[i];
+  out.tb_stamp = tb_stamp[i];
+  out.te_stamp = te_stamp[i];
+  out.tf_counts_corrected = tf_counts_corrected[i];
+  out.server_id = server_id[i];
+  out.server_stratum = server_stratum[i];
+  out.ref_available = ref_available[i] != 0;
+  out.tg = tg[i];
+  out.truth.ta = truth_ta[i];
+  out.truth.tb = truth_tb[i];
+  out.truth.te = truth_te[i];
+  out.truth.tf = truth_tf[i];
+  out.truth.d_forward = d_forward[i];
+  out.truth.d_server = d_server[i];
+  out.truth.d_backward = d_backward[i];
+}
+
 Testbed::Testbed(const ScenarioConfig& config)
     : config_(config),
       rng_(config.seed),
@@ -170,13 +283,19 @@ Testbed::Testbed(const ScenarioConfig& config)
         NtpServer(ScenarioConfig::server_preset(sw.kind), &config_.events,
                   rng_.fork(200 + k))});
   }
+  outage_cursor_ = EventCursor(&config_.events);
 }
 
 Testbed::Attachment& Testbed::active_attachment(Seconds t) {
-  std::size_t active = 0;
-  for (std::size_t k = 1; k < attachments_.size(); ++k)
-    if (t >= attachments_[k].start_time) active = k;
-  return attachments_[active];
+  // Switch times are strictly increasing and poll times are monotone, so the
+  // active attachment is a forward-stepping cursor; a query earlier than the
+  // current attachment's start (never the generation loop's case) rescans
+  // from the base attachment.
+  if (t < attachments_[attachment_index_].start_time) attachment_index_ = 0;
+  while (attachment_index_ + 1 < attachments_.size() &&
+         t >= attachments_[attachment_index_ + 1].start_time)
+    ++attachment_index_;
+  return attachments_[attachment_index_];
 }
 
 std::optional<Exchange> Testbed::next() {
@@ -193,7 +312,7 @@ bool Testbed::next_into(Exchange& out) {
         base + rng_.uniform(-config_.poll_jitter, config_.poll_jitter) +
         config_.poll_jitter;  // keep strictly increasing reads
     const std::uint64_t index = poll_index_++;
-    if (config_.events.in_outage(poll_time)) continue;  // gap: no exchange
+    if (outage_cursor_.in_outage(poll_time)) continue;  // gap: no exchange
 
     out = Exchange{};
     Exchange& ex = out;
@@ -225,26 +344,16 @@ bool Testbed::next_into(Exchange& out) {
     Seconds te_stamp = reply.te_stamp;
 
     if (config_.use_wire_format) {
-      // Round-trip the server stamps through the real 48-byte NTP packet.
-      using namespace tscclock::wire;
-      const auto request = make_client_request(
-          to_ntp_timestamp_at_epoch(poll_time, kSimEpochEraSeconds),
-          /*poll_log2=*/4);
-      const auto request_bytes = encode(request);
-      const auto request_rx = decode(request_bytes);
-      const auto reply_pkt = make_server_reply(
-          request_rx,
-          to_ntp_timestamp_at_epoch(tb_stamp, kSimEpochEraSeconds),
-          to_ntp_timestamp_at_epoch(te_stamp, kSimEpochEraSeconds),
-          attachment.server.config().stratum,
-          reference_id_from_string(
-              attachment.kind == ServerKind::kExt ? "ATOM" : "GPS"));
-      const auto reply_bytes = encode(reply_pkt);
-      const auto reply_rx = decode(reply_bytes);
-      tb_stamp = from_ntp_timestamp_at_epoch(reply_rx.receive_time,
-                                             kSimEpochEraSeconds);
-      te_stamp = from_ntp_timestamp_at_epoch(reply_rx.transmit_time,
-                                             kSimEpochEraSeconds);
+      // Wire truncation of the server stamps, composed algebraically (same
+      // function as the former packet encode→decode round trip; see
+      // check_wire_equivalence for the end-to-end assert).
+      tb_stamp = quantize_stamp(tb_stamp);
+      te_stamp = quantize_stamp(te_stamp);
+      if (config_.check_wire)
+        check_wire_equivalence(poll_time, reply.tb_stamp, reply.te_stamp,
+                               tb_stamp, te_stamp,
+                               attachment.server.config().stratum,
+                               attachment.kind);
     }
     ex.tb_stamp = tb_stamp;
     ex.te_stamp = te_stamp;
@@ -273,6 +382,110 @@ std::size_t Testbed::next_batch(std::span<Exchange> out) {
   std::size_t produced = 0;
   while (produced < out.size() && next_into(out[produced])) ++produced;
   return produced;
+}
+
+std::size_t Testbed::generate_batch(ExchangeBatch& out, std::size_t max_rows) {
+  // Size the columns up front and write rows by index through raw pointers —
+  // every column is written exactly once per row, so any stale tail from a
+  // reused batch is fully overwritten and then trimmed away.
+  out.resize(max_rows);
+  std::size_t rows = 0;
+  // Per-batch invariants hoisted out of the row loop; the draw sequence and
+  // arithmetic below MUST stay in lockstep with next_into() — the batch-lane
+  // goldens pin the two streams row-for-row bit-identical.
+  const Seconds poll_period = config_.poll_period;
+  const Seconds poll_jitter = config_.poll_jitter;
+  const Seconds duration = config_.duration;
+  const bool wire = config_.use_wire_format;
+  const bool check_wire = config_.check_wire;
+
+  while (rows < max_rows) {
+    const Seconds base = static_cast<double>(poll_index_) * poll_period;
+    if (base >= duration) break;
+    const Seconds poll_time =
+        base + rng_.uniform(-poll_jitter, poll_jitter) + poll_jitter;
+    const std::uint64_t index = poll_index_++;
+    if (outage_cursor_.in_outage(poll_time)) continue;  // gap: no exchange
+
+    auto& attachment = active_attachment(poll_time);
+
+    // Row scratch: zero-initialized like a fresh Exchange, written in the
+    // scalar path's order, pushed to every column exactly once per row.
+    bool lost = false;
+    TscCount tf_counts = 0;
+    TscCount tf_counts_corrected = 0;
+    Seconds tb_stamp = 0;
+    Seconds te_stamp = 0;
+    bool ref_available = false;
+    Seconds tg = 0;
+    Seconds truth_te = 0;
+    Seconds truth_tf = 0;
+    Seconds d_server = 0;
+    Seconds d_backward = 0;
+
+    const TscCount ta_counts = oscillator_.read(poll_time);
+    const Seconds send_lead = host_.draw_send_lead();
+    const Seconds truth_ta = poll_time + send_lead;
+
+    const auto fwd = attachment.path.forward(truth_ta);
+    const Seconds d_forward = fwd.delay;
+    const Seconds truth_tb = truth_ta + fwd.delay;
+
+    if (!fwd.lost) {
+      const auto reply = attachment.server.handle(truth_tb);
+      truth_te = reply.te_true;
+      d_server = reply.te_true - truth_tb;
+      tb_stamp = reply.tb_stamp;
+      te_stamp = reply.te_stamp;
+      if (wire) {
+        tb_stamp = quantize_stamp(tb_stamp);
+        te_stamp = quantize_stamp(te_stamp);
+        if (check_wire)
+          check_wire_equivalence(poll_time, reply.tb_stamp, reply.te_stamp,
+                                 tb_stamp, te_stamp,
+                                 attachment.server.config().stratum,
+                                 attachment.kind);
+      }
+
+      const auto bwd = attachment.path.backward(truth_te);
+      d_backward = bwd.delay;
+      truth_tf = truth_te + bwd.delay;
+      if (bwd.lost) {
+        lost = true;
+      } else {
+        const auto recv_lag = host_.draw_recv_lag_detailed();
+        const auto dag_stamp = dag_.observe(truth_tf);
+        tf_counts_corrected = oscillator_.read(truth_tf + recv_lag.base);
+        tf_counts = oscillator_.read(truth_tf + recv_lag.total);
+        ref_available = dag_stamp.available;
+        tg = dag_stamp.corrected;
+      }
+    } else {
+      lost = true;
+    }
+
+    out.index[rows] = index;
+    out.lost[rows] = lost ? 1 : 0;
+    out.ta_counts[rows] = ta_counts;
+    out.tf_counts[rows] = tf_counts;
+    out.tb_stamp[rows] = tb_stamp;
+    out.te_stamp[rows] = te_stamp;
+    out.tf_counts_corrected[rows] = tf_counts_corrected;
+    out.server_id[rows] = attachment.id;
+    out.server_stratum[rows] = attachment.server.config().stratum;
+    out.ref_available[rows] = ref_available ? 1 : 0;
+    out.tg[rows] = tg;
+    out.truth_ta[rows] = truth_ta;
+    out.truth_tb[rows] = truth_tb;
+    out.truth_te[rows] = truth_te;
+    out.truth_tf[rows] = truth_tf;
+    out.d_forward[rows] = d_forward;
+    out.d_server[rows] = d_server;
+    out.d_backward[rows] = d_backward;
+    ++rows;
+  }
+  out.resize(rows);
+  return rows;
 }
 
 std::uint64_t Testbed::polls_remaining() const {

@@ -48,7 +48,15 @@ struct ScenarioConfig {
   Seconds duration = duration::kDay;
   std::uint64_t seed = 42;
   EventSchedule events;
-  bool use_wire_format = true;  ///< round-trip Tb/Te through NTP packets
+  /// Apply the NTP wire format's ~233 ps timestamp truncation to Tb/Te. The
+  /// hot path computes it algebraically (wire::quantize_timestamp_at_epoch,
+  /// provably identical to the packet encode→decode round trip).
+  bool use_wire_format = true;
+  /// Diagnostic: additionally run every exchange's stamps through the real
+  /// 48-byte packet encode→decode round trip and assert the algebraic
+  /// quantization matches bit for bit. Results are identical either way, so
+  /// this flag must never enter a run fingerprint; it only costs time.
+  bool check_wire = false;
 
   /// Mid-trace server changes (the paper's campaign switched ServerInt →
   /// ServerLoc → ServerExt, §6.1). Must be in increasing time order.
@@ -112,6 +120,48 @@ struct Exchange {
   ExchangeTruth truth;
 };
 
+/// Struct-of-arrays exchange stream: one column per Exchange field, filled
+/// directly by Testbed::generate_batch so the generator writes columns and
+/// the session's batched fast lane reads them without ever materializing
+/// ~200-byte Exchange rows. Row i across all columns reconstructs exactly
+/// the Exchange next() would have produced (materialize(); columns a loss
+/// left unproduced hold the same zeros as a default Exchange field).
+struct ExchangeBatch {
+  std::vector<std::uint64_t> index;
+  std::vector<std::uint8_t> lost;
+  std::vector<TscCount> ta_counts;
+  std::vector<TscCount> tf_counts;
+  std::vector<Seconds> tb_stamp;
+  std::vector<Seconds> te_stamp;
+  std::vector<TscCount> tf_counts_corrected;
+  std::vector<std::uint32_t> server_id;
+  std::vector<std::uint8_t> server_stratum;
+  std::vector<std::uint8_t> ref_available;
+  std::vector<Seconds> tg;
+  // Ground-truth columns (ExchangeTruth).
+  std::vector<Seconds> truth_ta;
+  std::vector<Seconds> truth_tb;
+  std::vector<Seconds> truth_te;
+  std::vector<Seconds> truth_tf;
+  std::vector<Seconds> d_forward;
+  std::vector<Seconds> d_server;
+  std::vector<Seconds> d_backward;
+
+  [[nodiscard]] std::size_t size() const { return index.size(); }
+  [[nodiscard]] bool empty() const { return index.empty(); }
+  void clear();
+  void reserve(std::size_t rows);
+  /// Set every column to `rows` elements (new tail value-initialized).
+  /// generate_batch() sizes the batch up front and writes rows by index —
+  /// cheaper than 18 push_backs per row — then trims to the produced count.
+  void resize(std::size_t rows);
+
+  /// Reconstruct row i as the Exchange the scalar stream would have
+  /// produced (for record-shaped consumers: trace recorders and sessions
+  /// degrading to per-record processing).
+  void materialize(std::size_t i, Exchange& out) const;
+};
+
 class Testbed {
  public:
   explicit Testbed(const ScenarioConfig& config);
@@ -130,6 +180,14 @@ class Testbed {
   /// many were produced (< out.size() only when the duration ran out). The
   /// batched hot-path equivalent of calling next() in a loop.
   std::size_t next_batch(std::span<Exchange> out);
+
+  /// Generate up to `max_rows` exchanges straight into SoA columns (the
+  /// batched drives' hot path: per-batch invariants are hoisted and no
+  /// Exchange row is ever built). Clears `out` first; returns the row count
+  /// (< max_rows only when the duration ran out). Row-for-row identical to
+  /// the next() stream — pinned by the batch-lane goldens, and must be kept
+  /// in lockstep with next_into() (same draw sequence, same arithmetic).
+  std::size_t generate_batch(ExchangeBatch& out, std::size_t max_rows);
 
   /// Poll slots remaining until `duration` (an upper bound on how many more
   /// exchanges next() can produce; outage-skipped slots still count here).
@@ -177,6 +235,8 @@ class Testbed {
   std::vector<Attachment> attachments_;
   DagMonitor dag_;
   std::uint64_t poll_index_ = 0;
+  EventCursor outage_cursor_;        ///< poll times are monotone
+  std::size_t attachment_index_ = 0; ///< monotone active-attachment cursor
 };
 
 }  // namespace tscclock::sim

@@ -6,7 +6,7 @@ namespace tscclock::sim {
 
 NtpServer::NtpServer(const ServerConfig& config, const EventSchedule* events,
                      Rng rng)
-    : config_(config), events_(events), rng_(rng) {
+    : config_(config), events_(events), rng_(rng), fault_cursor_(events) {
   TSC_EXPECTS(config.min_processing > 0.0);
   TSC_EXPECTS(config.processing_jitter_mean > 0.0);
   TSC_EXPECTS(config.te_early_mean >= 0.0);
@@ -22,8 +22,7 @@ NtpServer::Reply NtpServer::handle(Seconds arrival) {
     processing += rng_.exponential(config_.sched_spike_mean);
   r.te_true = r.tb_true + processing;
 
-  const Seconds fault =
-      events_ ? events_->server_fault_offset(arrival) : 0.0;
+  const Seconds fault = fault_cursor_.server_fault_offset(arrival);
 
   // Tb: stamped shortly after true arrival; synchronized clock + white noise.
   r.tb_stamp = r.tb_true + rng_.normal(config_.clock_noise_std) + fault;

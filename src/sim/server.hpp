@@ -51,6 +51,7 @@ class NtpServer {
   ServerConfig config_;
   const EventSchedule* events_;  ///< not owned; may be nullptr
   Rng rng_;
+  EventCursor fault_cursor_;  ///< arrival times are monotone per server
 };
 
 }  // namespace tscclock::sim

@@ -78,6 +78,7 @@ std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
           config.poll_jitter = std::min(grid.poll_jitter, poll / 4);
           config.duration = grid.duration;
           config.use_wire_format = grid.use_wire_format;
+          config.check_wire = grid.check_wire;
           config.events = schedule.events;
           config.server_switches = schedule.server_switches;
           config.seed = scenario_seed(grid.master_seed, scenario.name);

@@ -56,6 +56,12 @@ struct GridSpec {
   Seconds duration = duration::kDay;
   Seconds poll_jitter = 0.25;
   bool use_wire_format = true;
+  /// Debug assertion mode: replay every wire-quantized stamp through the
+  /// real packet encode/decode and contract-assert it matches the algebraic
+  /// fast path. Results are bit-identical either way (the mode only checks),
+  /// so this must NEVER enter grid_descriptor() — a checked sweep resumes
+  /// from and merges with unchecked artifacts.
+  bool check_wire = false;
   std::uint64_t master_seed = 42;
 
   /// Number of *scenarios* (grid cells); each cell produces one result per

@@ -58,6 +58,30 @@ Seconds from_ntp_timestamp_at_epoch(NtpTimestamp ts,
          static_cast<double>(ts.fraction) / kTwo32;
 }
 
+Seconds quantize_timestamp_at_epoch(Seconds since_epoch,
+                                    std::uint32_t epoch_era_seconds) {
+  TSC_EXPECTS(std::isfinite(since_epoch));
+  TSC_EXPECTS(since_epoch >= 0.0);
+  // Mirror to_ntp_timestamp_at_epoch's split exactly: integer seconds via
+  // floor, fraction rounded to the nearest 2^-32 LSB, carry into the seconds
+  // field when the fraction rounds up to 1.0.
+  double whole = std::floor(since_epoch);
+  auto frac_bits =
+      static_cast<std::uint64_t>(std::llround((since_epoch - whole) * kTwo32));
+  if (frac_bits >= (1ULL << 32)) {
+    frac_bits = 0;
+    whole += 1.0;
+  }
+  // Same era-0 range contract as the real conversion.
+  TSC_EXPECTS(static_cast<std::uint64_t>(whole) + epoch_era_seconds <=
+              0xffffffffULL);
+  // from_ntp_timestamp_at_epoch computes double(sec − epoch) + fraction/2^32;
+  // sec − epoch is exactly the integer `whole` (+ carry, folded in above) and
+  // both operands are identical, so this sum is bit-identical to the round
+  // trip's.
+  return whole + static_cast<double>(frac_bits) / kTwo32;
+}
+
 NtpShort to_ntp_short(Seconds value) {
   TSC_EXPECTS(value >= 0.0);
   TSC_EXPECTS(value < 65536.0);

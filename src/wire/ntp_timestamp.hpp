@@ -73,6 +73,17 @@ NtpTimestamp to_ntp_timestamp_at_epoch(Seconds since_epoch,
 Seconds from_ntp_timestamp_at_epoch(NtpTimestamp ts,
                                     std::uint32_t epoch_era_seconds);
 
+/// The exact truncation a wire round trip applies to an epoch-relative
+/// timestamp: quantize_timestamp_at_epoch(x, e) ==
+/// from_ntp_timestamp_at_epoch(to_ntp_timestamp_at_epoch(x, e), e) bit for
+/// bit (packet encode/decode carries the packed 64-bit timestamp exactly, so
+/// the at-epoch conversions are the only lossy step — pinned by the property
+/// tests). Composed algebraically so the simulation hot path pays one
+/// floor + llround instead of building, encoding and decoding packets.
+/// Preconditions match to_ntp_timestamp_at_epoch: finite, >= 0, within era 0.
+Seconds quantize_timestamp_at_epoch(Seconds since_epoch,
+                                    std::uint32_t epoch_era_seconds);
+
 /// Resolution of one LSB of the 64-bit fraction (~232.8 ps).
 constexpr Seconds kNtpTimestampResolution = 1.0 / 4294967296.0;
 

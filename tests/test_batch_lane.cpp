@@ -124,6 +124,98 @@ TEST(TestbedBatch, NextBatchStreamIdenticalToNext) {
   EXPECT_EQ(scalar.polls_enumerated(), batched.polls_enumerated());
 }
 
+TEST(TestbedBatch, GenerateBatchColumnsIdenticalToNext) {
+  // The SoA stream: every column of every row — materialized back into an
+  // Exchange — must reproduce next()'s stream bit-for-bit, across awkward
+  // chunk boundaries, outage skips, server switches, and loss rows (which
+  // keep their produced-up-to-the-loss fields and zeros elsewhere).
+  sim::Testbed scalar(stress_scenario());
+  sim::Testbed batched(stress_scenario());
+
+  std::vector<sim::Exchange> reference;
+  while (auto ex = scalar.next()) reference.push_back(*ex);
+
+  sim::ExchangeBatch batch;
+  sim::Exchange row;
+  std::size_t seen = 0;
+  while (true) {
+    const std::size_t n = batched.generate_batch(batch, 37);
+    ASSERT_EQ(n, batch.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_LT(seen, reference.size());
+      batch.materialize(k, row);
+      expect_exchange_eq(reference[seen], row);
+      ++seen;
+    }
+    if (n < 37) break;
+  }
+  EXPECT_EQ(seen, reference.size());
+  EXPECT_EQ(scalar.polls_enumerated(), batched.polls_enumerated());
+}
+
+TEST(TestbedBatch, GenerateBatchReusedAcrossChunkSizes) {
+  // Reusing one batch object across different chunk sizes must leave no
+  // stale tail: the trailing short batch is trimmed to the produced rows.
+  sim::Testbed a(plain_scenario());
+  sim::Testbed b(plain_scenario());
+
+  sim::ExchangeBatch wide;
+  std::uint64_t total_wide = 0;
+  while (true) {
+    const std::size_t n = a.generate_batch(wide, 1024);
+    total_wide += n;
+    if (n < 1024) break;
+  }
+  sim::ExchangeBatch narrow;
+  std::uint64_t total_narrow = 0;
+  while (true) {
+    const std::size_t n = b.generate_batch(narrow, 7);
+    total_narrow += n;
+    if (n < 7) break;
+  }
+  EXPECT_EQ(total_wide, total_narrow);
+  EXPECT_EQ(a.polls_enumerated(), b.polls_enumerated());
+}
+
+TEST(TestbedBatch, CheckWireModeAssertsQuantizeMatchesRealWire) {
+  // check_wire replays every produced stamp through the real packet
+  // encode/decode and contract-asserts equality with the algebraic
+  // quantization — so simply draining a check_wire testbed is the
+  // end-to-end equivalence test. The stream must also be unchanged.
+  auto checked_scenario = stress_scenario();
+  checked_scenario.check_wire = true;
+  sim::Testbed checked(checked_scenario);
+  sim::Testbed plain(stress_scenario());
+
+  std::vector<sim::Exchange> reference;
+  while (auto ex = plain.next()) reference.push_back(*ex);
+
+  sim::ExchangeBatch batch;
+  sim::Exchange row;
+  std::size_t seen = 0;
+  while (true) {
+    const std::size_t n = checked.generate_batch(batch, 64);
+    for (std::size_t k = 0; k < n; ++k) {
+      ASSERT_LT(seen, reference.size());
+      batch.materialize(k, row);
+      expect_exchange_eq(reference[seen], row);
+      ++seen;
+    }
+    if (n < 64) break;
+  }
+  EXPECT_EQ(seen, reference.size());
+
+  // The scalar path has its own check-wire call site; drain it too.
+  sim::Testbed checked_scalar(checked_scenario);
+  std::size_t scalar_seen = 0;
+  while (auto ex = checked_scalar.next()) {
+    ASSERT_LT(scalar_seen, reference.size());
+    expect_exchange_eq(reference[scalar_seen], *ex);
+    ++scalar_seen;
+  }
+  EXPECT_EQ(scalar_seen, reference.size());
+}
+
 TEST(TestbedBatch, PollsRemainingBoundsTheStream) {
   sim::Testbed testbed(stress_scenario());
   const std::uint64_t total = testbed.polls_remaining();

@@ -29,7 +29,12 @@ BenchReport sample_report() {
   result.drive = "batched";
   result.seconds = 0.4;
   result.exchanges_per_sec = 405000;
+  result.pairs_with = "single_robust_exact";
   report.results.push_back(result);
+  report.stage_breakdown.present = true;
+  report.stage_breakdown.generate_seconds = 0.17;
+  report.stage_breakdown.estimate_seconds = 0.19;
+  report.stage_breakdown.reduce_seconds = 0.04;
   return report;
 }
 
@@ -50,6 +55,51 @@ TEST(BenchReport, RoundTripsThroughJson) {
   EXPECT_EQ(parsed.baseline[0].exchanges, 162000u);
   EXPECT_EQ(parsed.results[0].name, "single_robust_exact_batched");
   EXPECT_EQ(parsed.results[0].drive, "batched");
+  // pairs_with rides along on results and is absent (empty) on the pinned
+  // baseline block, which predates the key.
+  EXPECT_EQ(parsed.results[0].pairs_with, "single_robust_exact");
+  EXPECT_EQ(parsed.baseline[0].pairs_with, "");
+  ASSERT_TRUE(parsed.stage_breakdown.present);
+  EXPECT_EQ(parsed.stage_breakdown.generate_seconds, 0.17);
+  EXPECT_EQ(parsed.stage_breakdown.estimate_seconds, 0.19);
+  EXPECT_EQ(parsed.stage_breakdown.reduce_seconds, 0.04);
+}
+
+TEST(BenchReport, PreCampaignReportsWithoutNewKeysStillParse) {
+  // A report written before pairs_with / stage_breakdown existed must parse
+  // with the defaults: empty pairing, breakdown absent. This is the
+  // additive-schema contract that lets the fields ship without a version
+  // bump.
+  BenchReport old = sample_report();
+  old.results[0].pairs_with.clear();
+  old.stage_breakdown = {};
+  const std::string json = to_json(old);
+  EXPECT_EQ(json.find("pairs_with"), std::string::npos);
+  EXPECT_EQ(json.find("stage_breakdown"), std::string::npos);
+  const BenchReport parsed = parse_bench_report(json);
+  EXPECT_EQ(parsed.results[0].pairs_with, "");
+  EXPECT_FALSE(parsed.stage_breakdown.present);
+}
+
+TEST(BenchReport, RejectsMistypedPairsWithAndPartialBreakdown) {
+  {
+    BenchReport report = sample_report();
+    std::string json = to_json(report);
+    const std::string needle = "\"pairs_with\": \"single_robust_exact\"";
+    const auto pos = json.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    json.replace(pos, needle.size(), "\"pairs_with\": 17");
+    EXPECT_THROW(parse_bench_report(json), std::runtime_error);
+  }
+  {
+    BenchReport report = sample_report();
+    std::string json = to_json(report);
+    const auto pos = json.find("\"reduce_seconds\"");
+    ASSERT_NE(pos, std::string::npos);
+    // Drop one stage field: a partial breakdown must not parse as valid.
+    json.replace(pos, std::string::npos, "\"x\": 0}\n}\n");
+    EXPECT_THROW(parse_bench_report(json), std::runtime_error);
+  }
 }
 
 TEST(BenchReport, ParsesFieldOrderFreeAndIgnoresUnknownKeys) {

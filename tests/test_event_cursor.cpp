@@ -1,0 +1,128 @@
+// EventCursor vs the from-scratch EventSchedule queries: the cursor is a
+// pure lookup accelerator, so its three answers must be exactly equal to
+// the naive scans at every time — under monotone streams (the testbed's
+// case), non-monotonic jumps (the binary-search fallback), mid-stream
+// schedule edits (revision invalidation), and with no schedule at all.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "sim/events.hpp"
+
+namespace tscclock::sim {
+namespace {
+
+/// A schedule exercising every event kind with overlaps, shared edges, and a
+/// permanent (kForever) shift — the shapes the sweep's fault grid uses.
+EventSchedule stress_schedule() {
+  EventSchedule events;
+  events.add_outage(1200.0, 1500.0);
+  events.add_outage(1400.0, 1600.0);  // overlapping outage
+  events.add_server_fault(500.0, 900.0, 0.25);
+  events.add_server_fault(800.0, 2000.0, -0.05);  // overlaps the first
+  events.add_level_shift({/*start=*/300.0, /*end=*/700.0,
+                          /*forward_delta=*/0.003, /*backward_delta=*/0.0});
+  events.add_level_shift({/*start=*/700.0, /*end=*/2500.0,
+                          /*forward_delta=*/-0.001,
+                          /*backward_delta=*/0.002});  // edge-adjacent
+  events.add_level_shift({/*start=*/1800.0, /*end=*/kForever,
+                          /*forward_delta=*/0.0005,
+                          /*backward_delta=*/0.0005});  // permanent
+  return events;
+}
+
+void expect_cursor_matches(EventCursor& cursor, const EventSchedule& events,
+                           Seconds t) {
+  EXPECT_EQ(cursor.in_outage(t), events.in_outage(t)) << "t=" << t;
+  EXPECT_EQ(cursor.server_fault_offset(t), events.server_fault_offset(t))
+      << "t=" << t;
+  const auto cursor_shift = cursor.path_shift(t);
+  const auto naive_shift = events.path_shift(t);
+  EXPECT_EQ(cursor_shift.forward, naive_shift.forward) << "t=" << t;
+  EXPECT_EQ(cursor_shift.backward, naive_shift.backward) << "t=" << t;
+}
+
+TEST(EventCursor, MonotoneSweepMatchesFromScratchQueries) {
+  const EventSchedule events = stress_schedule();
+  EventCursor cursor(&events);
+  // Fine sweep crossing every boundary, including exact edge times (all
+  // intervals are half-open [start, end), which the sweep must reproduce).
+  for (Seconds t = -100.0; t <= 3000.0; t += 12.5)
+    expect_cursor_matches(cursor, events, t);
+}
+
+TEST(EventCursor, ExactBoundaryTimesMatch) {
+  const EventSchedule events = stress_schedule();
+  EventCursor cursor(&events);
+  for (const Seconds t : {300.0, 500.0, 700.0, 800.0, 900.0, 1200.0, 1400.0,
+                          1500.0, 1600.0, 1800.0, 2000.0, 2500.0})
+    expect_cursor_matches(cursor, events, t);
+}
+
+TEST(EventCursor, NonMonotonicQueriesFallBackCorrectly) {
+  const EventSchedule events = stress_schedule();
+  EventCursor cursor(&events);
+  // Advance deep into the schedule, then jump backwards repeatedly; every
+  // backward query must trigger the from-scratch fallback and still agree.
+  expect_cursor_matches(cursor, events, 2600.0);
+  for (const Seconds t : {1450.0, 350.0, 2600.0, 0.0, 1850.0, 650.0})
+    expect_cursor_matches(cursor, events, t);
+}
+
+TEST(EventCursor, RandomWalkMatchesFromScratchQueries) {
+  const EventSchedule events = stress_schedule();
+  EventCursor cursor(&events);
+  Rng rng(20260808);
+  for (int k = 0; k < 2000; ++k)
+    expect_cursor_matches(cursor, events, rng.uniform(-200.0, 3200.0));
+}
+
+TEST(EventCursor, SeesEventsAddedAfterFirstQuery) {
+  EventSchedule events;
+  events.add_outage(100.0, 200.0);
+  EventCursor cursor(&events);
+  EXPECT_TRUE(cursor.in_outage(150.0));
+  EXPECT_FALSE(cursor.in_outage(300.0));
+
+  // Mid-stream edit: the revision bump must invalidate the cursor's segment
+  // index even for a non-decreasing query stream.
+  events.add_outage(250.0, 400.0);
+  EXPECT_TRUE(cursor.in_outage(300.0));
+  events.add_server_fault(500.0, 600.0, 1.5);
+  EXPECT_EQ(cursor.server_fault_offset(550.0), 1.5);
+  expect_cursor_matches(cursor, events, 550.0);
+}
+
+TEST(EventCursor, NullScheduleAnswersNoEventActive) {
+  EventCursor cursor;  // default-constructed: no schedule attached
+  for (const Seconds t : {-1e9, 0.0, 12345.6, 1e12}) {
+    EXPECT_FALSE(cursor.in_outage(t));
+    EXPECT_EQ(cursor.server_fault_offset(t), 0.0);
+    EXPECT_EQ(cursor.path_shift(t).forward, 0.0);
+    EXPECT_EQ(cursor.path_shift(t).backward, 0.0);
+  }
+}
+
+TEST(EventCursor, CompiledSegmentsCoverScheduleBitIdentically) {
+  // The compiled timeline itself: segment 0 reaches back to -infinity, and
+  // evaluating the naive queries at each segment start reproduces exactly
+  // the stored values (the compiler calls those same scans).
+  const EventSchedule events = stress_schedule();
+  const auto& segments = events.segments();
+  ASSERT_FALSE(segments.empty());
+  EXPECT_TRUE(std::isinf(segments.front().start));
+  EXPECT_LT(segments.front().start, 0.0);
+  for (std::size_t k = 1; k < segments.size(); ++k) {
+    const auto& seg = segments[k];
+    EXPECT_LT(segments[k - 1].start, seg.start);
+    EXPECT_EQ(seg.outage, events.in_outage(seg.start));
+    EXPECT_EQ(seg.fault_offset, events.server_fault_offset(seg.start));
+    EXPECT_EQ(seg.shift.forward, events.path_shift(seg.start).forward);
+    EXPECT_EQ(seg.shift.backward, events.path_shift(seg.start).backward);
+  }
+}
+
+}  // namespace
+}  // namespace tscclock::sim

@@ -119,5 +119,82 @@ INSTANTIATE_TEST_SUITE_P(Values, ShortRoundTrip,
                          ::testing::Values(0.0, 1.0 / 65536.0, 0.015, 1.0,
                                            100.5, 65535.99));
 
+// -------------------------------------------------- algebraic quantization
+//
+// quantize_timestamp_at_epoch is the testbed's fast path for the wire
+// truncation: it must equal — bit for bit — what a server stamp experiences
+// through the full packet path (encode at the server, decode at the client,
+// timestamp conversion at both ends). These suites pin that equivalence so
+// the fast path can never drift from the real wire.
+
+constexpr std::uint32_t kEra = 3'297'000'000u;
+
+/// The reference implementation: the stamp's full journey through an NTP
+/// reply packet, exactly as Testbed's check-wire mode replays it.
+Seconds wire_round_trip(Seconds since_epoch) {
+  const auto request =
+      make_client_request(to_ntp_timestamp_at_epoch(1.0, kEra), 4);
+  const auto request_rx = decode(encode(request));
+  const auto reply = make_server_reply(
+      request_rx, to_ntp_timestamp_at_epoch(since_epoch, kEra),
+      to_ntp_timestamp_at_epoch(since_epoch, kEra), /*stratum=*/1,
+      reference_id_from_string("GPS"));
+  const auto reply_rx = decode(encode(reply));
+  return from_ntp_timestamp_at_epoch(reply_rx.receive_time, kEra);
+}
+
+class QuantizeEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizeEquivalence, MatchesPacketRoundTripExactly) {
+  const Seconds value = GetParam();
+  EXPECT_EQ(quantize_timestamp_at_epoch(value, kEra), wire_round_trip(value));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundary, QuantizeEquivalence,
+    ::testing::Values(
+        0.0,                      // era epoch itself
+        0x1p-33,                  // below half an LSB: rounds to zero
+        0.5 / 4294967296.0,       // exactly half an LSB (llround ties)
+        1.5 / 4294967296.0,       // ties again, odd multiple
+        1.0 / 4294967296.0,       // exactly one fraction LSB
+        1.0 - 0x1p-33,            // fraction rounds up: carry into seconds
+        16.000000000116415,       // real server stamp shape (16 s + sub-ns)
+        86400.25,                 // day boundary with exact fraction
+        997000000.0 - 0x1p-33,    // carry high in the u32 range
+        997967295.875));          // the largest era-representable second
+
+TEST(QuantizeEquivalence, RandomizedSweepMatchesPacketRoundTrip) {
+  Rng draw(3297000000ull);
+  for (int k = 0; k < 5000; ++k) {
+    // Span the whole era-representable range, including values with dense
+    // fractional parts (uniform reals) and values built from exact binary
+    // fractions (LSB-edge stress).
+    const Seconds value = draw.uniform(0.0, 997967295.0);
+    EXPECT_EQ(quantize_timestamp_at_epoch(value, kEra), wire_round_trip(value))
+        << "value=" << value;
+  }
+  for (int k = 0; k < 2000; ++k) {
+    const double whole = std::floor(draw.uniform(0.0, 997967295.0));
+    const double frac =
+        std::floor(draw.uniform(0.0, 4294967296.0)) / 4294967296.0;
+    const Seconds value = whole + frac;  // exact multiple of one LSB
+    EXPECT_EQ(quantize_timestamp_at_epoch(value, kEra), wire_round_trip(value))
+        << "value=" << value;
+  }
+}
+
+TEST(QuantizeEquivalence, QuantizationIsIdempotent) {
+  // A stamp that already sits on the wire grid must pass through unchanged —
+  // this is what makes the testbed's quantized stamps indistinguishable from
+  // stamps that truly crossed the wire.
+  Rng draw(424242);
+  for (int k = 0; k < 2000; ++k) {
+    const Seconds once =
+        quantize_timestamp_at_epoch(draw.uniform(0.0, 997967295.0), kEra);
+    EXPECT_EQ(quantize_timestamp_at_epoch(once, kEra), once);
+  }
+}
+
 }  // namespace
 }  // namespace tscclock::wire

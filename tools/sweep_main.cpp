@@ -246,6 +246,11 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
       "  --warmup-s S       discard first S seconds        (default 3600)\n"
       "  --no-wire          skip the NTP wire-format round trip\n"
+      "  --check-wire       assert, for every produced stamp, that the\n"
+      "                     algebraic wire quantization equals a real packet\n"
+      "                     encode/decode round trip (slow; results are\n"
+      "                     bit-identical with or without the flag, so it\n"
+      "                     composes with --checkpoint/--shard artifacts)\n"
       "  --exact-reduction  buffer each cell's evaluated series for exact\n"
       "                     percentiles (default: O(1)-memory streaming\n"
       "                     reduction with a P2 percentile sketch;\n"
@@ -331,6 +336,8 @@ int main(int argc, char** argv) {
       options.discard_warmup = parse_double("--warmup-s", value());
     } else if (arg == "--no-wire") {
       grid.use_wire_format = false;
+    } else if (arg == "--check-wire") {
+      grid.check_wire = true;
     } else if (arg == "--csv") {
       options.csv_path = value();
       if (options.csv_path.empty()) {
