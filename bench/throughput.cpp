@@ -16,7 +16,11 @@
 //                               StreamingReducerSink, batched (the sweep's
 //                               default cell configuration);
 //   multi3_streaming          — robust + swntp + naive lanes head-to-head on
-//                               one stream, batched (the comparison sweep).
+//                               one stream, batched (the comparison sweep);
+//   fleet_16_streaming        — a 16-client FleetTestbed's merged stream
+//                               demultiplexed into 16 batched robust lanes
+//                               with streaming reduction (the fleet sweep's
+//                               default cell; exchanges counts all clients).
 //
 // Each result section carries a `pairs_with` key naming the baseline section
 // it compares against (baselines predate the scalar/batched split, so the
@@ -61,8 +65,10 @@
 
 #include "common/bench_report.hpp"
 #include "harness/estimator.hpp"
+#include "harness/fleet_session.hpp"
 #include "harness/session.hpp"
 #include "harness/sinks.hpp"
+#include "sim/fleet.hpp"
 #include "sim/scenario.hpp"
 #include "support.hpp"
 
@@ -126,18 +132,61 @@ std::uint64_t drain_generate(sim::Testbed& testbed) {
   }
 }
 
+/// The fleet drive: a 16-client FleetTestbed's merged stream demultiplexed
+/// into 16 batched robust lanes with streaming reduction. Construction
+/// (17 attachment walks, RNG forks) stays outside the timed region like in
+/// timed(); `exchanges` counts every client's, so exchanges/sec is directly
+/// comparable with the single-client sections (same per-exchange work, plus
+/// the merge/demux overhead this section exists to measure).
+BenchSection timed_fleet(double days) {
+  const sim::ScenarioConfig base = scenario_for(days);
+  sim::FleetConfig topology;
+  topology.n_clients = 16;
+  sim::FleetTestbed fleet(base, topology);
+  const harness::SessionConfig config = session_config_for(base);
+  harness::FleetSession session;
+  std::vector<harness::StreamingReducerSink> reducers;
+  reducers.reserve(topology.n_clients);
+  for (std::size_t k = 0; k < fleet.client_count(); ++k) {
+    session.add_client(config, std::make_unique<harness::TscNtpEstimator>(
+                                   config.params,
+                                   fleet.client(k).nominal_period()));
+    reducers.emplace_back(base.poll_period);
+    session.add_sink(k, reducers.back());
+  }
+  const auto start = std::chrono::steady_clock::now();
+  session.run_batched(fleet);
+  const auto stop = std::chrono::steady_clock::now();
+  BenchSection s;
+  s.name = "fleet_16_streaming";
+  s.drive = "batched";
+  s.reduction = "streaming";
+  s.exchanges = session.combined_summary().exchanges;
+  s.seconds = std::chrono::duration<double>(stop - start).count();
+  s.exchanges_per_sec =
+      s.seconds > 0 ? static_cast<double>(s.exchanges) / s.seconds : 0;
+  std::fprintf(stderr, "%-32s %9llu exchanges  %8.3f s  %10.0f /s\n",
+               s.name.c_str(), static_cast<unsigned long long>(s.exchanges),
+               s.seconds, s.exchanges_per_sec);
+  return s;
+}
+
 /// Pre-campaign scalar-pipeline numbers, measured on the seed of this
 /// campaign (same scenario, 30 simulated days, same machine class as the CI
 /// runners). Pinned so the committed report carries the before/after
-/// comparison; these are historical records, not remeasured.
+/// comparison; these are historical records, not remeasured. The
+/// fleet_16_streaming pin is its section's own first measurement (the fleet
+/// drive was born batched — there is no scalar predecessor), so future PRs
+/// diff against the landing number.
 std::vector<BenchSection> baseline_sections() {
   const auto pin = [](const char* name, const char* drive,
-                      const char* reduction, double per_sec) {
+                      const char* reduction, double per_sec,
+                      std::uint64_t exchanges = 162000) {
     BenchSection s;
     s.name = name;
     s.drive = drive;
     s.reduction = reduction;
-    s.exchanges = 162000;  // 30 days / 16 s polls, steady schedule
+    s.exchanges = exchanges;  // 30 days / 16 s polls, steady schedule
     s.exchanges_per_sec = per_sec;
     s.seconds = static_cast<double>(s.exchanges) / per_sec;
     return s;
@@ -147,6 +196,8 @@ std::vector<BenchSection> baseline_sections() {
       pin("single_robust_exact", "scalar", "exact", 159600),
       pin("single_robust_streaming", "scalar", "streaming", 174129),
       pin("multi3_exact", "scalar", "exact", 168095),
+      // 16 clients × 162000 exchanges each.
+      pin("fleet_16_streaming", "batched", "streaming", 338928, 2592000),
   };
 }
 
@@ -169,6 +220,7 @@ constexpr PlanEntry kResultPlan[] = {
     {"single_robust_streaming_batched", "batched", "streaming",
      "single_robust_streaming"},
     {"multi3_streaming_batched", "batched", "streaming", "multi3_exact"},
+    {"fleet_16_streaming", "batched", "streaming", "fleet_16_streaming"},
 };
 
 BenchReport measure(double days, const std::string& mode) {
@@ -245,6 +297,8 @@ BenchReport measure(double days, const std::string& mode) {
         session.run_batched(testbed);
         return session.lane(robust).summary().exchanges;
       }));
+
+  report.results.push_back(timed_fleet(days));
 
   for (std::size_t i = 0; i < report.results.size(); ++i)
     report.results[i].pairs_with = kResultPlan[i].pairs_with;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -18,6 +20,7 @@ void TraceRecorder::observe(const sim::Exchange& ex) {
   ++trace_.exchanges;
   ReplaySample sample;
   sample.index = ex.index;
+  sample.client_id = config_.client_id;
   sample.truth_ta = ex.truth.ta;
   sample.truth_tb = ex.truth.tb;
   sample.in_warmup = exchange_in_warmup(config_, ex);
@@ -209,6 +212,19 @@ const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
   summary_.lost = trace.lost;
   summary_.polls_enumerated = trace.polls_enumerated;
 
+  // A ReplaySession replays exactly one client's clock: a trace that
+  // interleaves several fleet clients would hand the estimator a stream
+  // mixing unrelated oscillators. Demand a homogeneous trace up front.
+  for (const auto& sample : trace.samples) {
+    if (sample.client_id != trace.samples.front().client_id)
+      throw std::invalid_argument(
+          "ReplaySession: trace mixes client_id " +
+          std::to_string(trace.samples.front().client_id) + " and " +
+          std::to_string(sample.client_id) +
+          " — replay one client's trace at a time (demultiplex the fleet "
+          "trace by client before replaying)");
+  }
+
   // Too few packets for any whole-trace estimate: emit at most the lost/
   // unevaluated skeleton so the cell reads "n/a", never FAILED.
   const bool scorable = trace.arrived() >= 2;
@@ -225,6 +241,7 @@ const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
   for (const auto& sample : trace.samples) {
     SampleRecord record;
     record.index = sample.index;
+    record.client_id = sample.client_id;
     record.truth_ta = sample.truth_ta;
     record.truth_tb = sample.truth_tb;
     record.in_warmup = sample.in_warmup;

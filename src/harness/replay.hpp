@@ -46,8 +46,9 @@ namespace tscclock::harness {
 /// recording. Lost polls are kept (flagged) so replay lanes can emit
 /// gap-visible traces exactly like online lanes with emit_unevaluated.
 struct ReplaySample {
-  std::uint64_t index = 0;  ///< poll sequence number
-  bool lost = false;        ///< no reply reached the host
+  std::uint64_t index = 0;      ///< poll sequence number
+  bool lost = false;            ///< no reply reached the host
+  std::uint32_t client_id = 0;  ///< fleet position of the recorded client
 
   // -- Observables (valid when !lost) --------------------------------------
   core::RawExchange raw;             ///< the {Ta, Tb, Te, Tf} quadruple

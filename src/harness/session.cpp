@@ -69,6 +69,7 @@ void ClockSession::process(const sim::Exchange& ex) {
     if (config_.emit_unevaluated) {
       SampleRecord record;
       record.index = ex.index;
+      record.client_id = config_.client_id;
       record.lost = true;
       record.truth_ta = ex.truth.ta;
       record.truth_tb = ex.truth.tb;
@@ -80,6 +81,7 @@ void ClockSession::process(const sim::Exchange& ex) {
 
   SampleRecord record;
   record.index = ex.index;
+  record.client_id = config_.client_id;
   record.ref_available = ex.ref_available;
   record.raw = core::RawExchange{ex.ta_counts, ex.tb_stamp, ex.te_stamp,
                                  ex.tf_counts};

@@ -99,6 +99,10 @@ struct SessionConfig {
   /// replay estimators — see harness/replay.hpp. Off by default: recording
   /// buffers the whole trace.
   bool record_trace = false;
+  /// Fleet position of the client this session drives; stamped onto every
+  /// emitted SampleRecord (and recorded trace sample) so fleet traces and
+  /// replays stay per-client. 0 for the single-client drives.
+  std::uint32_t client_id = 0;
 };
 
 /// One exchange as scored by the session — a superset of the fields the
@@ -111,6 +115,7 @@ struct SampleRecord {
   bool in_warmup = false;       ///< before the configured discard cut
   bool evaluated = false;       ///< !lost && ref_available && !in_warmup
   bool server_changed = false;  ///< this reply triggered notify_server_change
+  std::uint32_t client_id = 0;  ///< fleet position of the emitting client
 
   // -- Observables (valid when !lost) --------------------------------------
   core::RawExchange raw;             ///< the {Ta, Tb, Te, Tf} quadruple

@@ -130,7 +130,10 @@ const std::vector<std::string>& trace_columns() {
       "offset_estimate",
       "reference_offset", "offset_error", "naive_error",
       "point_error",   "abs_clock_error", "period",
-      "sanity_triggered", "upshift",      "downshift"};
+      "sanity_triggered", "upshift",      "downshift",
+      // Trailing so existing column positions (CI cuts field 2 for the
+      // estimator label) survive the fleet extension.
+      "client"};
   return columns;
 }
 
@@ -177,6 +180,7 @@ void CsvTraceSink::on_sample(const SampleRecord& r) {
   row_[c++] = r.report.sanity_triggered ? "1" : "0";
   row_[c++] = upshift ? "1" : "0";
   row_[c++] = downshift ? "1" : "0";
+  row_[c++] = format_count(r.client_id);
   writer_.write_row(row_);
 }
 

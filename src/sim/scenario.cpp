@@ -244,7 +244,52 @@ void ExchangeBatch::materialize(std::size_t i, Exchange& out) const {
   out.truth.d_backward = d_backward[i];
 }
 
-Testbed::Testbed(const ScenarioConfig& config)
+void ExchangeBatch::store(std::size_t i, const Exchange& in) {
+  TSC_EXPECTS(i < size());
+  index[i] = in.index;
+  lost[i] = in.lost ? 1 : 0;
+  ta_counts[i] = in.ta_counts;
+  tf_counts[i] = in.tf_counts;
+  tb_stamp[i] = in.tb_stamp;
+  te_stamp[i] = in.te_stamp;
+  tf_counts_corrected[i] = in.tf_counts_corrected;
+  server_id[i] = in.server_id;
+  server_stratum[i] = in.server_stratum;
+  ref_available[i] = in.ref_available ? 1 : 0;
+  tg[i] = in.tg;
+  truth_ta[i] = in.truth.ta;
+  truth_tb[i] = in.truth.tb;
+  truth_te[i] = in.truth.te;
+  truth_tf[i] = in.truth.tf;
+  d_forward[i] = in.truth.d_forward;
+  d_server[i] = in.truth.d_server;
+  d_backward[i] = in.truth.d_backward;
+}
+
+void ExchangeBatch::push_row(const ExchangeBatch& src, std::size_t i) {
+  TSC_EXPECTS(i < src.size());
+  index.push_back(src.index[i]);
+  lost.push_back(src.lost[i]);
+  ta_counts.push_back(src.ta_counts[i]);
+  tf_counts.push_back(src.tf_counts[i]);
+  tb_stamp.push_back(src.tb_stamp[i]);
+  te_stamp.push_back(src.te_stamp[i]);
+  tf_counts_corrected.push_back(src.tf_counts_corrected[i]);
+  server_id.push_back(src.server_id[i]);
+  server_stratum.push_back(src.server_stratum[i]);
+  ref_available.push_back(src.ref_available[i]);
+  tg.push_back(src.tg[i]);
+  truth_ta.push_back(src.truth_ta[i]);
+  truth_tb.push_back(src.truth_tb[i]);
+  truth_te.push_back(src.truth_te[i]);
+  truth_tf.push_back(src.truth_tf[i]);
+  d_forward.push_back(src.d_forward[i]);
+  d_server.push_back(src.d_server[i]);
+  d_backward.push_back(src.d_backward[i]);
+}
+
+ClientNode::ClientNode(const ScenarioConfig& config, std::uint32_t client_id,
+                       std::optional<BridgeLink> bridge)
     : config_(config),
       rng_(config.seed),
       oscillator_(config.oscillator_override
@@ -254,7 +299,9 @@ Testbed::Testbed(const ScenarioConfig& config)
       host_(config.timestamping_override ? *config.timestamping_override
                                          : TimestampingConfig{},
             rng_.fork(11)),
-      dag_(DagConfig{}, rng_.fork(14)) {
+      dag_(DagConfig{}, rng_.fork(14)),
+      client_id_(client_id),
+      bridge_(bridge) {
   TSC_EXPECTS(config.poll_period > 0.0);
   TSC_EXPECTS(config.poll_jitter >= 0.0);
   TSC_EXPECTS(config.poll_jitter < config.poll_period / 2);
@@ -286,7 +333,7 @@ Testbed::Testbed(const ScenarioConfig& config)
   outage_cursor_ = EventCursor(&config_.events);
 }
 
-Testbed::Attachment& Testbed::active_attachment(Seconds t) {
+ClientNode::Attachment& ClientNode::active_attachment(Seconds t) {
   // Switch times are strictly increasing and poll times are monotone, so the
   // active attachment is a forward-stepping cursor; a query earlier than the
   // current attachment's start (never the generation loop's case) rescans
@@ -298,13 +345,13 @@ Testbed::Attachment& Testbed::active_attachment(Seconds t) {
   return attachments_[attachment_index_];
 }
 
-std::optional<Exchange> Testbed::next() {
+std::optional<Exchange> ClientNode::next() {
   Exchange ex;
   if (!next_into(ex)) return std::nullopt;
   return ex;
 }
 
-bool Testbed::next_into(Exchange& out) {
+bool ClientNode::next_into(Exchange& out) {
   while (true) {
     const Seconds base = static_cast<double>(poll_index_) * config_.poll_period;
     if (base >= config_.duration) return false;
@@ -335,6 +382,13 @@ bool Testbed::next_into(Exchange& out) {
       return true;
     }
 
+    // A hierarchy slave polling a bridge that has not warmed up against its
+    // own upstream yet gets no answer: the request is simply dropped.
+    if (bridge_ && ex.truth.tb < bridge_->start) {
+      ex.lost = true;
+      return true;
+    }
+
     // Server: stamps Tb, processes, stamps Te, replies.
     const auto reply = attachment.server.handle(ex.truth.tb);
     ex.truth.te = reply.te_true;
@@ -342,6 +396,14 @@ bool Testbed::next_into(Exchange& out) {
 
     Seconds tb_stamp = reply.tb_stamp;
     Seconds te_stamp = reply.te_stamp;
+    if (bridge_) {
+      // The bridge stamps with the clock it serves, not true time: its own
+      // residual synchronization error rides on both stamps.
+      tb_stamp += bridge_->error_at(ex.truth.tb);
+      te_stamp += bridge_->error_at(ex.truth.te);
+    }
+    const Seconds tb_raw = tb_stamp;
+    const Seconds te_raw = te_stamp;
 
     if (config_.use_wire_format) {
       // Wire truncation of the server stamps, composed algebraically (same
@@ -350,8 +412,7 @@ bool Testbed::next_into(Exchange& out) {
       tb_stamp = quantize_stamp(tb_stamp);
       te_stamp = quantize_stamp(te_stamp);
       if (config_.check_wire)
-        check_wire_equivalence(poll_time, reply.tb_stamp, reply.te_stamp,
-                               tb_stamp, te_stamp,
+        check_wire_equivalence(poll_time, tb_raw, te_raw, tb_stamp, te_stamp,
                                attachment.server.config().stratum,
                                attachment.kind);
     }
@@ -378,13 +439,14 @@ bool Testbed::next_into(Exchange& out) {
   }
 }
 
-std::size_t Testbed::next_batch(std::span<Exchange> out) {
+std::size_t ClientNode::next_batch(std::span<Exchange> out) {
   std::size_t produced = 0;
   while (produced < out.size() && next_into(out[produced])) ++produced;
   return produced;
 }
 
-std::size_t Testbed::generate_batch(ExchangeBatch& out, std::size_t max_rows) {
+std::size_t ClientNode::generate_batch(ExchangeBatch& out,
+                                       std::size_t max_rows) {
   // Size the columns up front and write rows by index through raw pointers —
   // every column is written exactly once per row, so any stale tail from a
   // reused batch is fully overwritten and then trimmed away.
@@ -431,18 +493,25 @@ std::size_t Testbed::generate_batch(ExchangeBatch& out, std::size_t max_rows) {
     const Seconds d_forward = fwd.delay;
     const Seconds truth_tb = truth_ta + fwd.delay;
 
-    if (!fwd.lost) {
+    if (fwd.lost || (bridge_ && truth_tb < bridge_->start)) {
+      lost = true;
+    } else {
       const auto reply = attachment.server.handle(truth_tb);
       truth_te = reply.te_true;
       d_server = reply.te_true - truth_tb;
       tb_stamp = reply.tb_stamp;
       te_stamp = reply.te_stamp;
+      if (bridge_) {
+        tb_stamp += bridge_->error_at(truth_tb);
+        te_stamp += bridge_->error_at(truth_te);
+      }
+      const Seconds tb_raw = tb_stamp;
+      const Seconds te_raw = te_stamp;
       if (wire) {
         tb_stamp = quantize_stamp(tb_stamp);
         te_stamp = quantize_stamp(te_stamp);
         if (check_wire)
-          check_wire_equivalence(poll_time, reply.tb_stamp, reply.te_stamp,
-                                 tb_stamp, te_stamp,
+          check_wire_equivalence(poll_time, tb_raw, te_raw, tb_stamp, te_stamp,
                                  attachment.server.config().stratum,
                                  attachment.kind);
       }
@@ -460,8 +529,6 @@ std::size_t Testbed::generate_batch(ExchangeBatch& out, std::size_t max_rows) {
         ref_available = dag_stamp.available;
         tg = dag_stamp.corrected;
       }
-    } else {
-      lost = true;
     }
 
     out.index[rows] = index;
@@ -488,10 +555,11 @@ std::size_t Testbed::generate_batch(ExchangeBatch& out, std::size_t max_rows) {
   return rows;
 }
 
-std::uint64_t Testbed::polls_remaining() const {
+std::uint64_t ClientNode::polls_remaining() const {
   // First index whose poll base falls at or beyond the duration, under the
   // same arithmetic the enumeration loop uses (so the bound is exact).
-  auto stop = static_cast<std::uint64_t>(config_.duration / config_.poll_period);
+  auto stop =
+      static_cast<std::uint64_t>(config_.duration / config_.poll_period);
   while (static_cast<double>(stop) * config_.poll_period < config_.duration)
     ++stop;
   while (stop > 0 && static_cast<double>(stop - 1) * config_.poll_period >=
@@ -500,7 +568,7 @@ std::uint64_t Testbed::polls_remaining() const {
   return stop > poll_index_ ? stop - poll_index_ : 0;
 }
 
-std::vector<Exchange> Testbed::generate_all() {
+std::vector<Exchange> ClientNode::generate_all() {
   std::vector<Exchange> out;
   out.reserve(polls_remaining());  // poll-slot count: growth-free drain
   // next_into produces at most one exchange per slot, so while slots remain

@@ -16,6 +16,11 @@
 //
 // Three server presets reproduce Table 2 (ServerLoc / ServerInt / ServerExt)
 // and two temperature environments reproduce §3.1 (laboratory/machine room).
+//
+// The per-client machinery lives in ClientNode so a fleet (sim/fleet.hpp)
+// can own N of them; Testbed is the single-client special case, a thin
+// wrapper around one ClientNode — which is what makes the 1-client fleet
+// reproduce today's Testbed stream bit for bit by construction.
 #pragma once
 
 #include <optional>
@@ -121,8 +126,8 @@ struct Exchange {
 };
 
 /// Struct-of-arrays exchange stream: one column per Exchange field, filled
-/// directly by Testbed::generate_batch so the generator writes columns and
-/// the session's batched fast lane reads them without ever materializing
+/// directly by ClientNode::generate_batch so the generator writes columns
+/// and the session's batched fast lane reads them without ever materializing
 /// ~200-byte Exchange rows. Row i across all columns reconstructs exactly
 /// the Exchange next() would have produced (materialize(); columns a loss
 /// left unproduced hold the same zeros as a default Exchange field).
@@ -160,11 +165,41 @@ struct ExchangeBatch {
   /// produced (for record-shaped consumers: trace recorders and sessions
   /// degrading to per-record processing).
   void materialize(std::size_t i, Exchange& out) const;
+
+  /// Inverse of materialize: write `in` into row i (the fleet merge path,
+  /// which interleaves per-client scalar streams into SoA columns).
+  void store(std::size_t i, const Exchange& in);
+
+  /// Append row i of `src` to this batch (the fleet demux path: one merged
+  /// stream scattered back into per-client column batches).
+  void push_row(const ExchangeBatch& src, std::size_t i);
 };
 
-class Testbed {
+/// Deterministic model of the clock a bridge client *serves* to downstream
+/// slaves (gPTP-style master → bridge → slave, one level of hierarchy). The
+/// bridge's served stamps carry a residual affine error against true time —
+/// the offset + skew its own synchronization left behind — and the bridge
+/// answers nothing until it has warmed up against its own upstream pool
+/// (`start`). Affine-by-construction keeps the model order-independent:
+/// slaves poll at times interleaved with the bridge's own generation, and a
+/// stateful bridge oscillator cannot be read at those times without
+/// violating its monotone-read contract.
+struct BridgeLink {
+  Seconds start = 0;   ///< polls arriving before this go unanswered
+  Seconds offset = 0;  ///< served-clock error at t = 0
+  double skew = 0;     ///< served-clock drift rate (dimensionless)
+  [[nodiscard]] Seconds error_at(Seconds t) const { return offset + skew * t; }
+};
+
+/// The per-client half of the simulation: one host oscillator + driver
+/// timestamping + poll schedule + server attachment walk. Exactly the state
+/// a Testbed used to own; a fleet owns N of these. The RNG fork layout is
+/// part of the determinism contract — for a given ScenarioConfig a
+/// ClientNode's stream is bit-identical to the historical Testbed's.
+class ClientNode {
  public:
-  explicit Testbed(const ScenarioConfig& config);
+  explicit ClientNode(const ScenarioConfig& config, std::uint32_t client_id = 0,
+                      std::optional<BridgeLink> bridge = std::nullopt);
 
   /// Generate the next exchange; std::nullopt when `duration` is exhausted.
   /// Polls falling inside scheduled outages are skipped entirely (no element
@@ -215,6 +250,13 @@ class Testbed {
     return oscillator_.nominal_period();
   }
 
+  /// Position of this client in its fleet (0 for a standalone Testbed).
+  [[nodiscard]] std::uint32_t client_id() const { return client_id_; }
+  /// Set when this client is a hierarchy slave attached to a bridge.
+  [[nodiscard]] const std::optional<BridgeLink>& bridge() const {
+    return bridge_;
+  }
+
  private:
   /// One host↔server attachment: the path and server in use from
   /// `start_time` until the next switch.
@@ -235,8 +277,50 @@ class Testbed {
   std::vector<Attachment> attachments_;
   DagMonitor dag_;
   std::uint64_t poll_index_ = 0;
-  EventCursor outage_cursor_;        ///< poll times are monotone
-  std::size_t attachment_index_ = 0; ///< monotone active-attachment cursor
+  EventCursor outage_cursor_;         ///< poll times are monotone
+  std::size_t attachment_index_ = 0;  ///< monotone active-attachment cursor
+  std::uint32_t client_id_ = 0;
+  std::optional<BridgeLink> bridge_;  ///< upstream bridge, when a slave
+};
+
+/// The single-client testbed: one ClientNode against the configured server
+/// pool. Kept as the canonical entry point for every single-client drive
+/// (sessions, benches, goldens); delegates wholesale to its node.
+class Testbed {
+ public:
+  explicit Testbed(const ScenarioConfig& config) : node_(config) {}
+
+  std::optional<Exchange> next() { return node_.next(); }
+  bool next_into(Exchange& out) { return node_.next_into(out); }
+  std::size_t next_batch(std::span<Exchange> out) {
+    return node_.next_batch(out);
+  }
+  std::size_t generate_batch(ExchangeBatch& out, std::size_t max_rows) {
+    return node_.generate_batch(out, max_rows);
+  }
+  [[nodiscard]] std::uint64_t polls_remaining() const {
+    return node_.polls_remaining();
+  }
+  std::vector<Exchange> generate_all() { return node_.generate_all(); }
+  [[nodiscard]] std::uint64_t polls_enumerated() const {
+    return node_.polls_enumerated();
+  }
+
+  [[nodiscard]] const ScenarioConfig& config() const { return node_.config(); }
+  [[nodiscard]] const Oscillator& oscillator() const {
+    return node_.oscillator();
+  }
+  [[nodiscard]] Oscillator& oscillator() { return node_.oscillator(); }
+  [[nodiscard]] const PathModel& path() const { return node_.path(); }
+  [[nodiscard]] double true_period() const { return node_.true_period(); }
+  [[nodiscard]] double nominal_period() const {
+    return node_.nominal_period();
+  }
+  [[nodiscard]] const ClientNode& node() const { return node_; }
+  [[nodiscard]] ClientNode& node() { return node_; }
+
+ private:
+  ClientNode node_;
 };
 
 }  // namespace tscclock::sim

@@ -124,7 +124,7 @@ SeriesSummary read_summary(FieldReader& reader) {
 
 /// serialize_result field count; parse_result enforces it exactly so a
 /// record from a different (future) layout can never half-parse.
-constexpr std::size_t kCellFields = 58;
+constexpr std::size_t kCellFields = 62;
 
 /// Line-oriented reader tracking byte offsets (the checkpoint loader needs
 /// the exact end-of-prefix offset to truncate a torn tail). A final line
@@ -273,6 +273,12 @@ std::string serialize_result(const ScenarioResult& r) {
       << format_double_exact(s.local_rate_residual) << '\t'
       << format_double_exact(s.offset) << '\t'
       << format_double_exact(s.min_rtt);
+  // v2: the fleet fields ride at the end so a v1 record is exactly a v2
+  // record minus this suffix (the version gate still refuses the mix; the
+  // ordering just keeps diffs of mixed-era dumps readable).
+  out << '\t' << r.clients << '\t' << format_double_exact(r.fleet_dispersion)
+      << '\t' << format_double_exact(r.fleet_worst_p99) << '\t'
+      << format_double_exact(r.fleet_pairwise_spread);
   return out.str();
 }
 
@@ -325,6 +331,10 @@ ScenarioResult parse_result(std::string_view line) {
     s.local_rate_residual = reader.next_double();
     s.offset = reader.next_double();
     s.min_rtt = reader.next_double();
+    r.clients = reader.next_size();
+    r.fleet_dispersion = reader.next_double();
+    r.fleet_worst_p99 = reader.next_double();
+    r.fleet_pairwise_spread = reader.next_double();
     TSC_ENSURES(reader.exhausted());
     return r;
   } catch (const ResultIoError&) {
@@ -591,11 +601,30 @@ class TraceCsvReader {
                           ": torn trailing line (incomplete dump)");
     }
     if (!have_row_) return;
-    // Scenario names never need RFC-4180 quoting (no commas), but estimator
-    // labels later in the row may — only the first column matters here.
-    const std::size_t comma = row_.find(',');
-    row_scenario_ =
-        comma == std::string::npos ? row_ : row_.substr(0, comma);
+    // Only the first column matters here, but it may be RFC-4180-quoted:
+    // fleet-axis labels put commas (and parens) into scenario names, so the
+    // writer quotes them just like multi-override estimator labels.
+    if (!row_.empty() && row_.front() == '"') {
+      std::string name;
+      std::size_t i = 1;
+      for (; i < row_.size(); ++i) {
+        if (row_[i] == '"') {
+          if (i + 1 < row_.size() && row_[i + 1] == '"') {
+            name += '"';
+            ++i;
+          } else {
+            break;
+          }
+        } else {
+          name += row_[i];
+        }
+      }
+      row_scenario_ = std::move(name);
+    } else {
+      const std::size_t comma = row_.find(',');
+      row_scenario_ =
+          comma == std::string::npos ? row_ : row_.substr(0, comma);
+    }
   }
 
   std::string path_;

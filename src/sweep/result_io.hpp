@@ -42,7 +42,9 @@ namespace tscclock::sweep {
 
 /// Format version shared by shard dumps and checkpoints. Bump on any layout
 /// change; readers refuse other versions with a message naming both.
-constexpr int kResultFormatVersion = 1;
+/// v2: the fleet axis — four cell fields appended (clients,
+/// fleet_dispersion, fleet_worst_p99, fleet_pairwise_spread).
+constexpr int kResultFormatVersion = 2;
 
 /// Malformed, truncated, version-skewed or mutually inconsistent sweep
 /// artifacts. tools/sweep-merge prints the message verbatim and exits 2.

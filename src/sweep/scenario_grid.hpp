@@ -17,6 +17,7 @@
 #include "common/time_types.hpp"
 #include "harness/estimator_spec.hpp"
 #include "sim/events.hpp"
+#include "sim/fleet.hpp"
 #include "sim/scenario.hpp"
 
 namespace tscclock::sweep {
@@ -28,6 +29,35 @@ struct ScheduleVariant {
   sim::EventSchedule events;
   std::vector<sim::ScenarioConfig::ServerSwitch> server_switches;
 };
+
+/// One value of the sweep's fleet axis: how many clients a cell simulates
+/// and how they are coupled (sim/fleet.hpp). The default-constructed spec
+/// is the single-client cell — it must behave, name and seed exactly like a
+/// pre-fleet scenario, which is why single() cells get no name suffix.
+struct FleetSpec {
+  sim::FleetConfig config;
+
+  /// True when this spec is indistinguishable from a plain Testbed cell.
+  [[nodiscard]] bool single() const {
+    const sim::FleetConfig defaults;
+    return config.n_clients == 1 && !config.shared_congestion &&
+           !config.hierarchy &&
+           config.bridge_warmup == defaults.bridge_warmup;
+  }
+
+  /// Canonical rendering: `fleet` for all-default, otherwise
+  /// `fleet(n=…,shared_congestion=…,hierarchy=…,bridge_warmup=…)` with
+  /// default-valued keys elided (so equal specs always render equally).
+  [[nodiscard]] std::string label() const;
+};
+
+/// Parse a comma-separated list of fleet specs — `fleet`, `fleet(n=4)`,
+/// `fleet(n=8,shared_congestion=1,hierarchy=1,bridge_warmup=600)`; commas
+/// inside parens do not split. Throws SweepUsageError with a precise
+/// message on malformed shapes: unknown/duplicate keys, non-numeric or
+/// out-of-range values (n must be in [1, 1024]), empty items, unbalanced
+/// parens, duplicate specs.
+std::vector<FleetSpec> parse_fleet_specs(const std::string& text);
 
 /// Smallest poll period the sweep accepts. The simulated paths have ms-scale
 /// minimum delays with heavy-tailed (Pareto) spikes; polling faster than this
@@ -43,6 +73,9 @@ struct GridSpec {
       sim::Environment::kLaboratory, sim::Environment::kMachineRoom};
   std::vector<Seconds> poll_periods = {16.0, 64.0};
   std::vector<ScheduleVariant> schedules = {ScheduleVariant{}};
+  /// The fleet axis (default: one single-client value, i.e. the classic
+  /// grid). Non-single values append "/fleet(...)" to the cell's identity.
+  std::vector<FleetSpec> fleets = {FleetSpec{}};
 
   /// The estimator axis: every scenario's one exchange stream is fanned into
   /// all of these (harness::MultiEstimatorSession), so the algorithms — and
@@ -68,7 +101,7 @@ struct GridSpec {
   /// estimator, so a sweep yields size() × estimators.size() result rows.
   [[nodiscard]] std::size_t size() const {
     return servers.size() * environments.size() * poll_periods.size() *
-           schedules.size();
+           schedules.size() * fleets.size();
   }
 };
 
@@ -77,6 +110,7 @@ struct SweepScenario {
   std::size_t index = 0;  ///< position in the expanded grid (reporting order)
   std::string name;       ///< canonical descriptor, e.g. "ServerInt/machine-room/poll16/steady"
   sim::ScenarioConfig config;
+  FleetSpec fleet;  ///< fleet-axis value; single() cells drive a Testbed
 };
 
 /// Canonical descriptor of a grid cell; doubles as the seed-derivation

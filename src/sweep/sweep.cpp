@@ -10,11 +10,14 @@
 #include <optional>
 #include <ostream>
 #include <span>
+#include <stdexcept>
 
 #include "common/contracts.hpp"
 #include "common/table.hpp"
+#include "harness/fleet_session.hpp"
 #include "harness/replay.hpp"
 #include "harness/sinks.hpp"
+#include "sim/fleet.hpp"
 #include "sweep/result_io.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -57,6 +60,132 @@ struct LaneReducer {
   }
 };
 
+/// Pools every fleet lane's evaluated stream into one population summary of
+/// the clock and offset errors. The pooled interleaving is deterministic
+/// (client-major within each merged chunk) but its tb stamps are
+/// non-monotone across clients, so the pool never computes ADEV — a fleet
+/// cell's ADEV columns come from a client-0 LaneReducer instead. Exact mode
+/// buffers and summarize()s (sorted percentiles, order-insensitive);
+/// streaming mode runs the same Welford/P² arithmetic as the lane sinks.
+class FleetPoolSink final : public harness::SampleSink {
+ public:
+  explicit FleetPoolSink(bool use_streaming) : streaming_(use_streaming) {}
+
+  void on_sample(const harness::SampleRecord& record) override {
+    if (record.evaluated) add(record.abs_clock_error, record.offset_error);
+  }
+  [[nodiscard]] bool wants_batch() const override { return true; }
+  void on_batch(const harness::SampleBatch& batch) override {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      add(batch.abs_clock_error[i], batch.offset_error[i]);
+  }
+
+  [[nodiscard]] SeriesSummary clock_error() const {
+    return streaming_ ? clock_stream_.summary() : summarize(clock_errors_);
+  }
+  [[nodiscard]] SeriesSummary offset_error() const {
+    return streaming_ ? offset_stream_.summary() : summarize(offset_errors_);
+  }
+
+ private:
+  void add(double clock_error, double offset_error) {
+    if (streaming_) {
+      clock_stream_.add(clock_error);
+      offset_stream_.add(offset_error);
+    } else {
+      clock_errors_.push_back(clock_error);
+      offset_errors_.push_back(offset_error);
+    }
+  }
+
+  bool streaming_;
+  std::vector<double> clock_errors_;
+  std::vector<double> offset_errors_;
+  StreamingSeriesSummary clock_stream_;
+  StreamingSeriesSummary offset_stream_;
+};
+
+/// The fleet-cell drive behind run_scenario_multi: one FleetTestbed +
+/// FleetSession per estimator spec instead of one shared Testbed drain.
+/// Each spec regenerates the fleet's merged stream from scratch — the
+/// generator is deterministic in the scenario identity, so every spec
+/// scores the identical packets (the estimator axis never reseeds), at the
+/// cost of one extra generation pass per extra spec.
+std::vector<ScenarioResult> run_fleet_scenario_multi(
+    const SweepScenario& scenario,
+    std::span<const harness::EstimatorSpec> estimators,
+    Seconds discard_warmup, std::span<harness::SampleSink* const> trace_sinks,
+    bool streaming_reduction) {
+  const harness::EstimatorRegistry& registry = harness::estimator_registry();
+  for (const auto& spec : estimators) {
+    if (registry.is_replay(spec)) {
+      throw std::runtime_error(
+          "estimator '" + spec.label() +
+          "' replays a recorded single-client trace and cannot score a "
+          "multi-client fleet cell — drop the fleet(...) axis value or the "
+          "replay spec");
+    }
+  }
+
+  harness::SessionConfig config;
+  config.params = core::Params::for_poll_period(scenario.config.poll_period);
+  config.discard_warmup = discard_warmup;
+  config.warmup_policy = harness::WarmupPolicy::kObservable;
+
+  std::vector<ScenarioResult> results;
+  results.reserve(estimators.size());
+  for (std::size_t e = 0; e < estimators.size(); ++e) {
+    harness::SampleSink* trace =
+        trace_sinks.empty() ? nullptr : trace_sinks[e];
+    sim::FleetTestbed fleet(scenario.config, scenario.fleet.config);
+    harness::FleetSession session;
+    FleetPoolSink pool(streaming_reduction);
+    LaneReducer reference(scenario.config.poll_period, streaming_reduction);
+    harness::SessionConfig lane_config = config;
+    lane_config.emit_unevaluated = trace != nullptr;
+    for (std::size_t k = 0; k < fleet.client_count(); ++k) {
+      session.add_client(lane_config, registry.make_online(
+                                          estimators[e], config.params,
+                                          fleet.client(k).nominal_period()));
+    }
+    // Population summaries pool every lane; ADEV comes from client 0 alone
+    // (a gap-aware ADEV over the interleaved-oscillator pool would be
+    // meaningless). The trace sink sees every lane, rows tagged by the
+    // client column.
+    session.add_shared_sink(pool);
+    session.add_sink(0, reference.sink());
+    if (trace != nullptr) session.add_shared_sink(*trace);
+    session.run_batched(fleet);
+
+    ScenarioResult result = result_for(scenario, estimators[e]);
+    const harness::SessionSummary summary = session.combined_summary();
+    result.exchanges = summary.exchanges;
+    result.lost = summary.lost;
+    result.evaluated = summary.evaluated;
+    result.polls = static_cast<std::size_t>(summary.polls_enumerated);
+    result.skipped = result.polls - result.exchanges;
+    result.final_status = summary.final_status;
+    for (std::size_t k = 0; k < session.client_count(); ++k)
+      result.steps += session.client(k).estimator().steps();
+
+    result.clock_error = pool.clock_error();
+    result.offset_error = pool.offset_error();
+    const auto reference_reduction = reference.reduce();
+    result.adev_short_tau = reference_reduction.adev_short_tau;
+    result.adev_short = reference_reduction.adev_short;
+    result.adev_long_tau = reference_reduction.adev_long_tau;
+    result.adev_long = reference_reduction.adev_long;
+
+    const harness::FleetReduction fleet_reduction = session.fleet_reduction();
+    result.clients = fleet_reduction.clients;
+    result.fleet_dispersion = fleet_reduction.dispersion;
+    result.fleet_worst_p99 = fleet_reduction.worst_p99;
+    result.fleet_pairwise_spread = fleet_reduction.pairwise_spread;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 }  // namespace
 
 std::vector<ScenarioResult> run_scenario_multi(
@@ -66,6 +195,14 @@ std::vector<ScenarioResult> run_scenario_multi(
     bool streaming_reduction) {
   TSC_EXPECTS(!estimators.empty());
   TSC_EXPECTS(trace_sinks.empty() || trace_sinks.size() == estimators.size());
+
+  // Fleet cells take the multi-client drive (FleetTestbed + FleetSession);
+  // everything below is the classic single-client path, which a single()
+  // fleet spec must reproduce bit-for-bit — so it stays exactly as it was.
+  if (!scenario.fleet.single()) {
+    return run_fleet_scenario_multi(scenario, estimators, discard_warmup,
+                                    trace_sinks, streaming_reduction);
+  }
 
   // The drive loop is the shared harness layer — the same canonical
   // exchange-processing sequence the figure benches use — with one
@@ -537,6 +674,31 @@ void print_sweep_report(std::ostream& os,
       comparison.add_row(std::move(row));
     }
     comparison.print(os);
+  }
+
+  // Fleet cells get their population metrics alongside the pooled summary
+  // rows above: how tightly the fleet agrees (dispersion, pairwise spread)
+  // and how bad its worst client's tail is.
+  if (std::any_of(results.begin(), results.end(),
+                  [](const ScenarioResult& r) { return r.clients > 1; })) {
+    print_banner(os, "Fleet metrics (multi-client cells)");
+    TablePrinter fleet_table({"scenario", "estimator", "clients", "eval",
+                              "dispersion [us]", "worst p99 [us]",
+                              "spread [us]"});
+    for (const auto& r : results) {
+      if (r.failed || r.clients <= 1) continue;
+      const bool has_data = r.evaluated > 0;
+      fleet_table.add_row(
+          {r.name, r.estimator.label(), format_count(r.clients),
+           format_count(r.evaluated),
+           has_data ? strfmt("%.2f", r.fleet_dispersion * 1e6)
+                    : std::string("n/a"),
+           has_data ? strfmt("%.1f", r.fleet_worst_p99 * 1e6)
+                    : std::string("n/a"),
+           has_data ? strfmt("%.2f", r.fleet_pairwise_spread * 1e6)
+                    : std::string("n/a")});
+    }
+    fleet_table.print(os);
   }
 
   // Aggregates stay per estimator: mixing algorithms in one group would

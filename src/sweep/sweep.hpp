@@ -71,6 +71,21 @@ struct ScenarioResult {
   std::uint64_t steps = 0;
 
   core::ClockStatus final_status;
+
+  // -- Fleet cells (clients > 1) ------------------------------------------
+  /// Fleet size of the cell (1 for classic single-client cells). For fleet
+  /// cells the counters above are population totals, clock/offset summaries
+  /// pool every client's evaluated samples (deterministic merge order), and
+  /// the ADEV columns are computed over client 0 — the reference client —
+  /// since the pooled stream interleaves unrelated oscillators.
+  std::size_t clients = 1;
+  /// Population offset dispersion: stddev across clients of the per-client
+  /// median clock error (harness::FleetReduction).
+  double fleet_dispersion = 0;
+  /// Max over clients of max(|p01|, |p99|) of the client's clock error.
+  double fleet_worst_p99 = 0;
+  /// Max − min across clients of the per-client median clock error.
+  double fleet_pairwise_spread = 0;
 };
 
 struct SweepOptions {
@@ -131,7 +146,11 @@ ScenarioResult run_scenario(const SweepScenario& scenario,
 /// through the identical reduction — same packets, ground truth and seed as
 /// the online lanes. Returns one result per spec, in `estimators` order.
 /// `trace_sinks`, when non-empty, must hold one sink per spec (entries may
-/// be null).
+/// be null). A non-single() scenario.fleet switches the drive to
+/// FleetTestbed + harness::FleetSession (per spec: regenerated fleet, one
+/// lane per client, pooled summaries, client-0 ADEV, fleet_* metrics);
+/// replay specs throw std::runtime_error there — a fleet trace mixes
+/// clients, which ReplaySession refuses.
 std::vector<ScenarioResult> run_scenario_multi(
     const SweepScenario& scenario,
     std::span<const harness::EstimatorSpec> estimators,

@@ -68,6 +68,65 @@ expect_status 2 "boundary value the PLL would reject at runtime" -- \
 expect_status 2 "duplicate lanes by canonical label" -- \
   --estimators "robust,robust()"
 
+# -- Malformed fleet specs are usage errors ----------------------------------
+expect_status 2 "malformed --fleet: n=0" -- \
+  --fleet "fleet(n=0)"
+expect_status 2 "malformed --fleet: n above the 1024 cap" -- \
+  --fleet "fleet(n=1025)"
+expect_status 2 "malformed --fleet: unknown key" -- \
+  --fleet "fleet(x=1)"
+expect_status 2 "malformed --fleet: unbalanced paren" -- \
+  --fleet "fleet(n=4"
+expect_status 2 "malformed --fleet: non-boolean hierarchy" -- \
+  --fleet "fleet(hierarchy=yes)"
+expect_status 2 "malformed --fleet: duplicate spec" -- \
+  --fleet "fleet(n=2),fleet(n=2)"
+expect_status 2 "malformed --fleet: unknown family" -- \
+  --fleet "flotilla(n=2)"
+
+# A replay estimator cannot score a multi-client fleet cell; the CLI refuses
+# the combination up front with a precise message.
+expect_status 2 "replay estimator x multi-client fleet" -- \
+  --fleet "fleet(n=2)" --estimators robust,offline \
+  --servers loc --envs machine --polls 16 --duration-hours 0.2 --warmup-s 60
+if ! grep -q "single-client trace" /tmp/sweep_cli_out.$$; then
+  echo "FAIL: replay x fleet refusal does not explain itself" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: replay x fleet refusal names the replay/fleet conflict"
+fi
+
+# -- --list-topologies surfaces the fleet tunables ---------------------------
+"$SWEEP" --list-topologies >/tmp/sweep_cli_out.$$ 2>&1
+got=$?
+if [ "$got" -ne 0 ]; then
+  echo "FAIL: --list-topologies: expected exit 0, got $got" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: --list-topologies exits 0"
+fi
+for needle in "n" "shared_congestion" "hierarchy" "bridge_warmup" "fleet("; do
+  if ! grep -qF "$needle" /tmp/sweep_cli_out.$$; then
+    echo "FAIL: --list-topologies does not surface '$needle'" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: --list-topologies surfaces $needle"
+  fi
+done
+
+# -- Fleet axis end-to-end ----------------------------------------------------
+expect_status 0 "tiny 3-client fleet sweep" -- \
+  --servers loc --envs machine --polls 16 --duration-hours 0.3 \
+  --warmup-s 300 --threads 2 --fleet "fleet,fleet(n=3)"
+for needle in "Fleet metrics" "fleet(n=3)"; do
+  if ! grep -qF "$needle" /tmp/sweep_cli_out.$$; then
+    echo "FAIL: fleet sweep report has no '$needle'" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: fleet sweep report includes $needle"
+  fi
+done
+
 # -- Other usage errors keep exiting 2 --------------------------------------
 expect_status 2 "unknown estimator name" -- \
   --estimators robust,bogus
@@ -194,7 +253,7 @@ if [ -n "$SWEEP_MERGE" ]; then
     "$WORK/s1.dump" "$WORK/s2.dump" "$WORK/does_not_exist.dump"
 
   # Version skew: bump the format version in one dump's first line.
-  sed '1s/tscclock-sweep-results 1/tscclock-sweep-results 99/' \
+  sed '1s/tscclock-sweep-results 2/tscclock-sweep-results 99/' \
     "$WORK/s1.dump" > "$WORK/skewed.dump"
   "$SWEEP_MERGE" "$WORK/skewed.dump" "$WORK/s2.dump" "$WORK/s3.dump" \
     >/tmp/sweep_cli_out.$$ 2>&1

@@ -83,6 +83,10 @@ ScenarioResult gnarly_result() {
   r.final_status.local_rate_residual = 5e-9;
   r.final_status.offset = -42.5e-6;
   r.final_status.min_rtt = 0.000831;
+  r.clients = 16;
+  r.fleet_dispersion = 7.25e-6;
+  r.fleet_worst_p99 = -0.0;  // sign must round-trip like every double field
+  r.fleet_pairwise_spread = 1.5e-305;
   return r;
 }
 
@@ -109,6 +113,9 @@ TEST(CellSerialization, RoundTripsGnarlyValuesExactly) {
   EXPECT_TRUE(std::isnan(parsed.clock_error.percentiles.p25));
   EXPECT_EQ(parsed.clock_error.percentiles.p50, 0.1);
   EXPECT_EQ(parsed.final_status.period, original.final_status.period);
+  EXPECT_EQ(parsed.clients, 16u);
+  EXPECT_TRUE(std::signbit(parsed.fleet_worst_p99));
+  EXPECT_EQ(parsed.fleet_pairwise_spread, original.fleet_pairwise_spread);
 }
 
 TEST(CellSerialization, RejectsTornAndReshapedRecords) {
@@ -198,7 +205,7 @@ TEST_F(DumpFixture, HeaderIsWrittenBeforeCells) {
   const fs::path path = tmp_ / "early_header.dump";
   ShardDumpWriter writer(path.string(), header(), 0);
   const std::string content = read_file(path);
-  EXPECT_NE(content.find("tscclock-sweep-results 1"), std::string::npos);
+  EXPECT_NE(content.find("tscclock-sweep-results 2"), std::string::npos);
   // ... but without cells + end marker it is refused as incomplete.
   EXPECT_THROW(read_shard_dump(path.string()), ResultIoError);
   writer.write_cells({});
@@ -210,17 +217,17 @@ TEST_F(DumpFixture, RejectsVersionSkewNamingBothVersions) {
   ShardDumpWriter writer(path.string(), header(), 0);
   writer.write_cells({});
   std::string content = read_file(path);
-  const std::string old_line = "tscclock-sweep-results 1";
+  const std::string old_line = "tscclock-sweep-results 2";
   content.replace(content.find(old_line), old_line.size(),
-                  "tscclock-sweep-results 2");
+                  "tscclock-sweep-results 3");
   write_file(path, content);
   try {
     read_shard_dump(path.string());
     FAIL() << "expected ResultIoError";
   } catch (const ResultIoError& e) {
     const std::string what = e.what();
+    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
     EXPECT_NE(what.find("version 2"), std::string::npos) << what;
-    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
   }
 }
 

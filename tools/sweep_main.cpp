@@ -3,7 +3,8 @@
 //
 //   sweep [--servers loc,int,ext] [--envs lab,machine] [--polls 16,64]
 //         [--schedules steady,outage,switch,stress] [--duration-hours 24]
-//         [--estimators robust,swntp,naive] [--seed 42] [--threads 0]
+//         [--estimators robust,swntp,naive] [--fleet "fleet,fleet(n=16)"]
+//         [--seed 42] [--threads 0]
 //         [--warmup-s 3600] [--no-wire] [--exact-reduction]
 //         [--shard I/N] [--checkpoint FILE] [--dump-results FILE]
 //
@@ -32,6 +33,16 @@
 // post-processing can achieve on the identical packets — not what a
 // deployable online clock achieves — and it reports steps = 0 and sw = 0
 // by construction (nothing to step, no online server-change reaction).
+//
+// --fleet adds a fleet axis to the grid: each value simulates N clients
+// polling the shared server pool through correlated path conditions —
+// optionally with shared congestion windows hitting every client and a
+// gPTP-style bridge hierarchy (client 0 serves clients 1..N-1 after its
+// warm-up). `fleet` (all defaults) is the classic single-client cell and
+// keeps its pre-fleet name and seed; see --list-topologies for the
+// tunables. Fleet cells pool every client's evaluated samples into the
+// summary columns and add population metrics (dispersion, worst-client
+// p99, pairwise spread) to the report and the result dumps.
 //
 // Fleet-scale runs split the grid across processes: --shard I/N runs the
 // 1-based I-th round-robin slice of the scenarios (replay lanes stay with
@@ -186,6 +197,55 @@ std::vector<harness::EstimatorSpec> parse_estimator_specs_or_die(
   std::exit(0);
 }
 
+/// Parse the --fleet value into validated fleet specs. Malformed shapes —
+/// unbalanced parens, unknown/duplicate keys, out-of-range n, empty items,
+/// duplicate specs — are usage errors (exit 2) with the parser's precise
+/// message.
+std::vector<sweep::FleetSpec> parse_fleet_specs_or_die(
+    const std::string& text) {
+  try {
+    return sweep::parse_fleet_specs(text);
+  } catch (const sweep::SweepUsageError& e) {
+    std::fprintf(stderr, "%s (see --list-topologies)\n", e.what());
+    std::exit(2);
+  }
+}
+
+[[noreturn]] void list_topologies() {
+  const sim::FleetConfig defaults;
+  TablePrinter table({"key", "type", "default", "description"});
+  table.add_row({"n", "int [1,1024]", strfmt("%zu", defaults.n_clients),
+                 "clients per cell; client k's scenario seed is derived "
+                 "from the cell seed and k (client 0 keeps the cell seed "
+                 "verbatim)"});
+  table.add_row({"shared_congestion", "0|1",
+                 defaults.shared_congestion ? "1" : "0",
+                 "overlay three fleet-wide congestion windows (every "
+                 "client's delays rise together) plus a per-client private "
+                 "asymmetric delay shift"});
+  table.add_row({"hierarchy", "0|1", defaults.hierarchy ? "1" : "0",
+                 "client 0 is a bridge: clients 1..n-1 sync to its served "
+                 "clock (master->bridge->slave) and lose every poll before "
+                 "bridge_warmup"});
+  table.add_row({"bridge_warmup", "seconds >= 0",
+                 strfmt("%g", defaults.bridge_warmup),
+                 "when the bridge starts serving time (hierarchy=1 only)"});
+  table.print(std::cout);
+  std::cout <<
+      "\nspec syntax: fleet[(key=value,...)] - comma-separate multiple specs"
+      "\n  fleet                 the classic single-client cell (default "
+      "axis);\n                        keeps its pre-fleet name and seed\n"
+      "  fleet(n=16)           16 independent clients, same path "
+      "conditions\n"
+      "  fleet(n=8,shared_congestion=1,hierarchy=1,bridge_warmup=600)\n"
+      "non-single values suffix the scenario name with /fleet(...) - the "
+      "seed\nderives from that identity, so adding fleet values never "
+      "reseeds\nexisting cells. Replay estimators (offline) cannot score "
+      "multi-client\ncells: a fleet trace mixes clients.\n"
+      "example: --fleet \"fleet,fleet(n=16),fleet(n=8,hierarchy=1)\"\n";
+  std::exit(0);
+}
+
 /// Build one of the named schedule variants, with event times placed
 /// relative to the trace duration.
 sweep::ScheduleVariant make_schedule(const std::string& name,
@@ -241,6 +301,17 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "                     post-processing, not online performance;\n"
       "                     offline(split=shifts) cuts the trace at detected\n"
       "                     level shifts before smoothing each segment\n"
+      "  --fleet LIST       fleet-axis specs fleet[(key=value,...)] with\n"
+      "                     keys n, shared_congestion, hierarchy,\n"
+      "                     bridge_warmup - see --list-topologies. Each\n"
+      "                     non-single value simulates its n clients per\n"
+      "                     grid cell (correlated paths, optional bridge\n"
+      "                     hierarchy), pools their samples into the\n"
+      "                     summary columns and adds fleet dispersion /\n"
+      "                     worst-client p99 / pairwise spread metrics.\n"
+      "                     'fleet' alone is the classic single-client\n"
+      "                     cell (default). Replay estimators cannot score\n"
+      "                     multi-client cells.\n"
       "  --duration-hours H simulated hours per scenario   (default 24)\n"
       "  --seed N           master seed                    (default 42)\n"
       "  --threads N        worker threads, 0 = all cores  (default 0)\n"
@@ -270,6 +341,7 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "                     the identical command resumes, skipping the\n"
       "                     committed prefix, with bit-identical output\n"
       "  --list-estimators  list the available estimators and exit\n"
+      "  --list-topologies  list the fleet-axis tunables and exit\n"
       "  --help             this text\n"
       "exit status: 0 ok; 1 any FAILED cell or aborted --csv/--dump-results/\n"
       "--checkpoint artifact; 2 usage\n");
@@ -301,6 +373,7 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") usage(0);
     else if (arg == "--list-estimators") list_estimators();
+    else if (arg == "--list-topologies") list_topologies();
     else if (arg == "--servers") {
       grid.servers.clear();
       for (const auto& s : split_csv(arg, value()))
@@ -317,6 +390,8 @@ int main(int argc, char** argv) {
       schedule_names = split_csv(arg, value());
     } else if (arg == "--estimators") {
       estimator_specs = parse_estimator_specs_or_die(value());
+    } else if (arg == "--fleet") {
+      grid.fleets = parse_fleet_specs_or_die(value());
     } else if (arg == "--streaming-reduction") {
       options.streaming_reduction = true;  // the default; kept for scripts
     } else if (arg == "--exact-reduction") {
@@ -400,6 +475,25 @@ int main(int argc, char** argv) {
                  "--servers/--envs/--polls/--schedules/--estimators entries "
                  "must be unique\n");
     return 2;
+  }
+  // Replay estimators score a recorded single-client trace; a multi-client
+  // fleet cell has no such trace (it would mix clients, which ReplaySession
+  // refuses). Catch the combination before any work runs instead of failing
+  // every fleet cell.
+  const bool any_multi_fleet =
+      std::any_of(grid.fleets.begin(), grid.fleets.end(),
+                  [](const sweep::FleetSpec& f) { return !f.single(); });
+  if (any_multi_fleet) {
+    for (const auto& spec : estimator_specs) {
+      if (harness::estimator_registry().is_replay(spec)) {
+        std::fprintf(stderr,
+                     "estimator '%s' replays a recorded single-client trace "
+                     "and cannot score multi-client fleet cells - drop the "
+                     "fleet(...) value or the replay spec\n",
+                     spec.label().c_str());
+        return 2;
+      }
+    }
   }
   if (duration_hours <= 0.0) {
     std::fprintf(stderr, "--duration-hours must be positive\n");
