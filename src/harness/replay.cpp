@@ -228,6 +228,7 @@ const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
   // Too few packets for any whole-trace estimate: emit at most the lost/
   // unevaluated skeleton so the cell reads "n/a", never FAILED.
   const bool scorable = trace.arrived() >= 2;
+  const bool relative = trace.ground_truth == GroundTruthMode::kRelativeOnly;
   ReplayOutput output;
   if (scorable) {
     output = estimator_->process_trace(trace.samples);
@@ -264,7 +265,15 @@ const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
         record.report.point_error = output.point_errors[k];
       record.warmed_up = true;
       record.period = output.period;
-      if (sample.ref_available) {
+      if (relative) {
+        // No reference exists, so the absolute columns stay 0 and must not
+        // be read (the mode-aware ReducerSink never collects them). The
+        // tracking residual grades the estimate against the only clock a
+        // real-internet trace can see: the server's, through the path.
+        record.offset_error =
+            record.report.offset_estimate - record.report.naive_offset;
+        record.evaluated = !sample.in_warmup;
+      } else if (sample.ref_available) {
         // Identical alignment arithmetic to ClockSession::process: θg from
         // the estimator's own C, errors as estimate − θg. The replay's
         // absolute clock is Ca(T) = C(T) − θ̂(t_k) (the smoothed correction
@@ -281,7 +290,8 @@ const SessionSummary& ReplaySession::run(const ReplayTrace& trace) {
         // tracking error — computed as such so the identity is bit-exact.
         record.abs_clock_error = -record.offset_error;
       }
-      record.evaluated = sample.ref_available && !sample.in_warmup;
+      if (!relative)
+        record.evaluated = sample.ref_available && !sample.in_warmup;
     }
     ++k;
     if (record.evaluated) ++summary_.evaluated;

@@ -66,12 +66,33 @@ struct ReplaySample {
   bool server_changed = false;  ///< this reply's transport identity changed
 };
 
+/// What kind of ground truth a trace carries — designed into the replay
+/// lane, not bolted onto the file format, because it changes what
+/// `evaluated` and the error columns MEAN:
+///
+///   * kReference: a reference clock observed every exchange (the DAG
+///     monitor in simulation, a GPS-disciplined capture in the field).
+///     ref_available/tg are meaningful, and the reduction fills both the
+///     absolute clock error Ca(Tf)−Tg and the tracking error θ̂−θg.
+///   * kRelativeOnly: no reference exists (the real-internet case: a
+///     collector only sees {Ta,Tb,Te,Tf}). Absolute-error columns are
+///     structurally unavailable (n/a downstream, never zeros), and the
+///     tracking/stability columns grade the estimate against the server's
+///     own clock through the path: θ̂ − θ̂_naive, the per-packet residual of
+///     the estimate against the instantaneous symmetric-path measurement.
+///     Its spread and ADEV measure how stably the estimator tracks the one
+///     clock it can actually see.
+enum class GroundTruthMode { kReference, kRelativeOnly };
+
 /// A recorded exchange stream plus the drive-level counters a summary needs.
 struct ReplayTrace {
   std::vector<ReplaySample> samples;  ///< every poll, lost ones flagged
   std::size_t exchanges = 0;          ///< samples.size(), incl. lost
   std::size_t lost = 0;
   std::uint64_t polls_enumerated = 0;  ///< incl. outage-skipped slots
+  /// Simulation recordings carry the DAG reference; imported real traces
+  /// declare what their file header says (trace/trace_io.hpp).
+  GroundTruthMode ground_truth = GroundTruthMode::kReference;
 
   /// Non-lost samples (what a replay estimator actually processes).
   [[nodiscard]] std::size_t arrived() const { return exchanges - lost; }

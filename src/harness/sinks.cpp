@@ -8,22 +8,28 @@
 namespace tscclock::harness {
 
 ReducerSink::ReducerSink(double tau0, std::size_t adev_short_factor,
-                         std::size_t adev_long_factor)
+                         std::size_t adev_long_factor, GroundTruthMode mode)
     : tau0_(tau0),
       short_factor_(adev_short_factor),
-      long_factor_(adev_long_factor) {}
+      long_factor_(adev_long_factor),
+      mode_(mode) {}
 
 void ReducerSink::on_sample(const SampleRecord& record) {
   if (!record.evaluated) return;
   times_.push_back(record.raw.tb);
-  clock_errors_.push_back(record.abs_clock_error);
+  // In relative mode abs_clock_error is structurally 0 (no reference): it
+  // must never enter a summary where it would read as perfect tracking.
+  if (mode_ == GroundTruthMode::kReference)
+    clock_errors_.push_back(record.abs_clock_error);
   offset_errors_.push_back(record.offset_error);
 }
 
 void ReducerSink::on_batch(const SampleBatch& batch) {
   times_.insert(times_.end(), batch.tb.begin(), batch.tb.end());
-  clock_errors_.insert(clock_errors_.end(), batch.abs_clock_error.begin(),
-                       batch.abs_clock_error.end());
+  if (mode_ == GroundTruthMode::kReference) {
+    clock_errors_.insert(clock_errors_.end(), batch.abs_clock_error.begin(),
+                         batch.abs_clock_error.end());
+  }
   offset_errors_.insert(offset_errors_.end(), batch.offset_error.begin(),
                         batch.offset_error.end());
 }
@@ -71,43 +77,52 @@ void fill_adev(const std::vector<double>& times,
 
 ReducerSink::Reduction ReducerSink::reduce() const {
   Reduction out;
-  out.evaluated = clock_errors_.size();
+  out.evaluated = offset_errors_.size();
   // A stream can end with no evaluable points (warm-up discard covering the
   // whole duration, or total loss); summarize() requires a non-empty series.
   if (!clock_errors_.empty()) out.clock_error = summarize(clock_errors_);
   if (!offset_errors_.empty()) out.offset_error = summarize(offset_errors_);
   out.adev_short_tau = static_cast<double>(short_factor_) * tau0_;
   out.adev_long_tau = static_cast<double>(long_factor_) * tau0_;
-  fill_adev(times_, clock_errors_, tau0_, short_factor_, long_factor_, out);
+  fill_adev(times_,
+            mode_ == GroundTruthMode::kReference ? clock_errors_
+                                                 : offset_errors_,
+            tau0_, short_factor_, long_factor_, out);
   return out;
 }
 
 StreamingReducerSink::StreamingReducerSink(double tau0,
                                            std::size_t adev_short_factor,
-                                           std::size_t adev_long_factor)
+                                           std::size_t adev_long_factor,
+                                           GroundTruthMode mode)
     : tau0_(tau0),
       short_factor_(adev_short_factor),
       long_factor_(adev_long_factor),
+      mode_(mode),
       adev_(tau0, {adev_short_factor, adev_long_factor}) {}
 
 void StreamingReducerSink::on_sample(const SampleRecord& record) {
   if (!record.evaluated) return;
-  clock_error_.add(record.abs_clock_error);
+  const bool reference = mode_ == GroundTruthMode::kReference;
+  if (reference) clock_error_.add(record.abs_clock_error);
   offset_error_.add(record.offset_error);
-  adev_.add(record.raw.tb, record.abs_clock_error);
+  adev_.add(record.raw.tb,
+            reference ? record.abs_clock_error : record.offset_error);
 }
 
 void StreamingReducerSink::on_batch(const SampleBatch& batch) {
+  const bool reference = mode_ == GroundTruthMode::kReference;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    clock_error_.add(batch.abs_clock_error[i]);
+    if (reference) clock_error_.add(batch.abs_clock_error[i]);
     offset_error_.add(batch.offset_error[i]);
-    adev_.add(batch.tb[i], batch.abs_clock_error[i]);
+    adev_.add(batch.tb[i], reference ? batch.abs_clock_error[i]
+                                     : batch.offset_error[i]);
   }
 }
 
 StreamingReducerSink::Reduction StreamingReducerSink::reduce() const {
   Reduction out;
-  out.evaluated = clock_error_.count();
+  out.evaluated = offset_error_.count();
   if (clock_error_.count() > 0) out.clock_error = clock_error_.summary();
   if (offset_error_.count() > 0) out.offset_error = offset_error_.summary();
   out.adev_short_tau = static_cast<double>(short_factor_) * tau0_;

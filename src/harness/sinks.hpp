@@ -21,6 +21,7 @@
 #include "common/allan.hpp"
 #include "common/csv.hpp"
 #include "common/stats.hpp"
+#include "harness/replay.hpp"
 #include "harness/session.hpp"
 
 namespace tscclock::harness {
@@ -80,9 +81,15 @@ class ReducerSink final : public SampleSink {
   };
 
   /// `tau0` is the polling period: the ADEV resampling grid and the scale
-  /// unit for the averaging factors.
+  /// unit for the averaging factors. `mode` declares what ground truth the
+  /// stream carries (GroundTruthMode doc in harness/replay.hpp): under
+  /// kRelativeOnly the clock-error series is never collected (its summary
+  /// stays zero-initialized with count 0, the structural-n/a sentinel) and
+  /// the ADEV scales are computed over the tracking residual instead — the
+  /// only stability series a reference-free trace defines.
   explicit ReducerSink(double tau0, std::size_t adev_short_factor = 16,
-                       std::size_t adev_long_factor = 256);
+                       std::size_t adev_long_factor = 256,
+                       GroundTruthMode mode = GroundTruthMode::kReference);
 
   void on_sample(const SampleRecord& record) override;
 
@@ -100,9 +107,10 @@ class ReducerSink final : public SampleSink {
   double tau0_;
   std::size_t short_factor_;
   std::size_t long_factor_;
+  GroundTruthMode mode_;
   std::vector<double> times_;          ///< server receive stamps [s]
-  std::vector<double> clock_errors_;   ///< Ca(Tf) − Tg
-  std::vector<double> offset_errors_;  ///< θ̂ − θg
+  std::vector<double> clock_errors_;   ///< Ca(Tf) − Tg (empty in relative)
+  std::vector<double> offset_errors_;  ///< θ̂ − θg (θ̂ − θ̂_naive in relative)
 };
 
 /// O(1)-memory drop-in for ReducerSink: identical Reduction shape, identical
@@ -115,10 +123,12 @@ class StreamingReducerSink final : public SampleSink {
  public:
   using Reduction = ReducerSink::Reduction;
 
-  /// Same parameters as ReducerSink.
+  /// Same parameters (and mode semantics) as ReducerSink.
   explicit StreamingReducerSink(double tau0,
                                 std::size_t adev_short_factor = 16,
-                                std::size_t adev_long_factor = 256);
+                                std::size_t adev_long_factor = 256,
+                                GroundTruthMode mode =
+                                    GroundTruthMode::kReference);
 
   void on_sample(const SampleRecord& record) override;
 
@@ -135,9 +145,12 @@ class StreamingReducerSink final : public SampleSink {
   double tau0_;
   std::size_t short_factor_;
   std::size_t long_factor_;
+  GroundTruthMode mode_;
   StreamingSeriesSummary clock_error_;
   StreamingSeriesSummary offset_error_;
-  StreamingGapAdev adev_;  ///< over (tb, Ca(Tf) − Tg), like the exact sink
+  /// Over (tb, Ca(Tf) − Tg) like the exact sink; (tb, θ̂ − θ̂_naive) in
+  /// relative mode.
+  StreamingGapAdev adev_;
 };
 
 /// Writes one CSV row per record (lost and warm-up records included when the

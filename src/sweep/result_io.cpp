@@ -124,7 +124,7 @@ SeriesSummary read_summary(FieldReader& reader) {
 
 /// serialize_result field count; parse_result enforces it exactly so a
 /// record from a different (future) layout can never half-parse.
-constexpr std::size_t kCellFields = 62;
+constexpr std::size_t kCellFields = 64;
 
 /// Line-oriented reader tracking byte offsets (the checkpoint loader needs
 /// the exact end-of-prefix offset to truncate a torn tail). A final line
@@ -279,6 +279,8 @@ std::string serialize_result(const ScenarioResult& r) {
   out << '\t' << r.clients << '\t' << format_double_exact(r.fleet_dispersion)
       << '\t' << format_double_exact(r.fleet_worst_p99) << '\t'
       << format_double_exact(r.fleet_pairwise_spread);
+  // v3: the imported-trace flags ride behind the fleet suffix.
+  out << '\t' << (r.from_trace ? 1 : 0) << '\t' << (r.relative_only ? 1 : 0);
   return out.str();
 }
 
@@ -335,6 +337,8 @@ ScenarioResult parse_result(std::string_view line) {
     r.fleet_dispersion = reader.next_double();
     r.fleet_worst_p99 = reader.next_double();
     r.fleet_pairwise_spread = reader.next_double();
+    r.from_trace = reader.next_bool();
+    r.relative_only = reader.next_bool();
     TSC_ENSURES(reader.exhausted());
     return r;
   } catch (const ResultIoError&) {

@@ -44,7 +44,9 @@ namespace tscclock::sweep {
 /// change; readers refuse other versions with a message naming both.
 /// v2: the fleet axis — four cell fields appended (clients,
 /// fleet_dispersion, fleet_worst_p99, fleet_pairwise_spread).
-constexpr int kResultFormatVersion = 2;
+/// v3: the trace-input axis — two cell fields appended (from_trace,
+/// relative_only).
+constexpr int kResultFormatVersion = 3;
 
 /// Malformed, truncated, version-skewed or mutually inconsistent sweep
 /// artifacts. tools/sweep-merge prints the message verbatim and exits 2.

@@ -255,6 +255,20 @@ std::vector<SweepScenario> expand_grid(const GridSpec& grid) {
       }
     }
   }
+  // Imported traces ride behind the cartesian cells, one scenario per file.
+  // The seed is derived like any other cell's (identity = name) even though
+  // a replayed trace consumes no randomness — result rows must carry a
+  // well-defined seed column either way.
+  for (const auto& path : grid.trace_inputs) {
+    TSC_EXPECTS(!path.empty());
+    SweepScenario scenario;
+    scenario.index = scenarios.size();
+    scenario.name = "trace:" + path;
+    TSC_EXPECTS(seen_names.insert(scenario.name).second);
+    scenario.trace_path = path;
+    scenario.config.seed = scenario_seed(grid.master_seed, scenario.name);
+    scenarios.push_back(std::move(scenario));
+  }
   return scenarios;
 }
 
@@ -263,7 +277,7 @@ std::string grid_descriptor(const GridSpec& grid) {
   // can. Doubles are rendered in exact hexfloat so two descriptors are
   // equal iff the grids are value-identical (no %g collision window).
   std::ostringstream out;
-  out << "tscclock-grid v2\n";  // v2: fleet axis joined the fingerprint
+  out << "tscclock-grid v3\n";  // v3: trace-input axis joined the fingerprint
   out << "servers";
   for (const auto server : grid.servers) out << ' ' << sim::to_string(server);
   out << "\nenvironments";
@@ -314,6 +328,11 @@ std::string grid_descriptor(const GridSpec& grid) {
         << (fleet.config.hierarchy ? 1 : 0) << " bw "
         << format_double_exact(fleet.config.bridge_warmup);
   }
+  // Trace inputs are identified by path: the cell re-reads the file at run
+  // time, so the path IS the cell's identity (a changed file under the same
+  // path is the same caveat any checkpointed input file has).
+  out << "\ntraces";
+  for (const auto& path : grid.trace_inputs) out << ' ' << escape_field(path);
   out << "\nduration " << format_double_exact(grid.duration);
   out << "\npoll_jitter " << format_double_exact(grid.poll_jitter);
   out << "\nwire " << (grid.use_wire_format ? 1 : 0);

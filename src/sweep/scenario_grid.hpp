@@ -86,6 +86,16 @@ struct GridSpec {
   std::vector<harness::EstimatorSpec> estimators = {
       harness::EstimatorSpec{"robust", {}}};
 
+  /// Imported trace files (trace/trace_io.hpp), each appended to the
+  /// expanded grid as one extra scenario named "trace:<path>" after the
+  /// cartesian cells. Trace cells skip the Testbed entirely: the recorded
+  /// exchange stream rides the identical ReplaySession → reduction path as
+  /// a sim-recorded trace, which is the whole point — a real capture lands
+  /// in the same comparison tables. Only replay estimator specs can score
+  /// them (an online estimator would need a live drive loop; the CLI
+  /// refuses the combination up front).
+  std::vector<std::string> trace_inputs;
+
   Seconds duration = duration::kDay;
   Seconds poll_jitter = 0.25;
   bool use_wire_format = true;
@@ -97,11 +107,13 @@ struct GridSpec {
   bool check_wire = false;
   std::uint64_t master_seed = 42;
 
-  /// Number of *scenarios* (grid cells); each cell produces one result per
-  /// estimator, so a sweep yields size() × estimators.size() result rows.
+  /// Number of *scenarios* (grid cells plus appended trace cells); each
+  /// produces one result per estimator, so a sweep yields
+  /// size() × estimators.size() result rows.
   [[nodiscard]] std::size_t size() const {
     return servers.size() * environments.size() * poll_periods.size() *
-           schedules.size() * fleets.size();
+               schedules.size() * fleets.size() +
+           trace_inputs.size();
   }
 };
 
@@ -111,6 +123,13 @@ struct SweepScenario {
   std::string name;       ///< canonical descriptor, e.g. "ServerInt/machine-room/poll16/steady"
   sim::ScenarioConfig config;
   FleetSpec fleet;  ///< fleet-axis value; single() cells drive a Testbed
+  /// Non-empty for imported-trace cells: the trace file replayed instead of
+  /// driving a Testbed. The file is re-read at run time (cells are
+  /// independent work units; a vanished/corrupted file fails its cell, not
+  /// the sweep).
+  std::string trace_path;
+
+  [[nodiscard]] bool is_trace() const { return !trace_path.empty(); }
 };
 
 /// Canonical descriptor of a grid cell; doubles as the seed-derivation

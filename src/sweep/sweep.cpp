@@ -20,6 +20,7 @@
 #include "sim/fleet.hpp"
 #include "sweep/result_io.hpp"
 #include "sweep/thread_pool.hpp"
+#include "trace/trace_io.hpp"
 
 namespace tscclock::sweep {
 
@@ -45,11 +46,13 @@ struct LaneReducer {
   std::optional<harness::ReducerSink> exact;
   std::optional<harness::StreamingReducerSink> streaming;
 
-  LaneReducer(double tau0, bool use_streaming) {
+  LaneReducer(double tau0, bool use_streaming,
+              harness::GroundTruthMode mode =
+                  harness::GroundTruthMode::kReference) {
     if (use_streaming)
-      streaming.emplace(tau0);
+      streaming.emplace(tau0, 16, 256, mode);
     else
-      exact.emplace(tau0);
+      exact.emplace(tau0, 16, 256, mode);
   }
   [[nodiscard]] harness::SampleSink& sink() {
     return streaming ? static_cast<harness::SampleSink&>(*streaming)
@@ -186,20 +189,100 @@ std::vector<ScenarioResult> run_fleet_scenario_multi(
   return results;
 }
 
+/// The imported-trace drive behind run_scenario_multi: no Testbed, no
+/// randomness — the file IS the exchange stream, and every spec replays it
+/// through the identical ReplaySession → LaneReducer path a sim-recorded
+/// trace takes. The file is re-read here (cells are independent work units);
+/// a read failure throws and the caller contains it as this cell's FAILED
+/// rows. The reduction's tau0 and the estimator's window unit come from the
+/// file header, not the grid — an imported trace carries its own polling
+/// period.
+std::vector<ScenarioResult> run_trace_scenario_multi(
+    const SweepScenario& scenario,
+    std::span<const harness::EstimatorSpec> estimators,
+    std::span<harness::SampleSink* const> trace_sinks,
+    bool streaming_reduction) {
+  const harness::EstimatorRegistry& registry = harness::estimator_registry();
+  for (const auto& spec : estimators) {
+    if (!registry.is_replay(spec)) {
+      throw std::runtime_error(
+          "estimator '" + spec.label() +
+          "' runs online and cannot score an imported trace cell — score "
+          "--trace-in files with replay specs (e.g. offline)");
+    }
+  }
+  const trace::ReadTrace loaded = trace::read_trace(scenario.trace_path);
+  const harness::GroundTruthMode mode = loaded.meta.mode;
+
+  harness::SessionConfig config;
+  config.params = core::Params::for_poll_period(loaded.meta.poll_period);
+  // No warm-up re-cut: the in_warmup flags ride the file (set by whoever
+  // recorded or imported it), and ReplaySession scores exactly those.
+  config.discard_warmup = 0;
+  config.client_id = loaded.meta.client_id;
+
+  std::vector<ScenarioResult> results;
+  results.reserve(estimators.size());
+  for (std::size_t e = 0; e < estimators.size(); ++e) {
+    harness::SampleSink* trace_sink =
+        trace_sinks.empty() ? nullptr : trace_sinks[e];
+    LaneReducer reducer(loaded.meta.poll_period, streaming_reduction, mode);
+    harness::SessionConfig lane_config = config;
+    lane_config.emit_unevaluated = trace_sink != nullptr;
+    harness::ReplaySession replay(
+        lane_config, registry.make_replay(estimators[e], config.params,
+                                          loaded.meta.nominal_period));
+    replay.add_sink(reducer.sink());
+    if (trace_sink != nullptr) replay.add_sink(*trace_sink);
+    const harness::SessionSummary summary = replay.run(loaded.trace);
+
+    ScenarioResult result = result_for(scenario, estimators[e]);
+    result.from_trace = true;
+    result.relative_only = mode == harness::GroundTruthMode::kRelativeOnly;
+    result.exchanges = summary.exchanges;
+    result.lost = summary.lost;
+    result.evaluated = summary.evaluated;
+    result.polls = static_cast<std::size_t>(summary.polls_enumerated);
+    result.skipped = result.polls - result.exchanges;
+    result.final_status = summary.final_status;
+    const auto reduction = reducer.reduce();
+    result.clock_error = reduction.clock_error;
+    result.offset_error = reduction.offset_error;
+    result.adev_short_tau = reduction.adev_short_tau;
+    result.adev_short = reduction.adev_short;
+    result.adev_long_tau = reduction.adev_long_tau;
+    result.adev_long = reduction.adev_long;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 }  // namespace
 
 std::vector<ScenarioResult> run_scenario_multi(
     const SweepScenario& scenario,
     std::span<const harness::EstimatorSpec> estimators,
     Seconds discard_warmup, std::span<harness::SampleSink* const> trace_sinks,
-    bool streaming_reduction) {
+    bool streaming_reduction, const std::string& trace_export_path) {
   TSC_EXPECTS(!estimators.empty());
   TSC_EXPECTS(trace_sinks.empty() || trace_sinks.size() == estimators.size());
+
+  // Imported-trace cells replay their file; nothing below applies.
+  if (scenario.is_trace()) {
+    TSC_EXPECTS(trace_export_path.empty());
+    return run_trace_scenario_multi(scenario, estimators, trace_sinks,
+                                    streaming_reduction);
+  }
 
   // Fleet cells take the multi-client drive (FleetTestbed + FleetSession);
   // everything below is the classic single-client path, which a single()
   // fleet spec must reproduce bit-for-bit — so it stays exactly as it was.
   if (!scenario.fleet.single()) {
+    if (!trace_export_path.empty()) {
+      throw std::runtime_error(
+          "--trace-out cannot export a multi-client fleet cell: a trace "
+          "file holds exactly one client's stream");
+    }
     return run_fleet_scenario_multi(scenario, estimators, discard_warmup,
                                     trace_sinks, streaming_reduction);
   }
@@ -226,7 +309,10 @@ std::vector<ScenarioResult> run_scenario_multi(
                   [&](const auto& spec) { return registry.is_replay(spec); });
 
   harness::MultiEstimatorSession session;
-  if (any_replay) session.enable_trace_recording(config);
+  // One recording serves both consumers: the replay lanes and the trace
+  // export (a --trace-out file is the recorded stream, serialized).
+  if (any_replay || !trace_export_path.empty())
+    session.enable_trace_recording(config);
   constexpr std::size_t kReplayLane = static_cast<std::size_t>(-1);
   std::vector<std::size_t> lane_of(estimators.size(), kReplayLane);
   std::vector<LaneReducer> reducers;
@@ -251,6 +337,19 @@ std::vector<ScenarioResult> run_scenario_multi(
   // with a trace sink attached degrade to the scalar per-record sequence
   // inside process_batch, so dumps stay row-for-row identical.
   session.run_batched(testbed);
+
+  if (!trace_export_path.empty()) {
+    // Sim recordings carry the DAG reference; the exported file replays
+    // byte-identical to the in-memory trace (the round-trip golden pins
+    // this). A write failure throws and fails this scenario's cells.
+    trace::TraceMeta meta;
+    meta.mode = harness::GroundTruthMode::kReference;
+    meta.nominal_period = testbed.nominal_period();
+    meta.poll_period = scenario.config.poll_period;
+    meta.client_id = config.client_id;
+    meta.label = scenario.name;
+    trace::write_trace(trace_export_path, meta, session.trace());
+  }
 
   std::vector<ScenarioResult> results;
   results.reserve(estimators.size());
@@ -340,6 +439,29 @@ std::vector<ScenarioResult> ScenarioSweep::run(
   checkpoint_error_.clear();
   dump_error_.clear();
   const bool dump_csv = !options.csv_path.empty();
+
+  // --trace-out exports THE scenario's recorded stream: with several
+  // scenarios (or a fleet, or an imported trace as the source) the file's
+  // contents would be ambiguous or impossible, so anything but the
+  // single-plain-scenario shape is a usage error, before any work runs.
+  if (!options.trace_out.empty()) {
+    if (scenarios_.size() != 1) {
+      throw SweepUsageError(strfmt(
+          "--trace-out exports exactly one scenario's stream, but this grid "
+          "expands to %zu scenarios — narrow the axes to a single cell",
+          scenarios_.size()));
+    }
+    if (scenarios_.front().is_trace()) {
+      throw SweepUsageError(
+          "--trace-out cannot re-export a --trace-in file (it already is a "
+          "trace; use tools/trace-import to canonicalize)");
+    }
+    if (!scenarios_.front().fleet.single()) {
+      throw SweepUsageError(
+          "--trace-out cannot export a multi-client fleet cell: a trace "
+          "file holds exactly one client's stream");
+    }
+  }
 
   std::vector<std::string> labels;
   labels.reserve(lanes);
@@ -456,7 +578,8 @@ std::vector<ScenarioResult> ScenarioSweep::run(
         }
         auto cell_results = run_scenario_multi(scenario, estimators, warmup,
                                                trace_sinks,
-                                               options.streaming_reduction);
+                                               options.streaming_reduction,
+                                               options.trace_out);
         for (std::size_t e = 0; e < lanes; ++e)
           results[slot * lanes + e] = std::move(cell_results[e]);
       } catch (const std::exception& e) {
@@ -616,7 +739,13 @@ void print_sweep_report(std::ostream& os,
       estimators.push_back(label);
     }
   }
-  const bool multi = estimators.size() > 1;
+  // Relative-only cells surface their tracking percentiles only in the
+  // comparison table (the summary's absolute columns are structurally n/a
+  // for them), so any such cell forces the table even single-estimator.
+  const bool any_relative =
+      std::any_of(results.begin(), results.end(),
+                  [](const ScenarioResult& r) { return r.relative_only; });
+  const bool multi = estimators.size() > 1 || any_relative;
 
   print_banner(os, "Per-scenario summary");
   TablePrinter table({"scenario", "estimator", "polls", "skip", "lost",
@@ -629,9 +758,11 @@ void print_sweep_report(std::ostream& os,
                      "-", "-", "-", "-"});
       continue;
     }
-    // No evaluable points → no error statistics; zeros here would be
-    // indistinguishable from a perfect run.
-    const bool has_data = r.evaluated > 0;
+    // No points in the clock-error series → no absolute statistics; zeros
+    // here would be indistinguishable from a perfect run. Relative-only
+    // trace cells land here by construction (count 0): their absolute
+    // columns are structurally n/a while eval/ADEV stay populated.
+    const bool has_data = r.clock_error.count > 0;
     table.add_row({r.name, estimator, format_count(r.polls),
                    format_count(r.skipped),
                    format_count(r.lost), format_count(r.evaluated),
@@ -663,13 +794,19 @@ void print_sweep_report(std::ostream& os,
     headers.push_back("steps");
     TablePrinter comparison(headers);
     for (const auto& r : results) {
-      const std::string label = r.name + " / " + r.estimator.label();
-      if (r.failed || r.evaluated == 0) {
+      std::string label = r.name + " / " + r.estimator.label();
+      // Relative-only rows have no absolute percentiles; their tracking
+      // residual rides the same columns, marked so the two error kinds are
+      // never silently compared across rows.
+      const SeriesSummary& series =
+          r.relative_only ? r.offset_error : r.clock_error;
+      if (r.failed || series.count == 0) {
         comparison.add_row({label, "-", "-", "-", "-", "-", "-",
                             r.failed ? "FAILED" : "n/a"});
         continue;
       }
-      auto row = percentile_row_us(label, r.clock_error.percentiles);
+      if (r.relative_only) label += " (rel)";
+      auto row = percentile_row_us(label, series.percentiles);
       row.push_back(format_count(r.steps));
       comparison.add_row(std::move(row));
     }
@@ -706,7 +843,9 @@ void print_sweep_report(std::ostream& os,
   std::map<std::string, GroupAggregate> by_server;
   std::map<std::string, GroupAggregate> by_environment;
   for (const auto& r : results) {
-    if (r.failed) continue;
+    // Imported-trace cells carry placeholder grid coordinates (a file has
+    // no server/environment axis) and would silently skew the aggregates.
+    if (r.failed || r.from_trace) continue;
     const std::string suffix =
         multi ? " / " + r.estimator.label() : std::string();
     add_to_group(by_server[sim::to_string(r.server) + suffix], r);

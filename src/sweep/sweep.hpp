@@ -86,6 +86,17 @@ struct ScenarioResult {
   double fleet_worst_p99 = 0;
   /// Max − min across clients of the per-client median clock error.
   double fleet_pairwise_spread = 0;
+
+  // -- Imported-trace cells (scenario.is_trace()) ---------------------------
+  /// The cell replayed an imported trace file instead of driving a Testbed.
+  /// Aggregate tables (by-server / by-environment) skip these: their
+  /// server/environment coordinates are placeholders, not grid axes.
+  bool from_trace = false;
+  /// The trace declared ground_truth relative (no reference clock): the
+  /// clock-error summary is structurally empty (count 0 → n/a columns) and
+  /// the offset/ADEV columns grade tracking against the server's own clock
+  /// (see harness::GroundTruthMode).
+  bool relative_only = false;
 };
 
 struct SweepOptions {
@@ -126,6 +137,13 @@ struct SweepOptions {
   /// created before any scenario runs (unwritable paths fail fast); see
   /// ScenarioSweep::dump_error() for end-of-run write failures.
   std::string dump_path;
+  /// When non-empty, export the run's recorded exchange stream as a
+  /// reference-bearing trace file (trace/trace_io.hpp) replayable via
+  /// --trace-in. Restricted to a single-scenario, single-client grid with
+  /// no trace inputs — a trace file holds exactly one client's stream —
+  /// and refused (SweepUsageError) otherwise. Export failures fail the
+  /// scenario's cells, not the process.
+  std::string trace_out;
 };
 
 /// Run one scenario synchronously through the shared drive layer with the
@@ -151,12 +169,17 @@ ScenarioResult run_scenario(const SweepScenario& scenario,
 /// lane per client, pooled summaries, client-0 ADEV, fleet_* metrics);
 /// replay specs throw std::runtime_error there — a fleet trace mixes
 /// clients, which ReplaySession refuses.
+/// An is_trace() scenario replays its file through the replay lanes instead
+/// of driving a Testbed (every spec must be a replay family there — the CLI
+/// guarantees it). `trace_export_path`, when non-empty, additionally writes
+/// the drain's recorded trace as a reference-bearing trace file.
 std::vector<ScenarioResult> run_scenario_multi(
     const SweepScenario& scenario,
     std::span<const harness::EstimatorSpec> estimators,
     Seconds discard_warmup,
     std::span<harness::SampleSink* const> trace_sinks = {},
-    bool streaming_reduction = false);
+    bool streaming_reduction = false,
+    const std::string& trace_export_path = {});
 
 class ScenarioSweep {
  public:

@@ -1,0 +1,79 @@
+// Live SNTP collection: the piece that turns a real internet path into a
+// relative-only trace the replay pipeline can consume.
+//
+// SntpCollector is a deliberately small unicast SNTP client (RFC 4330
+// subset) over the repo's own wire::NtpPacket codec:
+//
+//   * Ta/Tf are CLOCK_MONOTONIC nanosecond counts — the collector's "TSC"
+//     with nominal_period 1e-9 s/count. Monotonic, not wall time, for the
+//     same reason the paper insists on the raw counter (§2): a disciplined
+//     system clock would fold someone else's NTP feedback loop into the
+//     data;
+//   * the request's transmit timestamp carries CLOCK_REALTIME rebased to
+//     the NTP era, purely so the server's origin echo can be verified
+//     (wire::validate_server_reply) — it never enters the exchange data;
+//   * Tb/Te are rebased from the wire's 32.32 format via
+//     from_ntp_timestamp_at_epoch against the first reply's integer
+//     second, so every server stamp is a small double carrying the full
+//     ~233 ps wire resolution;
+//   * timeouts become lost records (the trace preserves the gap); replies
+//     that fail validation (kiss-o'-death, unsynchronized, zero stamps,
+//     bad origin echo) are refused — kiss-o'-death aborts the run
+//     outright, as RFC 5905 demands.
+//
+// The output is a harness::ReplaySample stream fed straight into
+// trace::TraceWriter under a kRelativeOnly meta. No reference clock exists
+// on a real path, and the format says so instead of pretending.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "harness/replay.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tscclock::trace {
+
+class CollectorError : public std::runtime_error {
+ public:
+  explicit CollectorError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct CollectorOptions {
+  std::string host;            ///< server name or address (required)
+  std::uint16_t port = 123;    ///< NTP port
+  std::size_t count = 16;      ///< polls to attempt
+  Seconds interval = 1.0;      ///< nominal polling period (the trace's tau0)
+  Seconds timeout = 2.0;       ///< per-poll reply wait
+  std::uint32_t client_id = 0; ///< client column of the emitted trace
+  std::string label;           ///< provenance line for the trace header
+};
+
+struct CollectorReport {
+  std::size_t attempted = 0;
+  std::size_t received = 0;   ///< validated replies (non-lost records)
+  std::size_t lost = 0;       ///< timeouts
+  std::size_t refused = 0;    ///< decoded but failed validation (non-fatal)
+};
+
+/// Collect `options.count` exchanges from the server and stream them into
+/// `writer` (which must have been opened with a kRelativeOnly meta whose
+/// nominal_period is collector_nominal_period() and poll_period is
+/// options.interval). `progress`, when set, receives a one-line status per
+/// poll (the CLI prints it). Throws CollectorError on socket/resolve
+/// failures and on kiss-o'-death (naming the kiss code). Returns the tally;
+/// the caller closes the writer.
+CollectorReport collect(const CollectorOptions& options, TraceWriter& writer,
+                        const std::function<void(const std::string&)>&
+                            progress = nullptr);
+
+/// The collector's counter resolution: Ta/Tf are CLOCK_MONOTONIC
+/// nanoseconds, one count per nanosecond.
+constexpr double collector_nominal_period() { return 1e-9; }
+
+/// TraceMeta for a collection run (relative-only by construction).
+TraceMeta collector_meta(const CollectorOptions& options);
+
+}  // namespace tscclock::trace

@@ -1,0 +1,112 @@
+#include "trace/sntp_mock.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ctime>
+
+#include "wire/ntp_packet.hpp"
+#include "wire/ntp_timestamp.hpp"
+
+namespace tscclock::trace {
+
+namespace {
+
+wire::NtpTimestamp wall_clock_ntp_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  wire::NtpTimestamp out;
+  out.seconds = static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(ts.tv_sec) + wire::kNtpToUnixOffset);
+  out.fraction = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(ts.tv_nsec) << 32) / 1000000000ull);
+  return out;
+}
+
+}  // namespace
+
+MockSntpServer::MockSntpServer(Behavior behavior) : behavior_(behavior) {
+  fd_ = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: parallel tests must not collide
+  if (bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  port_ = ntohs(addr.sin_port);
+  // A receive timeout turns the blocking loop into a stop-flag poll.
+  timeval tv{};
+  tv.tv_usec = 50000;  // 50 ms
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  thread_ = std::thread([this] { serve(); });
+}
+
+MockSntpServer::~MockSntpServer() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MockSntpServer::serve() {
+  std::uint8_t buffer[512];
+  while (!stop_.load()) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        recvfrom(fd_, buffer, sizeof(buffer), 0,
+                 reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) continue;  // timeout or EINTR: re-check the stop flag
+    requests_seen_.fetch_add(1);
+    if (behavior_ == Behavior::kSilent) continue;
+
+    wire::NtpPacket request;
+    try {
+      request = wire::decode(
+          std::span<const std::uint8_t>(buffer, static_cast<size_t>(n)));
+    } catch (const wire::PacketError&) {
+      continue;  // a real server drops garbage too
+    }
+
+    const wire::NtpTimestamp receive = wall_clock_ntp_now();
+    wire::NtpPacket reply = wire::make_server_reply(
+        request, receive, wall_clock_ntp_now(), /*stratum=*/2,
+        wire::reference_id_from_string("MOCK"));
+    switch (behavior_) {
+      case Behavior::kKissOfDeath:
+        reply.stratum = 0;
+        reply.reference_id = wire::reference_id_from_string("RATE");
+        break;
+      case Behavior::kUnsynchronized:
+        reply.leap = wire::LeapIndicator::kUnsynchronized;
+        break;
+      case Behavior::kZeroTimestamps:
+        reply.receive_time = {};
+        reply.transmit_time = {};
+        break;
+      case Behavior::kWrongOrigin:
+        reply.origin_time.fraction ^= 1;  // one LSB off the echo
+        break;
+      default:
+        break;
+    }
+    const auto encoded = wire::encode(reply);
+    const std::size_t send_len =
+        behavior_ == Behavior::kTruncated ? 20 : encoded.size();
+    sendto(fd_, encoded.data(), send_len, 0,
+           reinterpret_cast<sockaddr*>(&peer), peer_len);
+  }
+}
+
+}  // namespace tscclock::trace

@@ -1,0 +1,53 @@
+// In-process loopback SNTP server: lets the collector be exercised offline
+// (CI has no network, and hammering a public pool from tests would be
+// hostile anyway). One thread, one UDP socket bound to 127.0.0.1:0, a
+// configurable misbehavior per instance — each Behavior is one of the
+// hostile-input cases wire::validate_server_reply (or decode) must refuse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace tscclock::trace {
+
+class MockSntpServer {
+ public:
+  enum class Behavior {
+    kNormal,          ///< well-formed stratum-2 replies from the wall clock
+    kKissOfDeath,     ///< stratum 0, reference id "RATE"
+    kUnsynchronized,  ///< leap indicator 3
+    kZeroTimestamps,  ///< zero receive/transmit stamps
+    kWrongOrigin,     ///< origin field does not echo the request
+    kTruncated,       ///< 20-byte datagram (short of the 48-byte header)
+    kSilent,          ///< swallows every request (collector-timeout path)
+  };
+
+  /// Binds and starts serving immediately. Sandboxes may refuse loopback
+  /// sockets: check ok() and skip the test instead of failing it.
+  explicit MockSntpServer(Behavior behavior = Behavior::kNormal);
+  ~MockSntpServer();
+  MockSntpServer(const MockSntpServer&) = delete;
+  MockSntpServer& operator=(const MockSntpServer&) = delete;
+
+  /// False when the socket could not be created/bound (no serving thread).
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  /// Bound port (valid when ok()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Requests received so far.
+  [[nodiscard]] std::size_t requests_seen() const { return requests_seen_; }
+
+ private:
+  void serve();
+
+  Behavior behavior_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> requests_seen_{0};
+  std::thread thread_;
+};
+
+}  // namespace tscclock::trace

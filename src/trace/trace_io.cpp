@@ -1,0 +1,407 @@
+#include "trace/trace_io.hpp"
+
+#include <sstream>
+
+#include "common/serialize.hpp"
+#include "common/time_types.hpp"
+
+namespace tscclock::trace {
+
+namespace {
+
+constexpr const char* kTraceMagic = "tscclock-trace";
+
+/// Fields of one `x` record after the tag, per declared mode.
+constexpr std::size_t kRelativeFields = 10;
+constexpr std::size_t kReferenceFields = kRelativeFields + 3;
+
+std::string mode_token(harness::GroundTruthMode mode) {
+  return mode == harness::GroundTruthMode::kReference ? "reference"
+                                                      : "relative";
+}
+
+std::string record_context(std::size_t index) {
+  return "record " + std::to_string(index);
+}
+
+}  // namespace
+
+// -- TraceWriter -------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      meta_(meta) {
+  if (!out_) {
+    throw TraceIoError("cannot open trace " + path + " for writing");
+  }
+  if (!(meta.nominal_period > 0)) {
+    throw TraceIoError("trace meta: nominal_period must be positive");
+  }
+  if (!(meta.poll_period > 0)) {
+    throw TraceIoError("trace meta: poll_period must be positive");
+  }
+  out_.exceptions(std::ios::badbit | std::ios::failbit);
+  out_ << kTraceMagic << ' ' << kTraceFormatVersion << '\n';
+  out_ << "ground_truth " << mode_token(meta_.mode) << '\n';
+  out_ << "nominal_period " << format_double_exact(meta_.nominal_period)
+       << '\n';
+  out_ << "poll_period " << format_double_exact(meta_.poll_period) << '\n';
+  out_ << "client " << meta_.client_id << '\n';
+  if (!meta_.label.empty()) {
+    out_ << "label " << escape_field(meta_.label) << '\n';
+  }
+  out_ << "samples\n";
+  out_.flush();
+}
+
+void TraceWriter::write(const harness::ReplaySample& sample) {
+  if (closed_) throw TraceIoError("trace " + path_ + " already closed");
+  const bool reference = meta_.mode == harness::GroundTruthMode::kReference;
+  const bool ref = reference && sample.ref_available;
+  out_ << "x\t" << sample.index << '\t' << (sample.lost ? 1 : 0) << '\t'
+       << (sample.in_warmup ? 1 : 0) << '\t'
+       << (sample.server_changed ? 1 : 0) << '\t' << (ref ? 1 : 0) << '\t'
+       << sample.raw.ta << '\t' << format_double_exact(sample.raw.tb) << '\t'
+       << format_double_exact(sample.raw.te) << '\t' << sample.raw.tf << '\t'
+       << sample.tf_counts_corrected;
+  if (reference) {
+    out_ << '\t' << format_double_exact(sample.truth_ta) << '\t'
+         << format_double_exact(sample.truth_tb) << '\t'
+         << format_double_exact(sample.tg);
+  }
+  out_ << '\n';
+  ++exchanges_;
+  if (sample.lost) ++lost_;
+  // One flush per record bounds a kill's loss window to the in-flight line,
+  // which read_trace then refuses as a torn tail — never half-trusts.
+  out_.flush();
+}
+
+void TraceWriter::close(std::uint64_t polls_enumerated) {
+  if (closed_) return;
+  out_ << "end " << exchanges_ << ' ' << lost_ << ' ' << polls_enumerated
+       << '\n';
+  out_.close();
+  closed_ = true;
+}
+
+void write_trace(const std::string& path, const TraceMeta& meta,
+                 const harness::ReplayTrace& trace) {
+  TraceWriter writer(path, meta);
+  for (const auto& sample : trace.samples) writer.write(sample);
+  writer.close(trace.polls_enumerated);
+}
+
+// -- read_trace --------------------------------------------------------------
+
+namespace {
+
+/// Minimal clone of result_io's line reader (that one is file-local there
+/// on purpose: each artifact format owns its torn-tail policy).
+class LineReader {
+ public:
+  explicit LineReader(const std::string& content) : content_(content) {}
+
+  bool next_line(std::string& line) {
+    if (offset_ >= content_.size()) return false;
+    const std::size_t newline = content_.find('\n', offset_);
+    if (newline == std::string::npos) {
+      torn_ = true;
+      return false;
+    }
+    line.assign(content_, offset_, newline - offset_);
+    offset_ = newline + 1;
+    return true;
+  }
+
+  [[nodiscard]] bool torn() const { return torn_; }
+  [[nodiscard]] bool exhausted() const {
+    return !torn_ && offset_ >= content_.size();
+  }
+
+ private:
+  const std::string& content_;
+  std::size_t offset_ = 0;
+  bool torn_ = false;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceIoError("trace " + path + ": cannot open");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw TraceIoError("trace " + path + ": read error");
+  return buffer.str();
+}
+
+double parse_positive(const std::string& text, const char* key,
+                      const std::string& context) {
+  double value = 0;
+  try {
+    value = parse_double_exact(text);
+  } catch (const std::exception& e) {
+    throw TraceIoError(context + ": malformed " + key + " '" + text +
+                       "': " + e.what());
+  }
+  if (!(value > 0)) {
+    throw TraceIoError(context + ": " + key + " must be positive, got '" +
+                       text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+ReadTrace read_trace(const std::string& path) {
+  const std::string content = read_file(path);
+  const std::string context = "trace " + path;
+  LineReader lines(content);
+  std::string line;
+  const auto next_line = [&]() -> const std::string& {
+    if (!lines.next_line(line)) {
+      throw TraceIoError(context + (lines.torn()
+                                        ? ": torn trailing line (the file "
+                                          "ends mid-record)"
+                                        : ": truncated (unexpected end of "
+                                          "file)"));
+    }
+    return line;
+  };
+
+  // Magic + version gate, naming both versions on skew.
+  {
+    const std::string expected_prefix = std::string(kTraceMagic) + " ";
+    next_line();
+    if (line.compare(0, expected_prefix.size(), expected_prefix) != 0) {
+      throw TraceIoError(context + ": not a " + kTraceMagic +
+                         " file (first line '" + line + "')");
+    }
+    const std::string version = line.substr(expected_prefix.size());
+    if (version != std::to_string(kTraceFormatVersion)) {
+      throw TraceIoError(context + ": format version " + version +
+                         " is not supported by this build (expected version " +
+                         std::to_string(kTraceFormatVersion) + ")");
+    }
+  }
+
+  // Header block: key-value lines until the `samples` marker. Every key is
+  // required once (label optional); unknown keys are refused, not skipped —
+  // a trace from a future minor variant must fail loudly, not half-load.
+  ReadTrace out;
+  bool have_mode = false, have_nominal = false, have_poll = false,
+       have_client = false;
+  for (;;) {
+    next_line();
+    if (line == "samples") break;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) {
+      throw TraceIoError(context + ": malformed header line '" + line + "'");
+    }
+    const std::string key = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    const auto require_fresh = [&](bool& have) {
+      if (have) {
+        throw TraceIoError(context + ": duplicate header key '" + key + "'");
+      }
+      have = true;
+    };
+    if (key == "ground_truth") {
+      require_fresh(have_mode);
+      if (value == "reference") {
+        out.meta.mode = harness::GroundTruthMode::kReference;
+      } else if (value == "relative") {
+        out.meta.mode = harness::GroundTruthMode::kRelativeOnly;
+      } else {
+        throw TraceIoError(context + ": unknown ground_truth mode '" + value +
+                           "' (expected 'reference' or 'relative')");
+      }
+    } else if (key == "nominal_period") {
+      require_fresh(have_nominal);
+      out.meta.nominal_period =
+          parse_positive(value, "nominal_period", context);
+    } else if (key == "poll_period") {
+      require_fresh(have_poll);
+      out.meta.poll_period = parse_positive(value, "poll_period", context);
+    } else if (key == "client") {
+      require_fresh(have_client);
+      try {
+        const std::uint64_t id = parse_u64_exact(value);
+        if (id > 0xffffffffull) throw std::runtime_error("out of range");
+        out.meta.client_id = static_cast<std::uint32_t>(id);
+      } catch (const std::exception& e) {
+        throw TraceIoError(context + ": malformed client id '" + value +
+                           "': " + e.what());
+      }
+    } else if (key == "label") {
+      if (!out.meta.label.empty()) {
+        throw TraceIoError(context + ": duplicate header key 'label'");
+      }
+      try {
+        out.meta.label = unescape_field(value);
+      } catch (const std::exception& e) {
+        throw TraceIoError(context + ": malformed label: " + e.what());
+      }
+    } else {
+      throw TraceIoError(context + ": unknown header key '" + key + "'");
+    }
+  }
+  if (!have_mode) throw TraceIoError(context + ": missing ground_truth");
+  if (!have_nominal) throw TraceIoError(context + ": missing nominal_period");
+  if (!have_poll) throw TraceIoError(context + ": missing poll_period");
+  if (!have_client) throw TraceIoError(context + ": missing client");
+
+  const bool reference =
+      out.meta.mode == harness::GroundTruthMode::kReference;
+  const std::size_t expected_fields =
+      reference ? kReferenceFields : kRelativeFields;
+  harness::ReplayTrace& trace = out.trace;
+  trace.ground_truth = out.meta.mode;
+
+  // Sample records until the end marker.
+  bool have_end = false;
+  std::uint64_t end_exchanges = 0, end_lost = 0, end_polls = 0;
+  bool prev_arrived = false;
+  bool warned_tb_backwards = false;
+  TscCount prev_ta = 0;
+  Seconds prev_tb = 0;
+  while (!have_end) {
+    next_line();
+    if (line.compare(0, 4, "end ") == 0) {
+      const auto fields = split_fields(line.substr(4), ' ');
+      if (fields.size() != 3) {
+        throw TraceIoError(context + ": malformed end marker '" + line + "'");
+      }
+      try {
+        end_exchanges = parse_u64_exact(fields[0]);
+        end_lost = parse_u64_exact(fields[1]);
+        end_polls = parse_u64_exact(fields[2]);
+      } catch (const std::exception& e) {
+        throw TraceIoError(context + ": malformed end marker '" + line +
+                           "': " + e.what());
+      }
+      have_end = true;
+      break;
+    }
+    if (line.compare(0, 2, "x\t") != 0) {
+      throw TraceIoError(context + ", " + record_context(trace.samples.size()) +
+                         ": expected a sample record, got '" + line + "'");
+    }
+    const auto fields = split_fields(std::string_view(line).substr(2));
+    const std::string rec = context + ", " +
+                            record_context(trace.samples.size());
+    if (fields.size() != expected_fields) {
+      if (!reference && fields.size() == kReferenceFields) {
+        throw TraceIoError(rec + ": carries reference-mode truth fields in a "
+                                 "relative-only trace");
+      }
+      if (reference && fields.size() == kRelativeFields) {
+        throw TraceIoError(rec + ": missing the truth fields a "
+                                 "reference-mode trace declares");
+      }
+      throw TraceIoError(rec + ": has " + std::to_string(fields.size()) +
+                         " fields, expected " +
+                         std::to_string(expected_fields));
+    }
+    harness::ReplaySample sample;
+    try {
+      std::size_t f = 0;
+      const auto next_bool = [&]() {
+        const std::string& token = fields[f++];
+        if (token == "0") return false;
+        if (token == "1") return true;
+        throw std::runtime_error("malformed bool field '" + token + "'");
+      };
+      sample.index = parse_u64_exact(fields[f++]);
+      sample.lost = next_bool();
+      sample.in_warmup = next_bool();
+      sample.server_changed = next_bool();
+      sample.ref_available = next_bool();
+      sample.raw.ta = parse_u64_exact(fields[f++]);
+      sample.raw.tb = parse_double_exact(fields[f++]);
+      sample.raw.te = parse_double_exact(fields[f++]);
+      sample.raw.tf = parse_u64_exact(fields[f++]);
+      sample.tf_counts_corrected = parse_u64_exact(fields[f++]);
+      if (reference) {
+        sample.truth_ta = parse_double_exact(fields[f++]);
+        sample.truth_tb = parse_double_exact(fields[f++]);
+        sample.tg = parse_double_exact(fields[f++]);
+      }
+    } catch (const std::exception& e) {
+      throw TraceIoError(rec + ": " + e.what());
+    }
+    if (!reference && sample.ref_available) {
+      throw TraceIoError(rec + ": declares a reference sample inside a "
+                               "relative-only trace");
+    }
+    sample.client_id = out.meta.client_id;
+    if (!sample.lost) {
+      sample.t_day = sample.raw.tb / duration::kDay;
+      if (prev_arrived && sample.raw.ta <= prev_ta) {
+        throw TraceIoError(rec + ": send time Ta " +
+                           std::to_string(sample.raw.ta) +
+                           " is not after the previous arrival's " +
+                           std::to_string(prev_ta) +
+                           " (records out of order, or two interleaved "
+                           "captures)");
+      }
+      if (prev_arrived && sample.raw.tb < prev_tb && !warned_tb_backwards) {
+        // Warning, not error: a server stepping backwards is exactly the
+        // kind of real-world artifact a trace exists to preserve.
+        warned_tb_backwards = true;
+        out.warnings.push_back(
+            record_context(trace.samples.size()) +
+            ": server receive stamp moves backwards (server step?)");
+      }
+      prev_arrived = true;
+      prev_ta = sample.raw.ta;
+      prev_tb = sample.raw.tb;
+    } else {
+      ++trace.lost;
+    }
+    ++trace.exchanges;
+    trace.samples.push_back(sample);
+  }
+
+  // The end marker is the completeness witness: its counts must match what
+  // was actually read (a truncated-then-reglued file fails here).
+  if (end_exchanges != trace.exchanges || end_lost != trace.lost) {
+    throw TraceIoError(
+        context + ": end marker declares " + std::to_string(end_exchanges) +
+        " exchanges / " + std::to_string(end_lost) + " lost, file holds " +
+        std::to_string(trace.exchanges) + " / " + std::to_string(trace.lost));
+  }
+  if (end_polls < trace.exchanges) {
+    throw TraceIoError(context + ": end marker declares " +
+                       std::to_string(end_polls) +
+                       " enumerated polls, fewer than the " +
+                       std::to_string(trace.exchanges) + " records present");
+  }
+  trace.polls_enumerated = end_polls;
+  if (lines.next_line(line)) {
+    throw TraceIoError(context + ": content after the end marker ('" + line +
+                       "')");
+  }
+  if (lines.torn()) {
+    throw TraceIoError(context + ": torn trailing line after the end marker");
+  }
+
+  // Recoverable oddities, in record order where applicable.
+  if (reference) {
+    bool any_ref = false;
+    for (const auto& sample : trace.samples) any_ref |= sample.ref_available;
+    if (!trace.samples.empty() && !any_ref) {
+      out.warnings.push_back(
+          "declared reference-mode but no record carries a reference sample "
+          "(re-export with ground_truth relative?)");
+    }
+  }
+  if (trace.arrived() < 2) {
+    out.warnings.push_back("only " + std::to_string(trace.arrived()) +
+                           " arrived exchange(s): not scorable (replay "
+                           "needs at least 2)");
+  }
+  return out;
+}
+
+}  // namespace tscclock::trace

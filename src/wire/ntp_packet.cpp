@@ -56,6 +56,50 @@ NtpPacket decode(std::span<const std::uint8_t> data) {
   return p;
 }
 
+std::string reference_id_to_string(std::uint32_t reference_id) {
+  std::string out(4, '.');
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto byte =
+        static_cast<unsigned char>(reference_id >> (8 * (3 - i)));
+    if (byte >= 0x20 && byte < 0x7f) out[i] = static_cast<char>(byte);
+  }
+  return out;
+}
+
+void validate_server_reply(const NtpPacket& reply,
+                           const NtpTimestamp& expected_origin) {
+  if (reply.mode != NtpMode::kServer) {
+    throw PacketError("reply is not a server-mode packet (mode " +
+                      std::to_string(static_cast<int>(reply.mode)) + ")");
+  }
+  if (reply.stratum == 0) {
+    // RFC 5905 §7.4: stratum 0 replies are kiss-o'-death packets whose
+    // reference id carries an ASCII code (DENY, RSTR, RATE, ...). Obeying
+    // them is mandatory for a polite client, so surface the code verbatim.
+    throw PacketError("kiss-o'-death packet (code '" +
+                      reference_id_to_string(reply.reference_id) + "')");
+  }
+  if (reply.stratum > 15) {
+    throw PacketError("invalid stratum " + std::to_string(reply.stratum) +
+                      " (RFC 5905 reserves 16..255)");
+  }
+  if (reply.leap == LeapIndicator::kUnsynchronized) {
+    throw PacketError("server is unsynchronized (leap indicator 3)");
+  }
+  if (reply.receive_time.is_zero() || reply.transmit_time.is_zero()) {
+    throw PacketError(
+        "zero receive/transmit timestamp (server has no time to offer)");
+  }
+  if (reply.origin_time.is_zero()) {
+    throw PacketError("zero origin timestamp (reply echoes no request)");
+  }
+  if (reply.origin_time != expected_origin) {
+    throw PacketError(
+        "origin timestamp does not echo our request transmit time "
+        "(off-path spoofing or a crossed reply)");
+  }
+}
+
 std::uint32_t reference_id_from_string(const std::string& label) {
   std::uint32_t id = 0;
   for (std::size_t i = 0; i < 4; ++i) {

@@ -63,8 +63,10 @@ struct NtpPacket {
 /// Serialize into exactly kNtpPacketSize bytes of network byte order.
 std::array<std::uint8_t, kNtpPacketSize> encode(const NtpPacket& packet);
 
-/// Parse and validate a packet. Throws wire::BufferError on short input and
-/// PacketError on structural violations (bad version or mode nibble).
+/// Parse and validate a packet. Throws PacketError on short input (a
+/// truncated datagram can never half-parse into a plausible packet) and on
+/// structural violations (bad version or mode nibble). Trailing bytes —
+/// extensions, MAC — are ignored: only the 48-byte header is read.
 NtpPacket decode(std::span<const std::uint8_t> data);
 
 class PacketError : public std::runtime_error {
@@ -74,6 +76,26 @@ class PacketError : public std::runtime_error {
 
 /// Four-character reference id helper ("GPS ", "ATOM", ...).
 std::uint32_t reference_id_from_string(const std::string& label);
+
+/// Inverse of reference_id_from_string, for diagnostics: the four id bytes
+/// as printable ASCII (non-printable bytes rendered as '.'). A stratum-0
+/// reply's reference id is its kiss-o'-death code ("DENY", "RATE", ...).
+std::string reference_id_to_string(std::uint32_t reference_id);
+
+/// Validate a decoded reply against what a well-behaved SNTP server must
+/// send for `expected_origin` (the request's transmit timestamp). This is
+/// the collector-path hardening layer on top of decode(): a hostile or
+/// broken reply must surface as a precise PacketError, never as a garbage
+/// {Ta,Tb,Te,Tf} exchange. Checks, in order:
+///   * mode is server (a client/broadcast/control packet is not a reply);
+///   * stratum 0 — a kiss-o'-death packet; the error names the kiss code;
+///   * stratum > 15 (RFC 5905 reserves 16+);
+///   * leap indicator 3 — the server itself is unsynchronized;
+///   * zero receive/transmit timestamps (unknown time on the wire);
+///   * zero origin timestamp, or origin ≠ expected_origin — the reply does
+///     not answer our request (off-path spoofing or a confused server).
+void validate_server_reply(const NtpPacket& reply,
+                           const NtpTimestamp& expected_origin);
 
 /// Build the client-mode request carrying Ta in the transmit field.
 NtpPacket make_client_request(NtpTimestamp transmit, std::uint8_t poll_log2);

@@ -253,7 +253,7 @@ if [ -n "$SWEEP_MERGE" ]; then
     "$WORK/s1.dump" "$WORK/s2.dump" "$WORK/does_not_exist.dump"
 
   # Version skew: bump the format version in one dump's first line.
-  sed '1s/tscclock-sweep-results 2/tscclock-sweep-results 99/' \
+  sed '1s/tscclock-sweep-results 3/tscclock-sweep-results 99/' \
     "$WORK/s1.dump" > "$WORK/skewed.dump"
   "$SWEEP_MERGE" "$WORK/skewed.dump" "$WORK/s2.dump" "$WORK/s3.dump" \
     >/tmp/sweep_cli_out.$$ 2>&1

@@ -1,0 +1,169 @@
+// The live-collection path (trace/collector.hpp) against the in-process
+// loopback SNTP mock (trace/sntp_mock.hpp): a normal collection produces a
+// valid relative-only trace, kiss-o'-death aborts, each refusable
+// misbehavior is refused without killing the run, and a silent server
+// yields lost records. Every test skips (not fails) when the sandbox
+// refuses loopback sockets.
+#include "trace/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "trace/sntp_mock.hpp"
+#include "trace/trace_io.hpp"
+
+namespace tscclock::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path temp_path(const std::string& name) {
+  return fs::temp_directory_path() / ("tscclock_collect_" + name);
+}
+
+/// Short timeouts throughout: the mock answers in microseconds, and the
+/// refusal paths must wait out the full per-poll deadline.
+CollectorOptions loopback_options(const MockSntpServer& server,
+                                  std::size_t count) {
+  CollectorOptions options;
+  options.host = "127.0.0.1";
+  options.port = server.port();
+  options.count = count;
+  options.interval = 0.001;
+  options.timeout = 0.3;
+  options.client_id = 9;
+  options.label = "mock test";
+  return options;
+}
+
+#define SKIP_WITHOUT_LOOPBACK(server)                                   \
+  if (!(server).ok()) {                                                 \
+    GTEST_SKIP() << "loopback UDP socket unavailable in this sandbox";  \
+  }
+
+TEST(Collector, NormalCollectionProducesValidRelativeTrace) {
+  MockSntpServer server(MockSntpServer::Behavior::kNormal);
+  SKIP_WITHOUT_LOOPBACK(server);
+  const auto options = loopback_options(server, 6);
+  const auto path = temp_path("normal.trace");
+
+  TraceWriter writer(path.string(), collector_meta(options));
+  const CollectorReport report = collect(options, writer);
+  writer.close(report.attempted);
+
+  EXPECT_EQ(report.attempted, 6u);
+  EXPECT_EQ(report.received, 6u);
+  EXPECT_EQ(report.lost, 0u);
+  EXPECT_EQ(report.refused, 0u);
+  EXPECT_GE(server.requests_seen(), 6u);
+
+  const ReadTrace loaded = read_trace(path.string());
+  EXPECT_EQ(loaded.meta.mode, harness::GroundTruthMode::kRelativeOnly);
+  EXPECT_EQ(loaded.meta.nominal_period, collector_nominal_period());
+  EXPECT_EQ(loaded.meta.client_id, 9u);
+  EXPECT_EQ(loaded.meta.label, "mock test");
+  ASSERT_EQ(loaded.trace.samples.size(), 6u);
+  for (const auto& sample : loaded.trace.samples) {
+    EXPECT_FALSE(sample.lost);
+    EXPECT_FALSE(sample.ref_available);
+    // The exchange ordering invariants the replay pipeline relies on: the
+    // reader would have thrown on non-monotone Ta, so reaching here means
+    // the monotonic stamps are sane; Tb/Te are small rebased doubles.
+    EXPECT_LT(sample.raw.ta, sample.raw.tf);
+    EXPECT_LE(sample.raw.tb, sample.raw.te);
+    EXPECT_LT(sample.raw.tb, 3600.0) << "rebasing failed: era-sized stamp";
+    EXPECT_GT(sample.raw.tb, -3600.0);
+  }
+  fs::remove(path);
+}
+
+TEST(Collector, KissOfDeathAbortsNamingTheCode) {
+  MockSntpServer server(MockSntpServer::Behavior::kKissOfDeath);
+  SKIP_WITHOUT_LOOPBACK(server);
+  const auto options = loopback_options(server, 4);
+  const auto path = temp_path("kod.trace");
+  TraceWriter writer(path.string(), collector_meta(options));
+  try {
+    collect(options, writer);
+    FAIL() << "kiss-o'-death must abort the collection";
+  } catch (const CollectorError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("kiss-o'-death"), std::string::npos) << what;
+    EXPECT_NE(what.find("RATE"), std::string::npos) << what;
+  }
+  fs::remove(path);
+}
+
+/// Refusable misbehaviors: the reply is discarded, the poll waits out its
+/// deadline and becomes a lost record, and the collection completes.
+class CollectorRefusal
+    : public ::testing::TestWithParam<MockSntpServer::Behavior> {};
+
+TEST_P(CollectorRefusal, RefusedRepliesBecomeLostRecordsNotCrashes) {
+  MockSntpServer server(GetParam());
+  SKIP_WITHOUT_LOOPBACK(server);
+  const auto options = loopback_options(server, 2);
+  const auto path = temp_path("refused.trace");
+  TraceWriter writer(path.string(), collector_meta(options));
+  const CollectorReport report = collect(options, writer);
+  writer.close(report.attempted);
+
+  EXPECT_EQ(report.attempted, 2u);
+  EXPECT_EQ(report.received, 0u);
+  EXPECT_EQ(report.lost, 2u);
+  EXPECT_GE(report.refused, 2u) << "each poll saw at least one bad reply";
+
+  // The lossy trace is still a valid file (gaps are data).
+  const ReadTrace loaded = read_trace(path.string());
+  EXPECT_EQ(loaded.trace.lost, 2u);
+  fs::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Misbehaviors, CollectorRefusal,
+    ::testing::Values(MockSntpServer::Behavior::kUnsynchronized,
+                      MockSntpServer::Behavior::kZeroTimestamps,
+                      MockSntpServer::Behavior::kWrongOrigin,
+                      MockSntpServer::Behavior::kTruncated));
+
+TEST(Collector, SilentServerYieldsLostRecords) {
+  MockSntpServer server(MockSntpServer::Behavior::kSilent);
+  SKIP_WITHOUT_LOOPBACK(server);
+  const auto options = loopback_options(server, 2);
+  const auto path = temp_path("silent.trace");
+  TraceWriter writer(path.string(), collector_meta(options));
+  const CollectorReport report = collect(options, writer);
+  writer.close(report.attempted);
+  EXPECT_EQ(report.attempted, 2u);
+  EXPECT_EQ(report.received, 0u);
+  EXPECT_EQ(report.lost, 2u);
+  EXPECT_EQ(report.refused, 0u);
+  fs::remove(path);
+}
+
+TEST(Collector, UnresolvableHostAborts) {
+  CollectorOptions options;
+  options.host = "no-such-host.invalid";
+  options.count = 1;
+  options.timeout = 0.1;
+  const auto path = temp_path("unresolvable.trace");
+  TraceWriter writer(path.string(), collector_meta(options));
+  EXPECT_THROW(collect(options, writer), CollectorError);
+  fs::remove(path);
+}
+
+TEST(Collector, MetaDefaultsLabelToHostPort) {
+  CollectorOptions options;
+  options.host = "pool.example.org";
+  options.port = 1234;
+  const TraceMeta meta = collector_meta(options);
+  EXPECT_EQ(meta.mode, harness::GroundTruthMode::kRelativeOnly);
+  EXPECT_EQ(meta.nominal_period, collector_nominal_period());
+  EXPECT_NE(meta.label.find("pool.example.org:1234"), std::string::npos)
+      << meta.label;
+}
+
+}  // namespace
+}  // namespace tscclock::trace

@@ -587,7 +587,7 @@ TEST(FleetGrid, NonSingleValuesExtendNamesWithoutReseedingSingles) {
 TEST(FleetGrid, DescriptorCarriesTheFleetAxis) {
   sweep::GridSpec base;
   const std::string plain = sweep::grid_descriptor(base);
-  EXPECT_NE(plain.find("tscclock-grid v2"), std::string::npos);
+  EXPECT_NE(plain.find("tscclock-grid v3"), std::string::npos);
   EXPECT_NE(plain.find("fleets"), std::string::npos);
 
   sweep::GridSpec extended = base;

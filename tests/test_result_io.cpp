@@ -205,7 +205,7 @@ TEST_F(DumpFixture, HeaderIsWrittenBeforeCells) {
   const fs::path path = tmp_ / "early_header.dump";
   ShardDumpWriter writer(path.string(), header(), 0);
   const std::string content = read_file(path);
-  EXPECT_NE(content.find("tscclock-sweep-results 2"), std::string::npos);
+  EXPECT_NE(content.find("tscclock-sweep-results 3"), std::string::npos);
   // ... but without cells + end marker it is refused as incomplete.
   EXPECT_THROW(read_shard_dump(path.string()), ResultIoError);
   writer.write_cells({});
@@ -217,17 +217,17 @@ TEST_F(DumpFixture, RejectsVersionSkewNamingBothVersions) {
   ShardDumpWriter writer(path.string(), header(), 0);
   writer.write_cells({});
   std::string content = read_file(path);
-  const std::string old_line = "tscclock-sweep-results 2";
+  const std::string old_line = "tscclock-sweep-results 3";
   content.replace(content.find(old_line), old_line.size(),
-                  "tscclock-sweep-results 3");
+                  "tscclock-sweep-results 4");
   write_file(path, content);
   try {
     read_shard_dump(path.string());
     FAIL() << "expected ResultIoError";
   } catch (const ResultIoError& e) {
     const std::string what = e.what();
+    EXPECT_NE(what.find("version 4"), std::string::npos) << what;
     EXPECT_NE(what.find("version 3"), std::string::npos) << what;
-    EXPECT_NE(what.find("version 2"), std::string::npos) << what;
   }
 }
 

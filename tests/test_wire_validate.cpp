@@ -1,0 +1,168 @@
+// Hostile-input hardening of the wire layer (wire/ntp_packet.hpp): decode
+// against truncated datagrams and validate_server_reply against every
+// misbehavior class the live collector must refuse — kiss-o'-death (naming
+// the kiss code), unsynchronized servers, reserved strata, zero timestamps
+// and origin-echo mismatches. Each case must surface as a precise
+// PacketError, never as a garbage exchange.
+#include "wire/ntp_packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tscclock::wire {
+namespace {
+
+NtpTimestamp stamp(std::uint32_t seconds, std::uint32_t fraction) {
+  NtpTimestamp t;
+  t.seconds = seconds;
+  t.fraction = fraction;
+  return t;
+}
+
+/// A well-formed stratum-2 reply answering a request whose transmit
+/// timestamp was `origin` — the baseline every mutation below starts from.
+NtpPacket good_reply(const NtpTimestamp& origin) {
+  const NtpPacket request = make_client_request(origin, 4);
+  return make_server_reply(request, stamp(0xe0000000, 0x40000000),
+                           stamp(0xe0000000, 0x50000000), 2,
+                           reference_id_from_string("GPS "));
+}
+
+const NtpTimestamp kOrigin = stamp(0xdeadbeef, 0xcafe1234);
+
+std::string validation_error(const NtpPacket& reply,
+                             const NtpTimestamp& origin = kOrigin) {
+  try {
+    validate_server_reply(reply, origin);
+  } catch (const PacketError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+// -- decode: truncated and malformed datagrams -----------------------------
+
+TEST(WireValidate, DecodeRefusesTruncatedDatagrams) {
+  const auto bytes = encode(good_reply(kOrigin));
+  // Every length short of the 48-byte header must throw — a truncated
+  // datagram can never half-parse into a plausible packet.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                std::size_t{20}, std::size_t{47}}) {
+    try {
+      decode(std::span<const std::uint8_t>(bytes.data(), len));
+      FAIL() << "decode accepted a " << len << "-byte datagram";
+    } catch (const PacketError& e) {
+      EXPECT_NE(std::string(e.what()).find(std::to_string(len)),
+                std::string::npos)
+          << "error should name the actual length: " << e.what();
+    }
+  }
+}
+
+TEST(WireValidate, DecodeAcceptsExactHeaderAndIgnoresTrailingBytes) {
+  const NtpPacket reply = good_reply(kOrigin);
+  const auto bytes = encode(reply);
+  EXPECT_EQ(decode(bytes), reply);
+  // Extensions/MAC ride behind the header and are ignored.
+  std::vector<std::uint8_t> padded(bytes.begin(), bytes.end());
+  padded.resize(kNtpPacketSize + 20, 0xab);
+  EXPECT_EQ(decode(padded), reply);
+}
+
+// -- validate_server_reply --------------------------------------------------
+
+TEST(WireValidate, AcceptsWellFormedReply) {
+  EXPECT_NO_THROW(validate_server_reply(good_reply(kOrigin), kOrigin));
+}
+
+TEST(WireValidate, RefusesNonServerMode) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.mode = NtpMode::kClient;
+  EXPECT_NE(validation_error(reply).find("mode"), std::string::npos);
+  reply.mode = NtpMode::kBroadcast;
+  EXPECT_FALSE(validation_error(reply).empty());
+}
+
+TEST(WireValidate, KissOfDeathNamesTheKissCode) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.stratum = 0;
+  reply.reference_id = reference_id_from_string("RATE");
+  const std::string what = validation_error(reply);
+  EXPECT_NE(what.find("kiss-o'-death"), std::string::npos) << what;
+  EXPECT_NE(what.find("RATE"), std::string::npos) << what;
+}
+
+TEST(WireValidate, KissCodeWithUnprintableBytesStaysPrintable) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.stratum = 0;
+  reply.reference_id = 0x01020304;  // no printable rendering of its own
+  const std::string what = validation_error(reply);
+  EXPECT_NE(what.find("kiss-o'-death"), std::string::npos) << what;
+  // The diagnostic renders non-printable id bytes as '.', never raw bytes.
+  for (const char c : what) {
+    EXPECT_TRUE(c >= 0x20 || c == '\t') << "unprintable byte in: " << what;
+  }
+}
+
+TEST(WireValidate, RefusesReservedStratum) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.stratum = 16;
+  EXPECT_NE(validation_error(reply).find("stratum"), std::string::npos);
+}
+
+TEST(WireValidate, RefusesUnsynchronizedLeapIndicator) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.leap = LeapIndicator::kUnsynchronized;
+  const std::string what = validation_error(reply);
+  EXPECT_NE(what.find("unsynchronized"), std::string::npos) << what;
+}
+
+TEST(WireValidate, RefusesZeroReceiveOrTransmitTimestamp) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.receive_time = stamp(0, 0);
+  EXPECT_FALSE(validation_error(reply).empty());
+  reply = good_reply(kOrigin);
+  reply.transmit_time = stamp(0, 0);
+  EXPECT_FALSE(validation_error(reply).empty());
+}
+
+TEST(WireValidate, RefusesZeroOrigin) {
+  NtpPacket reply = good_reply(kOrigin);
+  reply.origin_time = stamp(0, 0);
+  const std::string what = validation_error(reply);
+  EXPECT_NE(what.find("origin"), std::string::npos) << what;
+}
+
+TEST(WireValidate, RefusesMismatchedOriginEcho) {
+  // An off-path attacker cannot know the request's transmit timestamp; a
+  // reply whose origin does not echo it — even by one fraction LSB — does
+  // not answer our request.
+  NtpPacket reply = good_reply(kOrigin);
+  reply.origin_time.fraction ^= 1;
+  const std::string what = validation_error(reply);
+  EXPECT_NE(what.find("origin"), std::string::npos) << what;
+}
+
+TEST(WireValidate, ChecksRunInDocumentedOrder) {
+  // A packet wrong in several ways reports the first documented check:
+  // kiss-o'-death wins over the (also present) zero origin.
+  NtpPacket reply = good_reply(kOrigin);
+  reply.stratum = 0;
+  reply.reference_id = reference_id_from_string("DENY");
+  reply.origin_time = stamp(0, 0);
+  reply.leap = LeapIndicator::kUnsynchronized;
+  const std::string what = validation_error(reply);
+  EXPECT_NE(what.find("kiss-o'-death"), std::string::npos) << what;
+}
+
+TEST(WireValidate, ReferenceIdRoundTrip) {
+  EXPECT_EQ(reference_id_to_string(reference_id_from_string("RATE")), "RATE");
+  EXPECT_EQ(reference_id_to_string(reference_id_from_string("GPS ")), "GPS ");
+}
+
+}  // namespace
+}  // namespace tscclock::wire

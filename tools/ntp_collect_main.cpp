@@ -1,0 +1,187 @@
+// ntp-collect: poll a live NTP/SNTP server and write the exchanges as a
+// relative-only trace file for the sweep's --trace-in axis.
+//
+//   ntp-collect --server pool.ntp.org --count 64 --interval 4 --out x.trace
+//   ntp-collect --mock --count 8 --out x.trace     (offline self-test)
+//
+// Ta/Tf are CLOCK_MONOTONIC nanosecond counts (nominal_period 1e-9) — the
+// collector's raw counter, never the disciplined system clock. Timeouts
+// become lost records; replies that fail wire::validate_server_reply are
+// refused and the poll retries within its timeout; a kiss-o'-death reply
+// aborts the run (RFC 5905). The output declares relative-only ground
+// truth: no reference clock exists on a real path, so replaying it yields
+// n/a absolute-error columns and populated tracking/ADEV columns.
+//
+// --mock serves the collection from an in-process loopback SNTP responder
+// instead of the network — the CI smoke path: a full collect → validate →
+// replay round trip with zero external dependencies.
+//
+// Exit status: 0 on a completed collection (lost polls included — gaps are
+// data); 1 on an aborted one (resolve/socket failure, kiss-o'-death,
+// unwritable output); 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "trace/collector.hpp"
+#include "trace/sntp_mock.hpp"
+#include "trace/trace_io.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: ntp-collect --server HOST[:PORT] --out FILE [options]\n"
+      "       ntp-collect --mock --out FILE [options]\n"
+      "  --server H[:P]   NTP server to poll (default port 123)\n"
+      "  --mock           poll an in-process loopback responder instead of\n"
+      "                   the network (offline self-test / CI smoke)\n"
+      "  --out FILE       trace file to write (relative-only ground truth)\n"
+      "  --count N        polls to attempt              (default 16)\n"
+      "  --interval S     seconds between polls         (default 1)\n"
+      "  --timeout S      per-poll reply wait           (default 2)\n"
+      "  --label STR      provenance note for the trace header\n"
+      "  --quiet          suppress per-poll progress lines\n"
+      "  --help           this text\n"
+      "exit status: 0 collection completed (timeouts become lost records);\n"
+      "1 aborted (resolve/socket failure, kiss-o'-death, unwritable\n"
+      "output); 2 usage\n");
+  std::exit(code);
+}
+
+double parse_positive(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !(v > 0.0)) {
+    std::fprintf(stderr, "invalid value '%s' for %s (want a positive number)\n",
+                 text.c_str(), flag.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t parse_count(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' ||
+      text.find('-') != std::string::npos || v == 0) {
+    std::fprintf(stderr,
+                 "invalid value '%s' for %s (want a positive integer)\n",
+                 text.c_str(), flag.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  trace::CollectorOptions options;
+  std::string out_path;
+  bool mock = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--server") {
+      const std::string spec = value();
+      const auto colon = spec.rfind(':');
+      if (colon != std::string::npos) {
+        options.host = spec.substr(0, colon);
+        const std::uint64_t port =
+            parse_count("--server port", spec.substr(colon + 1));
+        if (port > 65535) {
+          std::fprintf(stderr, "--server port %llu out of range\n",
+                       static_cast<unsigned long long>(port));
+          return 2;
+        }
+        options.port = static_cast<std::uint16_t>(port);
+      } else {
+        options.host = spec;
+      }
+      if (options.host.empty()) {
+        std::fprintf(stderr, "--server requires a non-empty host\n");
+        return 2;
+      }
+    } else if (arg == "--mock") {
+      mock = true;
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--count") {
+      options.count = static_cast<std::size_t>(parse_count("--count", value()));
+    } else if (arg == "--interval") {
+      options.interval = parse_positive("--interval", value());
+    } else if (arg == "--timeout") {
+      options.timeout = parse_positive("--timeout", value());
+    } else if (arg == "--label") {
+      options.label = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (mock == !options.host.empty()) {
+    std::fprintf(stderr, "exactly one of --server or --mock is required\n");
+    return 2;
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+
+  // The mock lives for the whole collection; the collector talks to it
+  // through the same socket path as a real server.
+  std::unique_ptr<trace::MockSntpServer> mock_server;
+  if (mock) {
+    mock_server = std::make_unique<trace::MockSntpServer>();
+    if (!mock_server->ok()) {
+      std::fprintf(stderr,
+                   "mock server unavailable (loopback UDP socket refused)\n");
+      return 1;
+    }
+    options.host = "127.0.0.1";
+    options.port = mock_server->port();
+    if (options.label.empty()) options.label = "in-process mock responder";
+    // A live collection paces real seconds between polls; against the
+    // loopback mock that would only slow CI down.
+    options.interval = 0.001;
+    options.timeout = 1.0;
+  }
+
+  try {
+    trace::TraceWriter writer(out_path, trace::collector_meta(options));
+    const auto report = trace::collect(
+        options, writer,
+        quiet ? std::function<void(const std::string&)>{}
+              : [](const std::string& line) {
+                  std::fprintf(stderr, "%s\n", line.c_str());
+                });
+    writer.close(report.attempted);
+    std::printf("%s: %zu polls, %zu replies, %zu lost, %zu refused -> %s\n",
+                options.host.c_str(), report.attempted, report.received,
+                report.lost, report.refused, out_path.c_str());
+  } catch (const trace::CollectorError& e) {
+    std::fprintf(stderr, "collection aborted: %s\n", e.what());
+    return 1;
+  } catch (const trace::TraceIoError& e) {
+    std::fprintf(stderr, "trace write failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 //         [--seed 42] [--threads 0]
 //         [--warmup-s 3600] [--no-wire] [--exact-reduction]
 //         [--shard I/N] [--checkpoint FILE] [--dump-results FILE]
+//         [--trace-in FILE]... [--trace-out FILE]
 //
 // Cells reduce with the O(1)-memory streaming sink by default (P2 percentile
 // sketch; counts, means, stddevs and ADEV are bit-identical to the exact
@@ -53,10 +54,22 @@
 // output is bit-identical to an uninterrupted run. See README
 // "Fleet-scale sweeps".
 //
+// --trace-in appends imported trace files (tools/trace-import,
+// tools/ntp-collect or a previous --trace-out) as extra grid cells named
+// trace:<path>. Imported cells replay through the identical
+// ReplaySession/reducer pipeline as the simulated cells and land in the
+// same comparison tables, so internet data is graded side by side with the
+// synthetic grid; they require replay estimator specs (e.g. offline) and
+// are skipped by the by-server/by-environment aggregates. --trace-out
+// exports a single-scenario run's recorded exchange stream as a
+// reference-bearing trace file replayable via --trace-in. See README
+// "Real-trace ingestion".
+//
 // Exit status: 0 on success, 1 when any grid cell FAILED (or the --csv
 // dump, --dump-results dump or --checkpoint stream aborted mid-run), 2 on
-// usage errors — including a malformed --shard and a checkpoint that does
-// not belong to this invocation.
+// usage errors — including a malformed --shard, a checkpoint that does
+// not belong to this invocation, and a --trace-in file that fails
+// validation (diagnosed up front, before any scenario runs).
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -71,6 +84,7 @@
 #include "common/table.hpp"
 #include "harness/estimator_spec.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/trace_io.hpp"
 
 using namespace tscclock;
 
@@ -340,11 +354,26 @@ sweep::ScheduleVariant make_schedule(const std::string& name,
       "  --checkpoint F     append each completed scenario to F; rerunning\n"
       "                     the identical command resumes, skipping the\n"
       "                     committed prefix, with bit-identical output\n"
+      "  --trace-in PATH    append an imported trace file (trace-import,\n"
+      "                     ntp-collect or a previous --trace-out) as an\n"
+      "                     extra grid cell named trace:PATH, replayed\n"
+      "                     through the identical pipeline into the same\n"
+      "                     comparison tables; repeatable. Requires replay\n"
+      "                     estimator specs (e.g. --estimators offline);\n"
+      "                     malformed files are refused up front (exit 2)\n"
+      "                     with the validator's message. Relative-only\n"
+      "                     traces (no ground truth) report n/a absolute\n"
+      "                     error columns and populated tracking/ADEV\n"
+      "                     columns, suffixed (rel)\n"
+      "  --trace-out PATH   export the run's recorded exchange stream as a\n"
+      "                     reference-bearing trace file replayable via\n"
+      "                     --trace-in (single-scenario single-client runs\n"
+      "                     only - a trace holds one client's stream)\n"
       "  --list-estimators  list the available estimators and exit\n"
       "  --list-topologies  list the fleet-axis tunables and exit\n"
       "  --help             this text\n"
       "exit status: 0 ok; 1 any FAILED cell or aborted --csv/--dump-results/\n"
-      "--checkpoint artifact; 2 usage\n");
+      "--checkpoint artifact; 2 usage (incl. malformed --trace-in files)\n");
   std::exit(code);
 }
 
@@ -438,6 +467,27 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--dump-results requires a non-empty path\n");
         return 2;
       }
+    } else if (arg == "--trace-in") {
+      const std::string path = value();
+      if (path.empty()) {
+        std::fprintf(stderr, "--trace-in requires a non-empty path\n");
+        return 2;
+      }
+      // A duplicate path would collapse two cells onto one scenario name
+      // (and expand_grid asserts on the collision); refuse it here with a
+      // usage error instead.
+      if (std::find(grid.trace_inputs.begin(), grid.trace_inputs.end(),
+                    path) != grid.trace_inputs.end()) {
+        std::fprintf(stderr, "duplicate --trace-in path '%s'\n", path.c_str());
+        return 2;
+      }
+      grid.trace_inputs.push_back(path);
+    } else if (arg == "--trace-out") {
+      options.trace_out = value();
+      if (options.trace_out.empty()) {
+        std::fprintf(stderr, "--trace-out requires a non-empty path\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage(2);
@@ -491,6 +541,33 @@ int main(int argc, char** argv) {
                      "and cannot score multi-client fleet cells - drop the "
                      "fleet(...) value or the replay spec\n",
                      spec.label().c_str());
+        return 2;
+      }
+    }
+  }
+  // Online estimators run inside the drive loop and cannot score an
+  // imported trace cell — --trace-in files carry a finished exchange stream
+  // that only the replay lane (e.g. offline) can grade. Catch the
+  // combination before any work runs instead of failing every trace cell.
+  if (!grid.trace_inputs.empty()) {
+    for (const auto& spec : estimator_specs) {
+      if (!harness::estimator_registry().is_replay(spec)) {
+        std::fprintf(stderr,
+                     "estimator '%s' runs online and cannot score imported "
+                     "--trace-in cells - score traces with replay specs "
+                     "(e.g. --estimators offline)\n",
+                     spec.label().c_str());
+        return 2;
+      }
+    }
+    // Validate every trace file up front: a malformed file is a usage
+    // error diagnosed with the reader's precise message, not a FAILED cell
+    // discovered after the simulated grid already ran.
+    for (const auto& path : grid.trace_inputs) {
+      try {
+        trace::read_trace(path);
+      } catch (const trace::TraceIoError& e) {
+        std::fprintf(stderr, "--trace-in %s: %s\n", path.c_str(), e.what());
         return 2;
       }
     }

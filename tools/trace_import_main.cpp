@@ -1,0 +1,115 @@
+// trace-import: validate and canonicalize trace files for the replay
+// pipeline.
+//
+//   trace-import --validate FILE          validate only, report findings
+//   trace-import --in FILE --out FILE     validate + rewrite canonically
+//
+// Validation runs the same reader (trace/trace_io.hpp) the sweep's
+// --trace-in axis uses, so a file that passes here replays there — the
+// single source of truth for what a well-formed trace is. Canonicalizing
+// re-emits the parsed records through the writer: field escaping and
+// hexfloat rendering are normalized while every numeric value stays
+// bit-identical, so a canonicalized trace replays byte-identically to its
+// source.
+//
+// Exit status: 0 on a clean file; 1 when the file is well-formed but drew
+// warnings (one line per warning, naming the offending record); 2 on a
+// malformed file (one-line diagnostic naming the offending record or
+// header line) or a usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/trace_io.hpp"
+
+using namespace tscclock;
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: trace-import --validate FILE\n"
+      "       trace-import --in FILE --out FILE\n"
+      "  --validate FILE  parse FILE with the sweep's --trace-in reader and\n"
+      "                   report: silent on a clean file, one line per\n"
+      "                   warning, a one-line diagnostic on malformed input\n"
+      "  --in FILE        source trace to canonicalize\n"
+      "  --out FILE       rewrite the validated trace canonically (escaping\n"
+      "                   and hexfloat rendering normalized, every value\n"
+      "                   bit-identical; replays byte-identically)\n"
+      "  --help           this text\n"
+      "exit status: 0 clean; 1 warnings; 2 malformed file or usage\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string validate_path;
+  std::string in_path;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--validate") validate_path = value();
+    else if (arg == "--in") in_path = value();
+    else if (arg == "--out") out_path = value();
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  const bool validate_mode = !validate_path.empty();
+  const bool convert_mode = !in_path.empty() || !out_path.empty();
+  if (validate_mode == convert_mode) {
+    std::fprintf(stderr,
+                 "exactly one mode required: --validate FILE, or "
+                 "--in FILE --out FILE\n");
+    usage(2);
+  }
+  if (convert_mode && (in_path.empty() || out_path.empty())) {
+    std::fprintf(stderr, "--in and --out must be given together\n");
+    usage(2);
+  }
+
+  const std::string& source = validate_mode ? validate_path : in_path;
+  trace::ReadTrace loaded;
+  try {
+    loaded = trace::read_trace(source);
+  } catch (const trace::TraceIoError& e) {
+    std::fprintf(stderr, "%s: %s\n", source.c_str(), e.what());
+    return 2;
+  }
+  for (const auto& warning : loaded.warnings)
+    std::fprintf(stderr, "%s: warning: %s\n", source.c_str(), warning.c_str());
+
+  if (convert_mode) {
+    try {
+      trace::write_trace(out_path, loaded.meta, loaded.trace);
+    } catch (const trace::TraceIoError& e) {
+      std::fprintf(stderr, "%s: %s\n", out_path.c_str(), e.what());
+      return 2;
+    }
+    std::printf("%s: %zu exchanges (%zu lost) -> %s\n", source.c_str(),
+                loaded.trace.exchanges, loaded.trace.lost, out_path.c_str());
+  } else {
+    std::printf(
+        "%s: ok - %zu exchanges (%zu lost), %s ground truth%s\n",
+        source.c_str(), loaded.trace.exchanges, loaded.trace.lost,
+        loaded.meta.mode == harness::GroundTruthMode::kReference
+            ? "reference"
+            : "relative-only",
+        loaded.warnings.empty() ? "" : ", with warnings");
+  }
+  return loaded.warnings.empty() ? 0 : 1;
+}
